@@ -1,0 +1,36 @@
+"""Shared helpers for the experiment-reproduction benchmarks.
+
+Every module in this directory regenerates one table or figure from the
+paper's evaluation (§6), printing the same rows/series the paper reports
+and asserting the qualitative *shape* (who wins, by what rough factor,
+where crossovers fall).  Absolute numbers differ from the authors' AWS
+testbed; DESIGN.md §1 documents the substitutions.
+
+Run with:  pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic end-to-end simulations, not
+    microbenchmarks — one timed execution is the meaningful measurement.
+    """
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  iterations=1, rounds=1)
+
+    return run

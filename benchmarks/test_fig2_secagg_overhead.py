@@ -1,0 +1,81 @@
+"""Figure 2: secure aggregation dominates the training round (§2.3.2).
+
+Round-time breakdown for 32/48/64 sampled clients at 10% dropout, with
+SecAgg (2a) and SecAgg+ (2b), each with and without DP encoding.  The
+paper's findings to reproduce: aggregation consumes 86–97% of the round,
+the share grows with the client count, DP adds a slight extra, and
+SecAgg+ is cheaper but still dominant.
+"""
+
+import pytest
+from conftest import print_header
+
+from repro.pipeline.perf_model import CostModelParams, build_dordis_perf_model
+from repro.pipeline.simulator import simulate_round
+
+UPDATE_SIZE = 11_000_000  # ResNet-18-class model
+#: "w/o DP" drops the DSkellam encode passes from the client stage.
+NO_DP = CostModelParams(encode_passes=2.0)
+WITH_DP = CostModelParams()
+
+
+def _breakdown(protocol: str):
+    rows = []
+    for n in (32, 48, 64):
+        for dp, params in (("w/o DP", NO_DP), ("w/ DP", WITH_DP)):
+            model = build_dordis_perf_model(
+                n, UPDATE_SIZE, protocol=protocol, dropout_rate=0.1,
+                params=params,
+            )
+            timing = simulate_round(model, UPDATE_SIZE, params=params)
+            rows.append((n, dp, timing))
+    return rows
+
+
+@pytest.mark.parametrize("protocol,figure", [("secagg", "2a"), ("secagg+", "2b")])
+def test_fig2_round_breakdown(once, protocol, figure):
+    rows = once(_breakdown, protocol)
+    print_header(
+        f"Fig {figure} — round time breakdown, {protocol}, 10% dropout"
+    )
+    print(f"{'clients':>8} {'DP':>7} | {'agg (h)':>8} {'other (h)':>9} {'agg share':>9}")
+    for n, dp, t in rows:
+        print(
+            f"{n:>8} {dp:>7} | {t.aggregation_time / 3600:>8.2f} "
+            f"{t.other_time / 3600:>9.2f} {t.aggregation_share:>9.0%}"
+        )
+    by_key = {(n, dp): t for n, dp, t in rows}
+    for n in (32, 48, 64):
+        # Aggregation dominates (paper: 86–97%).
+        assert by_key[(n, "w/ DP")].aggregation_share > 0.86
+        # DP costs slightly more than no-DP.
+        assert (
+            by_key[(n, "w/ DP")].aggregation_time
+            > by_key[(n, "w/o DP")].aggregation_time
+        )
+    # Cost and dominance grow with the number of sampled clients.
+    for dp in ("w/o DP", "w/ DP"):
+        times = [by_key[(n, dp)].aggregation_time for n in (32, 48, 64)]
+        assert times[0] < times[1] < times[2]
+
+
+def test_fig2_secagg_plus_cheaper_but_still_dominant(once):
+    def compare():
+        out = {}
+        for protocol in ("secagg", "secagg+"):
+            model = build_dordis_perf_model(
+                64, UPDATE_SIZE, protocol=protocol, dropout_rate=0.1
+            )
+            out[protocol] = simulate_round(model, UPDATE_SIZE)
+        return out
+
+    out = once(compare)
+    print_header("Fig 2 — SecAgg vs SecAgg+ at 64 clients")
+    for protocol, t in out.items():
+        print(
+            f"  {protocol:>8}: agg {t.aggregation_time / 60:6.1f} min, "
+            f"share {t.aggregation_share:4.0%}"
+        )
+    assert out["secagg+"].aggregation_time < out["secagg"].aggregation_time
+    # "A further improvement is still desired": SecAgg+ remains dominant.
+    assert out["secagg+"].aggregation_share > 0.86

@@ -1,0 +1,130 @@
+"""Figure 9: round-to-accuracy at 20% dropout (§6.2).
+
+XNoise converges at the same speed as Orig — its extra noise is removed
+before the aggregate reaches the model, so the learning curves coincide
+up to noise.  (Orig is meanwhile silently overrunning its ε budget; that
+side is Fig. 8's.)
+"""
+
+import pytest
+from conftest import print_header
+
+from repro.core import DordisConfig, DordisSession
+from repro.core.baselines import make_strategy
+from repro.fl.data import make_classification_task
+
+
+def _bench_dataset(task: str):
+    """Same saturating stand-ins as the Table-2 bench (see there)."""
+    if task == "femnist-like":
+        return make_classification_task(
+            "femnist-bench9", n_clients=80, n_classes=62, n_features=32,
+            samples_per_client=60, class_separation=5.0, seed=9,
+        )
+    return make_classification_task(
+        "cifar-bench9", n_clients=80, n_classes=10, n_features=32,
+        samples_per_client=50, class_separation=4.0, seed=9,
+    )
+
+
+def _curves(task: str, model: str, optimizer: str, lr: float, rounds: int):
+    dataset = _bench_dataset(task)
+    out = {}
+    for name in ("orig", "xnoise"):
+        cfg = DordisConfig(
+            task=task,
+            model=model,
+            num_clients=80,
+            sample_size=32,
+            rounds=rounds,
+            epsilon=6.0,
+            clip_bound=0.5,
+            learning_rate=lr,
+            optimizer=optimizer,
+            dropout_rate=0.2,
+            strategy="orig",
+            seed=9,
+        )
+        session = DordisSession(cfg, dataset=dataset, strategy=make_strategy(name))
+        out[name] = session.run()
+    return out
+
+
+def _print_curves(title, results, fmt):
+    print_header(title)
+    rounds = len(results["orig"].metric_history)
+    print(f"{'round':>6} | {'Orig':>8} | {'XNoise':>8}")
+    step = max(1, rounds // 8)
+    for r in range(0, rounds, step):
+        print(
+            f"{r + 1:>6} | {fmt(results['orig'].metric_history[r]):>8} | "
+            f"{fmt(results['xnoise'].metric_history[r]):>8}"
+        )
+
+
+def test_fig9a_femnist_like(once):
+    results = once(_curves, "femnist-like", "softmax", "sgd", 0.3, 14)
+    _print_curves(
+        "Fig 9a — FEMNIST-like accuracy, 20% dropout",
+        results,
+        lambda v: f"{v:.1%}",
+    )
+    o, x = results["orig"], results["xnoise"]
+    # Both learn...
+    assert o.final_accuracy > o.metric_history[0]
+    assert x.final_accuracy > x.metric_history[0]
+    # ...and converge together (paper: ≤ 0.9% final gap; small-scale
+    # simulation is noisier, so allow a few points).
+    assert abs(o.final_accuracy - x.final_accuracy) < 0.08
+
+
+def test_fig9b_cifar10_like(once):
+    results = once(_curves, "cifar10-like", "softmax", "sgd", 0.3, 14)
+    _print_curves(
+        "Fig 9b — CIFAR-10-like accuracy, 20% dropout",
+        results,
+        lambda v: f"{v:.1%}",
+    )
+    o, x = results["orig"], results["xnoise"]
+    assert o.final_accuracy > 0.4
+    assert abs(o.final_accuracy - x.final_accuracy) < 0.08
+
+
+def test_fig9c_reddit_like(once):
+    from repro.fl.data import make_text_task
+
+    dataset = make_text_task(n_clients=40, vocab=32, tokens_per_client=600, seed=9)
+
+    def run():
+        out = {}
+        for name in ("orig", "xnoise"):
+            cfg = DordisConfig(
+                task="reddit-like",
+                model="bigram",
+                num_clients=40,
+                sample_size=20,
+                rounds=12,
+                epsilon=6.0,
+                clip_bound=0.5,
+                learning_rate=0.05,
+                optimizer="adamw",
+                dropout_rate=0.2,
+                strategy="orig",
+                seed=9,
+            )
+            out[name] = DordisSession(
+                cfg, dataset=dataset, strategy=make_strategy(name)
+            ).run()
+        return out
+
+    results = once(run)
+    _print_curves(
+        "Fig 9c — Reddit-like perplexity (lower is better), 20% dropout",
+        results,
+        lambda v: f"{v:.2f}",
+    )
+    o, x = results["orig"], results["xnoise"]
+    # Perplexity falls for both and stays comparable.
+    assert o.final_perplexity < o.metric_history[0]
+    assert x.final_perplexity < x.metric_history[0]
+    assert x.final_perplexity / o.final_perplexity == pytest.approx(1.0, abs=0.2)

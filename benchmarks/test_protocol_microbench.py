@@ -1,0 +1,78 @@
+"""Measured micro-benchmarks of the real protocol implementations.
+
+Unlike the analytic Fig. 2/10 models, these time the actual in-process
+SecAgg / XNoise rounds of this repository (small scale, fast DH group) —
+useful for tracking implementation regressions and for sanity-checking
+the analytic model's qualitative claims (SecAgg+ cheaper per client at
+scale; XNoise's overhead bounded).
+"""
+
+import numpy as np
+import pytest
+
+from repro.secagg import (
+    DropoutSchedule,
+    SecAggConfig,
+    run_secagg_round,
+    secagg_plus_config,
+)
+from repro.utils.rng import derive_rng
+from repro.xnoise.protocol import XNoiseConfig, run_xnoise_round
+
+
+def _inputs(n, dim, bits=16):
+    rng = derive_rng("microbench", n, dim)
+    return {
+        u: rng.integers(0, 1 << (bits - 4), size=dim).astype(np.int64)
+        for u in range(1, n + 1)
+    }
+
+
+def test_secagg_round_small(benchmark):
+    config = SecAggConfig(threshold=6, bits=16, dimension=256, dh_group="modp512")
+    inputs = _inputs(10, 256)
+    result = benchmark.pedantic(
+        run_secagg_round, args=(config, inputs), iterations=1, rounds=3
+    )
+    assert len(result.u3) == 10
+
+
+def test_secagg_plus_round_small(benchmark):
+    config = secagg_plus_config(
+        10, bits=16, dimension=256, degree=5, dh_group="modp512"
+    )
+    inputs = _inputs(10, 256)
+    result = benchmark.pedantic(
+        run_secagg_round, args=(config, inputs), iterations=1, rounds=3
+    )
+    assert len(result.u3) == 10
+
+
+def test_secagg_round_with_dropout(benchmark):
+    config = SecAggConfig(threshold=6, bits=16, dimension=256, dh_group="modp512")
+    inputs = _inputs(12, 256)
+    schedule = DropoutSchedule.before_upload({3, 7})
+    result = benchmark.pedantic(
+        run_secagg_round, args=(config, inputs, schedule), iterations=1, rounds=3
+    )
+    assert sorted(result.u3) == [u for u in range(1, 13) if u not in (3, 7)]
+
+
+def test_xnoise_round_small(benchmark):
+    config = XNoiseConfig(
+        secagg=SecAggConfig(
+            threshold=6, bits=18, dimension=256, dh_group="modp512"
+        ),
+        n_sampled=10,
+        tolerance=3,
+        target_variance=200.0,
+    )
+    rng = derive_rng("microbench-xnoise")
+    inputs = {
+        u: rng.integers(-10, 11, size=256).astype(np.int64)
+        for u in range(1, 11)
+    }
+    result = benchmark.pedantic(
+        run_xnoise_round, args=(config, inputs), iterations=1, rounds=3
+    )
+    assert result.residual_variance == pytest.approx(200.0)

@@ -1,0 +1,20 @@
+"""Table 1: the distributed-DP workflow abstracted into pipeline stages."""
+
+from conftest import print_header
+
+from repro.pipeline.stages import (
+    DORDIS_STAGES,
+    TABLE1_STEPS,
+    stages_alternate_resources,
+)
+
+
+def test_table1_stage_mapping(once):
+    rows = once(lambda: TABLE1_STEPS)
+    print_header("Table 1 — workflow steps grouped into pipeline stages")
+    print(f"{'step':>4}  {'operation':<42} {'stage':>5}  resource")
+    for step, op, stage, resource in rows:
+        print(f"{step:>4}  {op:<42} {stage:>5}  {resource.value}")
+    # The §4.1 construction invariant that enables pipelining.
+    assert stages_alternate_resources(DORDIS_STAGES)
+    assert len({s for _, _, s, _ in rows}) == 5

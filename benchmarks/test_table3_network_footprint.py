@@ -1,0 +1,65 @@
+"""Table 3: rebasing vs XNoise extra per-round network footprint (§6.3).
+
+Rebasing transmits a model-sized noise-correction vector (grows linearly
+with the model); XNoise ships seed bookkeeping (constant in the model,
+~quadratic in the sample size, slightly shrinking with dropout).
+"""
+
+import pytest
+from conftest import print_header
+
+from repro.pipeline.cost import table3_row
+
+MODEL_SIZES = [5_000_000, 50_000_000, 500_000_000]
+SAMPLES = [100, 200, 300]
+RATES = [0.0, 0.1, 0.2, 0.3]
+
+
+def test_table3_footprint_grid(once):
+    def build():
+        return {
+            (size, n, d): table3_row(size, n, d)
+            for size in MODEL_SIZES
+            for n in SAMPLES
+            for d in RATES
+        }
+
+    grid = once(build)
+    print_header(
+        "Table 3 — extra per-round MB for a surviving client "
+        "(r = rebasing, X = XNoise)"
+    )
+    header = " | ".join(f"{s // 1_000_000:>4}M r {'X':>5}" for s in MODEL_SIZES)
+    print(f"{'d':>4} {'n':>4} | {header}")
+    for d in RATES:
+        for n in SAMPLES:
+            cells = []
+            for size in MODEL_SIZES:
+                row = grid[(size, n, d)]
+                cells.append(f"{row.rebasing_mb:>6.1f} {row.xnoise_mb:>5.1f}")
+            print(f"{d:>3.0%} {n:>4} | " + " | ".join(cells))
+
+    # Column shape: rebasing linear in model size; XNoise constant.
+    for n in SAMPLES:
+        for d in RATES:
+            r5 = grid[(5_000_000, n, d)]
+            r500 = grid[(500_000_000, n, d)]
+            assert r500.rebasing_mb == pytest.approx(100 * r5.rebasing_mb)
+            assert r500.xnoise_mb == r5.xnoise_mb
+
+    # Paper's anchor cells.
+    assert grid[(5_000_000, 100, 0.0)].rebasing_mb == pytest.approx(11.9, abs=0.1)
+    assert grid[(500_000_000, 100, 0.0)].rebasing_mb == pytest.approx(1192.1, abs=2)
+    assert grid[(5_000_000, 100, 0.0)].xnoise_mb == pytest.approx(0.6, abs=0.1)
+    assert grid[(5_000_000, 200, 0.0)].xnoise_mb == pytest.approx(2.4, abs=0.2)
+    assert grid[(5_000_000, 300, 0.0)].xnoise_mb == pytest.approx(5.4, abs=0.4)
+
+    # XNoise shrinks (weakly) as dropout grows; always beats rebasing.
+    for size in MODEL_SIZES:
+        for n in SAMPLES:
+            col = [grid[(size, n, d)].xnoise_mb for d in RATES]
+            assert all(a >= b - 1e-9 for a, b in zip(col, col[1:]))
+            assert all(
+                grid[(size, n, d)].xnoise_mb < grid[(size, n, d)].rebasing_mb
+                for d in RATES
+            )

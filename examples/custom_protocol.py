@@ -1,0 +1,112 @@
+"""Building a custom privacy protocol on the Appendix-D interface.
+
+Implements a private federated-analytics application — estimating the
+population mean of client telemetry — by declaring a three-operation
+workflow (encode → aggregate → decode) on :class:`ProtocolServer` /
+:class:`ProtocolClient`, with the DSkellam mechanism plugged in through
+the :class:`DPHandler` slot.  Also prints the pipeline stages Dordis
+derives from the declared resource annotations.
+
+Run:  python examples/custom_protocol.py
+"""
+
+import numpy as np
+
+from repro.api import (
+    AggregationRuntime,
+    AppClient,
+    AppServer,
+    ProtocolClient,
+    ProtocolServer,
+    SkellamDPHandler,
+)
+from repro.utils.rng import derive_rng
+
+DIM = 32
+N_CLIENTS = 12
+
+
+def make_handler() -> SkellamDPHandler:
+    handler = SkellamDPHandler()
+    handler.init_params(
+        dimension=DIM, clip_bound=4.0, bits=20, scale=256.0,
+        noise_variance=50.0,  # per-client Skellam share
+    )
+    return handler
+
+
+class TelemetryServer(ProtocolServer):
+    """Declared workflow: clients encode, server aggregates and decodes."""
+
+    def __init__(self):
+        self.dp = make_handler()
+
+    def set_graph_dict(self):
+        return {
+            "encode_data": {"resource": "c-comp", "deps": []},
+            "aggregate": {"resource": "s-comp", "deps": ["encode_data"]},
+            "decode_data": {"resource": "s-comp", "deps": ["aggregate"]},
+        }
+
+    def aggregate(self, encoded):
+        total = None
+        for vec in encoded.values():
+            total = vec if total is None else total + vec
+        return total
+
+    def decode_data(self, aggregate):
+        return self.dp.decode_data(aggregate) / N_CLIENTS
+
+
+class TelemetryClient(ProtocolClient):
+    def __init__(self, client_id):
+        super().__init__(client_id)
+        self.dp = make_handler()
+        self._rng = derive_rng("telemetry-noise", client_id)
+
+    def set_routine(self):
+        return {"encode_data": self.encode_data}
+
+    def encode_data(self, payload):
+        return self.dp.encode_data(payload, self._rng)
+
+
+class MeanEstimateApp(AppServer):
+    def __init__(self):
+        self.estimate = None
+
+    def use_output(self, aggregate):
+        self.estimate = aggregate
+
+
+class DeviceApp(AppClient):
+    def prepare_data(self, round_index):
+        rng = derive_rng("telemetry-data", self.id, round_index)
+        return rng.normal(loc=0.5, scale=0.2, size=DIM)
+
+
+def main() -> None:
+    server = TelemetryServer()
+    print("Declared workflow (topological order):", server.workflow_order())
+    print("Derived pipeline stages:",
+          [(s.name, s.resource.value) for s in server.pipeline_stages()])
+
+    clients = [TelemetryClient(i) for i in range(N_CLIENTS)]
+    app = MeanEstimateApp()
+    devices = {i: DeviceApp(i) for i in range(N_CLIENTS)}
+    runtime = AggregationRuntime(server, clients, app_server=app, app_clients=devices)
+    runtime.run_round()
+
+    truth = np.mean(
+        [devices[i].prepare_data(0) for i in range(N_CLIENTS)], axis=0
+    )
+    err = np.abs(app.estimate - truth)
+    print(f"\nPrivately estimated mean of {N_CLIENTS} clients' telemetry:")
+    print(f"  max abs error vs true mean: {err.max():.4f}")
+    print(f"  mean abs error:             {err.mean():.4f}")
+    print("\nThe same DPHandler/ProtocolServer slots host the full "
+          "XNoise+SecAgg stack — this is the Table-4 extension surface.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Dropout-resilience sweep: ε consumption vs dropout severity.
+
+A compact version of the paper's Figure 8: train the FEMNIST-like task to
+a fixed horizon under per-round dropout rates from 0% to 40%, with Orig
+and with XNoise, and report the consumed privacy budget and final
+accuracy.  The XNoise column stays pinned at the ε = 6 target while the
+Orig column climbs with the dropout rate.
+
+Run:  python examples/dropout_resilience.py
+"""
+
+from repro.core import DordisConfig, DordisSession
+
+
+def session(strategy: str, dropout: float) -> tuple[float, float]:
+    config = DordisConfig(
+        task="femnist-like",
+        model="softmax",
+        num_clients=40,
+        sample_size=12,
+        rounds=6,
+        samples_per_client=30,
+        epsilon=6.0,
+        dropout_rate=dropout,
+        strategy=strategy,
+        learning_rate=0.1,
+        seed=11,
+    )
+    result = DordisSession(config).run()
+    return result.epsilon_consumed, result.final_accuracy
+
+
+def main() -> None:
+    rates = [0.0, 0.1, 0.2, 0.3, 0.4]
+    print("FEMNIST-like, budget ε = 6, fixed 6-round horizon")
+    print(f"{'dropout':>8} | {'Orig ε':>7} {'acc':>6} | {'XNoise ε':>8} {'acc':>6}")
+    print("-" * 48)
+    for rate in rates:
+        oe, oa = session("orig", rate)
+        xe, xa = session("xnoise", rate)
+        print(
+            f"{rate:>7.0%} | {oe:>7.2f} {oa:>6.1%} | {xe:>8.2f} {xa:>6.1%}"
+        )
+    print(
+        "\nOrig's ε grows with dropout (missing noise shares); "
+        "XNoise holds the target exactly — the Fig. 8 shape."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Pipeline acceleration: plain vs pipelined round times (mini Fig. 10).
+
+Builds the calibrated Dordis performance model for the paper's workload
+grid (CNN-1M/ResNet-11M/VGG-20M × 16/100 sampled clients × SecAgg/
+SecAgg+) and prints the plain round time, the optimal chunk count m*
+found by the Appendix-C optimizer, the pipelined time, and the speedup.
+
+Run:  python examples/pipeline_speedup.py
+"""
+
+from repro.pipeline import build_dordis_perf_model, compare_plain_pipelined
+
+
+WORKLOADS = [
+    ("CNN-1M", 1_000_000, 100),
+    ("ResNet-11M", 11_000_000, 16),
+    ("ResNet-11M", 11_000_000, 100),
+    ("VGG-20M", 20_000_000, 16),
+]
+
+
+def main() -> None:
+    print(
+        f"{'model':>11} {'clients':>7} {'protocol':>8} {'xnoise':>6} | "
+        f"{'plain':>9} {'m*':>3} {'pipelined':>9} {'speedup':>7}"
+    )
+    print("-" * 72)
+    for name, size, clients in WORKLOADS:
+        for protocol in ("secagg", "secagg+"):
+            for xnoise in (False, True):
+                model = build_dordis_perf_model(
+                    clients, size, protocol=protocol, xnoise=xnoise,
+                    dropout_rate=0.1,
+                )
+                plain, pipe, speedup = compare_plain_pipelined(model, size)
+                print(
+                    f"{name:>11} {clients:>7} {protocol:>8} "
+                    f"{'yes' if xnoise else 'no':>6} | "
+                    f"{plain.total / 60:>7.1f}min {pipe.n_chunks:>3} "
+                    f"{pipe.total / 60:>7.1f}min {speedup:>6.2f}x"
+                )
+    print(
+        "\nLarger models and bigger samples gain more from pipelining "
+        "(§6.4); every configuration keeps its security properties — the "
+        "chunks run the same protocol."
+    )
+
+
+if __name__ == "__main__":
+    main()

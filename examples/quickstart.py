@@ -1,0 +1,49 @@
+"""Quickstart: train a federated model with dropout-resilient distributed DP.
+
+Runs two short training sessions on the CIFAR-10-like task with 25% of
+sampled clients dropping each round — one with the classic distributed-DP
+noise scheme (Orig), one with Dordis's XNoise — and compares the privacy
+budget each actually consumed.  XNoise lands exactly on the configured
+ε = 6; Orig overshoots it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import DordisConfig, DordisSession
+
+
+def run(strategy: str) -> None:
+    config = DordisConfig(
+        task="cifar10-like",
+        model="softmax",
+        num_clients=30,
+        sample_size=10,
+        rounds=8,
+        epsilon=6.0,
+        clip_bound=1.0,
+        dropout_rate=0.25,
+        strategy=strategy,
+        seed=7,
+    )
+    result = DordisSession(config).run()
+    print(
+        f"  {strategy:8s} rounds={result.rounds_completed:2d}  "
+        f"final accuracy={result.final_accuracy:5.1%}  "
+        f"epsilon consumed={result.epsilon_consumed:.2f} "
+        f"(budget {config.epsilon})"
+    )
+
+
+def main() -> None:
+    print("Training with 25% per-round client dropout, budget ε = 6:")
+    run("orig")
+    run("xnoise")
+    print(
+        "\nXNoise enforces the target noise level each round (Theorem 1), "
+        "so the budget holds; Orig loses the dropped clients' noise shares "
+        "and overruns it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""One real XNoise+SecAgg round, with clients dropping at every stage.
+
+Drives the full Fig. 5 protocol — key advertisement, encrypted share
+distribution, masked upload, consistency check, unmasking, and the
+XNoise ExcessiveNoiseRemoval stage — over 8 in-process clients:
+
+- client 3 drops before uploading its masked input (the classic case);
+- client 5 uploads but vanishes before revealing its noise seeds, so the
+  server recovers them from Shamir shares (Stage 5);
+
+and verifies that the decoded aggregate equals the survivors' sum within
+the exactly-enforced target noise level.
+
+Run:  python examples/secure_aggregation_demo.py
+"""
+
+import numpy as np
+
+from repro.dp.quantize import unwrap_modular
+from repro.secagg import DropoutSchedule, SecAggConfig
+from repro.secagg.types import STAGE_MASKED_INPUT, STAGE_UNMASK
+from repro.utils.rng import derive_rng
+from repro.xnoise import XNoiseConfig, run_xnoise_round
+
+
+def main() -> None:
+    n, dim, bits = 8, 256, 18
+    target_variance = 400.0
+    config = XNoiseConfig(
+        secagg=SecAggConfig(
+            threshold=5, bits=bits, dimension=dim, dh_group="modp512"
+        ),
+        n_sampled=n,
+        tolerance=3,
+        target_variance=target_variance,
+    )
+    rng = derive_rng("demo-inputs")
+    inputs = {
+        u: rng.integers(-20, 21, size=dim).astype(np.int64)
+        for u in range(1, n + 1)
+    }
+    schedule = DropoutSchedule(
+        at_stage={STAGE_MASKED_INPUT: {3}, STAGE_UNMASK: {5}}
+    )
+
+    print(f"Running XNoise+SecAgg: {n} clients, T = {config.tolerance}, "
+          f"target noise variance = {target_variance}")
+    result = run_xnoise_round(config, inputs, schedule)
+
+    print(f"  U1 (advertised keys) : {result.u1}")
+    print(f"  U3 (uploaded inputs) : {result.u3}   <- client 3 dropped")
+    print(f"  U5 (revealed seeds)  : {result.u5}   <- client 5 dropped")
+    print(f"  U6 (stage-5 helpers) : {result.u6}")
+    print(f"  noise components removed server-side: "
+          f"{result.removed_noise_components}")
+
+    survivors = result.u3
+    truth = sum(inputs[u] for u in survivors)
+    decoded = unwrap_modular(result.aggregate, bits)
+    error = decoded - truth
+    print(f"\n  survivors' true sum recovered up to DP noise:")
+    print(f"    residual noise variance: measured {error.var():8.1f} "
+          f"vs enforced {result.residual_variance:8.1f}")
+    print(f"    residual noise mean:     {error.mean():+.2f}")
+    assert result.residual_variance == target_variance
+    print("\nTheorem 1 held: the aggregate carries exactly the target "
+          "noise despite both dropout points.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""The developer-facing programming interface (Appendix D, Table 4).
+
+Dordis is "proactively designed to be complementary to existing DPFL
+frameworks": developers customize distributed-DP algorithms and
+applications by subclassing a small set of base classes:
+
+==================  ======================================================
+base class          customization
+==================  ======================================================
+ProtocolServer      ``set_graph_dict()`` declares the workflow's
+                    operations, resources, and dependencies (for pipeline
+                    planning); one coordination method per operation.
+ProtocolClient      ``set_routine()`` maps each server request to a
+                    client-side handler method.
+DPHandler           ``init_params`` / ``encode_data`` / ``decode_data``.
+AEHandler,          the security primitives: authenticated encryption,
+KAHandler,          key agreement, pseudorandom generation, and secret
+PGHandler,          sharing — override to swap implementations.
+SSHandler
+AppServer           ``use_output()`` — what the server does with the
+                    aggregate.
+AppClient           ``prepare_data()`` / ``use_output()``.
+==================  ======================================================
+
+:mod:`repro.api.runtime` executes a (server, clients) pair: it walks the
+server's declared workflow in dependency order, dispatching client-side
+operations through each client's routine table — the same mechanism the
+built-in protocols use, exposed for extension.
+"""
+
+from repro.api.handlers import (
+    DPHandler,
+    PlainDPHandler,
+    SkellamDPHandler,
+    AEHandler,
+    DefaultAEHandler,
+    KAHandler,
+    DefaultKAHandler,
+    PGHandler,
+    DefaultPGHandler,
+    SSHandler,
+    DefaultSSHandler,
+)
+from repro.api.protocol import ProtocolServer, ProtocolClient, WorkflowError
+from repro.api.app import AppServer, AppClient
+from repro.api.runtime import AggregationRuntime
+
+__all__ = [
+    "DPHandler",
+    "PlainDPHandler",
+    "SkellamDPHandler",
+    "AEHandler",
+    "DefaultAEHandler",
+    "KAHandler",
+    "DefaultKAHandler",
+    "PGHandler",
+    "DefaultPGHandler",
+    "SSHandler",
+    "DefaultSSHandler",
+    "ProtocolServer",
+    "ProtocolClient",
+    "WorkflowError",
+    "AppServer",
+    "AppClient",
+    "AggregationRuntime",
+]

@@ -1,0 +1,34 @@
+"""AppServer / AppClient: applications on top of the aggregation core.
+
+Appendix D: "developers can leverage the AppServer class by overriding
+``use_output()`` … and instantiate their own AppClient by overriding
+``prepare_data()`` and ``use_output()``" — the hooks that let the same
+privacy machinery power applications beyond FL (federated analytics,
+telemetry, …).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class AppServer:
+    """Application logic at the server: consume the aggregate."""
+
+    def use_output(self, aggregate: np.ndarray) -> None:
+        """Called once per round with the decoded aggregate."""
+        raise NotImplementedError
+
+
+class AppClient:
+    """Application logic at a client: produce input, consume output."""
+
+    def __init__(self, client_id: int):
+        self.id = client_id
+
+    def prepare_data(self, round_index: int) -> np.ndarray:
+        """Produce this round's input vector."""
+        raise NotImplementedError
+
+    def use_output(self, aggregate: np.ndarray) -> None:
+        """Consume the (broadcast) aggregate; default: ignore."""

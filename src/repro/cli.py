@@ -1,0 +1,156 @@
+"""Command-line interface.
+
+Three subcommands mirror the workflow a user of the original system
+walks through:
+
+- ``run``      — train one Dordis session and report utility + ε;
+- ``plan``     — offline noise planning: print the per-round σ for a
+  budget/horizon (§2.2);
+- ``pipeline`` — print plain-vs-pipelined round times and the optimal
+  chunk count for a workload (§4).
+
+Examples::
+
+    python -m repro.cli run --task cifar10-like --dropout-rate 0.2 \\
+        --strategy xnoise --rounds 8
+    python -m repro.cli plan --rounds 150 --epsilon 6 --delta 0.01
+    python -m repro.cli pipeline --clients 100 --model-size 11000000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_run_parser(sub) -> None:
+    p = sub.add_parser("run", help="train one Dordis session")
+    p.add_argument("--task", default="cifar10-like",
+                   choices=["cifar10-like", "cifar100-like", "femnist-like",
+                            "reddit-like"])
+    p.add_argument("--model", default=None,
+                   choices=["softmax", "mlp", "bigram"],
+                   help="defaults to softmax (bigram for reddit-like)")
+    p.add_argument("--num-clients", type=int, default=40)
+    p.add_argument("--sample-size", type=int, default=12)
+    p.add_argument("--rounds", type=int, default=8)
+    p.add_argument("--epsilon", type=float, default=6.0)
+    p.add_argument("--clip-bound", type=float, default=0.5)
+    p.add_argument("--learning-rate", type=float, default=0.15)
+    p.add_argument("--dropout-rate", type=float, default=0.0)
+    p.add_argument("--strategy", default="xnoise",
+                   help="orig | early | conK | xnoise")
+    p.add_argument("--mechanism", default="gaussian",
+                   choices=["gaussian", "skellam"])
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _add_plan_parser(sub) -> None:
+    p = sub.add_parser("plan", help="offline noise planning")
+    p.add_argument("--rounds", type=int, required=True)
+    p.add_argument("--epsilon", type=float, required=True)
+    p.add_argument("--delta", type=float, required=True)
+    p.add_argument("--sensitivity", type=float, default=1.0)
+    p.add_argument("--mechanism", default="gaussian",
+                   choices=["gaussian", "skellam"])
+
+
+def _add_pipeline_parser(sub) -> None:
+    p = sub.add_parser("pipeline", help="pipeline speedup for a workload")
+    p.add_argument("--clients", type=int, required=True)
+    p.add_argument("--model-size", type=int, required=True)
+    p.add_argument("--protocol", default="secagg", choices=["secagg", "secagg+"])
+    p.add_argument("--xnoise", action="store_true")
+    p.add_argument("--dropout-rate", type=float, default=0.0)
+    p.add_argument("--max-chunks", type=int, default=20)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Dordis reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_run_parser(sub)
+    _add_plan_parser(sub)
+    _add_pipeline_parser(sub)
+    return parser
+
+
+def _cmd_run(args) -> int:
+    from repro.core import DordisConfig, DordisSession
+
+    model = args.model or ("bigram" if args.task == "reddit-like" else "softmax")
+    optimizer = "adamw" if args.task == "reddit-like" else "sgd"
+    config = DordisConfig(
+        task=args.task,
+        model=model,
+        num_clients=args.num_clients,
+        sample_size=args.sample_size,
+        rounds=args.rounds,
+        epsilon=args.epsilon,
+        clip_bound=args.clip_bound,
+        learning_rate=args.learning_rate,
+        optimizer=optimizer,
+        dropout_rate=args.dropout_rate,
+        strategy=args.strategy,
+        mechanism=args.mechanism,
+        seed=args.seed,
+    )
+    result = DordisSession(config).run()
+    print(f"task={args.task} strategy={args.strategy} "
+          f"dropout={args.dropout_rate:.0%}")
+    print(f"rounds completed : {result.rounds_completed}"
+          f"{' (stopped early)' if result.stopped_early else ''}")
+    print(f"final {result.metric_name:10s}: {result.final_metric:.4f}")
+    print(f"epsilon consumed : {result.epsilon_consumed:.3f} "
+          f"(budget {args.epsilon})")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from repro.dp.planner import plan_noise
+
+    plan = plan_noise(
+        rounds=args.rounds,
+        epsilon_budget=args.epsilon,
+        delta=args.delta,
+        l2_sensitivity=args.sensitivity,
+        mechanism=args.mechanism,
+    )
+    print(f"mechanism        : {plan.mechanism}")
+    print(f"per-round sigma  : {plan.sigma:.6g}")
+    print(f"noise multiplier : {plan.noise_multiplier:.6g}")
+    print(f"epsilon at R={args.rounds}: {plan.epsilon_if_executed():.4f} "
+          f"(budget {args.epsilon})")
+    return 0
+
+
+def _cmd_pipeline(args) -> int:
+    from repro.pipeline import build_dordis_perf_model, compare_plain_pipelined
+
+    model = build_dordis_perf_model(
+        args.clients,
+        args.model_size,
+        protocol=args.protocol,
+        xnoise=args.xnoise,
+        dropout_rate=args.dropout_rate,
+    )
+    plain, pipe, speedup = compare_plain_pipelined(
+        model, args.model_size, max_chunks=args.max_chunks
+    )
+    print(f"plain round      : {plain.total / 60:.2f} min "
+          f"(agg {plain.aggregation_share:.0%})")
+    print(f"optimal chunks   : m* = {pipe.n_chunks}")
+    print(f"pipelined round  : {pipe.total / 60:.2f} min")
+    print(f"speedup          : {speedup:.2f}x")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"run": _cmd_run, "plan": _cmd_plan, "pipeline": _cmd_pipeline}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

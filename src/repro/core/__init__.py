@@ -1,0 +1,34 @@
+"""The end-to-end Dordis framework (Fig. 7) and baseline strategies.
+
+- :mod:`repro.core.config`    — :class:`DordisConfig`, the single knob
+  surface for tasks, privacy, dropout, and aggregation mode.
+- :mod:`repro.core.baselines` — noise-enforcement strategies: Orig
+  (Definition 1), Early stopping, Con-k conservative over-provisioning,
+  and XNoise (Definition 2) — the Fig. 1 comparison set.
+- :mod:`repro.core.dordis`    — :class:`DordisSession`: the training
+  loop tying FL, distributed DP, dropout, accounting, and (optionally)
+  the real XNoise+SecAgg protocol together.
+"""
+
+from repro.core.config import DordisConfig
+from repro.core.baselines import (
+    NoiseStrategy,
+    OrigStrategy,
+    EarlyStopStrategy,
+    ConservativeStrategy,
+    XNoiseStrategy,
+    make_strategy,
+)
+from repro.core.dordis import DordisSession, TrainingResult
+
+__all__ = [
+    "DordisConfig",
+    "NoiseStrategy",
+    "OrigStrategy",
+    "EarlyStopStrategy",
+    "ConservativeStrategy",
+    "XNoiseStrategy",
+    "make_strategy",
+    "DordisSession",
+    "TrainingResult",
+]

@@ -1,0 +1,153 @@
+"""Noise-enforcement strategies: Orig, Early, Con-k, and XNoise.
+
+These are the schemes compared in Fig. 1 and §6.2.  All of them plan the
+same target level σ²_* offline; they differ in what each client adds and
+in what the aggregate actually carries when |D| of |U| sampled clients
+drop out:
+
+========== =========================== ====================================
+strategy    per-client noise variance   actual aggregate variance
+========== =========================== ====================================
+Orig        σ²_*/|U|                    σ²_*·(|U|−|D|)/|U|   (deficit!)
+Early       σ²_*/|U|                    same as Orig, but training stops
+                                        once the budget is exhausted
+Con-k       σ²_*/(|U|·(1−k/10))         σ²_*·(|U|−|D|)/(|U|·(1−k/10))
+XNoise      σ²_*/(|U|−T) ·t/(t−T_C)     exactly σ²_* for |D| ≤ T (Thm 1)
+========== =========================== ====================================
+
+The session charges the accountant with the *actual* variance each round,
+which is how Orig's ε overrun and Con-k's under/over-shoot reproduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class NoiseStrategy:
+    """Interface: how much noise clients add, and what the sum carries."""
+
+    #: Human-readable name used in experiment tables.
+    name: str = "base"
+
+    def client_variance(self, target_variance: float, n_sampled: int) -> float:
+        """The noise variance one sampled client adds to its update."""
+        raise NotImplementedError
+
+    def actual_variance(
+        self, target_variance: float, n_sampled: int, n_dropped: int
+    ) -> float:
+        """The aggregate noise variance after dropout (and any removal)."""
+        raise NotImplementedError
+
+    def stops_when_budget_exhausted(self) -> bool:
+        """Early stops; everyone else runs to the planned horizon."""
+        return False
+
+
+@dataclass(frozen=True)
+class OrigStrategy(NoiseStrategy):
+    """Definition 1: even split of exactly the target noise."""
+
+    name: str = "orig"
+
+    def client_variance(self, target_variance, n_sampled):
+        return target_variance / n_sampled
+
+    def actual_variance(self, target_variance, n_sampled, n_dropped):
+        if not 0 <= n_dropped < n_sampled:
+            raise ValueError("need 0 <= n_dropped < n_sampled")
+        return target_variance * (n_sampled - n_dropped) / n_sampled
+
+
+@dataclass(frozen=True)
+class EarlyStopStrategy(OrigStrategy):
+    """Orig + stop training when the privacy budget runs out (§2.3.1)."""
+
+    name: str = "early"
+
+    def stops_when_budget_exhausted(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class ConservativeStrategy(NoiseStrategy):
+    """Con-k: over-provision for an estimated dropout rate (§2.3.1).
+
+    ``estimated_rate`` is the guessed per-round dropout fraction (Con8 →
+    0.8, Con5 → 0.5, Con2 → 0.2).  Clients add σ²_*/(|U|·(1−est)) so the
+    aggregate hits the target iff the guess was exact: overestimating
+    wastes utility (extra noise), underestimating still overruns ε.
+    """
+
+    estimated_rate: float = 0.5
+    name: str = "con"
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.estimated_rate < 1:
+            raise ValueError("estimated_rate must be in [0, 1)")
+
+    def client_variance(self, target_variance, n_sampled):
+        return target_variance / (n_sampled * (1.0 - self.estimated_rate))
+
+    def actual_variance(self, target_variance, n_sampled, n_dropped):
+        if not 0 <= n_dropped < n_sampled:
+            raise ValueError("need 0 <= n_dropped < n_sampled")
+        survivors = n_sampled - n_dropped
+        return target_variance * survivors / (n_sampled * (1.0 - self.estimated_rate))
+
+
+@dataclass(frozen=True)
+class XNoiseStrategy(NoiseStrategy):
+    """Definition 2: add-then-remove with decomposition (Theorem 1).
+
+    ``tolerance_fraction`` sets T = ⌊fraction·|U|⌋.  Within tolerance the
+    aggregate is exactly σ²_* (times the collusion inflation); beyond it
+    the remaining (|U|−|D|) clients' excessive shares are all that's left.
+    """
+
+    tolerance_fraction: float = 0.5
+    inflation: float = 1.0
+    name: str = "xnoise"
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.tolerance_fraction < 1:
+            raise ValueError("tolerance_fraction must be in [0, 1)")
+        if self.inflation < 1.0:
+            raise ValueError("inflation must be >= 1")
+
+    def tolerance(self, n_sampled: int) -> int:
+        return min(int(self.tolerance_fraction * n_sampled), n_sampled - 1)
+
+    def client_variance(self, target_variance, n_sampled):
+        t = self.tolerance(n_sampled)
+        return target_variance / (n_sampled - t) * self.inflation
+
+    def actual_variance(self, target_variance, n_sampled, n_dropped):
+        if not 0 <= n_dropped < n_sampled:
+            raise ValueError("need 0 <= n_dropped < n_sampled")
+        t = self.tolerance(n_sampled)
+        if n_dropped <= t:
+            return target_variance * self.inflation
+        survivors = n_sampled - n_dropped
+        return survivors * self.client_variance(target_variance, n_sampled)
+
+
+def make_strategy(name: str, **kwargs) -> NoiseStrategy:
+    """Factory from config strings: 'orig', 'early', 'con5', 'xnoise'…
+
+    'conK' parses K as the estimated dropout in tenths (the paper's
+    Con8/Con5/Con2 naming).
+    """
+    if name == "orig":
+        return OrigStrategy()
+    if name == "early":
+        return EarlyStopStrategy()
+    if name == "xnoise":
+        return XNoiseStrategy(**kwargs)
+    if name.startswith("con"):
+        digits = name[3:]
+        if digits:
+            kwargs.setdefault("estimated_rate", int(digits) / 10.0)
+        return ConservativeStrategy(**kwargs)
+    raise ValueError(f"unknown strategy {name!r}")

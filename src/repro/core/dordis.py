@@ -1,0 +1,370 @@
+"""The Dordis training session (Fig. 7's end-to-end workflow).
+
+Each round: ① sample clients and train locally; ②/③ clip, encode, and
+perturb updates per the configured noise strategy; ④ aggregate (either
+the fast noise-algebra simulation or the real XNoise+SecAgg protocol),
+decode, and apply FedAvg — then charge the RDP accountant with the
+*actual* aggregate noise level, which is where Orig's budget overrun and
+XNoise's exact enforcement become visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.baselines import NoiseStrategy, make_strategy
+from repro.core.config import DordisConfig
+from repro.dp.accountant import RdpAccountant
+from repro.dp.planner import NoisePlan, plan_noise
+from repro.dp.quantize import clip_l2
+from repro.dp.skellam import SkellamConfig, SkellamMechanism, choose_scale
+from repro.fl.client import LocalTrainer
+from repro.fl.data import (
+    FederatedDataset,
+    make_cifar10_like,
+    make_cifar100_like,
+    make_femnist_like,
+    make_text_task,
+)
+from repro.fl.dropout import FixedRateDropout
+from repro.fl.models import BigramLM, MLPClassifier, SoftmaxRegression
+from repro.fl.optim import SGD, AdamW
+from repro.fl.server import FedAvgServer
+from repro.utils.rng import derive_rng
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of a session: utility + privacy trajectories.
+
+    ``metric_history`` holds accuracy (classification, higher better) or
+    perplexity (language, lower better) per completed round;
+    ``epsilon_history`` the cumulative privacy spend after each round.
+    """
+
+    metric_name: str
+    metric_history: list = field(default_factory=list)
+    epsilon_history: list = field(default_factory=list)
+    dropout_history: list = field(default_factory=list)
+    rounds_completed: int = 0
+    stopped_early: bool = False
+
+    @property
+    def final_metric(self) -> float:
+        return self.metric_history[-1] if self.metric_history else float("nan")
+
+    @property
+    def final_accuracy(self) -> float:
+        if self.metric_name != "accuracy":
+            raise ValueError("this session tracked perplexity, not accuracy")
+        return self.final_metric
+
+    @property
+    def final_perplexity(self) -> float:
+        if self.metric_name != "perplexity":
+            raise ValueError("this session tracked accuracy, not perplexity")
+        return self.final_metric
+
+    @property
+    def epsilon_consumed(self) -> float:
+        return self.epsilon_history[-1] if self.epsilon_history else 0.0
+
+
+_TASK_FACTORIES = {
+    "cifar10-like": make_cifar10_like,
+    "cifar100-like": make_cifar100_like,
+    "femnist-like": make_femnist_like,
+}
+
+
+class DordisSession:
+    """One configured training run."""
+
+    def __init__(
+        self,
+        config: DordisConfig,
+        dataset: FederatedDataset | None = None,
+        dropout_model=None,
+        strategy: NoiseStrategy | None = None,
+    ):
+        self.config = config
+        self.dataset = dataset if dataset is not None else self._build_dataset()
+        self.model = self._build_model()
+        self.strategy = strategy or make_strategy(
+            config.strategy,
+            **(
+                {"tolerance_fraction": config.tolerance_fraction}
+                if config.strategy == "xnoise"
+                else {}
+            ),
+        )
+        self.dropout_model = dropout_model or FixedRateDropout(
+            config.dropout_rate, seed=config.seed
+        )
+        self.plan = self._plan_noise()
+        self.skellam: SkellamMechanism | None = None
+        if config.mechanism == "skellam":
+            self.skellam = self._build_skellam()
+        if config.secure_aggregation == "secagg":
+            from repro.core.baselines import XNoiseStrategy
+
+            if config.mechanism != "skellam" or not isinstance(
+                self.strategy, XNoiseStrategy
+            ):
+                raise ValueError(
+                    "secure_aggregation='secagg' runs the integrated "
+                    "XNoise+SecAgg protocol and requires "
+                    "mechanism='skellam' with strategy='xnoise'"
+                )
+
+    # ------------------------------------------------------------------
+    def _build_dataset(self) -> FederatedDataset:
+        cfg = self.config
+        if cfg.is_language_task:
+            return make_text_task(n_clients=cfg.num_clients, seed=cfg.seed)
+        return _TASK_FACTORIES[cfg.task](
+            n_clients=cfg.num_clients,
+            samples_per_client=cfg.samples_per_client,
+            seed=cfg.seed,
+        )
+
+    def _build_model(self):
+        cfg = self.config
+        ds = self.dataset
+        if cfg.model == "softmax":
+            return SoftmaxRegression(ds.n_features, ds.n_classes, seed=cfg.seed)
+        if cfg.model == "mlp":
+            return MLPClassifier(
+                ds.n_features, cfg.mlp_hidden, ds.n_classes, seed=cfg.seed
+            )
+        return BigramLM(ds.n_classes, seed=cfg.seed)
+
+    def _plan_noise(self) -> NoisePlan:
+        cfg = self.config
+        if cfg.mechanism == "gaussian":
+            return plan_noise(
+                rounds=cfg.rounds,
+                epsilon_budget=cfg.epsilon,
+                delta=cfg.delta,
+                l2_sensitivity=cfg.clip_bound,
+                mechanism="gaussian",
+            )
+        # DSkellam: plan in the scaled integer domain.  First get a
+        # scale-free noise multiplier from the Gaussian proxy, then fix
+        # the quantization scale, then re-plan against the true scaled
+        # sensitivities (§5's configuration procedure).
+        proxy = plan_noise(
+            rounds=cfg.rounds,
+            epsilon_budget=cfg.epsilon,
+            delta=cfg.delta,
+            l2_sensitivity=cfg.clip_bound,
+            mechanism="gaussian",
+        )
+        z = proxy.noise_multiplier
+        dim = self.model.n_params
+        scale = choose_scale(
+            cfg.bits, cfg.sample_size, cfg.clip_bound, z, dim
+        )
+        mech = SkellamMechanism(
+            SkellamConfig(
+                dimension=dim, clip_bound=cfg.clip_bound, bits=cfg.bits,
+                scale=scale,
+            )
+        )
+        d2, d1 = mech.scaled_sensitivities()
+        self._skellam_template = mech
+        return plan_noise(
+            rounds=cfg.rounds,
+            epsilon_budget=cfg.epsilon,
+            delta=cfg.delta,
+            l2_sensitivity=d2,
+            l1_sensitivity=d1,
+            mechanism="skellam",
+        )
+
+    def _build_skellam(self) -> SkellamMechanism:
+        return self._skellam_template
+
+    # ------------------------------------------------------------------
+    def _optimizer_factory(self):
+        cfg = self.config
+        if cfg.optimizer == "adamw":
+            return lambda: AdamW(lr=cfg.learning_rate)
+        return lambda: SGD(lr=cfg.learning_rate, momentum=0.9)
+
+    def _evaluate(self, server: FedAvgServer) -> float:
+        test = self.dataset.test
+        if self.config.is_language_task:
+            return server.evaluate_perplexity(test.x, test.y)
+        return server.evaluate(test.x, test.y)
+
+    # ------------------------------------------------------------------
+    def run(self, rounds: int | None = None) -> TrainingResult:
+        """Train for the configured horizon; returns the trajectories."""
+        cfg = self.config
+        horizon = rounds if rounds is not None else cfg.rounds
+        server = FedAvgServer(self.model)
+        trainer = LocalTrainer(
+            self.model,
+            self._optimizer_factory(),
+            epochs=cfg.local_epochs,
+            batch_size=cfg.batch_size,
+        )
+        accountant = RdpAccountant(delta=cfg.delta)
+        sampler = derive_rng("client-sampling", cfg.seed)
+        result = TrainingResult(
+            metric_name="perplexity" if cfg.is_language_task else "accuracy"
+        )
+
+        for r in range(horizon):
+            sampled = sorted(
+                sampler.choice(cfg.num_clients, size=cfg.sample_size, replace=False)
+            )
+            dropped = self.dropout_model.dropped(sampled, r)
+            survivors = [u for u in sampled if u not in dropped]
+            if not survivors:
+                result.dropout_history.append(1.0)
+                continue
+            result.dropout_history.append(len(dropped) / len(sampled))
+
+            if cfg.secure_aggregation == "secagg":
+                # The real protocol: every sampled client trains (dropped
+                # ones drop *before upload*, after local work).
+                updates_by_id = {
+                    u: trainer.compute_update(
+                        server.global_params,
+                        self.dataset.shards[u],
+                        round_index=r,
+                        client_id=u,
+                    )
+                    for u in sampled
+                }
+                update_sum = self._aggregate_secagg(
+                    updates_by_id, sampled, dropped, r
+                )
+            else:
+                updates = [
+                    trainer.compute_update(
+                        server.global_params,
+                        self.dataset.shards[u],
+                        round_index=r,
+                        client_id=u,
+                    )
+                    for u in survivors
+                ]
+                update_sum = self._aggregate(updates, sampled, survivors, r)
+            server.apply_update_sum(update_sum, len(survivors))
+
+            actual = self.strategy.actual_variance(
+                self.plan.variance, len(sampled), len(dropped)
+            )
+            self.plan.spend_round(accountant, actual)
+            result.epsilon_history.append(accountant.epsilon())
+            result.metric_history.append(self._evaluate(server))
+            result.rounds_completed = r + 1
+
+            if (
+                self.strategy.stops_when_budget_exhausted()
+                and accountant.epsilon() >= cfg.epsilon
+            ):
+                result.stopped_early = True
+                break
+        return result
+
+    # ------------------------------------------------------------------
+    def _aggregate(
+        self,
+        updates: list[np.ndarray],
+        sampled: list[int],
+        survivors: list[int],
+        round_index: int,
+    ) -> np.ndarray:
+        """Clip, perturb, and sum survivor updates (noise per strategy)."""
+        cfg = self.config
+        n_sampled = len(sampled)
+        client_var = self.strategy.client_variance(self.plan.variance, n_sampled)
+        # What the aggregate should carry after any server-side removal.
+        actual_var = self.strategy.actual_variance(
+            self.plan.variance, n_sampled, n_sampled - len(survivors)
+        )
+
+        if cfg.mechanism == "skellam":
+            return self._aggregate_skellam(
+                updates, survivors, round_index, actual_var
+            )
+
+        rng = derive_rng("dp-noise", cfg.seed, round_index)
+        total = np.zeros_like(updates[0])
+        for update in updates:
+            total = total + clip_l2(update, cfg.clip_bound)
+        # Survivors added client_var each; the strategy's removal step
+        # (XNoise) brings the sum to actual_var — we sample the net
+        # effect directly, which is distribution-identical because the
+        # noise family is closed under summation (§3).
+        if actual_var > 0:
+            total = total + rng.normal(0.0, np.sqrt(actual_var), total.shape)
+        return total
+
+    def _aggregate_skellam(
+        self,
+        updates: list[np.ndarray],
+        survivors: list[int],
+        round_index: int,
+        actual_var: float,
+    ) -> np.ndarray:
+        """The DSkellam integer path: encode, integer-sum, decode."""
+        assert self.skellam is not None
+        mech = self.skellam
+        rng = derive_rng("skellam-noise", self.config.seed, round_index)
+        encoded = []
+        per_survivor_var = actual_var / len(survivors)
+        for update in updates:
+            encoded.append(mech.encode(update, per_survivor_var, rng))
+        return mech.decode(mech.aggregate_ring(encoded))
+
+    def _aggregate_secagg(
+        self,
+        updates_by_id: dict[int, np.ndarray],
+        sampled: list[int],
+        dropped: set[int],
+        round_index: int,
+    ) -> np.ndarray:
+        """Run the integrated XNoise+SecAgg protocol for real (Fig. 5)."""
+        import math
+
+        from repro.secagg.driver import DropoutSchedule
+        from repro.secagg.types import SecAggConfig
+        from repro.xnoise.protocol import XNoiseConfig, run_xnoise_round
+
+        assert self.skellam is not None
+        cfg = self.config
+        mech = self.skellam
+        n = len(sampled)
+        tolerance = self.strategy.tolerance(n)  # type: ignore[attr-defined]
+        # Semi-honest SecAgg requires t > |U|/2; keep t as low as that
+        # allows so the protocol tolerates dropout up to the threshold.
+        threshold = max(2, n // 2 + 1)
+        xconfig = XNoiseConfig(
+            secagg=SecAggConfig(
+                threshold=threshold,
+                bits=cfg.bits,
+                dimension=mech.padded_dimension,
+                dh_group=cfg.dh_group,
+            ),
+            n_sampled=n,
+            tolerance=tolerance,
+            target_variance=self.plan.variance,
+            collusion_tolerance=cfg.collusion_tolerance,
+        )
+        rng = derive_rng("secagg-encode", cfg.seed, round_index)
+        # Shamir evaluation points must be non-zero: shift ids by one.
+        inputs = {
+            int(u) + 1: mech.encode_signal(updates_by_id[u], rng) for u in sampled
+        }
+        schedule = DropoutSchedule.before_upload({int(u) + 1 for u in dropped})
+        result = run_xnoise_round(
+            xconfig, inputs, schedule, round_index=round_index
+        )
+        return mech.decode(result.aggregate)

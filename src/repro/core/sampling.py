@@ -1,0 +1,146 @@
+"""Verifiable random client sampling (§7).
+
+Protocol sketch from the paper's discussion section:
+
+1. the server announces a round;
+2. every client evaluates its VRF on the round index; it volunteers iff
+   the output falls below a public threshold;
+3. volunteers send (output, proof) to the server;
+4. the server fixes the sample — over-selecting via a slightly raised
+   threshold, then trimming to the target size by an indiscriminate
+   criterion on the randomness (smallest outputs first) — and broadcasts
+   all responses;
+5. each participant verifies every peer's proof, threshold compliance,
+   and round binding before proceeding.
+
+Because VRF outputs are unforgeable and unique, a malicious server can
+neither inject non-volunteers nor grind the sample toward colluded
+clients; it can only drop volunteers, which shrinks — never biases — the
+sample beyond the trim rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.dh import DHGroup, MODP_2048
+from repro.crypto.vrf import (
+    VRFProof,
+    generate_vrf_keypair,
+    output_to_unit,
+    vrf_prove,
+    vrf_verify,
+)
+
+
+class SamplingViolation(Exception):
+    """Raised by verifying clients when the broadcast sample is invalid."""
+
+
+def round_tag(round_index: int) -> bytes:
+    return f"dordis-sampling-round:{round_index}".encode("utf-8")
+
+
+@dataclass(frozen=True)
+class SamplingTicket:
+    """One volunteer's claim: VRF output + proof for this round."""
+
+    client_id: int
+    output: bytes
+    proof: VRFProof
+
+
+class SamplingClient:
+    """Client-side half: volunteer decision and broadcast verification."""
+
+    def __init__(self, client_id: int, group: DHGroup = MODP_2048):
+        self.id = client_id
+        self.group = group
+        self._sk, self.public_key = generate_vrf_keypair(group)
+
+    def ticket(self, round_index: int) -> SamplingTicket:
+        output, proof = vrf_prove(self._sk, round_tag(round_index), self.group)
+        return SamplingTicket(client_id=self.id, output=output, proof=proof)
+
+    def volunteers(self, round_index: int, threshold: float) -> bool:
+        """Participate iff the verifiable randomness lands under the bar."""
+        return output_to_unit(self.ticket(round_index).output) < threshold
+
+    @staticmethod
+    def verify_sample(
+        round_index: int,
+        threshold: float,
+        sample: list[SamplingTicket],
+        public_keys: dict[int, int],
+        group: DHGroup = MODP_2048,
+    ) -> None:
+        """The step-5 checks; raises :class:`SamplingViolation` on fraud."""
+        seen = set()
+        for ticket in sample:
+            if ticket.client_id in seen:
+                raise SamplingViolation(f"duplicate ticket for {ticket.client_id}")
+            seen.add(ticket.client_id)
+            pk = public_keys.get(ticket.client_id)
+            if pk is None:
+                raise SamplingViolation(
+                    f"client {ticket.client_id} is not in the PKI"
+                )
+            if not vrf_verify(
+                pk, round_tag(round_index), ticket.output, ticket.proof, group
+            ):
+                raise SamplingViolation(
+                    f"invalid VRF proof from client {ticket.client_id}"
+                )
+            if output_to_unit(ticket.output) >= threshold:
+                raise SamplingViolation(
+                    f"client {ticket.client_id} did not clear the threshold"
+                )
+
+
+class SamplingServer:
+    """Server-side half: threshold selection and sample fixing."""
+
+    def __init__(self, population: int, sample_size: int, over_select: float = 1.5):
+        if not 1 <= sample_size <= population:
+            raise ValueError("need 1 <= sample_size <= population")
+        if over_select < 1.0:
+            raise ValueError("over_select must be >= 1")
+        self.population = population
+        self.sample_size = sample_size
+        self.over_select = over_select
+
+    @property
+    def threshold(self) -> float:
+        """Volunteer probability targeting over_select × sample_size."""
+        return min(1.0, self.over_select * self.sample_size / self.population)
+
+    def fix_sample(self, tickets: list[SamplingTicket]) -> list[SamplingTicket]:
+        """Trim volunteers to the target size — smallest outputs first,
+        the paper's 'indiscriminate criteria on their randomness'."""
+        ordered = sorted(tickets, key=lambda t: output_to_unit(t.output))
+        return ordered[: self.sample_size]
+
+
+def run_sampling_round(
+    clients: list[SamplingClient],
+    server: SamplingServer,
+    round_index: int,
+    group: DHGroup = MODP_2048,
+) -> list[SamplingTicket]:
+    """Drive one honest sampling round end to end; returns the sample.
+
+    Every selected client verifies the broadcast before the function
+    returns — a :class:`SamplingViolation` would propagate.
+    """
+    threshold = server.threshold
+    tickets = [
+        c.ticket(round_index)
+        for c in clients
+        if c.volunteers(round_index, threshold)
+    ]
+    sample = server.fix_sample(tickets)
+    public_keys = {c.id: c.public_key for c in clients}
+    SamplingClient.verify_sample(
+        round_index, threshold, sample, public_keys, group
+    )
+    return sample

@@ -1,0 +1,69 @@
+"""Authenticated encryption: encrypt-then-MAC over the counter-mode PRG.
+
+SecAgg requires an IND-CPA + INT-CTXT authenticated-encryption scheme AE
+to protect the secret shares that clients route through the untrusted
+server (Fig. 5, ShareKeys).  We build the standard composition:
+
+- keystream: SHA-256 counter-mode PRG keyed by ``HKDF(key, "enc") || nonce``;
+- ciphertext: plaintext XOR keystream;
+- tag: HMAC-SHA256 under ``HKDF(key, "mac")`` over ``nonce || ciphertext``.
+
+Encrypt-then-MAC with independent keys is the composition that yields
+INT-CTXT + IND-CPA from a secure stream cipher and PRF.
+"""
+
+from __future__ import annotations
+
+import hmac
+import hashlib
+import secrets
+
+from repro.crypto.prg import PRG
+
+_NONCE_LEN = 16
+_TAG_LEN = 32
+_KEY_LEN = 32
+
+
+class AEError(Exception):
+    """Raised when decryption fails authentication (tampered or wrong key)."""
+
+
+def _subkey(key: bytes, label: bytes) -> bytes:
+    """Derive an independent subkey (HKDF-style extract+expand, one block)."""
+    return hmac.new(key, b"dordis-ae" + label, hashlib.sha256).digest()
+
+
+class AuthenticatedEncryption:
+    """AE.enc / AE.dec with a 32-byte symmetric key.
+
+    The wire format is ``nonce (16B) || ciphertext || tag (32B)``.
+    Decryption raises :class:`AEError` on any authentication failure —
+    matching the protocol's "if the ciphertext does not correctly
+    authenticate, abort" behaviour.
+    """
+
+    def __init__(self, key: bytes):
+        if len(key) != _KEY_LEN:
+            raise ValueError(f"key must be {_KEY_LEN} bytes, got {len(key)}")
+        self._enc_key = _subkey(key, b"enc")
+        self._mac_key = _subkey(key, b"mac")
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        nonce = secrets.token_bytes(_NONCE_LEN)
+        stream = PRG(self._enc_key + nonce).read(len(plaintext))
+        ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+        tag = hmac.new(self._mac_key, nonce + ciphertext, hashlib.sha256).digest()
+        return nonce + ciphertext + tag
+
+    def decrypt(self, blob: bytes) -> bytes:
+        if len(blob) < _NONCE_LEN + _TAG_LEN:
+            raise AEError("ciphertext too short")
+        nonce = blob[:_NONCE_LEN]
+        ciphertext = blob[_NONCE_LEN:-_TAG_LEN]
+        tag = blob[-_TAG_LEN:]
+        expect = hmac.new(self._mac_key, nonce + ciphertext, hashlib.sha256).digest()
+        if not hmac.compare_digest(tag, expect):
+            raise AEError("authentication failed")
+        stream = PRG(self._enc_key + nonce).read(len(ciphertext))
+        return bytes(c ^ s for c, s in zip(ciphertext, stream))

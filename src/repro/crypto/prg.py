@@ -1,0 +1,81 @@
+"""SHA-256 counter-mode pseudorandom generator.
+
+SecAgg expands short seeds into model-length mask vectors, and XNoise
+expands noise seeds into DP noise (§3.1: "a DP noise is a sequence of
+pseudo-random numbers of the same length as the model, and can be uniquely
+generated via feeding a seed into a PRN generator").
+
+The construction is the standard counter-mode PRF: block *i* of the stream
+is ``SHA256(seed || i)``.  Identical seeds always produce identical
+streams, which is what lets XNoise ship 32-byte seeds instead of
+model-sized noise vectors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+_BLOCK = hashlib.sha256().digest_size  # 32 bytes
+
+
+class PRG:
+    """Deterministic byte/vector stream expanded from a seed.
+
+    Each call advances an internal counter, so successive calls return
+    disjoint stream segments; two PRGs built from the same seed produce
+    the same sequence of outputs for the same sequence of calls.
+    """
+
+    def __init__(self, seed: bytes):
+        if not isinstance(seed, (bytes, bytearray)):
+            raise TypeError("seed must be bytes")
+        self._seed = bytes(seed)
+        self._counter = 0
+
+    @property
+    def seed(self) -> bytes:
+        return self._seed
+
+    def read(self, n: int) -> bytes:
+        """Return the next ``n`` pseudorandom bytes."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        blocks = []
+        remaining = n
+        while remaining > 0:
+            block = hashlib.sha256(
+                self._seed + self._counter.to_bytes(8, "big")
+            ).digest()
+            self._counter += 1
+            blocks.append(block[:remaining])
+            remaining -= len(block[:remaining])
+        return b"".join(blocks)
+
+    def uniform_vector(self, length: int, modulus: int) -> np.ndarray:
+        """Return ``length`` integers uniform in ``[0, modulus)`` as int64.
+
+        Used for SecAgg masks over the ring Z_R.  Rejection-free: we read
+        64-bit words and reduce mod ``modulus``; with ``modulus`` ≤ 2**40
+        (the paper uses bit-width b = 20) the modulo bias is < 2**-24 and
+        irrelevant for masking (any fixed bias cancels in the pairwise
+        mask sum p_{u,v} + p_{v,u} = 0).
+        """
+        if modulus <= 0:
+            raise ValueError("modulus must be positive")
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        raw = self.read(8 * length)
+        words = np.frombuffer(raw, dtype=">u8").astype(np.uint64)
+        return (words % np.uint64(modulus)).astype(np.int64)
+
+    def numpy_generator(self) -> np.random.Generator:
+        """A NumPy generator keyed by the next stream block.
+
+        Used to sample distribution-shaped noise (Skellam, Gaussian)
+        deterministically from a seed.  Each call returns an independent
+        generator because it consumes a fresh stream block.
+        """
+        key = self.read(16)
+        return np.random.default_rng(int.from_bytes(key, "big"))

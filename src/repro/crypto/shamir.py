@@ -1,0 +1,142 @@
+"""Shamir t-out-of-n secret sharing over GF(p).
+
+XNoise secret-shares the noise-component seeds across sampled clients
+before aggregation (§3.2), and SecAgg secret-shares the masking key
+``s^SK`` and the self-mask seed ``b_u`` (Fig. 5, ShareKeys).  Both use the
+classic Shamir scheme [Shamir'79]: the secret is the constant term of a
+random degree-(t−1) polynomial; any t shares reconstruct it by Lagrange
+interpolation, fewer reveal nothing.
+
+Secrets here are byte strings (seeds, serialized keys).  A byte secret is
+chunked so each chunk fits one field element; every chunk is shared with
+an independent polynomial.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from repro.crypto.field import FIELD, PrimeField
+from repro.utils.bytesio import bytes_to_int, chunk_bytes, int_to_bytes
+
+
+@dataclass(frozen=True)
+class Share:
+    """One participant's share of a byte-string secret.
+
+    ``x`` is the participant's evaluation point (non-zero field element,
+    typically its 1-based client index) and ``ys`` holds one polynomial
+    evaluation per secret chunk.  ``secret_len`` lets reconstruction strip
+    the length padding.
+    """
+
+    x: int
+    ys: tuple[int, ...]
+    secret_len: int
+
+
+class ShamirSecretSharing:
+    """t-out-of-n sharing of byte-string secrets.
+
+    Parameters
+    ----------
+    threshold:
+        Minimum number of shares needed to reconstruct (t ≥ 1).
+    field:
+        The prime field to operate in; defaults to GF(2**127 − 1).
+    """
+
+    def __init__(self, threshold: int, field: PrimeField = FIELD):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self.field = field
+
+    def share(self, secret: bytes, participant_ids: list[int]) -> dict[int, Share]:
+        """Split ``secret`` into one share per participant id.
+
+        ``participant_ids`` must be distinct positive integers (they become
+        the polynomial evaluation points, so 0 — the secret's position — is
+        forbidden).
+        """
+        # Coerce to Python ints: NumPy integers overflow inside the
+        # big-int polynomial arithmetic.
+        ids = [int(i) for i in participant_ids]
+        if len(set(ids)) != len(ids):
+            raise ValueError("participant ids must be distinct")
+        if any(i <= 0 or i >= self.field.p for i in ids):
+            raise ValueError("participant ids must be in [1, p)")
+        if len(ids) < self.threshold:
+            raise ValueError(
+                f"need at least threshold={self.threshold} participants, got {len(ids)}"
+            )
+        chunks = chunk_bytes(secret, self.field.capacity_bytes) or [b""]
+        polys = []
+        for chunk in chunks:
+            constant = bytes_to_int(chunk) if chunk else 0
+            coeffs = [constant] + [
+                self.field.random_element() for _ in range(self.threshold - 1)
+            ]
+            polys.append(coeffs)
+        return {
+            pid: Share(
+                x=pid,
+                ys=tuple(self.field.eval_poly(coeffs, pid) for coeffs in polys),
+                secret_len=len(secret),
+            )
+            for pid in ids
+        }
+
+    def reconstruct(self, shares: list[Share]) -> bytes:
+        """Recover the secret from at least ``threshold`` shares.
+
+        Raises ``ValueError`` if fewer than ``threshold`` distinct shares
+        are supplied or the shares are structurally inconsistent.
+        """
+        distinct: dict[int, Share] = {}
+        for s in shares:
+            existing = distinct.get(s.x)
+            if existing is not None and existing != s:
+                raise ValueError(f"conflicting shares for x={s.x}")
+            distinct[s.x] = s
+        if len(distinct) < self.threshold:
+            raise ValueError(
+                f"need {self.threshold} shares to reconstruct, got {len(distinct)}"
+            )
+        use = list(distinct.values())[: self.threshold]
+        n_chunks = len(use[0].ys)
+        secret_len = use[0].secret_len
+        if any(len(s.ys) != n_chunks or s.secret_len != secret_len for s in use):
+            raise ValueError("shares disagree on secret shape")
+
+        xs = [s.x for s in use]
+        lagrange = self._lagrange_at_zero(xs)
+        chunks: list[bytes] = []
+        remaining = secret_len
+        for chunk_idx in range(n_chunks):
+            value = 0
+            for coef, s in zip(lagrange, use):
+                value = (value + coef * s.ys[chunk_idx]) % self.field.p
+            size = min(self.field.capacity_bytes, remaining)
+            chunks.append(int_to_bytes(value, size) if size else b"")
+            remaining -= size
+        return b"".join(chunks)
+
+    def _lagrange_at_zero(self, xs: list[int]) -> list[int]:
+        """Lagrange basis coefficients L_i(0) for the evaluation points."""
+        coeffs = []
+        for i, xi in enumerate(xs):
+            num, den = 1, 1
+            for j, xj in enumerate(xs):
+                if i == j:
+                    continue
+                num = (num * (-xj)) % self.field.p
+                den = (den * (xi - xj)) % self.field.p
+            coeffs.append((num * self.field.inv(den)) % self.field.p)
+        return coeffs
+
+
+def random_seed(nbytes: int = 32) -> bytes:
+    """Sample a fresh random seed (the ``b_u`` / ``g_{u,k}`` values of Fig. 5)."""
+    return secrets.token_bytes(nbytes)

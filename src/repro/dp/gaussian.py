@@ -1,0 +1,64 @@
+"""The distributed Gaussian mechanism.
+
+The baseline distributed-DP mechanism (Definition 1, Orig): given the
+target aggregate noise level σ²_*, each of the |U| sampled clients
+perturbs its clipped update with N(0, σ²_*/|U|·I).  Gaussian noise is
+closed under summation (§3's standing assumption), so the aggregate
+carries exactly σ²_* when nobody drops — and (|U|−|D|)/|U|·σ²_* when |D|
+clients drop, which is the privacy failure XNoise repairs.
+
+This mechanism operates in the real domain and is used by the utility
+experiments and as the χ distribution for XNoise's Gaussian
+instantiation.  The quantized integer path lives in
+:mod:`repro.dp.skellam`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dp.quantize import clip_l2
+
+
+@dataclass(frozen=True)
+class DistributedGaussianMechanism:
+    """Clip to ``clip_bound`` and add seeded Gaussian noise shares.
+
+    Parameters
+    ----------
+    clip_bound:
+        L2 sensitivity of one client's contribution.
+    """
+
+    clip_bound: float
+
+    def __post_init__(self) -> None:
+        if self.clip_bound <= 0:
+            raise ValueError("clip_bound must be positive")
+
+    def prepare_update(self, update: np.ndarray) -> np.ndarray:
+        """Client-side clipping (fixes the sensitivity)."""
+        return clip_l2(update, self.clip_bound)
+
+    def sample_noise(
+        self, variance: float, rng: np.random.Generator, dimension: int
+    ) -> np.ndarray:
+        """One noise share of the given variance.
+
+        Variance-parameterized (not std) because XNoise decomposes noise
+        into additive components whose *variances* sum (§3.2).
+        """
+        if variance < 0:
+            raise ValueError("variance must be non-negative")
+        if variance == 0:
+            return np.zeros(dimension)
+        return rng.normal(0.0, np.sqrt(variance), size=dimension)
+
+    def perturb(
+        self, update: np.ndarray, variance: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Clip and add one Gaussian share — Definition 1's client step."""
+        clipped = self.prepare_update(update)
+        return clipped + self.sample_noise(variance, rng, clipped.shape[0])

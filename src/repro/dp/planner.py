@@ -1,0 +1,153 @@
+"""Offline noise planning.
+
+Distributed DP performs *offline noise planning* ahead of training (§2.2):
+given a global budget (ε_G, δ) and the number of rounds R, find the
+minimum per-round aggregate noise level σ²_* such that the R-fold
+composition of the per-round mechanism consumes exactly the budget.  At
+training end the remaining budget should be zero — the minimum-noise,
+maximum-utility operating point.
+
+The planner binary-searches the aggregate noise std; monotonicity of ε in
+σ makes this exact to the requested tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dp.accountant import RdpAccountant
+
+
+@dataclass(frozen=True)
+class NoisePlan:
+    """The output of offline planning.
+
+    Attributes
+    ----------
+    sigma:        per-round aggregate noise std (target level σ_*).
+    variance:     σ²_* — the level XNoise enforces regardless of dropout.
+    rounds:       planned number of releases.
+    epsilon_budget, delta: the global privacy goal.
+    mechanism:    "gaussian" or "skellam".
+    l2_sensitivity, l1_sensitivity: sensitivities the plan was made for.
+    """
+
+    sigma: float
+    rounds: int
+    epsilon_budget: float
+    delta: float
+    mechanism: str
+    l2_sensitivity: float
+    l1_sensitivity: float | None = None
+
+    @property
+    def variance(self) -> float:
+        return self.sigma**2
+
+    @property
+    def noise_multiplier(self) -> float:
+        """z = σ/Δ₂ — scale-free noise level."""
+        return self.sigma / self.l2_sensitivity
+
+    def fresh_accountant(self) -> RdpAccountant:
+        return RdpAccountant(delta=self.delta)
+
+    def spend_round(self, accountant: RdpAccountant, actual_variance: float) -> None:
+        """Account one release at the *actual* aggregate noise level.
+
+        Under Orig with dropout the actual level is below ``variance``;
+        under XNoise it equals ``variance`` (Theorem 1).
+        """
+        if actual_variance <= 0:
+            raise ValueError("actual_variance must be positive")
+        sigma = actual_variance**0.5
+        if self.mechanism == "gaussian":
+            accountant.spend_gaussian(sigma, self.l2_sensitivity)
+        elif self.mechanism == "skellam":
+            accountant.spend_skellam(
+                actual_variance, self.l2_sensitivity, self.l1_sensitivity
+            )
+        else:  # pragma: no cover - constructor validates
+            raise ValueError(f"unknown mechanism {self.mechanism}")
+
+    def epsilon_if_executed(self, rounds: int | None = None) -> float:
+        """ε consumed by faithfully executing the plan for ``rounds``."""
+        acc = self.fresh_accountant()
+        for _ in range(rounds if rounds is not None else self.rounds):
+            self.spend_round(acc, self.variance)
+        return acc.epsilon()
+
+
+def _epsilon_for_sigma(
+    sigma: float,
+    rounds: int,
+    delta: float,
+    mechanism: str,
+    l2_sensitivity: float,
+    l1_sensitivity: float | None,
+) -> float:
+    acc = RdpAccountant(delta=delta)
+    for _ in range(rounds):
+        if mechanism == "gaussian":
+            acc.spend_gaussian(sigma, l2_sensitivity)
+        else:
+            acc.spend_skellam(sigma**2, l2_sensitivity, l1_sensitivity)
+    return acc.epsilon()
+
+
+def plan_noise(
+    rounds: int,
+    epsilon_budget: float,
+    delta: float,
+    l2_sensitivity: float,
+    mechanism: str = "gaussian",
+    l1_sensitivity: float | None = None,
+    tolerance: float = 1e-4,
+) -> NoisePlan:
+    """Find the minimum σ_* whose R-fold composition meets the budget.
+
+    Returns a :class:`NoisePlan` with ``epsilon_if_executed() <=
+    epsilon_budget`` and within ``tolerance`` (relative) of equality —
+    the prudent use of budget the paper calls for.
+    """
+    if rounds <= 0:
+        raise ValueError("rounds must be positive")
+    if epsilon_budget <= 0:
+        raise ValueError("epsilon_budget must be positive")
+    if mechanism not in ("gaussian", "skellam"):
+        raise ValueError("mechanism must be 'gaussian' or 'skellam'")
+    if l2_sensitivity <= 0:
+        raise ValueError("l2_sensitivity must be positive")
+
+    def eps(sigma: float) -> float:
+        return _epsilon_for_sigma(
+            sigma, rounds, delta, mechanism, l2_sensitivity, l1_sensitivity
+        )
+
+    # Bracket: grow high until the budget is met, shrink low until violated.
+    low = high = l2_sensitivity
+    while eps(high) > epsilon_budget:
+        high *= 2.0
+        if high > l2_sensitivity * 2**60:
+            raise RuntimeError("could not bracket sigma; budget unreachably small")
+    while eps(low) <= epsilon_budget and low > l2_sensitivity * 2**-60:
+        low /= 2.0
+
+    for _ in range(200):
+        mid = (low + high) / 2.0
+        if eps(mid) > epsilon_budget:
+            low = mid
+        else:
+            high = mid
+        if (high - low) / high < tolerance:
+            break
+
+    return NoisePlan(
+        sigma=high,
+        rounds=rounds,
+        epsilon_budget=epsilon_budget,
+        delta=delta,
+        mechanism=mechanism,
+        l2_sensitivity=l2_sensitivity,
+        l1_sensitivity=l1_sensitivity,
+    )

@@ -1,0 +1,85 @@
+"""Clipping, stochastic rounding, and modular wrapping.
+
+These are the scalar-level pieces of the DSkellam encode path (§5):
+model updates are L2-clipped, scaled, unbiasedly rounded to the integer
+grid, and finally wrapped into the ring Z_{2^b} that secure aggregation
+operates over.  Decoding reverses the wrap by re-centering into the signed
+range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def clip_l2(vector: np.ndarray, bound: float) -> np.ndarray:
+    """Scale ``vector`` down to L2 norm ``bound`` if it exceeds it.
+
+    Clipping fixes the per-client sensitivity that the DP analysis is
+    calibrated against.
+    """
+    if bound <= 0:
+        raise ValueError("clip bound must be positive")
+    norm = float(np.linalg.norm(vector))
+    if norm <= bound or norm == 0.0:
+        return np.asarray(vector, dtype=float).copy()
+    return np.asarray(vector, dtype=float) * (bound / norm)
+
+
+def stochastic_round(
+    vector: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Unbiased randomized rounding to the integer grid.
+
+    Each coordinate x is rounded to ⌈x⌉ with probability frac(x) and to
+    ⌊x⌋ otherwise, so E[round(x)] = x.  DSkellam applies *conditional*
+    rounding (re-sample while the rounded norm exceeds a bound); the
+    norm-inflation from rounding is at most √d/2 in expectation, which the
+    caller accounts for in the sensitivity (see
+    :meth:`repro.dp.skellam.SkellamMechanism.scaled_sensitivities`).
+    """
+    vector = np.asarray(vector, dtype=float)
+    floor = np.floor(vector)
+    frac = vector - floor
+    bump = (rng.random(vector.shape) < frac).astype(float)
+    return (floor + bump).astype(np.int64)
+
+
+def conditional_stochastic_round(
+    vector: np.ndarray,
+    rng: np.random.Generator,
+    norm_bound: float,
+    max_attempts: int = 64,
+) -> np.ndarray:
+    """DSkellam's conditional randomized rounding.
+
+    Re-samples the rounding until the integer vector's L2 norm is within
+    ``norm_bound``.  The bound is chosen by the caller so acceptance is
+    overwhelmingly likely (the paper's β = e^{−0.5} config); after
+    ``max_attempts`` failures we fall back to deterministic rounding,
+    whose norm inflation is at most √d/2 and always accepted by
+    construction of the bound.
+    """
+    for _ in range(max_attempts):
+        rounded = stochastic_round(vector, rng)
+        if np.linalg.norm(rounded) <= norm_bound:
+            return rounded
+    return np.rint(vector).astype(np.int64)
+
+
+def wrap_modular(vector: np.ndarray, bits: int) -> np.ndarray:
+    """Map signed integers into the ring [0, 2**bits)."""
+    if not 1 <= bits <= 62:
+        raise ValueError("bits must be in [1, 62]")
+    modulus = 1 << bits
+    return np.mod(np.asarray(vector, dtype=np.int64), modulus)
+
+
+def unwrap_modular(vector: np.ndarray, bits: int) -> np.ndarray:
+    """Re-center ring elements into the signed range [−2**(b−1), 2**(b−1))."""
+    if not 1 <= bits <= 62:
+        raise ValueError("bits must be in [1, 62]")
+    modulus = 1 << bits
+    half = modulus >> 1
+    v = np.mod(np.asarray(vector, dtype=np.int64), modulus)
+    return np.where(v >= half, v - modulus, v)

@@ -1,0 +1,86 @@
+"""Randomized Hadamard transform.
+
+DSkellam flattens coordinate magnitudes before quantization by applying
+U = H·D/√d, where D is a diagonal of random signs and H the Walsh–Hadamard
+matrix.  Flattening makes every coordinate O(‖x‖₂/√d) with high
+probability, so a uniform per-coordinate quantizer wastes no range.  The
+transform is orthogonal, hence exactly invertible and L2-preserving —
+which also means it does not change the mechanism's L2 sensitivity.
+
+Both the forward and inverse transforms run in O(d log d) via the
+iterative butterfly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import derive_rng
+
+
+def _next_pow2(n: int) -> int:
+    p = 1
+    while p < n:
+        p <<= 1
+    return p
+
+
+def fwht(vector: np.ndarray) -> np.ndarray:
+    """In-place-style fast Walsh–Hadamard transform (unnormalized).
+
+    Requires a power-of-two length; the caller pads.
+    """
+    v = np.asarray(vector, dtype=float).copy()
+    n = v.shape[0]
+    if n & (n - 1):
+        raise ValueError("fwht length must be a power of two")
+    h = 1
+    while h < n:
+        v = v.reshape(-1, 2 * h)
+        left = v[:, :h].copy()
+        right = v[:, h:].copy()
+        v[:, :h] = left + right
+        v[:, h:] = left - right
+        v = v.reshape(-1)
+        h *= 2
+    return v
+
+
+class RandomizedHadamard:
+    """Seeded rotation U = H·D/√d_pad with exact inverse.
+
+    All clients in a round must use the *same* rotation so the aggregate
+    can be inverted server-side; the seed is distributed as public
+    per-round configuration.
+    """
+
+    def __init__(self, dimension: int, seed_material: bytes | str = b"rotation"):
+        if dimension <= 0:
+            raise ValueError("dimension must be positive")
+        self.dimension = dimension
+        self.padded = _next_pow2(dimension)
+        rng = derive_rng("hadamard-signs", seed_material)
+        self.signs = rng.integers(0, 2, size=self.padded) * 2 - 1
+
+    def forward(self, vector: np.ndarray) -> np.ndarray:
+        """Rotate a length-``dimension`` vector into length-``padded`` space."""
+        vector = np.asarray(vector, dtype=float)
+        if vector.shape != (self.dimension,):
+            raise ValueError(
+                f"expected shape ({self.dimension},), got {vector.shape}"
+            )
+        padded = np.zeros(self.padded)
+        padded[: self.dimension] = vector
+        return fwht(padded * self.signs) / np.sqrt(self.padded)
+
+    def inverse(self, vector: np.ndarray) -> np.ndarray:
+        """Invert :meth:`forward`; returns the original ``dimension`` coords.
+
+        H/√d is its own inverse (orthogonal, symmetric), so the inverse is
+        un-rotate then un-sign then truncate the padding.
+        """
+        vector = np.asarray(vector, dtype=float)
+        if vector.shape != (self.padded,):
+            raise ValueError(f"expected shape ({self.padded},), got {vector.shape}")
+        unrotated = fwht(vector) / np.sqrt(self.padded)
+        return (unrotated * self.signs)[: self.dimension]

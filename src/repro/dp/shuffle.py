@@ -1,0 +1,139 @@
+"""The shuffle-model alternative to SecAgg-based distributed DP.
+
+§2.2: "besides the commonly-used SecAgg, distributed DP can also be
+implemented using alternative approaches such as secure shuffling
+[Bittau et al., Cheu et al., Erlingsson et al.]".  The paper focuses on
+SecAgg; we implement the shuffling alternative as a comparison substrate:
+
+- each client applies a *local* ε₀-DP randomizer (Gaussian here);
+- a trusted shuffler strips identities and permutes the reports;
+- anonymity amplifies the local guarantee: the shuffled output satisfies
+  a much smaller central ε.
+
+The amplification bound is Feldman, McMillan & Talwar (FOCS 2021,
+"Hiding Among the Clones"), Theorem 3.2's closed form:
+
+    ε ≤ log(1 + (e^{ε₀} − 1)·(4·√(2·ln(4/δ)/((e^{ε₀}+1)·n)) + 4/n))
+
+valid for ε₀ ≤ log(n / (16·ln(2/δ))).  The comparison the round-trip
+tests pin down: for the same central (ε, δ), the shuffle model needs
+*far more total noise* than SecAgg-based distributed DP — the
+minimum-noise advantage that makes distributed DP "the most appealing"
+(§2.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dp.quantize import clip_l2
+
+
+def amplification_bound(epsilon0: float, n: int, delta: float) -> float:
+    """Central ε of n shuffled ε₀-DP reports (FMT'21 Thm 3.2 closed form).
+
+    Raises if ε₀ is outside the theorem's validity range — callers must
+    not silently extrapolate a privacy bound.
+    """
+    if epsilon0 <= 0:
+        raise ValueError("epsilon0 must be positive")
+    if n < 2:
+        raise ValueError("need at least 2 reports to shuffle")
+    if not 0 < delta < 1:
+        raise ValueError("delta must be in (0, 1)")
+    limit = math.log(n / (16.0 * math.log(2.0 / delta)))
+    if epsilon0 > limit:
+        raise ValueError(
+            f"epsilon0={epsilon0:.3f} outside the FMT bound's validity "
+            f"(requires <= {limit:.3f} for n={n}, delta={delta:g})"
+        )
+    e0 = math.exp(epsilon0)
+    term = 4.0 * math.sqrt(2.0 * math.log(4.0 / delta) / ((e0 + 1.0) * n)) + 4.0 / n
+    return math.log1p((e0 - 1.0) * term)
+
+
+def local_epsilon_for_central(
+    epsilon: float, n: int, delta: float, tolerance: float = 1e-4
+) -> float:
+    """Largest ε₀ whose shuffled amplification stays within ``epsilon``.
+
+    Binary search over the monotone :func:`amplification_bound`.
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    hi = math.log(n / (16.0 * math.log(2.0 / delta)))
+    if hi <= 0:
+        raise ValueError(f"population n={n} too small to amplify at delta={delta:g}")
+    if amplification_bound(hi, n, delta) <= epsilon:
+        return hi
+    lo = 1e-6
+    if amplification_bound(lo, n, delta) > epsilon:
+        raise ValueError("central epsilon unreachably small for this n")
+    while (hi - lo) / hi > tolerance:
+        mid = (lo + hi) / 2.0
+        if amplification_bound(mid, n, delta) > epsilon:
+            hi = mid
+        else:
+            lo = mid
+    return lo
+
+
+def gaussian_sigma_for_local_epsilon(
+    epsilon0: float, delta0: float, sensitivity: float
+) -> float:
+    """Classical Gaussian-mechanism calibration: σ = Δ·√(2·ln(1.25/δ))/ε."""
+    if epsilon0 <= 0 or not 0 < delta0 < 1 or sensitivity <= 0:
+        raise ValueError("invalid Gaussian calibration inputs")
+    return sensitivity * math.sqrt(2.0 * math.log(1.25 / delta0)) / epsilon0
+
+
+@dataclass
+class ShuffleModelAggregator:
+    """One shuffled aggregation round: local noise → shuffle → average.
+
+    Parameters map a central (ε, δ) goal onto per-client Gaussian noise
+    via the amplification bound; :attr:`local_sigma` is what each client
+    adds — compare against distributed DP's σ_target/√n shares.
+    """
+
+    epsilon: float
+    delta: float
+    n_clients: int
+    clip_bound: float
+
+    def __post_init__(self) -> None:
+        self.local_epsilon = local_epsilon_for_central(
+            self.epsilon, self.n_clients, self.delta
+        )
+        # Split δ evenly between the local randomizers and amplification.
+        self.local_sigma = gaussian_sigma_for_local_epsilon(
+            self.local_epsilon, self.delta / 2.0, self.clip_bound
+        )
+
+    def randomize(self, update: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """The client-side local randomizer."""
+        clipped = clip_l2(update, self.clip_bound)
+        return clipped + rng.normal(0.0, self.local_sigma, clipped.shape)
+
+    def shuffle_and_aggregate(
+        self, reports: list[np.ndarray], rng: np.random.Generator
+    ) -> np.ndarray:
+        """The shuffler: permute (discard identities), then sum.
+
+        Summation is permutation-invariant — the shuffle matters for the
+        *privacy analysis* (identities are gone), not the value.
+        """
+        if len(reports) != self.n_clients:
+            raise ValueError("reports must cover all clients")
+        order = rng.permutation(len(reports))
+        total = np.zeros_like(reports[0])
+        for i in order:
+            total = total + reports[i]
+        return total
+
+    def aggregate_noise_variance(self) -> float:
+        """Total noise variance in the aggregate: n·σ₀² per coordinate."""
+        return self.n_clients * self.local_sigma**2

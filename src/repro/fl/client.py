@@ -1,0 +1,58 @@
+"""Client-side local training.
+
+In each round a sampled client downloads the global model, runs a few
+epochs of mini-batch optimization on its private shard, and reports the
+*model delta* (local − global), which distributed DP then clips, encodes,
+and perturbs (§2.1, Fig. 7 step 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.fl.data import ClientShard
+from repro.fl.models import FlatModel
+from repro.utils.rng import derive_rng
+
+
+@dataclass
+class LocalTrainer:
+    """Runs local epochs and returns the update delta.
+
+    ``optimizer_factory`` builds a fresh optimizer per round — local
+    optimizer state must not leak across rounds (each round re-starts
+    from the new global model).
+    """
+
+    model: FlatModel
+    optimizer_factory: Callable[[], object]
+    epochs: int = 1
+    batch_size: int = 20
+
+    def compute_update(
+        self,
+        global_params: np.ndarray,
+        shard: ClientShard,
+        round_index: int = 0,
+        client_id: int = 0,
+    ) -> np.ndarray:
+        """Return Δ = local − global after local training on ``shard``."""
+        if len(shard) == 0:
+            raise ValueError("cannot train on an empty shard")
+        self.model.set_flat(global_params)
+        params = global_params.copy()
+        optimizer = self.optimizer_factory()
+        rng = derive_rng("local-train", round_index, client_id)
+        n = len(shard)
+        batch = min(self.batch_size, n)
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, batch):
+                idx = order[start : start + batch]
+                self.model.set_flat(params)
+                _, grad = self.model.loss_and_grad(shard.x[idx], shard.y[idx])
+                params = optimizer.step(params, grad)
+        return params - global_params

@@ -1,0 +1,80 @@
+"""Federated evaluation utilities.
+
+Global test accuracy hides distributional effects that matter in FL with
+non-IID data: DP noise and dropout do not hurt all clients equally.
+These helpers compute per-client metric distributions and the summary
+statistics FL papers report (weighted average, worst decile).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fl.data import FederatedDataset
+from repro.fl.models import FlatModel
+
+
+@dataclass(frozen=True)
+class FederatedEvaluation:
+    """Per-client metric values plus shard sizes for weighting."""
+
+    values: np.ndarray
+    weights: np.ndarray
+    metric_name: str
+
+    def __post_init__(self) -> None:
+        if self.values.shape != self.weights.shape:
+            raise ValueError("values and weights must align")
+        if self.values.size == 0:
+            raise ValueError("empty evaluation")
+
+    @property
+    def unweighted_mean(self) -> float:
+        return float(self.values.mean())
+
+    @property
+    def weighted_mean(self) -> float:
+        """Shard-size-weighted mean — FedAvg's implicit objective."""
+        return float(np.average(self.values, weights=self.weights))
+
+    def percentile(self, q: float) -> float:
+        """Metric value at the q-th percentile of clients."""
+        return float(np.percentile(self.values, q))
+
+    @property
+    def worst_decile(self) -> float:
+        """Mean over the worst 10% of clients (fairness summary)."""
+        cutoff = np.percentile(self.values, 10)
+        worst = self.values[self.values <= cutoff]
+        return float(worst.mean())
+
+
+def evaluate_per_client(
+    model: FlatModel,
+    params: np.ndarray,
+    dataset: FederatedDataset,
+    max_clients: int | None = None,
+) -> FederatedEvaluation:
+    """Evaluate the global model on every client's local shard.
+
+    Classification tasks yield per-client accuracy; language tasks yield
+    per-client perplexity.
+    """
+    model.set_flat(params)
+    shards = dataset.shards[: max_clients or len(dataset.shards)]
+    values, weights = [], []
+    for shard in shards:
+        if len(shard) == 0:
+            continue
+        if dataset.kind == "language":
+            values.append(model.perplexity(shard.x, shard.y))
+        else:
+            values.append(model.accuracy(shard.x, shard.y))
+        weights.append(len(shard))
+    return FederatedEvaluation(
+        values=np.asarray(values, dtype=float),
+        weights=np.asarray(weights, dtype=float),
+        metric_name="perplexity" if dataset.kind == "language" else "accuracy",
+    )

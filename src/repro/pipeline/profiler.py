@@ -1,0 +1,105 @@
+"""Online profiling of the Eq.-3 performance model.
+
+§4.2: "such lightweight profiling can also be conducted online by
+interleaving it with the training workflow if needed."  The offline path
+fits β once from micro-benchmarks (:func:`repro.pipeline.perf_model.
+profile_stage`); this module maintains the fit *during* training:
+
+- every round contributes one (d, m, τ) observation per stage;
+- observations age out of a sliding window, so a drifting environment
+  (e.g. the straggler population changing) re-converges;
+- the chunk plan is re-optimized from the current fit on demand.
+
+The fit is guarded: until a stage has enough distinct (d/m, m)
+configurations to identify three parameters, the profiler reports the
+model as not-ready rather than extrapolating garbage.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.pipeline.perf_model import (
+    StagePerfModel,
+    WorkflowPerfModel,
+    profile_stage,
+)
+from repro.pipeline.scheduler import optimal_chunks
+from repro.pipeline.stages import Stage
+
+
+class ProfileNotReady(Exception):
+    """Raised when a fit is requested before enough observations exist."""
+
+
+@dataclass
+class OnlineProfiler:
+    """Sliding-window per-stage profiling with on-demand replanning.
+
+    Parameters
+    ----------
+    stages:
+        The workflow's stage list (one observation stream per stage).
+    window:
+        Observations retained per stage; older ones age out.
+    min_observations:
+        Fit threshold; also requires ≥ 2 distinct chunk counts so β₂ is
+        identifiable.
+    """
+
+    stages: list[Stage]
+    window: int = 64
+    min_observations: int = 6
+    _obs: list = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.window < self.min_observations:
+            raise ValueError("window must hold at least min_observations")
+        if self.min_observations < 4:
+            raise ValueError("need at least 4 observations to fit robustly")
+        self._obs = [deque(maxlen=self.window) for _ in self.stages]
+
+    def observe_round(
+        self, update_size: float, n_chunks: int, stage_times: list[float]
+    ) -> None:
+        """Record one executed round's per-stage (per-chunk) times."""
+        if len(stage_times) != len(self.stages):
+            raise ValueError("one stage time per stage required")
+        if update_size <= 0 or n_chunks < 1:
+            raise ValueError("invalid round parameters")
+        for stream, tau in zip(self._obs, stage_times):
+            if tau < 0:
+                raise ValueError("stage times must be non-negative")
+            stream.append((float(update_size), int(n_chunks), float(tau)))
+
+    def stage_ready(self, stage_index: int) -> bool:
+        stream = self._obs[stage_index]
+        if len(stream) < self.min_observations:
+            return False
+        return len({m for _, m, _ in stream}) >= 2
+
+    @property
+    def ready(self) -> bool:
+        return all(self.stage_ready(i) for i in range(len(self.stages)))
+
+    def current_model(self) -> WorkflowPerfModel:
+        """The current fitted workflow model (raises if not ready)."""
+        if not self.ready:
+            missing = [
+                self.stages[i].name
+                for i in range(len(self.stages))
+                if not self.stage_ready(i)
+            ]
+            raise ProfileNotReady(
+                f"insufficient observations for stages: {missing} — vary "
+                f"the chunk count across at least {self.min_observations} rounds"
+            )
+        models: list[StagePerfModel] = [
+            profile_stage(list(stream)) for stream in self._obs
+        ]
+        return WorkflowPerfModel(stages=list(self.stages), models=models)
+
+    def replan(self, update_size: float, max_chunks: int = 20) -> tuple[int, float]:
+        """Optimal chunk count under the current fit (§4.2's output)."""
+        return optimal_chunks(self.current_model(), update_size, max_chunks)

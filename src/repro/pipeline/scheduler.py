@@ -1,0 +1,110 @@
+"""The Appendix-C pipeline schedule and the optimal-chunk search.
+
+With m equally-sized chunks and per-chunk stage times τ_s, the finishing
+time f_{s,c} of stage s for chunk c obeys
+
+    f_{s,c} = b_{s,c} + τ_s,          b_{s,c} = max(o_{s,c}, r_{s,c}),
+    o_{s,c} = f_{s−1,c}               (0 for the first stage),
+    r_{s,c} = f_{s,c−1}               for c > 0,
+            = f_{q,m−1} or ⊥ (→ 0)    for c = 0,
+
+where q is the latest earlier stage sharing stage s's resource.  The two
+r-cases encode that a resource serves one chunk at a time and that an
+earlier stage using the same resource has priority (its last chunk must
+finish before a later stage may begin).  End-to-end latency is
+f_{a,m−1}; m* = argmin over a small range (the paper enumerates
+m ∈ [1, 20]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pipeline.perf_model import WorkflowPerfModel
+from repro.pipeline.stages import Stage, previous_same_resource
+
+
+@dataclass
+class PipelineSchedule:
+    """A fully-resolved schedule: begin/finish times per (stage, chunk)."""
+
+    stages: list[Stage]
+    n_chunks: int
+    begin: np.ndarray  # (stages × chunks)
+    finish: np.ndarray  # (stages × chunks)
+
+    @property
+    def completion_time(self) -> float:
+        return float(self.finish[-1, -1])
+
+    def stage_intervals(self, stage: int) -> list[tuple[float, float]]:
+        return [
+            (float(self.begin[stage, c]), float(self.finish[stage, c]))
+            for c in range(self.n_chunks)
+        ]
+
+    def resource_busy_time(self) -> dict:
+        """Total busy time per resource (for utilization analysis)."""
+        out: dict = {}
+        for s, stage in enumerate(self.stages):
+            busy = float((self.finish[s] - self.begin[s]).sum())
+            out[stage.resource] = out.get(stage.resource, 0.0) + busy
+        return out
+
+
+def build_schedule(
+    stages: list[Stage], stage_times: list[float], n_chunks: int
+) -> PipelineSchedule:
+    """Resolve the recurrence for given per-chunk stage times."""
+    if len(stages) != len(stage_times):
+        raise ValueError("one time per stage required")
+    if n_chunks < 1:
+        raise ValueError("n_chunks must be >= 1")
+    if any(t < 0 for t in stage_times):
+        raise ValueError("stage times must be non-negative")
+    n_stages = len(stages)
+    begin = np.zeros((n_stages, n_chunks))
+    finish = np.zeros((n_stages, n_chunks))
+    for s in range(n_stages):
+        q = previous_same_resource(stages, s)
+        for c in range(n_chunks):
+            o = finish[s - 1, c] if s > 0 else 0.0
+            if c > 0:
+                r = finish[s, c - 1]
+            else:
+                r = finish[q, n_chunks - 1] if q is not None else 0.0
+            begin[s, c] = max(o, r)
+            finish[s, c] = begin[s, c] + stage_times[s]
+    return PipelineSchedule(
+        stages=list(stages), n_chunks=n_chunks, begin=begin, finish=finish
+    )
+
+
+def completion_time(
+    model: WorkflowPerfModel, update_size: float, n_chunks: int
+) -> float:
+    """End-to-end latency f_{a,m} for a specific chunk count."""
+    times = model.stage_times(update_size, n_chunks)
+    return build_schedule(model.stages, times, n_chunks).completion_time
+
+
+def optimal_chunks(
+    model: WorkflowPerfModel,
+    update_size: float,
+    max_chunks: int = 20,
+) -> tuple[int, float]:
+    """m* = argmin_{m ∈ [1, max_chunks]} completion time (§4.2).
+
+    Enumeration is exact and cheap (the paper notes m ∈ [20] suffices).
+    Returns ``(m*, completion_time(m*))``.
+    """
+    if max_chunks < 1:
+        raise ValueError("max_chunks must be >= 1")
+    best_m, best_t = 1, float("inf")
+    for m in range(1, max_chunks + 1):
+        t = completion_time(model, update_size, m)
+        if t < best_t:
+            best_m, best_t = m, t
+    return best_m, best_t

@@ -1,0 +1,67 @@
+"""Round-time simulation: plain vs pipelined execution.
+
+Combines the Eq.-3 perf model with the Appendix-C schedule to produce the
+Fig. 2 / Fig. 10 quantities: total round time, the aggregation share
+("agg" vs "other"), and the pipeline speedup at the optimal chunk count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pipeline.perf_model import CostModelParams, WorkflowPerfModel
+from repro.pipeline.scheduler import completion_time, optimal_chunks
+
+
+@dataclass(frozen=True)
+class RoundTiming:
+    """One configuration's simulated round breakdown."""
+
+    aggregation_time: float
+    other_time: float
+    n_chunks: int
+
+    @property
+    def total(self) -> float:
+        return self.aggregation_time + self.other_time
+
+    @property
+    def aggregation_share(self) -> float:
+        """The 'agg' percentage annotated on the Fig. 2/10 bars."""
+        return self.aggregation_time / self.total
+
+
+def simulate_round(
+    model: WorkflowPerfModel,
+    update_size: float,
+    n_chunks: int = 1,
+    training_time: float | None = None,
+    params: CostModelParams = CostModelParams(),
+) -> RoundTiming:
+    """Round timing at a fixed chunk count (m = 1 → plain execution)."""
+    other = params.training_time if training_time is None else training_time
+    agg = completion_time(model, update_size, n_chunks)
+    return RoundTiming(aggregation_time=agg, other_time=other, n_chunks=n_chunks)
+
+
+def compare_plain_pipelined(
+    model: WorkflowPerfModel,
+    update_size: float,
+    max_chunks: int = 20,
+    training_time: float | None = None,
+    params: CostModelParams = CostModelParams(),
+) -> tuple[RoundTiming, RoundTiming, float]:
+    """(plain, pipelined, end-to-end speedup) for one configuration.
+
+    The speedup is over the *whole round* including the non-aggregation
+    share — the Fig. 10 quantity — so by Amdahl's law it grows with the
+    aggregation share, i.e. with model size (§6.4).
+    """
+    plain = simulate_round(model, update_size, 1, training_time, params)
+    m_star, agg_time = optimal_chunks(model, update_size, max_chunks)
+    pipelined = RoundTiming(
+        aggregation_time=agg_time,
+        other_time=plain.other_time,
+        n_chunks=m_star,
+    )
+    return plain, pipelined, plain.total / pipelined.total

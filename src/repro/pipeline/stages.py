@@ -1,0 +1,71 @@
+"""The Table-1 stage abstraction.
+
+Secure-aggregation protocols are multi-round server↔client interactions;
+Dordis represents them as a sequence of round-trip steps, each tagged
+with its dominant resource, and groups consecutive same-resource steps
+into *stages* — the minimum scheduling unit of the pipeline (§4.1).  By
+construction adjacent stages use different resources, which is what makes
+overlapped execution of independent chunk-aggregation tasks possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Resource(Enum):
+    """The three system resources of §4: server compute, client compute,
+    and server↔client communication."""
+
+    C_COMP = "c-comp"
+    COMM = "comm"
+    S_COMP = "s-comp"
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One pipeline stage: a name and its dominant resource."""
+
+    name: str
+    resource: Resource
+
+
+#: Table 1's 11 steps and their stage grouping.
+TABLE1_STEPS: list[tuple[int, str, int, Resource]] = [
+    (1, "Clients encode updates.", 1, Resource.C_COMP),
+    (2, "Clients generate security keys.", 1, Resource.C_COMP),
+    (3, "Clients establish shared secrets.", 1, Resource.C_COMP),
+    (4, "Clients mask encoded updates.", 1, Resource.C_COMP),
+    (5, "Clients upload masked updates.", 2, Resource.COMM),
+    (6, "Server deals with dropout.", 3, Resource.S_COMP),
+    (7, "Server computes aggregate update.", 3, Resource.S_COMP),
+    (8, "Server updates the global model.", 3, Resource.S_COMP),
+    (9, "Server dispatches the aggregate.", 4, Resource.COMM),
+    (10, "Clients decode the aggregate.", 5, Resource.C_COMP),
+    (11, "Clients use the aggregate.", 5, Resource.C_COMP),
+]
+
+#: The 5-stage Dordis workflow (Table 1's right column).
+DORDIS_STAGES: list[Stage] = [
+    Stage("client-encode-and-mask", Resource.C_COMP),
+    Stage("upload", Resource.COMM),
+    Stage("server-aggregate", Resource.S_COMP),
+    Stage("dispatch", Resource.COMM),
+    Stage("client-decode", Resource.C_COMP),
+]
+
+
+def stages_alternate_resources(stages: list[Stage]) -> bool:
+    """Check the §4.1 construction invariant: adjacent stages differ."""
+    return all(
+        a.resource != b.resource for a, b in zip(stages, stages[1:])
+    )
+
+
+def previous_same_resource(stages: list[Stage], index: int) -> int | None:
+    """Appendix C's q = max_{i<s}{ i | r_i = r_s }, or None."""
+    for i in range(index - 1, -1, -1):
+        if stages[i].resource == stages[index].resource:
+            return i
+    return None

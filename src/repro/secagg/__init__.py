@@ -1,0 +1,69 @@
+"""Secure aggregation: SecAgg (Bonawitz et al.) and SecAgg+ (Bell et al.).
+
+Distributed DP aggregates locally-perturbed updates with secure
+aggregation so the untrusted server learns only the (noised) sum (§2.2).
+This subpackage implements both protocols the paper evaluates as
+in-process state machines:
+
+- :mod:`repro.secagg.client` / :mod:`repro.secagg.server` — the SecAgg
+  stages of Fig. 5 (AdvertiseKeys, ShareKeys, MaskedInputCollection,
+  ConsistencyCheck, Unmasking), with the bracketed malicious-mode steps
+  toggleable via configuration.
+- :mod:`repro.secagg.graph` — the communication graph: complete for
+  SecAgg, random k-regular for SecAgg+ (the "(poly)logarithmic overhead"
+  variant).
+- :mod:`repro.secagg.masking` — pairwise and self masks over Z_{2^b}.
+- :mod:`repro.secagg.driver` — a round driver that injects client dropout
+  before any stage and returns the aggregate plus per-stage traffic
+  statistics.
+- :mod:`repro.secagg.wire` — byte-level codecs for the encrypted share
+  payloads.
+
+The XNoise protocol (:mod:`repro.xnoise.protocol`) extends these classes
+with seed sharing and the ExcessiveNoiseRemoval stage.
+"""
+
+from repro.secagg.types import (
+    SecAggConfig,
+    RoundResult,
+    ProtocolAbort,
+    STAGE_ADVERTISE,
+    STAGE_SHARE_KEYS,
+    STAGE_MASKED_INPUT,
+    STAGE_CONSISTENCY,
+    STAGE_UNMASK,
+    STAGE_NOISE_REMOVAL,
+)
+from repro.secagg.graph import CompleteGraph, KRegularGraph
+from repro.secagg.client import SecAggClient
+from repro.secagg.server import SecAggServer
+from repro.secagg.driver import run_secagg_round, DropoutSchedule
+from repro.secagg.secagg_plus import secagg_plus_config, recommended_degree
+from repro.secagg.complexity import (
+    secagg_client_cost,
+    secagg_plus_client_cost,
+    secagg_server_cost,
+)
+
+__all__ = [
+    "SecAggConfig",
+    "RoundResult",
+    "ProtocolAbort",
+    "CompleteGraph",
+    "KRegularGraph",
+    "SecAggClient",
+    "SecAggServer",
+    "run_secagg_round",
+    "DropoutSchedule",
+    "secagg_plus_config",
+    "recommended_degree",
+    "secagg_client_cost",
+    "secagg_plus_client_cost",
+    "secagg_server_cost",
+    "STAGE_ADVERTISE",
+    "STAGE_SHARE_KEYS",
+    "STAGE_MASKED_INPUT",
+    "STAGE_CONSISTENCY",
+    "STAGE_UNMASK",
+    "STAGE_NOISE_REMOVAL",
+]

@@ -1,0 +1,331 @@
+"""The SecAgg client state machine (Fig. 5, user side).
+
+One instance lives for one aggregation round.  The stage methods must be
+called in protocol order; each validates the server's broadcast before
+responding, raising :class:`ProtocolAbort` on any inconsistency — the
+"otherwise abort" arms of Fig. 5.
+
+Malicious-mode behaviour (signature generation/verification and the
+ConsistencyCheck stage) activates when the config says so and a PKI is
+supplied.
+
+The class exposes two extension points used by XNoise
+(:mod:`repro.xnoise.protocol`):
+
+- ``extra_secrets`` — labelled byte secrets Shamir-shared along with the
+  mask key and self-mask seed in ShareKeys (XNoise: the noise-component
+  seeds g_{u,k});
+- :meth:`shares_of_extra_secret` — disclose held shares of peers' extra
+  secrets on request (XNoise: ExcessiveNoiseRemoval).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.crypto.ae import AEError, AuthenticatedEncryption
+from repro.crypto.dh import KeyAgreement, resolve_group
+from repro.crypto.pki import PublicKeyInfrastructure
+from repro.crypto.shamir import Share, ShamirSecretSharing, random_seed
+from repro.crypto.signature import SchnorrSigner
+from repro.secagg import wire
+from repro.secagg.masking import pairwise_mask, self_mask
+from repro.secagg.types import (
+    AdvertiseKeysMsg,
+    MaskedInputMsg,
+    ProtocolAbort,
+    SecAggConfig,
+    UnmaskingMsg,
+)
+
+
+def _advertise_message_bytes(msg: AdvertiseKeysMsg) -> bytes:
+    return msg.c_public.to_bytes(256, "big") + msg.s_public.to_bytes(256, "big")
+
+
+def consistency_message(round_index: int, u3: list[int]) -> bytes:
+    """The ``r ∥ U3`` byte string signed in ConsistencyCheck."""
+    body = ",".join(str(u) for u in sorted(u3))
+    return f"round:{round_index}|u3:{body}".encode("utf-8")
+
+
+class SecAggClient:
+    """One sampled client's view of a secure-aggregation round."""
+
+    def __init__(
+        self,
+        client_id: int,
+        config: SecAggConfig,
+        graph: dict[int, set[int]] | None = None,
+        signer: Optional[SchnorrSigner] = None,
+        pki: Optional[PublicKeyInfrastructure] = None,
+        round_index: int = 0,
+        extra_secrets: dict[str, bytes] | None = None,
+    ):
+        if config.malicious and (signer is None or pki is None):
+            raise ValueError("malicious mode requires a signer and a PKI")
+        self.id = client_id
+        self.config = config
+        self.round_index = round_index
+        self._ka = KeyAgreement(resolve_group(config.dh_group))
+        self._signer = signer
+        self._pki = pki
+        self._graph = graph
+        self.extra_secrets = dict(extra_secrets or {})
+
+        self._c_pair = self._ka.generate()
+        self._s_pair = self._ka.generate()
+        self._b_seed: bytes = b""
+        self._roster: dict[int, AdvertiseKeysMsg] = {}
+        self._neighbors: set[int] = set()
+        self._received_ciphertexts: dict[int, bytes] = {}
+        self._u2: set[int] = set()
+        self._u3: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Stage 0 — AdvertiseKeys
+    # ------------------------------------------------------------------
+    def advertise_keys(self) -> AdvertiseKeysMsg:
+        """Generate the two key pairs and advertise the public halves."""
+        msg = AdvertiseKeysMsg(
+            sender=self.id,
+            c_public=self._c_pair.public,
+            s_public=self._s_pair.public,
+        )
+        if self.config.malicious:
+            assert self._signer is not None
+            sig = self._signer.sign(_advertise_message_bytes(msg))
+            msg = AdvertiseKeysMsg(
+                sender=self.id,
+                c_public=msg.c_public,
+                s_public=msg.s_public,
+                signature=sig,
+            )
+        return msg
+
+    # ------------------------------------------------------------------
+    # Stage 1 — ShareKeys
+    # ------------------------------------------------------------------
+    def share_keys(
+        self, roster: dict[int, AdvertiseKeysMsg], graph: dict[int, set[int]]
+    ) -> dict[int, bytes]:
+        """Validate the roster and distribute encrypted shares.
+
+        Returns ``recipient id → AE ciphertext``.  Shares of the masking
+        key s^SK, the self-mask seed b_u, and every extra secret are cut
+        with the same threshold t among this client's graph neighbors.
+        """
+        if self.id not in roster:
+            raise ProtocolAbort(f"client {self.id} missing from roster")
+        if len(roster) < self.config.threshold:
+            raise ProtocolAbort(
+                f"roster of {len(roster)} below threshold {self.config.threshold}"
+            )
+        publics = [(m.c_public, m.s_public) for m in roster.values()]
+        flat = [k for pair in publics for k in pair]
+        if len(set(flat)) != len(flat):
+            raise ProtocolAbort("duplicate public keys in roster")
+        if self.config.malicious:
+            assert self._pki is not None
+            for peer, msg in roster.items():
+                if msg.signature is None or not self._pki.verifier(peer).verify(
+                    _advertise_message_bytes(msg), msg.signature
+                ):
+                    raise ProtocolAbort(f"bad key signature from {peer}")
+
+        self._roster = dict(roster)
+        self._graph = graph
+        self._neighbors = set(graph.get(self.id, set())) & set(roster)
+        if len(self._neighbors) < self.config.threshold:
+            raise ProtocolAbort(
+                f"only {len(self._neighbors)} neighbors; threshold "
+                f"{self.config.threshold} unsatisfiable"
+            )
+
+        self._b_seed = random_seed(32)
+        ss = ShamirSecretSharing(self.config.threshold)
+        # Fig. 5 cuts shares over all of U1 including the dealer itself;
+        # the dealer keeps its own share and may reveal it in Unmasking.
+        holder_ids = sorted(self._neighbors | {self.id})
+        neighbor_ids = sorted(self._neighbors)
+        s_sk_bytes = self._s_pair.secret.to_bytes(256, "big")
+        s_shares = ss.share(s_sk_bytes, holder_ids)
+        b_shares = ss.share(self._b_seed, holder_ids)
+        extra_shares: dict[str, dict[int, Share]] = {
+            label: ss.share(secret, holder_ids)
+            for label, secret in self.extra_secrets.items()
+        }
+        self._own_shares = (
+            s_shares[self.id],
+            b_shares[self.id],
+            {label: shares[self.id] for label, shares in extra_shares.items()},
+        )
+
+        ciphertexts: dict[int, bytes] = {}
+        for peer in neighbor_ids:
+            payload = wire.encode_share_payload(
+                sender=self.id,
+                recipient=peer,
+                s_sk_share=s_shares[peer],
+                b_share=b_shares[peer],
+                extra_shares={lbl: shares[peer] for lbl, shares in extra_shares.items()},
+            )
+            key = self._ka.agree(self._c_pair, self._roster[peer].c_public)
+            ciphertexts[peer] = AuthenticatedEncryption(key).encrypt(payload)
+        return ciphertexts
+
+    # ------------------------------------------------------------------
+    # Stage 2 — MaskedInputCollection
+    # ------------------------------------------------------------------
+    def masked_input(
+        self, ciphertexts: dict[int, bytes], update_ring: np.ndarray
+    ) -> MaskedInputMsg:
+        """Store routed ciphertexts and upload the masked input.
+
+        ``update_ring`` is the already DP-encoded vector in Z_{2^b}.
+        """
+        update_ring = np.asarray(update_ring, dtype=np.int64)
+        if update_ring.shape != (self.config.dimension,):
+            raise ProtocolAbort(
+                f"input shape {update_ring.shape} != ({self.config.dimension},)"
+            )
+        self._received_ciphertexts = dict(ciphertexts)
+        self._u2 = (set(ciphertexts) & set(self._roster)) | {self.id}
+        if len(self._u2) < self.config.threshold:
+            raise ProtocolAbort(
+                f"|U2| = {len(self._u2)} below threshold {self.config.threshold}"
+            )
+
+        modulus = self.config.modulus
+        masked = update_ring % modulus
+        masked = (masked + self_mask(self._b_seed, self.config.dimension, modulus)) % modulus
+        for peer in sorted(self._neighbors & self._u2):
+            seed = self._ka.agree(self._s_pair, self._roster[peer].s_public)
+            mask = pairwise_mask(seed, self.id, peer, self.config.dimension, modulus)
+            masked = (masked + mask) % modulus
+        return MaskedInputMsg(sender=self.id, masked_vector=masked)
+
+    # ------------------------------------------------------------------
+    # Stage 3 — ConsistencyCheck (malicious mode only)
+    # ------------------------------------------------------------------
+    def consistency_check(self, u3: list[int]):
+        """Sign ``r ∥ U3`` so the server cannot equivocate about survivors."""
+        self._u3 = set(u3)
+        if len(self._u3) < self.config.threshold:
+            raise ProtocolAbort(f"|U3| = {len(self._u3)} below threshold")
+        if self.id not in self._u3:
+            raise ProtocolAbort("server excluded me from U3 I contributed to")
+        if not self.config.malicious:
+            return None
+        assert self._signer is not None
+        return self._signer.sign(consistency_message(self.round_index, u3))
+
+    # ------------------------------------------------------------------
+    # Stage 4 — Unmasking
+    # ------------------------------------------------------------------
+    def unmask(
+        self,
+        u4: list[int],
+        u4_signatures: dict[int, object] | None,
+        dropped: list[int],
+        survivors: list[int],
+        revealed_seeds: dict[int, bytes] | None = None,
+    ) -> UnmaskingMsg:
+        """Reveal shares: mask keys of the dropped, self-mask seeds of survivors.
+
+        The dropped/survivor lists must be disjoint — revealing both
+        secrets of one client would expose its input, so the client
+        refuses (this is the critical privacy invariant of SecAgg).
+        """
+        dropped_set, survivor_set = set(dropped), set(survivors)
+        if dropped_set & survivor_set:
+            raise ProtocolAbort("server requested both secrets of one client")
+        if not survivor_set <= self._u3 or self._u3 - survivor_set:
+            # Survivor list must be exactly the U3 the client saw.
+            raise ProtocolAbort("survivor list inconsistent with U3")
+        if dropped_set & self._u3:
+            # With a k-regular graph the client only sees its neighborhood
+            # slice of U2, so it cannot check membership — but a "dropped"
+            # client that the client knows survived is a lying server.
+            raise ProtocolAbort("dropped list overlaps the survivor set U3")
+        if len(u4) < self.config.threshold:
+            raise ProtocolAbort(f"|U4| = {len(u4)} below threshold")
+        if not set(u4) <= self._u3:
+            raise ProtocolAbort("U4 must be a subset of U3")
+        if self.config.malicious:
+            assert self._pki is not None
+            if u4_signatures is None:
+                raise ProtocolAbort("missing consistency signatures")
+            expect = consistency_message(self.round_index, sorted(self._u3))
+            for peer in u4:
+                sig = u4_signatures.get(peer)
+                if sig is None or not self._pki.verifier(peer).verify(expect, sig):
+                    raise ProtocolAbort(f"bad consistency signature from {peer}")
+
+        payloads = self._decrypt_payloads()
+        s_sk_shares = {
+            peer: payloads[peer][0] for peer in dropped_set if peer in payloads
+        }
+        b_shares = {
+            peer: payloads[peer][1] for peer in survivor_set if peer in payloads
+        }
+        return UnmaskingMsg(
+            sender=self.id,
+            s_sk_shares=s_sk_shares,
+            b_shares=b_shares,
+            revealed_seeds=dict(revealed_seeds or {}),
+        )
+
+    # ------------------------------------------------------------------
+    # XNoise extension hook
+    # ------------------------------------------------------------------
+    def shares_of_extra_secret(
+        self, label_for: dict[int, list[str]]
+    ) -> dict[int, dict[str, Share]]:
+        """Disclose held shares of peers' labelled extra secrets.
+
+        ``label_for`` maps peer id → labels requested.  Used by XNoise's
+        ExcessiveNoiseRemoval to recover the noise seeds of survivors that
+        dropped before revealing them (§3.2).
+        """
+        payloads = self._decrypt_payloads()
+        response: dict[int, dict[str, Share]] = {}
+        for peer, labels in label_for.items():
+            if peer not in payloads:
+                continue
+            extras = payloads[peer][2]
+            found = {lbl: extras[lbl] for lbl in labels if lbl in extras}
+            if found:
+                response[peer] = found
+        return response
+
+    # ------------------------------------------------------------------
+    def _decrypt_payloads(self) -> dict[int, tuple[Share, Share, dict[str, Share]]]:
+        """Decrypt and authenticate all stored ShareKeys ciphertexts.
+
+        Includes this client's own (never-encrypted) shares of its own
+        secrets, mirroring Fig. 5's SS.share over all of U1.
+        """
+        out: dict[int, tuple[Share, Share, dict[str, Share]]] = {}
+        if hasattr(self, "_own_shares"):
+            out[self.id] = self._own_shares
+        for peer, blob in self._received_ciphertexts.items():
+            if peer == self.id or peer not in self._roster:
+                continue
+            key = self._ka.agree(self._c_pair, self._roster[peer].c_public)
+            try:
+                plaintext = AuthenticatedEncryption(key).decrypt(blob)
+                sender, recipient, s_share, b_share, extra = (
+                    wire.decode_share_payload(plaintext)
+                )
+            except (AEError, ValueError) as exc:
+                raise ProtocolAbort(f"bad ciphertext from {peer}: {exc}") from exc
+            if sender != peer or recipient != self.id:
+                raise ProtocolAbort(
+                    f"misrouted payload: claims {sender}->{recipient}, "
+                    f"expected {peer}->{self.id}"
+                )
+            out[peer] = (s_share, b_share, extra)
+        return out

@@ -1,0 +1,116 @@
+"""Asymptotic cost accounting for secure-aggregation protocols.
+
+§2.3.2 and §8 discuss the complexity gap that motivates SecAgg+: SecAgg
+costs each client O(n) key agreements/shares and the server O(n²)
+mask-expansion work, while SecAgg+'s k-regular graph (k = O(log n)) cuts
+these to O(log n) and O(n log n).  This module computes the *exact*
+per-round operation and byte counts from the protocol parameters, so the
+asymptotics are checkable and the Fig.-2-style models have a grounded
+counterpart.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.secagg.graph import recommended_degree
+
+#: Wire-size constants (bytes) matching repro.secagg.codec / §6.3.
+PUBLIC_KEY_BYTES = 256
+CIPHERTEXT_OVERHEAD = 48  # nonce + tag
+SHARE_BYTES = 300  # one encoded Shamir share of a 256-byte secret
+
+
+@dataclass(frozen=True)
+class ClientCost:
+    """One client's per-round operation counts."""
+
+    key_agreements: int
+    shares_generated: int
+    ciphertexts_sent: int
+    mask_expansions: int  # PRG expansions of model length
+    upload_bytes_fixed: int  # excludes the masked vector itself
+
+    @property
+    def total_crypto_ops(self) -> int:
+        return self.key_agreements + self.shares_generated + self.ciphertexts_sent
+
+
+@dataclass(frozen=True)
+class ServerCost:
+    """The server's per-round operation counts."""
+
+    reconstructions: int
+    mask_expansions: int
+    routed_ciphertexts: int
+
+
+def secagg_client_cost(n_clients: int, dropout_rate: float = 0.0) -> ClientCost:
+    """Per-client cost of full SecAgg: everything is O(n)."""
+    if n_clients < 2:
+        raise ValueError("need at least 2 clients")
+    neighbors = n_clients - 1
+    return ClientCost(
+        key_agreements=2 * neighbors,  # c- and s-channel per peer
+        shares_generated=2 * (neighbors + 1),  # s_sk and b over U1
+        ciphertexts_sent=neighbors,
+        mask_expansions=neighbors + 1,  # pairwise + self
+        upload_bytes_fixed=2 * PUBLIC_KEY_BYTES
+        + neighbors * (2 * SHARE_BYTES + CIPHERTEXT_OVERHEAD),
+    )
+
+
+def secagg_plus_client_cost(
+    n_clients: int, degree: int | None = None
+) -> ClientCost:
+    """Per-client cost of SecAgg+: everything is O(k) = O(log n)."""
+    if n_clients < 2:
+        raise ValueError("need at least 2 clients")
+    k = degree if degree is not None else recommended_degree(n_clients)
+    k = min(k, n_clients - 1)
+    return ClientCost(
+        key_agreements=2 * k,
+        shares_generated=2 * (k + 1),
+        ciphertexts_sent=k,
+        mask_expansions=k + 1,
+        upload_bytes_fixed=2 * PUBLIC_KEY_BYTES
+        + k * (2 * SHARE_BYTES + CIPHERTEXT_OVERHEAD),
+    )
+
+
+def secagg_server_cost(
+    n_clients: int, dropout_rate: float = 0.0, degree: int | None = None
+) -> ServerCost:
+    """Server cost; ``degree=None`` → full SecAgg (k = n−1).
+
+    Mask expansions: one self-mask per survivor plus, for every dropped
+    client, one pairwise mask per surviving neighbor — the O(n²) term
+    under dropout (O(n·log n) for SecAgg+).
+    """
+    if n_clients < 2:
+        raise ValueError("need at least 2 clients")
+    if not 0 <= dropout_rate < 1:
+        raise ValueError("dropout_rate must be in [0, 1)")
+    k = (n_clients - 1) if degree is None else min(degree, n_clients - 1)
+    dropped = int(round(n_clients * dropout_rate))
+    survivors = n_clients - dropped
+    return ServerCost(
+        reconstructions=survivors + dropped,  # b_u's and s_sk's
+        mask_expansions=survivors + dropped * min(survivors, k),
+        routed_ciphertexts=n_clients * k,
+    )
+
+
+def crossover_population(base: float = 3.0) -> int:
+    """Smallest n where SecAgg+'s per-client work beats SecAgg's.
+
+    k = ⌈base·log₂ n⌉ < n − 1 — solvable by scan; the answer is small
+    (tens), matching the regime where SecAgg+ starts to pay off.
+    """
+    n = 3
+    while True:
+        k = math.ceil(base * math.log2(n))
+        if k < n - 1:
+            return n
+        n += 1

@@ -1,0 +1,192 @@
+"""Round driver: runs a full SecAgg round with injected client dropout.
+
+The driver plays the network: it calls the client/server stage methods in
+protocol order, withholds messages from clients scheduled to drop, and
+meters traffic.  The paper's dropout model (§6.1) — "clients drop out
+after being sampled but before sending their masked and perturbed
+update" — corresponds to scheduling dropouts before
+``STAGE_MASKED_INPUT``; the driver supports dropout before *any* stage so
+tests can also exercise mid-unmasking failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.crypto.pki import PublicKeyInfrastructure
+from repro.secagg.client import SecAggClient
+from repro.secagg.graph import CompleteGraph, KRegularGraph
+from repro.secagg.server import SecAggServer
+from repro.secagg.types import (
+    ProtocolAbort,
+    RoundResult,
+    SecAggConfig,
+    TrafficMeter,
+    STAGE_ADVERTISE,
+    STAGE_SHARE_KEYS,
+    STAGE_MASKED_INPUT,
+    STAGE_CONSISTENCY,
+    STAGE_UNMASK,
+)
+
+
+@dataclass
+class DropoutSchedule:
+    """Which clients disappear before which stage.
+
+    ``at_stage[s]`` is the set of client ids that stop responding from
+    stage ``s`` onward.  A dropped client never comes back within the
+    round.
+    """
+
+    at_stage: dict[int, set[int]] = field(default_factory=dict)
+
+    @classmethod
+    def before_upload(cls, client_ids: set[int]) -> "DropoutSchedule":
+        """The paper's canonical model: drop before the masked upload."""
+        return cls(at_stage={STAGE_MASKED_INPUT: set(client_ids)})
+
+    def dropped_by(self, stage: int) -> set[int]:
+        gone: set[int] = set()
+        for s, ids in self.at_stage.items():
+            if s <= stage:
+                gone |= ids
+        return gone
+
+
+def build_graph(config: SecAggConfig, roster: list[int]) -> dict[int, set[int]]:
+    """Construct the public masking graph over the stage-0 roster."""
+    if config.graph_degree is None:
+        return CompleteGraph().build(roster)
+    return KRegularGraph(config.graph_degree, config.graph_seed).build(roster)
+
+
+def _vector_bytes(config: SecAggConfig) -> int:
+    """Wire size of one masked vector: dimension × b bits."""
+    return config.dimension * config.bits // 8
+
+
+def run_secagg_round(
+    config: SecAggConfig,
+    inputs: dict[int, np.ndarray],
+    dropout: Optional[DropoutSchedule] = None,
+    pki: Optional[PublicKeyInfrastructure] = None,
+    round_index: int = 0,
+    client_factory: Optional[Callable[[int], SecAggClient]] = None,
+) -> RoundResult:
+    """Execute one secure-aggregation round end to end.
+
+    Parameters
+    ----------
+    inputs:
+        ``client id → ring vector`` (already DP-encoded).  The key set is
+        the sampled set U.
+    dropout:
+        Clients to silence before each stage; ``None`` → no dropout.
+    client_factory:
+        Override client construction (XNoise passes clients carrying
+        noise seeds).  The factory must accept the client id.
+
+    Returns the :class:`RoundResult` with the unmasked ring aggregate over
+    U3 and per-stage traffic.  Raises :class:`ProtocolAbort` if any stage
+    falls below threshold.
+    """
+    dropout = dropout or DropoutSchedule()
+    traffic = TrafficMeter()
+    sampled = sorted(inputs)
+
+    if client_factory is None:
+        signers = {}
+        if config.malicious:
+            pki = pki or PublicKeyInfrastructure()
+            for u in sampled:
+                if pki.is_registered(u):
+                    raise ValueError(
+                        f"client {u} already registered in the PKI; pass a "
+                        "client_factory that holds the existing signing keys"
+                    )
+                signers[u] = pki.register(u)
+
+        def client_factory(u: int) -> SecAggClient:
+            return SecAggClient(
+                u,
+                config,
+                signer=signers.get(u),
+                pki=pki,
+                round_index=round_index,
+            )
+
+    clients = {u: client_factory(u) for u in sampled}
+    server = SecAggServer(config, pki=pki, round_index=round_index)
+
+    # Stage 0 — AdvertiseKeys.
+    alive = set(sampled) - dropout.dropped_by(STAGE_ADVERTISE)
+    adverts = {u: clients[u].advertise_keys() for u in sorted(alive)}
+    for _ in adverts:
+        traffic.add_up(STAGE_ADVERTISE, 512 + (288 if config.malicious else 0))
+    graph = build_graph(config, sorted(adverts))
+    roster = server.collect_advertise(adverts, graph)
+    traffic.add_down(STAGE_ADVERTISE, len(roster) * 512 * len(roster))
+
+    # Stage 1 — ShareKeys.
+    alive -= dropout.dropped_by(STAGE_SHARE_KEYS)
+    outboxes = {}
+    for u in sorted(alive & set(roster)):
+        outboxes[u] = clients[u].share_keys(roster, graph)
+        traffic.add_up(
+            STAGE_SHARE_KEYS, sum(len(ct) for ct in outboxes[u].values())
+        )
+    inboxes = server.route_shares(outboxes)
+    for box in inboxes.values():
+        traffic.add_down(STAGE_SHARE_KEYS, sum(len(ct) for ct in box.values()))
+
+    # Stage 2 — MaskedInputCollection.
+    alive -= dropout.dropped_by(STAGE_MASKED_INPUT)
+    masked = {}
+    for u in sorted(alive & set(server.u2)):
+        masked[u] = clients[u].masked_input(inboxes.get(u, {}), inputs[u])
+        traffic.add_up(STAGE_MASKED_INPUT, _vector_bytes(config))
+    u3 = server.collect_masked(masked)
+    traffic.add_down(STAGE_MASKED_INPUT, 8 * len(u3) * len(u3))
+
+    # Stage 3 — ConsistencyCheck (malicious only).
+    alive -= dropout.dropped_by(STAGE_CONSISTENCY)
+    if config.malicious:
+        sigs = {}
+        for u in sorted(alive & set(u3)):
+            sigs[u] = clients[u].consistency_check(u3)
+            traffic.add_up(STAGE_CONSISTENCY, 288)
+        u4, sig_set = server.collect_consistency(sigs)
+        traffic.add_down(STAGE_CONSISTENCY, 288 * len(u4) * len(u4))
+    else:
+        for u in sorted(alive & set(u3)):
+            clients[u].consistency_check(u3)
+        u4, sig_set = server.skip_consistency(), None
+
+    # Stage 4 — Unmasking.
+    alive -= dropout.dropped_by(STAGE_UNMASK)
+    dropped_list = server.dropped_after_masking
+    unmask_msgs = {}
+    for u in sorted(alive & set(u4)):
+        msg = clients[u].unmask(
+            u4, sig_set, dropped=dropped_list, survivors=list(u3)
+        )
+        unmask_msgs[u] = msg
+        traffic.add_up(
+            STAGE_UNMASK,
+            300 * (len(msg.s_sk_shares) + len(msg.b_shares)),
+        )
+    aggregate = server.collect_unmask(unmask_msgs)
+
+    return RoundResult(
+        aggregate=aggregate,
+        u1=list(server.u1),
+        u2=list(server.u2),
+        u3=list(server.u3),
+        u4=list(server.u4),
+        u5=list(server.u5),
+        traffic=traffic,
+    )

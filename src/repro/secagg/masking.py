@@ -1,0 +1,53 @@
+"""Pairwise and self masks over Z_{2^b}.
+
+SecAgg hides each input under two kinds of one-time pads (Fig. 5,
+MaskedInputCollection):
+
+- *pairwise masks* p_{u,v} = γ·PRG(s_{u,v}) with γ = +1 if u > v else −1,
+  so p_{u,v} + p_{v,u} = 0 and all pairwise masks cancel in the sum of a
+  complete survivor set;
+- a *self mask* p_u = PRG(b_u) that protects u's input if the server
+  learns u's pairwise secrets while unmasking a *dropped* u — survivors'
+  self masks are only removed via their secret-shared b_u.
+
+Both mask vectors are expanded from 32-byte seeds by the counter-mode
+PRG, exactly as the deployed protocol does, so a mask is never
+materialized on the wire.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto.prg import PRG
+
+
+def pairwise_mask(
+    shared_seed: bytes, u: int, v: int, dimension: int, modulus: int
+) -> np.ndarray:
+    """The signed pairwise mask p_{u,v} as seen from client ``u``.
+
+    Antisymmetry (p_{u,v} = −p_{v,u} mod R) holds because both ends expand
+    the same seed and apply opposite signs.
+    """
+    if u == v:
+        return np.zeros(dimension, dtype=np.int64)
+    base = PRG(shared_seed).uniform_vector(dimension, modulus)
+    if u > v:
+        return base
+    return (-base) % modulus
+
+
+def self_mask(seed: bytes, dimension: int, modulus: int) -> np.ndarray:
+    """The self mask p_u = PRG(b_u)."""
+    return PRG(seed).uniform_vector(dimension, modulus)
+
+
+def add_mod(a: np.ndarray, b: np.ndarray, modulus: int) -> np.ndarray:
+    """(a + b) mod R with int64 vectors."""
+    return (a + b) % modulus
+
+
+def sub_mod(a: np.ndarray, b: np.ndarray, modulus: int) -> np.ndarray:
+    """(a − b) mod R with int64 vectors."""
+    return (a - b) % modulus

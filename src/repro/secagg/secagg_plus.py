@@ -1,0 +1,54 @@
+"""SecAgg+ configuration helpers.
+
+SecAgg+ (Bell et al., CCS'20) is SecAgg over a random k-regular
+communication graph with k = O(log n): each client only key-agrees,
+masks, and secret-shares with its k neighbors, cutting the per-client
+cost from O(n) to O(log n) and the server's from O(n²) to O(n·log n).
+The protocol logic is unchanged — only the graph and the (per-
+neighborhood) threshold differ — so this module just produces the right
+:class:`SecAggConfig`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.secagg.graph import recommended_degree
+from repro.secagg.types import SecAggConfig
+
+
+def secagg_plus_config(
+    n_clients: int,
+    bits: int = 20,
+    dimension: int = 16,
+    malicious: bool = False,
+    degree: int | None = None,
+    threshold_fraction: float = 0.55,
+    graph_seed: int = 0,
+    dh_group: str = "modp2048",
+) -> SecAggConfig:
+    """A :class:`SecAggConfig` parameterized the SecAgg+ way.
+
+    The Shamir threshold applies within each k-neighborhood, so it is a
+    fraction of the degree rather than of n.  ``threshold_fraction``
+    defaults just above 1/2, the regime Bell et al. analyze.
+    """
+    if n_clients < 2:
+        raise ValueError("SecAgg+ needs at least 2 clients")
+    k = degree if degree is not None else recommended_degree(n_clients)
+    k = min(k, n_clients - 1)
+    threshold = max(2, int(math.ceil(threshold_fraction * k)))
+    if threshold > k:
+        threshold = k
+    return SecAggConfig(
+        threshold=threshold,
+        bits=bits,
+        dimension=dimension,
+        malicious=malicious,
+        graph_degree=k,
+        graph_seed=graph_seed,
+        dh_group=dh_group,
+    )
+
+
+__all__ = ["secagg_plus_config", "recommended_degree"]

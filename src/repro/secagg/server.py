@@ -1,0 +1,169 @@
+"""The SecAgg server state machine (Fig. 5, server side).
+
+The server is *untrusted*: it routes messages, tracks the per-stage
+participant sets U1 ⊇ U2 ⊇ U3 ⊇ U4 ⊇ U5, and finally unmasks the sum
+
+    z = Σ_{u∈U3} y_u − Σ_{u∈U3} p_u + Σ_{u∈U3, v∈U2\\U3} p_{v,u}
+
+by reconstructing dropped clients' mask keys and survivors' self-mask
+seeds from Shamir shares.  It learns the aggregate only — the privacy
+argument lives in the client's refusal to reveal both secrets of any one
+peer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.crypto.dh import DHKeyPair, KeyAgreement, resolve_group
+from repro.crypto.pki import PublicKeyInfrastructure
+from repro.crypto.shamir import Share, ShamirSecretSharing
+from repro.secagg.masking import pairwise_mask, self_mask
+from repro.secagg.types import (
+    AdvertiseKeysMsg,
+    MaskedInputMsg,
+    ProtocolAbort,
+    SecAggConfig,
+    UnmaskingMsg,
+)
+
+
+class SecAggServer:
+    """One round's server state."""
+
+    def __init__(
+        self,
+        config: SecAggConfig,
+        pki: Optional[PublicKeyInfrastructure] = None,
+        round_index: int = 0,
+    ):
+        self.config = config
+        self.pki = pki
+        self.round_index = round_index
+        self._ka = KeyAgreement(resolve_group(config.dh_group))
+        self.roster: dict[int, AdvertiseKeysMsg] = {}
+        self.graph: dict[int, set[int]] = {}
+        self.u1: list[int] = []
+        self.u2: list[int] = []
+        self.u3: list[int] = []
+        self.u4: list[int] = []
+        self.u5: list[int] = []
+        self._masked: dict[int, np.ndarray] = {}
+        self._consistency_sigs: dict[int, object] = {}
+
+    # ------------------------------------------------------------------
+    def collect_advertise(
+        self, messages: dict[int, AdvertiseKeysMsg], graph: dict[int, set[int]]
+    ) -> dict[int, AdvertiseKeysMsg]:
+        """Fix U1 and the communication graph; broadcast the roster."""
+        if len(messages) < self.config.threshold:
+            raise ProtocolAbort(
+                f"only {len(messages)} advertisements; threshold "
+                f"{self.config.threshold} unmet"
+            )
+        self.roster = dict(messages)
+        self.u1 = sorted(messages)
+        self.graph = graph
+        return dict(self.roster)
+
+    # ------------------------------------------------------------------
+    def route_shares(
+        self, outboxes: dict[int, dict[int, bytes]]
+    ) -> dict[int, dict[int, bytes]]:
+        """Fix U2; deliver each ciphertext to its addressee."""
+        senders = [u for u in outboxes if u in self.roster]
+        if len(senders) < self.config.threshold:
+            raise ProtocolAbort(f"only {len(senders)} share lists; below threshold")
+        self.u2 = sorted(senders)
+        inboxes: dict[int, dict[int, bytes]] = {u: {} for u in self.u2}
+        for sender in self.u2:
+            for recipient, blob in outboxes[sender].items():
+                if recipient in inboxes:
+                    inboxes[recipient][sender] = blob
+        return inboxes
+
+    # ------------------------------------------------------------------
+    def collect_masked(self, messages: dict[int, MaskedInputMsg]) -> list[int]:
+        """Fix U3 (the survivor set whose inputs enter the aggregate)."""
+        good = {u: m for u, m in messages.items() if u in self.u2}
+        if len(good) < self.config.threshold:
+            raise ProtocolAbort(f"only {len(good)} masked inputs; below threshold")
+        self._masked = {
+            u: np.asarray(m.masked_vector, dtype=np.int64) % self.config.modulus
+            for u, m in good.items()
+        }
+        self.u3 = sorted(good)
+        return list(self.u3)
+
+    # ------------------------------------------------------------------
+    def collect_consistency(
+        self, signatures: dict[int, object]
+    ) -> tuple[list[int], dict[int, object]]:
+        """Fix U4; broadcast the signature set for mutual verification."""
+        good = {u: s for u, s in signatures.items() if u in self.u3 and s is not None}
+        if len(good) < self.config.threshold:
+            raise ProtocolAbort(f"only {len(good)} consistency sigs; below threshold")
+        self.u4 = sorted(good)
+        self._consistency_sigs = dict(good)
+        return list(self.u4), dict(good)
+
+    def skip_consistency(self) -> list[int]:
+        """Semi-honest mode: U4 = U3 without signatures."""
+        self.u4 = list(self.u3)
+        return list(self.u4)
+
+    @property
+    def dropped_after_masking(self) -> list[int]:
+        """U2 \\ U3 — clients whose pairwise masks must be reconstructed."""
+        return sorted(set(self.u2) - set(self.u3))
+
+    # ------------------------------------------------------------------
+    def collect_unmask(self, messages: dict[int, UnmaskingMsg]) -> np.ndarray:
+        """Fix U5, reconstruct masks, and return the unmasked ring sum."""
+        good = {u: m for u, m in messages.items() if u in self.u4}
+        if len(good) < self.config.threshold:
+            raise ProtocolAbort(f"only {len(good)} unmask responses; below threshold")
+        self.u5 = sorted(good)
+
+        modulus = self.config.modulus
+        aggregate = np.zeros(self.config.dimension, dtype=np.int64)
+        for u in self.u3:
+            aggregate = (aggregate + self._masked[u]) % modulus
+
+        ss = ShamirSecretSharing(self.config.threshold)
+
+        # Remove survivors' self masks: reconstruct b_u, expand, subtract.
+        for u in self.u3:
+            shares = [
+                m.b_shares[u] for m in good.values() if u in m.b_shares
+            ]
+            b_seed = self._reconstruct(ss, shares, f"self-mask seed of {u}")
+            aggregate = (
+                aggregate - self_mask(b_seed, self.config.dimension, modulus)
+            ) % modulus
+
+        # Cancel dropped clients' pairwise masks: reconstruct s^SK_u, then
+        # recompute p_{v,u} for each surviving neighbor v and subtract it.
+        for u in self.dropped_after_masking:
+            shares = [
+                m.s_sk_shares[u] for m in good.values() if u in m.s_sk_shares
+            ]
+            sk_bytes = self._reconstruct(ss, shares, f"mask key of {u}")
+            sk = int.from_bytes(sk_bytes, "big")
+            pair = DHKeyPair(secret=sk, public=0)
+            for v in sorted(self.graph.get(u, set()) & set(self.u3)):
+                seed = self._ka.agree(pair, self.roster[v].s_public)
+                mask = pairwise_mask(seed, v, u, self.config.dimension, modulus)
+                aggregate = (aggregate - mask) % modulus
+        return aggregate
+
+    # ------------------------------------------------------------------
+    def _reconstruct(
+        self, ss: ShamirSecretSharing, shares: list[Share], what: str
+    ) -> bytes:
+        try:
+            return ss.reconstruct(shares)
+        except ValueError as exc:
+            raise ProtocolAbort(f"cannot reconstruct {what}: {exc}") from exc

@@ -1,0 +1,105 @@
+"""Byte-level codecs for encrypted share payloads.
+
+The ShareKeys ciphertext of Fig. 5 carries
+``u ∥ v ∥ s^SK_{u,v} ∥ b_{u,v} [∥ g_{u,1,v} … g_{u,T,v}]`` — sender id,
+recipient id, one Shamir share of the mask key, one of the self-mask
+seed, and (with XNoise) one share of each noise-component seed.  These
+helpers give that concatenation an unambiguous, length-prefixed encoding
+so a tampered or mis-routed payload fails to parse instead of being
+misinterpreted.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.shamir import Share
+
+
+def encode_fields(fields: list[bytes]) -> bytes:
+    """Length-prefixed concatenation (4-byte big-endian lengths)."""
+    out = bytearray()
+    for f in fields:
+        out += len(f).to_bytes(4, "big")
+        out += f
+    return bytes(out)
+
+
+def decode_fields(data: bytes) -> list[bytes]:
+    """Inverse of :func:`encode_fields`; raises ``ValueError`` on garbage."""
+    fields = []
+    i = 0
+    while i < len(data):
+        if i + 4 > len(data):
+            raise ValueError("truncated field header")
+        n = int.from_bytes(data[i : i + 4], "big")
+        i += 4
+        if i + n > len(data):
+            raise ValueError("truncated field body")
+        fields.append(data[i : i + n])
+        i += n
+    return fields
+
+
+def encode_share(share: Share) -> bytes:
+    """Serialize one Shamir share (16 bytes per polynomial evaluation)."""
+    parts = [
+        share.x.to_bytes(8, "big"),
+        share.secret_len.to_bytes(4, "big"),
+        len(share.ys).to_bytes(2, "big"),
+    ]
+    parts += [y.to_bytes(16, "big") for y in share.ys]
+    return b"".join(parts)
+
+
+def decode_share(data: bytes) -> Share:
+    """Inverse of :func:`encode_share`."""
+    if len(data) < 14:
+        raise ValueError("share encoding too short")
+    x = int.from_bytes(data[:8], "big")
+    secret_len = int.from_bytes(data[8:12], "big")
+    count = int.from_bytes(data[12:14], "big")
+    body = data[14:]
+    if len(body) != 16 * count:
+        raise ValueError("share encoding length mismatch")
+    ys = tuple(
+        int.from_bytes(body[i * 16 : (i + 1) * 16], "big") for i in range(count)
+    )
+    return Share(x=x, ys=ys, secret_len=secret_len)
+
+
+def encode_share_payload(
+    sender: int,
+    recipient: int,
+    s_sk_share: Share,
+    b_share: Share,
+    extra_shares: dict[str, Share] | None = None,
+) -> bytes:
+    """The full plaintext of one ShareKeys ciphertext."""
+    fields = [
+        sender.to_bytes(8, "big"),
+        recipient.to_bytes(8, "big"),
+        encode_share(s_sk_share),
+        encode_share(b_share),
+    ]
+    for label in sorted(extra_shares or {}):
+        fields.append(label.encode("utf-8"))
+        fields.append(encode_share(extra_shares[label]))
+    return encode_fields(fields)
+
+
+def decode_share_payload(
+    data: bytes,
+) -> tuple[int, int, Share, Share, dict[str, Share]]:
+    """Inverse of :func:`encode_share_payload`."""
+    fields = decode_fields(data)
+    if len(fields) < 4 or len(fields) % 2 != 0:
+        raise ValueError("malformed share payload")
+    sender = int.from_bytes(fields[0], "big")
+    recipient = int.from_bytes(fields[1], "big")
+    s_share = decode_share(fields[2])
+    b_share = decode_share(fields[3])
+    extra: dict[str, Share] = {}
+    rest = fields[4:]
+    for i in range(0, len(rest), 2):
+        label = rest[i].decode("utf-8")
+        extra[label] = decode_share(rest[i + 1])
+    return sender, recipient, s_share, b_share, extra

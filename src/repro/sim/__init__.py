@@ -1,0 +1,23 @@
+"""Deployment-environment simulation: device heterogeneity and the
+in-process cluster.
+
+The paper's testbed throttles client bandwidth into [21, 210] Mbps and
+skews response latency with a Zipf(a = 1.2) profile (§6.1).  This
+subpackage reproduces that environment analytically:
+
+- :mod:`repro.sim.network` — heterogeneous device fleets;
+- :mod:`repro.sim.cluster` — an in-process cluster binding devices to
+  protocol participants and answering straggler/timing queries.
+"""
+
+from repro.sim.network import ClientDevice, heterogeneous_fleet
+from repro.sim.cluster import SimulatedCluster
+from repro.sim.timeline import Timeline, build_timelines
+
+__all__ = [
+    "ClientDevice",
+    "heterogeneous_fleet",
+    "SimulatedCluster",
+    "Timeline",
+    "build_timelines",
+]

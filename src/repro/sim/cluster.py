@@ -1,0 +1,54 @@
+"""The in-process simulated cluster.
+
+Binds a device fleet to protocol participants and answers the timing
+queries the experiments need: who is the straggler of a sampled set, and
+how long its compute/upload takes.  Protocol *correctness* runs as real
+in-process message passing (:mod:`repro.secagg`, :mod:`repro.xnoise`);
+this class only models *time*, per DESIGN.md's substitution table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.network import ClientDevice, heterogeneous_fleet
+
+
+@dataclass
+class SimulatedCluster:
+    """A population of heterogeneous devices plus one (fast) server."""
+
+    devices: list[ClientDevice]
+
+    @classmethod
+    def build(cls, n_clients: int, seed: int = 0, **fleet_kwargs) -> "SimulatedCluster":
+        return cls(devices=heterogeneous_fleet(n_clients, seed=seed, **fleet_kwargs))
+
+    @property
+    def n_clients(self) -> int:
+        return len(self.devices)
+
+    def device(self, client_id: int) -> ClientDevice:
+        return self.devices[client_id % self.n_clients]
+
+    def straggler(self, sampled: list[int]) -> ClientDevice:
+        """The sampled client that gates synchronous stages."""
+        if not sampled:
+            raise ValueError("sampled set is empty")
+        return max(
+            (self.device(u) for u in sampled),
+            key=lambda d: d.compute_factor,
+        )
+
+    def slowest_bandwidth(self, sampled: list[int]) -> float:
+        if not sampled:
+            raise ValueError("sampled set is empty")
+        return min(self.device(u).bandwidth_bps for u in sampled)
+
+    def stage_compute_seconds(self, sampled: list[int], base_seconds: float) -> float:
+        """Wall time of a client-compute stage: base × straggler factor."""
+        return base_seconds * self.straggler(sampled).compute_factor
+
+    def stage_upload_seconds(self, sampled: list[int], nbytes: float) -> float:
+        """Wall time of a synchronized upload: gated by least bandwidth."""
+        return nbytes / self.slowest_bandwidth(sampled)

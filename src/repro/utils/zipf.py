@@ -1,0 +1,38 @@
+"""Zipf-distributed heterogeneity draws.
+
+The paper emulates hardware and network heterogeneity by making the
+end-to-end latency of the *i*-th slowest client proportional to ``i**-a``
+with ``a = 1.2``, and by throttling bandwidth to a Zipf profile within
+[21 Mbps, 210 Mbps] (§6.1).  These helpers produce those profiles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def zipf_weights(n: int, a: float = 1.2) -> np.ndarray:
+    """Return ``n`` weights proportional to rank**-a, rank = 1..n.
+
+    Index 0 is the largest weight (the slowest client in the latency
+    interpretation).
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    ranks = np.arange(1, n + 1, dtype=float)
+    return ranks**-a
+
+
+def zipf_between(n: int, low: float, high: float, a: float = 1.2) -> np.ndarray:
+    """Map a Zipf profile affinely into ``[low, high]``.
+
+    The returned array is sorted descending (index 0 gets ``high``).  With
+    ``n == 1`` the single value is ``high``.
+    """
+    if high < low:
+        raise ValueError("high must be >= low")
+    w = zipf_weights(n, a)
+    if n == 1:
+        return np.array([high])
+    w_min, w_max = w.min(), w.max()
+    return low + (w - w_min) / (w_max - w_min) * (high - low)

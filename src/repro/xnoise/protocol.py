@@ -1,0 +1,372 @@
+"""XNoise integrated with SecAgg (Fig. 5's red/underlined additions).
+
+The integration reuses SecAgg's infrastructure (§3.3 "Optimization via
+Integration with Secure Aggregation"):
+
+- *Setup*: each sampled client samples T+1 noise seeds g_{u,k}; seeds for
+  k ≥ 1 are Shamir-shared through the same encrypted ShareKeys channels
+  as the mask secrets (labels ``g:k``).
+- *MaskedInputCollection*: the client perturbs its encoded update with
+  all T+1 noise components before masking.
+- *Unmasking*: every survivor directly reveals the seeds of its excess
+  components (k > |D| where D = U \\ U3).
+- *Stage 5, ExcessiveNoiseRemoval*: for survivors that dropped before
+  revealing (U3 \\ U5), the server collects seed shares from ≥ t live
+  clients (U6), reconstructs the seeds, regenerates the components, and
+  subtracts them from the aggregate.
+
+Noise is Skellam in the ring domain (closed under summation, integer-
+valued), regenerated deterministically from each 32-byte seed — this is
+why removal costs seeds, not model-sized vectors (§3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.crypto.pki import PublicKeyInfrastructure
+from repro.crypto.prg import PRG
+from repro.crypto.shamir import ShamirSecretSharing, random_seed
+from repro.secagg.client import SecAggClient
+from repro.secagg.driver import DropoutSchedule, build_graph
+from repro.secagg.server import SecAggServer
+from repro.secagg.types import (
+    ProtocolAbort,
+    RoundResult,
+    SecAggConfig,
+    TrafficMeter,
+    STAGE_ADVERTISE,
+    STAGE_SHARE_KEYS,
+    STAGE_MASKED_INPUT,
+    STAGE_CONSISTENCY,
+    STAGE_UNMASK,
+    STAGE_NOISE_REMOVAL,
+)
+from repro.xnoise.decomposition import NoiseDecomposition
+
+
+def seed_label(k: int) -> str:
+    """ShareKeys label under which component k's seed is shared."""
+    return f"g:{k}"
+
+
+def skellam_noise_from_seed(
+    seed: bytes, variance: float, dimension: int
+) -> np.ndarray:
+    """Deterministically expand a seed into one Skellam noise component.
+
+    Client (addition) and server (removal) call this with the same seed
+    and variance and obtain the identical vector — the property that lets
+    XNoise transmit 32-byte seeds instead of model-sized noise.
+    """
+    if variance < 0:
+        raise ValueError("variance must be non-negative")
+    if variance == 0:
+        return np.zeros(dimension, dtype=np.int64)
+    gen = PRG(seed).numpy_generator()
+    mu = variance / 2.0
+    plus = gen.poisson(mu, size=dimension)
+    minus = gen.poisson(mu, size=dimension)
+    return (plus - minus).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class XNoiseConfig:
+    """Parameters of one XNoise round on top of a SecAgg config.
+
+    ``target_variance`` is σ²_* in the ring (scaled-integer) domain —
+    the level Theorem 1 guarantees on the decoded aggregate.
+    """
+
+    secagg: SecAggConfig
+    n_sampled: int
+    tolerance: int
+    target_variance: float
+    collusion_tolerance: int = 0
+
+    def __post_init__(self) -> None:
+        # Constructing the decomposition validates all the constraints.
+        self.decomposition()
+
+    def decomposition(self) -> NoiseDecomposition:
+        return NoiseDecomposition(
+            n_sampled=self.n_sampled,
+            tolerance=self.tolerance,
+            target_variance=self.target_variance,
+            threshold=self.secagg.threshold,
+            collusion_tolerance=self.collusion_tolerance,
+        )
+
+
+@dataclass
+class XNoiseResult(RoundResult):
+    """Round outcome plus noise-enforcement bookkeeping."""
+
+    residual_variance: float = 0.0
+    tolerance_exceeded: bool = False
+    n_dropped: int = 0
+
+
+class XNoiseClient(SecAggClient):
+    """SecAgg client that over-adds decomposed noise and reveals seeds."""
+
+    def __init__(
+        self,
+        client_id: int,
+        config: XNoiseConfig,
+        **kwargs,
+    ):
+        self.xconfig = config
+        self.decomposition = config.decomposition()
+        self.noise_seeds: list[bytes] = [
+            random_seed(32) for _ in range(self.decomposition.n_components)
+        ]
+        extra = {
+            seed_label(k): self.noise_seeds[k]
+            for k in range(1, self.decomposition.n_components)
+        }
+        super().__init__(
+            client_id, config.secagg, extra_secrets=extra, **kwargs
+        )
+
+    def masked_input(self, ciphertexts, update_signal: np.ndarray):
+        """Add all T+1 noise components to the encoded signal, then mask."""
+        noisy = np.asarray(update_signal, dtype=np.int64).copy()
+        for k, variance in enumerate(self.decomposition.variances()):
+            noisy = noisy + skellam_noise_from_seed(
+                self.noise_seeds[k], variance, self.config.dimension
+            )
+        return super().masked_input(ciphertexts, noisy % self.config.modulus)
+
+    def excess_component_indices(self) -> range:
+        """Components this client should reveal, from its view of U3."""
+        n_dropped = self.decomposition.n_sampled - len(self._u3)
+        clamped = min(max(n_dropped, 0), self.decomposition.tolerance)
+        return range(clamped + 1, self.decomposition.n_components)
+
+    def unmask(self, u4, u4_signatures, dropped, survivors, revealed_seeds=None):
+        reveal = {
+            k: self.noise_seeds[k] for k in self.excess_component_indices()
+        }
+        return super().unmask(
+            u4, u4_signatures, dropped, survivors, revealed_seeds=reveal
+        )
+
+
+class XNoiseServer(SecAggServer):
+    """SecAgg server extended with excessive-noise removal."""
+
+    def __init__(self, config: XNoiseConfig, **kwargs):
+        super().__init__(config.secagg, **kwargs)
+        self.xconfig = config
+        self.decomposition = config.decomposition()
+
+    def n_dropped(self) -> int:
+        """|D| = |U \\ U3| — sampled clients whose noise is missing."""
+        return self.decomposition.n_sampled - len(self.u3)
+
+    def removal_indices(self) -> range:
+        clamped = min(max(self.n_dropped(), 0), self.decomposition.tolerance)
+        return range(clamped + 1, self.decomposition.n_components)
+
+    def remove_excess_noise(
+        self,
+        aggregate: np.ndarray,
+        revealed: dict[int, dict[int, bytes]],
+        reconstructed: dict[int, dict[int, bytes]],
+    ) -> tuple[np.ndarray, int]:
+        """Subtract every survivor's excess components from the aggregate.
+
+        ``revealed`` maps survivor → {k: seed} sent directly in Unmasking;
+        ``reconstructed`` covers survivors recovered via Stage 5.  Raises
+        if any survivor's excess seeds are unavailable — a faithful
+        execution always has them (Shamir guarantees reconstruction with
+        ≥ t responders).
+        """
+        modulus = self.config.modulus
+        variances = self.decomposition.variances()
+        removed = 0
+        for u in self.u3:
+            seeds = revealed.get(u) or reconstructed.get(u) or {}
+            for k in self.removal_indices():
+                seed = seeds.get(k)
+                if seed is None:
+                    raise ProtocolAbort(
+                        f"missing seed g_{{{u},{k}}} for noise removal"
+                    )
+                noise = skellam_noise_from_seed(
+                    seed, variances[k], self.config.dimension
+                )
+                aggregate = (aggregate - noise) % modulus
+                removed += 1
+        return aggregate, removed
+
+
+def run_xnoise_round(
+    config: XNoiseConfig,
+    inputs: dict[int, np.ndarray],
+    dropout: Optional[DropoutSchedule] = None,
+    pki: Optional[PublicKeyInfrastructure] = None,
+    round_index: int = 0,
+) -> XNoiseResult:
+    """Execute one full XNoise+SecAgg round (Fig. 5, stages 0–5).
+
+    ``inputs`` maps client id → *pre-noise* encoded signal (signed
+    integers; e.g. :meth:`repro.dp.skellam.SkellamMechanism.encode_signal`
+    output).  Returns the unmasked ring aggregate with the excess noise
+    removed and the residual noise level implied by Theorem 1.
+    """
+    if len(inputs) != config.n_sampled:
+        raise ValueError(
+            f"got {len(inputs)} inputs for n_sampled={config.n_sampled}"
+        )
+    dropout = dropout or DropoutSchedule()
+    traffic = TrafficMeter()
+    sampled = sorted(inputs)
+    secagg_cfg = config.secagg
+
+    signers = {}
+    if secagg_cfg.malicious:
+        pki = pki or PublicKeyInfrastructure()
+        for u in sampled:
+            if pki.is_registered(u):
+                raise ValueError(
+                    f"client {u} already registered; supply fresh identities"
+                )
+            signers[u] = pki.register(u)
+
+    clients = {
+        u: XNoiseClient(
+            u, config, signer=signers.get(u), pki=pki, round_index=round_index
+        )
+        for u in sampled
+    }
+    server = XNoiseServer(config, pki=pki, round_index=round_index)
+
+    # Stage 0 — AdvertiseKeys.
+    alive = set(sampled) - dropout.dropped_by(STAGE_ADVERTISE)
+    adverts = {u: clients[u].advertise_keys() for u in sorted(alive)}
+    for _ in adverts:
+        traffic.add_up(STAGE_ADVERTISE, 512 + (288 if secagg_cfg.malicious else 0))
+    graph = build_graph(secagg_cfg, sorted(adverts))
+    roster = server.collect_advertise(adverts, graph)
+    traffic.add_down(STAGE_ADVERTISE, len(roster) * 512 * len(roster))
+
+    # Stage 1 — ShareKeys (now carrying the T noise-seed shares).
+    alive -= dropout.dropped_by(STAGE_SHARE_KEYS)
+    outboxes = {}
+    for u in sorted(alive & set(roster)):
+        outboxes[u] = clients[u].share_keys(roster, graph)
+        traffic.add_up(STAGE_SHARE_KEYS, sum(len(ct) for ct in outboxes[u].values()))
+    inboxes = server.route_shares(outboxes)
+    for box in inboxes.values():
+        traffic.add_down(STAGE_SHARE_KEYS, sum(len(ct) for ct in box.values()))
+
+    # Stage 2 — MaskedInputCollection (inputs perturbed with T+1 components).
+    alive -= dropout.dropped_by(STAGE_MASKED_INPUT)
+    masked = {}
+    for u in sorted(alive & set(server.u2)):
+        masked[u] = clients[u].masked_input(inboxes.get(u, {}), inputs[u])
+        traffic.add_up(
+            STAGE_MASKED_INPUT, secagg_cfg.dimension * secagg_cfg.bits // 8
+        )
+    u3 = server.collect_masked(masked)
+    traffic.add_down(STAGE_MASKED_INPUT, 8 * len(u3) * len(u3))
+
+    # Stage 3 — ConsistencyCheck.
+    alive -= dropout.dropped_by(STAGE_CONSISTENCY)
+    if secagg_cfg.malicious:
+        sigs = {}
+        for u in sorted(alive & set(u3)):
+            sigs[u] = clients[u].consistency_check(u3)
+            traffic.add_up(STAGE_CONSISTENCY, 288)
+        u4, sig_set = server.collect_consistency(sigs)
+        traffic.add_down(STAGE_CONSISTENCY, 288 * len(u4) * len(u4))
+    else:
+        for u in sorted(alive & set(u3)):
+            clients[u].consistency_check(u3)
+        u4, sig_set = server.skip_consistency(), None
+
+    # Stage 4 — Unmasking (with direct excess-seed reveal).
+    alive -= dropout.dropped_by(STAGE_UNMASK)
+    dropped_list = server.dropped_after_masking
+    unmask_msgs = {}
+    for u in sorted(alive & set(u4)):
+        msg = clients[u].unmask(u4, sig_set, dropped=dropped_list, survivors=list(u3))
+        unmask_msgs[u] = msg
+        traffic.add_up(
+            STAGE_UNMASK,
+            300 * (len(msg.s_sk_shares) + len(msg.b_shares))
+            + 32 * len(msg.revealed_seeds),
+        )
+    aggregate = server.collect_unmask(unmask_msgs)
+
+    # Stage 5 — ExcessiveNoiseRemoval.
+    alive -= dropout.dropped_by(STAGE_NOISE_REMOVAL)
+    removal = list(server.removal_indices())
+    revealed = {u: dict(m.revealed_seeds) for u, m in unmask_msgs.items()}
+    needs_recovery = sorted(set(u3) - set(revealed)) if removal else []
+    reconstructed: dict[int, dict[int, bytes]] = {}
+    u6: list[int] = []
+    if needs_recovery:
+        labels = {u: [seed_label(k) for k in removal] for u in needs_recovery}
+        collected: dict[int, dict[str, list]] = {
+            u: {lbl: [] for lbl in labels[u]} for u in needs_recovery
+        }
+        for v in sorted(alive & set(server.u5)):
+            response = clients[v].shares_of_extra_secret(labels)
+            if response:
+                u6.append(v)
+            for peer, found in response.items():
+                for lbl, share in found.items():
+                    collected[peer][lbl].append(share)
+                    traffic.add_up(STAGE_NOISE_REMOVAL, 300)
+        if len(u6) < secagg_cfg.threshold and removal:
+            raise ProtocolAbort(
+                f"only {len(u6)} stage-5 responders; below threshold"
+            )
+        ss = ShamirSecretSharing(secagg_cfg.threshold)
+        for u in needs_recovery:
+            seeds: dict[int, bytes] = {}
+            for k in removal:
+                shares = collected[u][seed_label(k)]
+                try:
+                    seeds[k] = ss.reconstruct(shares)
+                except ValueError as exc:
+                    raise ProtocolAbort(
+                        f"cannot reconstruct seed g_{{{u},{k}}}: {exc}"
+                    ) from exc
+            reconstructed[u] = seeds
+
+    aggregate, removed = server.remove_excess_noise(
+        aggregate, revealed, reconstructed
+    )
+
+    n_dropped = server.n_dropped()
+    exceeded = n_dropped > config.tolerance
+    residual = server.decomposition.residual_variance(
+        min(n_dropped, config.tolerance)
+    )
+    if exceeded:
+        # Fewer survivors than |U|−T: aggregate noise is below target.
+        residual = (config.n_sampled - n_dropped) * (
+            server.decomposition.client_total_variance()
+        )
+
+    return XNoiseResult(
+        aggregate=aggregate,
+        u1=list(server.u1),
+        u2=list(server.u2),
+        u3=list(server.u3),
+        u4=list(server.u4),
+        u5=list(server.u5),
+        traffic=traffic,
+        u6=u6,
+        removed_noise_components=removed,
+        residual_variance=residual,
+        tolerance_exceeded=exceeded,
+        n_dropped=n_dropped,
+    )

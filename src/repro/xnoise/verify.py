@@ -1,0 +1,99 @@
+"""Detection of dropout understatement by a malicious server (§3.3).
+
+Equation (1) says the server removes *more* noise the *fewer* clients
+dropped — so a malicious server profits from pretending dropped clients
+survived (down to (1 − T/|U|)·σ_* of the target noise in the worst case).
+The defense:
+
+- before uploading its perturbed update, every client signs the current
+  round number: ω'_i ← SIG.sign(d^SK_i, R);
+- the server must broadcast the dropout outcome D *together with* the
+  signature set {j, ω'_j} of the clients it claims survived (P);
+- each client verifies every signature and that P = U \\ D, aborting
+  otherwise.
+
+Claiming a dropped client survived requires forging its round signature —
+infeasible under UF-CMA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.pki import PublicKeyInfrastructure
+from repro.crypto.signature import SchnorrSignature, SchnorrSigner
+
+
+class UnderstatementDetected(Exception):
+    """Raised by a verifying client when the broadcast fails the checks."""
+
+
+def round_message(round_index: int) -> bytes:
+    """The byte string clients sign alongside their perturbed update."""
+    return f"dordis-round:{round_index}".encode("utf-8")
+
+
+@dataclass(frozen=True)
+class DropoutBroadcast:
+    """The server's claim: dropout outcome D plus survivor signatures."""
+
+    round_index: int
+    claimed_dropped: frozenset
+    survivor_signatures: dict  # client id -> SchnorrSignature
+
+
+class DropoutAttestation:
+    """Client- and server-side halves of the §3.3 verification."""
+
+    def __init__(self, pki: PublicKeyInfrastructure, round_index: int):
+        self.pki = pki
+        self.round_index = round_index
+
+    # -------------------------------------------------- client side
+    def sign_participation(self, signer: SchnorrSigner) -> SchnorrSignature:
+        """ω'_i — sent with the perturbed update."""
+        return signer.sign(round_message(self.round_index))
+
+    def verify_broadcast(
+        self, sampled: set, broadcast: DropoutBroadcast
+    ) -> None:
+        """The client-side checks; raises on any inconsistency.
+
+        1. every broadcast signature verifies under the claimed sender's
+           PKI key for this round; and
+        2. the signed set P equals U \\ D.
+        """
+        if broadcast.round_index != self.round_index:
+            raise UnderstatementDetected(
+                f"broadcast is for round {broadcast.round_index}, "
+                f"expected {self.round_index}"
+            )
+        claimed_survivors = set(broadcast.survivor_signatures)
+        expected = set(sampled) - set(broadcast.claimed_dropped)
+        if claimed_survivors != expected:
+            raise UnderstatementDetected(
+                "signature set does not match U \\ D: "
+                f"signed={sorted(claimed_survivors)}, "
+                f"expected={sorted(expected)}"
+            )
+        msg = round_message(self.round_index)
+        for client_id, sig in broadcast.survivor_signatures.items():
+            if not self.pki.verifier(client_id).verify(msg, sig):
+                raise UnderstatementDetected(
+                    f"invalid round signature attributed to client {client_id}"
+                )
+
+    # -------------------------------------------------- server side
+    @staticmethod
+    def honest_broadcast(
+        round_index: int,
+        sampled: set,
+        received_signatures: dict,
+    ) -> DropoutBroadcast:
+        """What a faithful server broadcasts: D = U minus actual senders."""
+        dropped = frozenset(set(sampled) - set(received_signatures))
+        return DropoutBroadcast(
+            round_index=round_index,
+            claimed_dropped=dropped,
+            survivor_signatures=dict(received_signatures),
+        )

@@ -1,0 +1,126 @@
+"""Noise-strategy algebra: Orig, Early, Con-k, XNoise."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.baselines import (
+    ConservativeStrategy,
+    EarlyStopStrategy,
+    OrigStrategy,
+    XNoiseStrategy,
+    make_strategy,
+)
+
+
+class TestOrig:
+    def test_even_split(self):
+        s = OrigStrategy()
+        assert s.client_variance(16.0, 16) == pytest.approx(1.0)
+
+    def test_deficit_under_dropout(self):
+        """Definition 1's failure mode: dropout → less than target noise."""
+        s = OrigStrategy()
+        assert s.actual_variance(16.0, 16, 0) == pytest.approx(16.0)
+        assert s.actual_variance(16.0, 16, 4) == pytest.approx(12.0)
+
+    def test_never_stops_early(self):
+        assert not OrigStrategy().stops_when_budget_exhausted()
+
+    def test_early_variant_stops(self):
+        assert EarlyStopStrategy().stops_when_budget_exhausted()
+
+    def test_dropout_bounds(self):
+        with pytest.raises(ValueError):
+            OrigStrategy().actual_variance(1.0, 4, 4)
+
+
+class TestConservative:
+    def test_exact_guess_hits_target(self):
+        """Con-5 with exactly 50% dropout lands on σ²_*."""
+        s = ConservativeStrategy(estimated_rate=0.5)
+        assert s.actual_variance(10.0, 16, 8) == pytest.approx(10.0)
+
+    def test_overestimate_over_noises(self):
+        """Con-8 with mild dropout → too much noise (utility loss),
+        but under budget (Fig. 1b's Con8: ε = 2.3 < 6)."""
+        s = ConservativeStrategy(estimated_rate=0.8)
+        assert s.actual_variance(10.0, 16, 2) > 10.0
+
+    def test_underestimate_under_noises(self):
+        """Con-2 with heavy dropout → still a privacy deficit."""
+        s = ConservativeStrategy(estimated_rate=0.2)
+        assert s.actual_variance(10.0, 16, 8) < 10.0
+
+    def test_client_variance_scales_with_estimate(self):
+        mild = ConservativeStrategy(estimated_rate=0.2)
+        harsh = ConservativeStrategy(estimated_rate=0.8)
+        assert harsh.client_variance(10.0, 16) > mild.client_variance(10.0, 16)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            ConservativeStrategy(estimated_rate=1.0)
+
+
+class TestXNoise:
+    def test_exact_target_within_tolerance(self):
+        s = XNoiseStrategy(tolerance_fraction=0.5)
+        for dropped in range(0, 9):
+            assert s.actual_variance(10.0, 16, dropped) == pytest.approx(10.0)
+
+    def test_excessive_client_share(self):
+        s = XNoiseStrategy(tolerance_fraction=0.5)
+        # T = 8, per-client = σ²/(16−8) — more than Orig's σ²/16.
+        assert s.client_variance(16.0, 16) == pytest.approx(2.0)
+        assert s.client_variance(16.0, 16) > OrigStrategy().client_variance(16.0, 16)
+
+    def test_beyond_tolerance_degrades(self):
+        s = XNoiseStrategy(tolerance_fraction=0.25)
+        t = s.tolerance(16)  # 4
+        beyond = s.actual_variance(10.0, 16, t + 2)
+        assert beyond < 10.0
+        assert beyond == pytest.approx((16 - t - 2) * 10.0 / (16 - t))
+
+    def test_collusion_inflation(self):
+        s = XNoiseStrategy(tolerance_fraction=0.5, inflation=1.1)
+        assert s.actual_variance(10.0, 16, 0) == pytest.approx(11.0)
+
+    @given(
+        n=st.integers(min_value=2, max_value=100),
+        frac=st.floats(min_value=0.0, max_value=0.9),
+        data=st.data(),
+    )
+    @settings(max_examples=50)
+    def test_enforcement_property(self, n, frac, data):
+        """For any |D| ≤ T the actual variance is the target (Thm 1 at
+        the strategy level)."""
+        s = XNoiseStrategy(tolerance_fraction=frac)
+        t = s.tolerance(n)
+        d = data.draw(st.integers(min_value=0, max_value=t))
+        assert s.actual_variance(7.0, n, d) == pytest.approx(7.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            XNoiseStrategy(tolerance_fraction=1.0)
+        with pytest.raises(ValueError):
+            XNoiseStrategy(inflation=0.9)
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert make_strategy("orig").name == "orig"
+        assert make_strategy("early").name == "early"
+        assert isinstance(make_strategy("xnoise"), XNoiseStrategy)
+
+    def test_con_k_parsing(self):
+        """Con8/Con5/Con2 — the Fig. 1 naming."""
+        assert make_strategy("con8").estimated_rate == pytest.approx(0.8)
+        assert make_strategy("con5").estimated_rate == pytest.approx(0.5)
+        assert make_strategy("con2").estimated_rate == pytest.approx(0.2)
+
+    def test_con_with_explicit_rate(self):
+        s = make_strategy("con", estimated_rate=0.33)
+        assert s.estimated_rate == pytest.approx(0.33)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_strategy("magic")

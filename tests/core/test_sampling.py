@@ -1,0 +1,131 @@
+"""Verifiable client sampling (§7): honest rounds and fraud detection."""
+
+import pytest
+
+from repro.crypto.dh import MODP_512
+from repro.core.sampling import (
+    SamplingClient,
+    SamplingServer,
+    SamplingTicket,
+    SamplingViolation,
+    round_tag,
+    run_sampling_round,
+)
+
+GROUP = MODP_512
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """40 clients with VRF keys (key generation is the slow part)."""
+    return [SamplingClient(i, GROUP) for i in range(40)]
+
+
+class TestHonestRound:
+    def test_sample_size_and_verification(self, fleet):
+        server = SamplingServer(population=40, sample_size=6, over_select=2.0)
+        sample = run_sampling_round(fleet, server, round_index=1, group=GROUP)
+        assert 0 < len(sample) <= 6
+        ids = [t.client_id for t in sample]
+        assert len(set(ids)) == len(ids)
+
+    def test_sample_changes_across_rounds(self, fleet):
+        server = SamplingServer(population=40, sample_size=6, over_select=2.0)
+        s1 = {t.client_id for t in run_sampling_round(fleet, server, 1, GROUP)}
+        s2 = {t.client_id for t in run_sampling_round(fleet, server, 2, GROUP)}
+        s3 = {t.client_id for t in run_sampling_round(fleet, server, 3, GROUP)}
+        assert not (s1 == s2 == s3)
+
+    def test_sample_is_deterministic_per_round(self, fleet):
+        """VRF uniqueness: re-running the round yields the same sample."""
+        server = SamplingServer(population=40, sample_size=5, over_select=2.0)
+        a = [t.client_id for t in run_sampling_round(fleet, server, 9, GROUP)]
+        b = [t.client_id for t in run_sampling_round(fleet, server, 9, GROUP)]
+        assert a == b
+
+    def test_trim_keeps_smallest_outputs(self, fleet):
+        from repro.crypto.vrf import output_to_unit
+
+        server = SamplingServer(population=40, sample_size=3, over_select=3.0)
+        threshold = server.threshold
+        volunteers = [
+            c.ticket(4) for c in fleet if c.volunteers(4, threshold)
+        ]
+        sample = server.fix_sample(volunteers)
+        chosen = {t.client_id for t in sample}
+        cut = max(output_to_unit(t.output) for t in sample)
+        for t in volunteers:
+            if t.client_id not in chosen:
+                assert output_to_unit(t.output) >= cut
+
+    def test_threshold_scales_with_sample_size(self):
+        small = SamplingServer(1000, 10).threshold
+        large = SamplingServer(1000, 100).threshold
+        assert large > small
+        assert SamplingServer(10, 10).threshold == 1.0
+
+
+class TestFraudDetection:
+    def test_server_cannot_inject_nonvolunteer(self, fleet):
+        """A cherry-picked client whose randomness did not clear the bar
+        is caught by the threshold check."""
+        server = SamplingServer(population=40, sample_size=5, over_select=1.5)
+        threshold = server.threshold
+        outsider = next(
+            c for c in fleet if not c.volunteers(5, threshold)
+        )
+        forged_sample = [outsider.ticket(5)]
+        with pytest.raises(SamplingViolation):
+            SamplingClient.verify_sample(
+                5, threshold, forged_sample,
+                {c.id: c.public_key for c in fleet}, GROUP,
+            )
+
+    def test_server_cannot_forge_tickets(self, fleet):
+        """Simulating a client requires its VRF key — a forged ticket
+        under someone else's identity fails proof verification."""
+        attacker = SamplingClient(99, GROUP)
+        honest_keys = {c.id: c.public_key for c in fleet}
+        stolen = attacker.ticket(1)
+        forged = SamplingTicket(
+            client_id=fleet[0].id, output=stolen.output, proof=stolen.proof
+        )
+        with pytest.raises(SamplingViolation):
+            SamplingClient.verify_sample(1, 1.0, [forged], honest_keys, GROUP)
+
+    def test_replaying_another_round_fails(self, fleet):
+        client = fleet[0]
+        old = client.ticket(1)
+        replay = SamplingTicket(client_id=client.id, output=old.output, proof=old.proof)
+        with pytest.raises(SamplingViolation):
+            SamplingClient.verify_sample(
+                2, 1.0, [replay], {client.id: client.public_key}, GROUP
+            )
+
+    def test_unknown_identity_rejected(self, fleet):
+        ghost = SamplingClient(1234, GROUP)
+        with pytest.raises(SamplingViolation):
+            SamplingClient.verify_sample(
+                1, 1.0, [ghost.ticket(1)], {c.id: c.public_key for c in fleet},
+                GROUP,
+            )
+
+    def test_duplicate_tickets_rejected(self, fleet):
+        t = fleet[0].ticket(1)
+        with pytest.raises(SamplingViolation):
+            SamplingClient.verify_sample(
+                1, 1.0, [t, t], {fleet[0].id: fleet[0].public_key}, GROUP
+            )
+
+
+class TestServerValidation:
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SamplingServer(population=10, sample_size=0)
+        with pytest.raises(ValueError):
+            SamplingServer(population=10, sample_size=11)
+        with pytest.raises(ValueError):
+            SamplingServer(population=10, sample_size=5, over_select=0.5)
+
+    def test_round_tag_binds_round(self):
+        assert round_tag(1) != round_tag(2)

@@ -1,0 +1,165 @@
+"""Key agreement, authenticated encryption, and signature tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.ae import AEError, AuthenticatedEncryption
+from repro.crypto.dh import KeyAgreement, MODP_2048, MODP_512 as TOY_GROUP
+from repro.crypto.pki import PublicKeyInfrastructure
+from repro.crypto.signature import (
+    SchnorrSignature,
+    SchnorrSigner,
+    SchnorrVerifier,
+    generate_signing_keypair,
+)
+
+
+class TestKeyAgreement:
+    def test_agreement_is_symmetric(self):
+        ka = KeyAgreement(TOY_GROUP)
+        alice, bob = ka.generate(), ka.generate()
+        assert ka.agree(alice, bob.public) == ka.agree(bob, alice.public)
+
+    def test_agreement_is_symmetric_full_group(self):
+        ka = KeyAgreement(MODP_2048)
+        alice, bob = ka.generate(), ka.generate()
+        key = ka.agree(alice, bob.public)
+        assert key == ka.agree(bob, alice.public)
+        assert len(key) == 32
+
+    def test_third_party_disagrees(self):
+        ka = KeyAgreement(TOY_GROUP)
+        alice, bob, eve = ka.generate(), ka.generate(), ka.generate()
+        assert ka.agree(alice, bob.public) != ka.agree(eve, bob.public)
+
+    def test_degenerate_public_keys_rejected(self):
+        ka = KeyAgreement(TOY_GROUP)
+        mine = ka.generate()
+        for bad in (0, 1, TOY_GROUP.p - 1, TOY_GROUP.p):
+            with pytest.raises(ValueError):
+                ka.agree(mine, bad)
+
+    def test_public_bytes_fixed_width(self):
+        ka = KeyAgreement(MODP_2048)
+        assert len(ka.generate().public_bytes()) == 256
+
+
+class TestAuthenticatedEncryption:
+    def test_roundtrip(self):
+        ae = AuthenticatedEncryption(b"k" * 32)
+        blob = ae.encrypt(b"share payload u||v||s||b||g")
+        assert ae.decrypt(blob) == b"share payload u||v||s||b||g"
+
+    def test_nonce_freshness(self):
+        ae = AuthenticatedEncryption(b"k" * 32)
+        assert ae.encrypt(b"same") != ae.encrypt(b"same")
+
+    def test_tampering_detected(self):
+        ae = AuthenticatedEncryption(b"k" * 32)
+        blob = bytearray(ae.encrypt(b"payload"))
+        blob[20] ^= 0x01
+        with pytest.raises(AEError):
+            ae.decrypt(bytes(blob))
+
+    def test_wrong_key_rejected(self):
+        blob = AuthenticatedEncryption(b"a" * 32).encrypt(b"payload")
+        with pytest.raises(AEError):
+            AuthenticatedEncryption(b"b" * 32).decrypt(blob)
+
+    def test_truncated_blob_rejected(self):
+        with pytest.raises(AEError):
+            AuthenticatedEncryption(b"k" * 32).decrypt(b"short")
+
+    def test_bad_key_length_rejected(self):
+        with pytest.raises(ValueError):
+            AuthenticatedEncryption(b"short-key")
+
+    @given(payload=st.binary(min_size=0, max_size=500))
+    @settings(max_examples=30)
+    def test_roundtrip_arbitrary_payloads(self, payload):
+        ae = AuthenticatedEncryption(bytes(range(32)))
+        assert ae.decrypt(ae.encrypt(payload)) == payload
+
+
+class TestSchnorrSignatures:
+    def test_sign_verify_roundtrip(self):
+        sk, vk = generate_signing_keypair(TOY_GROUP)
+        sig = SchnorrSigner(sk, TOY_GROUP).sign(b"round-7")
+        assert SchnorrVerifier(vk, TOY_GROUP).verify(b"round-7", sig)
+
+    def test_sign_verify_roundtrip_full_group(self):
+        sk, vk = generate_signing_keypair()
+        sig = SchnorrSigner(sk).sign(b"round-7||U3")
+        assert SchnorrVerifier(vk).verify(b"round-7||U3", sig)
+
+    def test_wrong_message_rejected(self):
+        sk, vk = generate_signing_keypair(TOY_GROUP)
+        sig = SchnorrSigner(sk, TOY_GROUP).sign(b"round-7")
+        assert not SchnorrVerifier(vk, TOY_GROUP).verify(b"round-8", sig)
+
+    def test_wrong_key_rejected(self):
+        sk1, _ = generate_signing_keypair(TOY_GROUP)
+        _, vk2 = generate_signing_keypair(TOY_GROUP)
+        sig = SchnorrSigner(sk1, TOY_GROUP).sign(b"msg")
+        assert not SchnorrVerifier(vk2, TOY_GROUP).verify(b"msg", sig)
+
+    def test_forged_signature_rejected(self):
+        """A server that wants to pretend a dropped client survived must
+        forge its round-number signature (§3.3); random forgeries fail."""
+        _, vk = generate_signing_keypair(TOY_GROUP)
+        verifier = SchnorrVerifier(vk, TOY_GROUP)
+        for e in range(1, 30):
+            assert not verifier.verify(b"round-7", SchnorrSignature(e=e, s=e * 7 % TOY_GROUP.q))
+
+    def test_out_of_range_components_rejected(self):
+        _, vk = generate_signing_keypair(TOY_GROUP)
+        verifier = SchnorrVerifier(vk, TOY_GROUP)
+        assert not verifier.verify(b"m", SchnorrSignature(e=-1, s=5))
+        assert not verifier.verify(b"m", SchnorrSignature(e=5, s=TOY_GROUP.q))
+
+    def test_serialization_roundtrip(self):
+        sk, vk = generate_signing_keypair()
+        sig = SchnorrSigner(sk).sign(b"message")
+        decoded = SchnorrSignature.from_bytes(sig.to_bytes())
+        assert decoded == sig
+        assert SchnorrVerifier(vk).verify(b"message", decoded)
+
+    def test_malformed_serialization_rejected(self):
+        with pytest.raises(ValueError):
+            SchnorrSignature.from_bytes(b"\x00" * 5)
+
+    def test_bad_signing_key_rejected(self):
+        with pytest.raises(ValueError):
+            SchnorrSigner(0, TOY_GROUP)
+
+
+class TestPKI:
+    def test_register_and_lookup(self):
+        pki = PublicKeyInfrastructure(TOY_GROUP)
+        signer = pki.register(7)
+        sig = signer.sign(b"hello")
+        assert pki.verifier(7).verify(b"hello", sig)
+
+    def test_cross_identity_verification_fails(self):
+        pki = PublicKeyInfrastructure(TOY_GROUP)
+        signer7 = pki.register(7)
+        pki.register(8)
+        sig = signer7.sign(b"hello")
+        assert not pki.verifier(8).verify(b"hello", sig)
+
+    def test_reregistration_rejected(self):
+        pki = PublicKeyInfrastructure(TOY_GROUP)
+        pki.register(1)
+        with pytest.raises(ValueError):
+            pki.register(1)
+
+    def test_unknown_identity_lookup_raises(self):
+        pki = PublicKeyInfrastructure(TOY_GROUP)
+        with pytest.raises(KeyError):
+            pki.verifier(99)
+
+    def test_len_counts_registrations(self):
+        pki = PublicKeyInfrastructure(TOY_GROUP)
+        for i in range(5):
+            pki.register(i)
+        assert len(pki) == 5

@@ -1,0 +1,97 @@
+"""VRF: correctness, uniqueness, unforgeability, output mapping."""
+
+import pytest
+
+from repro.crypto.dh import MODP_512
+from repro.crypto.vrf import (
+    VRFProof,
+    generate_vrf_keypair,
+    output_to_unit,
+    vrf_prove,
+    vrf_verify,
+)
+
+GROUP = MODP_512  # structurally identical to MODP_2048, fast for tests
+
+
+class TestProveVerify:
+    def test_roundtrip(self):
+        sk, pk = generate_vrf_keypair(GROUP)
+        out, proof = vrf_prove(sk, b"round:7", GROUP)
+        assert vrf_verify(pk, b"round:7", out, proof, GROUP)
+
+    def test_full_group_roundtrip(self):
+        sk, pk = generate_vrf_keypair()
+        out, proof = vrf_prove(sk, b"round:7")
+        assert vrf_verify(pk, b"round:7", out, proof)
+
+    def test_wrong_message_rejected(self):
+        sk, pk = generate_vrf_keypair(GROUP)
+        out, proof = vrf_prove(sk, b"round:7", GROUP)
+        assert not vrf_verify(pk, b"round:8", out, proof, GROUP)
+
+    def test_wrong_key_rejected(self):
+        sk, _ = generate_vrf_keypair(GROUP)
+        _, pk2 = generate_vrf_keypair(GROUP)
+        out, proof = vrf_prove(sk, b"m", GROUP)
+        assert not vrf_verify(pk2, b"m", out, proof, GROUP)
+
+    def test_tampered_output_rejected(self):
+        sk, pk = generate_vrf_keypair(GROUP)
+        out, proof = vrf_prove(sk, b"m", GROUP)
+        tampered = bytes([out[0] ^ 1]) + out[1:]
+        assert not vrf_verify(pk, b"m", tampered, proof, GROUP)
+
+    def test_tampered_proof_rejected(self):
+        sk, pk = generate_vrf_keypair(GROUP)
+        out, proof = vrf_prove(sk, b"m", GROUP)
+        for forged in (
+            VRFProof(proof.gamma + 1, proof.c, proof.s),
+            VRFProof(proof.gamma, (proof.c + 1) % GROUP.q, proof.s),
+            VRFProof(proof.gamma, proof.c, (proof.s + 1) % GROUP.q),
+        ):
+            assert not vrf_verify(pk, b"m", out, forged, GROUP)
+
+    def test_out_of_range_components_rejected(self):
+        sk, pk = generate_vrf_keypair(GROUP)
+        out, proof = vrf_prove(sk, b"m", GROUP)
+        assert not vrf_verify(pk, b"m", out, VRFProof(proof.gamma, -1, proof.s), GROUP)
+        assert not vrf_verify(0, b"m", out, proof, GROUP)
+
+
+class TestUniqueness:
+    def test_output_is_deterministic_per_key_and_message(self):
+        """Uniqueness — the anti-grinding property §7 relies on."""
+        sk, pk = generate_vrf_keypair(GROUP)
+        out1, proof1 = vrf_prove(sk, b"round:3", GROUP)
+        out2, proof2 = vrf_prove(sk, b"round:3", GROUP)
+        assert out1 == out2
+        assert proof1.gamma == proof2.gamma  # γ unique; (c, s) may differ
+        assert vrf_verify(pk, b"round:3", out1, proof2, GROUP)
+
+    def test_different_messages_different_outputs(self):
+        sk, _ = generate_vrf_keypair(GROUP)
+        assert vrf_prove(sk, b"a", GROUP)[0] != vrf_prove(sk, b"b", GROUP)[0]
+
+    def test_different_keys_different_outputs(self):
+        sk1, _ = generate_vrf_keypair(GROUP)
+        sk2, _ = generate_vrf_keypair(GROUP)
+        assert vrf_prove(sk1, b"m", GROUP)[0] != vrf_prove(sk2, b"m", GROUP)[0]
+
+
+class TestOutputMapping:
+    def test_unit_interval(self):
+        sk, _ = generate_vrf_keypair(GROUP)
+        for r in range(20):
+            out, _ = vrf_prove(sk, f"round:{r}".encode(), GROUP)
+            assert 0.0 <= output_to_unit(out) < 1.0
+
+    def test_roughly_uniform(self):
+        """Outputs across keys spread over [0, 1)."""
+        values = []
+        for _ in range(40):
+            sk, _ = generate_vrf_keypair(GROUP)
+            out, _ = vrf_prove(sk, b"round:0", GROUP)
+            values.append(output_to_unit(out))
+        assert min(values) < 0.25
+        assert max(values) > 0.75

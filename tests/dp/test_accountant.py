@@ -1,0 +1,144 @@
+"""RDP accounting: curves, composition, conversion, monotonicity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dp.accountant import (
+    DEFAULT_ORDERS,
+    RdpAccountant,
+    gaussian_rdp,
+    rdp_to_epsilon,
+    skellam_rdp,
+)
+
+
+class TestGaussianRdp:
+    def test_curve_formula(self):
+        rdp = gaussian_rdp((2.0, 4.0), sigma=1.0, sensitivity=1.0)
+        np.testing.assert_allclose(rdp, [1.0, 2.0])
+
+    def test_scales_with_sensitivity_squared(self):
+        base = gaussian_rdp(DEFAULT_ORDERS, sigma=2.0, sensitivity=1.0)
+        double = gaussian_rdp(DEFAULT_ORDERS, sigma=2.0, sensitivity=2.0)
+        np.testing.assert_allclose(double, 4 * base)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            gaussian_rdp(DEFAULT_ORDERS, sigma=0.0)
+
+    def test_negative_sensitivity(self):
+        with pytest.raises(ValueError):
+            gaussian_rdp(DEFAULT_ORDERS, sigma=1.0, sensitivity=-1.0)
+
+
+class TestSkellamRdp:
+    def test_approaches_gaussian_for_large_variance(self):
+        """Skellam → Gaussian as variance grows (Agarwal et al. limit)."""
+        sens = 10.0
+        variance = 1e8
+        sk = skellam_rdp(DEFAULT_ORDERS, variance, sens)
+        ga = gaussian_rdp(DEFAULT_ORDERS, variance**0.5, sens)
+        np.testing.assert_allclose(sk, ga, rtol=1e-3)
+
+    def test_always_at_least_gaussian(self):
+        """The discrete correction term is non-negative."""
+        sk = skellam_rdp(DEFAULT_ORDERS, 100.0, 3.0)
+        ga = gaussian_rdp(DEFAULT_ORDERS, 10.0, 3.0)
+        assert np.all(sk >= ga - 1e-12)
+
+    @given(
+        var=st.floats(min_value=1.0, max_value=1e6),
+        sens=st.floats(min_value=0.1, max_value=100.0),
+    )
+    @settings(max_examples=30)
+    def test_monotone_decreasing_in_variance(self, var, sens):
+        tighter = skellam_rdp(DEFAULT_ORDERS, var * 2, sens)
+        looser = skellam_rdp(DEFAULT_ORDERS, var, sens)
+        assert np.all(tighter <= looser + 1e-12)
+
+    def test_explicit_l1_tightens_or_matches(self):
+        generic = skellam_rdp(DEFAULT_ORDERS, 100.0, 4.0)
+        explicit = skellam_rdp(DEFAULT_ORDERS, 100.0, 4.0, l1_sensitivity=1.0)
+        assert np.all(explicit <= generic + 1e-12)
+
+    def test_invalid_variance(self):
+        with pytest.raises(ValueError):
+            skellam_rdp(DEFAULT_ORDERS, 0.0, 1.0)
+
+
+class TestConversion:
+    def test_known_gaussian_point(self):
+        """Single Gaussian release, σ = 5, Δ = 1, δ = 1e-5 → small ε."""
+        rdp = gaussian_rdp(DEFAULT_ORDERS, sigma=5.0)
+        eps = rdp_to_epsilon(DEFAULT_ORDERS, rdp, delta=1e-5)
+        assert 0.5 < eps < 2.0  # classical (ε,δ) for σ=5 is ≈ 0.96
+
+    def test_smaller_delta_larger_epsilon(self):
+        rdp = gaussian_rdp(DEFAULT_ORDERS, sigma=2.0)
+        assert rdp_to_epsilon(DEFAULT_ORDERS, rdp, 1e-8) > rdp_to_epsilon(
+            DEFAULT_ORDERS, rdp, 1e-3
+        )
+
+    def test_epsilon_never_negative(self):
+        rdp = gaussian_rdp(DEFAULT_ORDERS, sigma=1e9)
+        assert rdp_to_epsilon(DEFAULT_ORDERS, rdp, 0.5) >= 0.0
+
+    def test_invalid_delta(self):
+        rdp = gaussian_rdp(DEFAULT_ORDERS, sigma=1.0)
+        for bad in (0.0, 1.0, -0.1, 2.0):
+            with pytest.raises(ValueError):
+                rdp_to_epsilon(DEFAULT_ORDERS, rdp, bad)
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            rdp_to_epsilon((2.0, 3.0), np.array([1.0]), 1e-5)
+
+
+class TestAccountant:
+    def test_fresh_accountant_spends_nothing(self):
+        assert RdpAccountant(delta=1e-5).epsilon() == 0.0
+
+    def test_composition_grows_epsilon(self):
+        acc = RdpAccountant(delta=1e-5)
+        acc.spend_gaussian(2.0)
+        one = acc.epsilon()
+        acc.spend_gaussian(2.0)
+        assert acc.epsilon() > one
+
+    def test_composition_is_additive_in_rdp(self):
+        """R identical Gaussian rounds = one round at σ/√R (RDP algebra)."""
+        many = RdpAccountant(delta=1e-5)
+        for _ in range(16):
+            many.spend_gaussian(4.0)
+        single = RdpAccountant(delta=1e-5)
+        single.spend_gaussian(1.0)  # 4/√16
+        assert many.epsilon() == pytest.approx(single.epsilon(), rel=1e-9)
+
+    def test_lower_actual_noise_costs_more(self):
+        """The dropout effect: missing noise shares inflate ε (§2.3.1)."""
+        planned = RdpAccountant(delta=1e-5)
+        degraded = RdpAccountant(delta=1e-5)
+        for _ in range(10):
+            planned.spend_gaussian(3.0)
+            degraded.spend_gaussian(3.0 * (0.6**0.5))  # 40% of noise missing
+        assert degraded.epsilon() > planned.epsilon()
+
+    def test_copy_isolates_state(self):
+        acc = RdpAccountant(delta=1e-5)
+        acc.spend_gaussian(2.0)
+        snap = acc.copy()
+        acc.spend_gaussian(2.0)
+        assert snap.rounds_accounted == 1
+        assert acc.rounds_accounted == 2
+        assert snap.epsilon() < acc.epsilon()
+
+    def test_skellam_spend_tracks_rounds(self):
+        acc = RdpAccountant(delta=1e-5)
+        acc.spend_skellam(variance=400.0, l2_sensitivity=2.0)
+        assert acc.rounds_accounted == 1
+        assert acc.epsilon() > 0
+
+    def test_invalid_delta_rejected(self):
+        with pytest.raises(ValueError):
+            RdpAccountant(delta=0.0)

@@ -1,0 +1,124 @@
+"""Discrete Gaussian sampling and the DDGauss mechanism."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.dp.dgauss import (
+    DGaussConfig,
+    DiscreteGaussianMechanism,
+    sample_discrete_gaussian,
+    sample_discrete_laplace,
+)
+from repro.utils.rng import derive_rng
+
+
+class TestDiscreteLaplace:
+    def test_symmetric_and_integer(self):
+        draws = sample_discrete_laplace(3.0, 50_000, derive_rng("dlap"))
+        assert draws.dtype == np.int64
+        assert abs(draws.mean()) < 0.1
+
+    def test_variance_scales_with_t(self):
+        small = sample_discrete_laplace(1.0, 50_000, derive_rng("dlap-s"))
+        large = sample_discrete_laplace(4.0, 50_000, derive_rng("dlap-l"))
+        assert large.var() > 4 * small.var()
+
+    def test_invalid_t(self):
+        with pytest.raises(ValueError):
+            sample_discrete_laplace(0.0, 10, derive_rng("x"))
+
+
+class TestDiscreteGaussian:
+    def test_moments(self):
+        variance = 25.0
+        draws = sample_discrete_gaussian(variance, 60_000, derive_rng("dg"))
+        assert abs(draws.mean()) < 0.1
+        assert draws.var() == pytest.approx(variance, rel=0.05)
+
+    def test_distribution_matches_target_pmf(self):
+        """Chi-squared goodness of fit against exp(−k²/2σ²)/Z."""
+        sigma2 = 4.0
+        draws = sample_discrete_gaussian(sigma2, 80_000, derive_rng("dg-fit"))
+        ks = np.arange(-8, 9)
+        target = np.exp(-(ks**2) / (2 * sigma2))
+        target /= target.sum()
+        observed = np.array([(draws == k).sum() for k in ks], dtype=float)
+        # Fold the (tiny) tail mass outside ±8 into the edges.
+        observed[0] += (draws < -8).sum()
+        observed[-1] += (draws > 8).sum()
+        expected = target * observed.sum()
+        chi2 = ((observed - expected) ** 2 / expected).sum()
+        # 16 dof; p = 0.001 critical value ≈ 39 — generous but strict
+        # enough to catch a wrong sampler.
+        assert chi2 < 39.0
+
+    def test_zero_variance(self):
+        assert not sample_discrete_gaussian(0.0, 16, derive_rng("z")).any()
+
+    def test_negative_variance_rejected(self):
+        with pytest.raises(ValueError):
+            sample_discrete_gaussian(-1.0, 4, derive_rng("n"))
+
+    def test_deterministic_under_seeded_rng(self):
+        a = sample_discrete_gaussian(9.0, 100, derive_rng("det"))
+        b = sample_discrete_gaussian(9.0, 100, derive_rng("det"))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestMechanism:
+    def make(self, dim=64, scale=128.0):
+        return DiscreteGaussianMechanism(
+            DGaussConfig(dimension=dim, clip_bound=1.0, bits=20, scale=scale)
+        )
+
+    def test_noiseless_roundtrip(self):
+        mech = self.make()
+        update = derive_rng("ddg-rt").normal(size=64) * 0.05
+        decoded = mech.decode(mech.encode(update, 0.0, derive_rng("ddg-rng")))
+        np.testing.assert_allclose(decoded, update, atol=5 / 128.0)
+
+    def test_multi_client_aggregate(self):
+        mech = self.make()
+        rng = derive_rng("ddg-agg")
+        updates = [derive_rng("ddg", i).normal(size=64) * 0.05 for i in range(6)]
+        encoded = [mech.encode(u, 0.0, rng) for u in updates]
+        decoded = mech.decode(mech.aggregate_ring(encoded))
+        np.testing.assert_allclose(decoded, sum(updates), atol=6 * 5 / 128.0)
+
+    def test_not_closed_under_summation_flagged(self):
+        """The property XNoise requires — and DDGauss lacks (§3/§5)."""
+        assert DiscreteGaussianMechanism.closed_under_summation is False
+        from repro.dp.skellam import SkellamMechanism
+
+        # Skellam, by contrast, never declares the flag false.
+        assert not hasattr(SkellamMechanism, "closed_under_summation") or (
+            SkellamMechanism.closed_under_summation
+        )
+
+    def test_rdp_curve_matches_gaussian(self):
+        from repro.dp.accountant import DEFAULT_ORDERS, gaussian_rdp
+
+        mech = self.make()
+        curve = mech.rdp_curve(DEFAULT_ORDERS, aggregate_variance=1e6)
+        expected = gaussian_rdp(
+            DEFAULT_ORDERS, 1e3, mech.scaled_l2_sensitivity()
+        )
+        np.testing.assert_allclose(curve, expected)
+
+    def test_aggregate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().aggregate_ring([])
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(dimension=0, clip_bound=1.0),
+            dict(dimension=8, clip_bound=0.0),
+            dict(dimension=8, clip_bound=1.0, bits=2),
+            dict(dimension=8, clip_bound=1.0, scale=0.0),
+        ],
+    )
+    def test_config_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            DGaussConfig(**kwargs)

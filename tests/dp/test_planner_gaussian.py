@@ -1,0 +1,115 @@
+"""Offline noise planning and the distributed Gaussian mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.dp.accountant import RdpAccountant
+from repro.dp.gaussian import DistributedGaussianMechanism
+from repro.dp.planner import plan_noise
+from repro.utils.rng import derive_rng
+
+
+class TestPlanner:
+    def test_plan_meets_budget_exactly(self):
+        plan = plan_noise(rounds=50, epsilon_budget=6.0, delta=1e-3, l2_sensitivity=1.0)
+        eps = plan.epsilon_if_executed()
+        assert eps <= 6.0
+        assert eps >= 6.0 * 0.995  # prudent: budget nearly exhausted
+
+    def test_more_rounds_need_more_noise(self):
+        short = plan_noise(10, 6.0, 1e-3, 1.0)
+        long = plan_noise(100, 6.0, 1e-3, 1.0)
+        assert long.sigma > short.sigma
+
+    def test_smaller_budget_needs_more_noise(self):
+        tight = plan_noise(50, 3.0, 1e-3, 1.0)
+        loose = plan_noise(50, 9.0, 1e-3, 1.0)
+        assert tight.sigma > loose.sigma
+
+    def test_sigma_scales_linearly_with_sensitivity(self):
+        unit = plan_noise(20, 6.0, 1e-3, 1.0)
+        scaled = plan_noise(20, 6.0, 1e-3, 5.0)
+        assert scaled.sigma == pytest.approx(5 * unit.sigma, rel=1e-3)
+        assert scaled.noise_multiplier == pytest.approx(unit.noise_multiplier, rel=1e-3)
+
+    def test_skellam_plan_close_to_gaussian_for_large_sigma(self):
+        ga = plan_noise(50, 6.0, 1e-3, 100.0, mechanism="gaussian")
+        sk = plan_noise(50, 6.0, 1e-3, 100.0, mechanism="skellam")
+        assert sk.sigma >= ga.sigma  # discrete correction never helps
+        assert sk.sigma == pytest.approx(ga.sigma, rel=0.05)
+
+    def test_partial_execution_spends_partial_budget(self):
+        plan = plan_noise(100, 6.0, 1e-3, 1.0)
+        half = plan.epsilon_if_executed(50)
+        assert 0 < half < 6.0
+
+    def test_dropout_without_xnoise_overruns_budget(self):
+        """The paper's core motivation (Fig 1): execute the plan but with 30%
+        of each round's noise missing — consumed ε overshoots the budget."""
+        plan = plan_noise(rounds=60, epsilon_budget=6.0, delta=1e-3, l2_sensitivity=1.0)
+        acc = plan.fresh_accountant()
+        for _ in range(60):
+            plan.spend_round(acc, plan.variance * 0.7)
+        assert acc.epsilon() > 6.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(rounds=0, epsilon_budget=6.0, delta=1e-3, l2_sensitivity=1.0),
+            dict(rounds=5, epsilon_budget=0.0, delta=1e-3, l2_sensitivity=1.0),
+            dict(rounds=5, epsilon_budget=6.0, delta=1e-3, l2_sensitivity=0.0),
+            dict(
+                rounds=5,
+                epsilon_budget=6.0,
+                delta=1e-3,
+                l2_sensitivity=1.0,
+                mechanism="laplace",
+            ),
+        ],
+    )
+    def test_invalid_inputs(self, kwargs):
+        with pytest.raises(ValueError):
+            plan_noise(**kwargs)
+
+    def test_spend_round_rejects_nonpositive_variance(self):
+        plan = plan_noise(5, 6.0, 1e-3, 1.0)
+        with pytest.raises(ValueError):
+            plan.spend_round(plan.fresh_accountant(), 0.0)
+
+
+class TestDistributedGaussian:
+    def test_clipping(self):
+        mech = DistributedGaussianMechanism(clip_bound=1.0)
+        prepared = mech.prepare_update(np.ones(16))
+        assert np.linalg.norm(prepared) == pytest.approx(1.0)
+
+    def test_noise_share_variance(self):
+        mech = DistributedGaussianMechanism(clip_bound=1.0)
+        noise = mech.sample_noise(4.0, derive_rng("g-noise"), 50_000)
+        assert noise.var() == pytest.approx(4.0, rel=0.05)
+
+    def test_shares_sum_to_target_level(self):
+        """n clients each adding σ²/n yields aggregate variance σ²."""
+        mech = DistributedGaussianMechanism(clip_bound=1.0)
+        rng = derive_rng("g-sum")
+        n, target = 10, 9.0
+        agg = sum(mech.sample_noise(target / n, rng, 50_000) for _ in range(n))
+        assert agg.var() == pytest.approx(target, rel=0.05)
+
+    def test_zero_variance_noise_is_zero(self):
+        mech = DistributedGaussianMechanism(clip_bound=1.0)
+        assert not mech.sample_noise(0.0, derive_rng("z"), 10).any()
+
+    def test_perturb_combines_clip_and_noise(self):
+        mech = DistributedGaussianMechanism(clip_bound=1.0)
+        out = mech.perturb(np.ones(8) * 100, 0.0, derive_rng("p"))
+        assert np.linalg.norm(out) == pytest.approx(1.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            DistributedGaussianMechanism(clip_bound=0.0)
+
+    def test_negative_variance_rejected(self):
+        mech = DistributedGaussianMechanism(clip_bound=1.0)
+        with pytest.raises(ValueError):
+            mech.sample_noise(-1.0, derive_rng("n"), 4)

@@ -1,0 +1,184 @@
+"""Quantization and rotation: unbiasedness, invertibility, ring round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dp.quantize import (
+    clip_l2,
+    conditional_stochastic_round,
+    stochastic_round,
+    unwrap_modular,
+    wrap_modular,
+)
+from repro.dp.rotation import RandomizedHadamard, fwht
+from repro.utils.rng import derive_rng
+
+
+class TestClipping:
+    def test_short_vector_untouched(self):
+        v = np.array([0.3, 0.4])
+        np.testing.assert_allclose(clip_l2(v, 1.0), v)
+
+    def test_long_vector_scaled_to_bound(self):
+        v = np.array([3.0, 4.0])  # norm 5
+        clipped = clip_l2(v, 1.0)
+        assert np.linalg.norm(clipped) == pytest.approx(1.0)
+        np.testing.assert_allclose(clipped, v / 5.0)
+
+    def test_zero_vector_safe(self):
+        np.testing.assert_allclose(clip_l2(np.zeros(4), 1.0), np.zeros(4))
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            clip_l2(np.ones(3), 0.0)
+
+    @given(
+        scale=st.floats(min_value=0.1, max_value=100.0),
+        bound=st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=30)
+    def test_clip_never_exceeds_bound(self, scale, bound):
+        rng = derive_rng("clip-test", int(scale * 1000), int(bound * 1000))
+        v = rng.normal(size=32) * scale
+        assert np.linalg.norm(clip_l2(v, bound)) <= bound * (1 + 1e-9)
+
+
+class TestStochasticRounding:
+    def test_integers_unchanged(self):
+        v = np.array([1.0, -3.0, 0.0, 7.0])
+        rng = derive_rng("round", 0)
+        np.testing.assert_array_equal(stochastic_round(v, rng), v.astype(np.int64))
+
+    def test_unbiased(self):
+        rng = derive_rng("round-bias")
+        x = 2.3
+        draws = np.array([stochastic_round(np.array([x]), rng)[0] for _ in range(4000)])
+        assert draws.mean() == pytest.approx(x, abs=0.05)
+        assert set(np.unique(draws)) <= {2, 3}
+
+    def test_negative_values(self):
+        rng = derive_rng("round-neg")
+        draws = np.array(
+            [stochastic_round(np.array([-1.5]), rng)[0] for _ in range(2000)]
+        )
+        assert set(np.unique(draws)) <= {-2, -1}
+        assert draws.mean() == pytest.approx(-1.5, abs=0.06)
+
+    def test_conditional_rounding_respects_bound(self):
+        rng = derive_rng("cond-round")
+        v = derive_rng("cond-round-vec").normal(size=64) * 3
+        bound = np.linalg.norm(v) + np.sqrt(64) / 2
+        rounded = conditional_stochastic_round(v, rng, bound)
+        assert np.linalg.norm(rounded) <= bound
+
+    def test_conditional_rounding_fallback_is_deterministic_round(self):
+        rng = derive_rng("cond-round-fb")
+        v = np.array([10.6, -10.6])
+        # Impossible bound forces the fallback.
+        rounded = conditional_stochastic_round(v, rng, norm_bound=0.0, max_attempts=3)
+        np.testing.assert_array_equal(rounded, np.array([11, -11]))
+
+
+class TestModularRing:
+    @given(
+        bits=st.integers(min_value=4, max_value=32),
+        data=st.data(),
+    )
+    @settings(max_examples=40)
+    def test_wrap_unwrap_roundtrip_in_signed_range(self, bits, data):
+        half = 1 << (bits - 1)
+        values = data.draw(
+            st.lists(
+                st.integers(min_value=-half, max_value=half - 1),
+                min_size=1,
+                max_size=20,
+            )
+        )
+        v = np.array(values, dtype=np.int64)
+        np.testing.assert_array_equal(unwrap_modular(wrap_modular(v, bits), bits), v)
+
+    def test_sum_mod_ring_matches_integer_sum_when_in_range(self):
+        """Aggregating wrapped values mod 2^b recovers the true signed sum
+        as long as it stays inside [−2^(b−1), 2^(b−1)) — the ring-headroom
+        property choose_scale guarantees."""
+        bits = 10
+        vectors = [np.array([100, -200, 50]), np.array([-30, 220, -400])]
+        ring_sum = sum(wrap_modular(v, bits) for v in vectors) % (1 << bits)
+        np.testing.assert_array_equal(
+            unwrap_modular(ring_sum, bits), vectors[0] + vectors[1]
+        )
+
+    def test_overflow_wraps(self):
+        bits = 8  # signed range [-128, 128)
+        v = np.array([127], dtype=np.int64)
+        ring = (wrap_modular(v, bits) + wrap_modular(v, bits)) % (1 << bits)
+        assert unwrap_modular(ring, bits)[0] == 254 - 256  # wrapped around
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            wrap_modular(np.array([1]), 0)
+        with pytest.raises(ValueError):
+            unwrap_modular(np.array([1]), 63)
+
+
+class TestHadamard:
+    def test_fwht_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            fwht(np.ones(5))
+
+    def test_fwht_matches_matrix_definition(self):
+        # H_2 = [[1, 1], [1, -1]] applied recursively.
+        v = np.array([1.0, 2.0, 3.0, 4.0])
+        expected = np.array(
+            [
+                v[0] + v[1] + v[2] + v[3],
+                v[0] - v[1] + v[2] - v[3],
+                v[0] + v[1] - v[2] - v[3],
+                v[0] - v[1] - v[2] + v[3],
+            ]
+        )
+        np.testing.assert_allclose(fwht(v), expected)
+
+    @given(dim=st.integers(min_value=1, max_value=100))
+    @settings(max_examples=30)
+    def test_forward_inverse_roundtrip(self, dim):
+        rot = RandomizedHadamard(dim, b"seed")
+        v = derive_rng("rot-test", dim).normal(size=dim)
+        np.testing.assert_allclose(rot.inverse(rot.forward(v)), v, atol=1e-9)
+
+    def test_norm_preserved(self):
+        rot = RandomizedHadamard(50, b"seed")
+        v = derive_rng("rot-norm").normal(size=50)
+        assert np.linalg.norm(rot.forward(v)) == pytest.approx(np.linalg.norm(v))
+
+    def test_same_seed_same_rotation(self):
+        v = derive_rng("rot-det").normal(size=16)
+        a = RandomizedHadamard(16, b"s1").forward(v)
+        b = RandomizedHadamard(16, b"s1").forward(v)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seed_different_rotation(self):
+        v = derive_rng("rot-det2").normal(size=16)
+        a = RandomizedHadamard(16, b"s1").forward(v)
+        b = RandomizedHadamard(16, b"s2").forward(v)
+        assert not np.allclose(a, b)
+
+    def test_flattening_reduces_peak_coordinate(self):
+        """A one-hot vector's energy spreads across all coordinates."""
+        dim = 256
+        v = np.zeros(dim)
+        v[3] = 1.0
+        rotated = RandomizedHadamard(dim, b"flat").forward(v)
+        assert np.abs(rotated).max() <= 3.0 / np.sqrt(dim)
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            RandomizedHadamard(0)
+
+    def test_shape_validation(self):
+        rot = RandomizedHadamard(10)
+        with pytest.raises(ValueError):
+            rot.forward(np.zeros(11))
+        with pytest.raises(ValueError):
+            rot.inverse(np.zeros(10))  # padded dim is 16

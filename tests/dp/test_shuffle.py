@@ -1,0 +1,122 @@
+"""Shuffle-model substrate: amplification bound and noise comparison."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dp.planner import plan_noise
+from repro.dp.shuffle import (
+    ShuffleModelAggregator,
+    amplification_bound,
+    gaussian_sigma_for_local_epsilon,
+    local_epsilon_for_central,
+)
+from repro.utils.rng import derive_rng
+
+
+class TestAmplificationBound:
+    def test_amplifies_below_local_epsilon(self):
+        eps0 = 1.0
+        amplified = amplification_bound(eps0, n=10_000, delta=1e-6)
+        assert amplified < eps0 / 5
+
+    def test_monotone_in_epsilon0(self):
+        a = amplification_bound(0.5, 10_000, 1e-6)
+        b = amplification_bound(1.5, 10_000, 1e-6)
+        assert a < b
+
+    def test_vanishes_with_population(self):
+        small = amplification_bound(1.0, 1_000, 1e-6)
+        large = amplification_bound(1.0, 100_000, 1e-6)
+        assert large < small / 5
+
+    def test_validity_range_enforced(self):
+        """Extrapolating a privacy bound silently is a bug; we refuse."""
+        with pytest.raises(ValueError):
+            amplification_bound(10.0, 100, 1e-6)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(epsilon0=0.0, n=100, delta=1e-6),
+            dict(epsilon0=0.5, n=1, delta=1e-6),
+            dict(epsilon0=0.5, n=100, delta=0.0),
+        ],
+    )
+    def test_invalid_inputs(self, kwargs):
+        with pytest.raises(ValueError):
+            amplification_bound(**kwargs)
+
+
+class TestInverseCalibration:
+    def test_roundtrip(self):
+        eps0 = local_epsilon_for_central(0.5, 50_000, 1e-6)
+        assert amplification_bound(eps0, 50_000, 1e-6) == pytest.approx(
+            0.5, rel=0.01
+        )
+
+    def test_capped_at_validity_limit(self):
+        """When even the largest valid ε₀ amplifies below the target, the
+        cap is returned rather than extrapolating the bound."""
+        limit = math.log(50_000 / (16.0 * math.log(2e6)))
+        eps0 = local_epsilon_for_central(50.0, 50_000, 1e-6)
+        assert eps0 == pytest.approx(limit)
+
+    def test_larger_population_allows_larger_local_epsilon(self):
+        small = local_epsilon_for_central(1.0, 5_000, 1e-6)
+        large = local_epsilon_for_central(1.0, 500_000, 1e-6)
+        assert large > small
+
+    def test_tiny_population_rejected(self):
+        with pytest.raises(ValueError):
+            local_epsilon_for_central(1.0, 20, 1e-6)
+
+    def test_gaussian_calibration(self):
+        sigma = gaussian_sigma_for_local_epsilon(1.0, 1e-5, 1.0)
+        assert sigma == pytest.approx(math.sqrt(2 * math.log(1.25e5)), rel=1e-9)
+        with pytest.raises(ValueError):
+            gaussian_sigma_for_local_epsilon(0.0, 1e-5, 1.0)
+
+
+class TestShuffleAggregator:
+    def make(self, n=5000, eps=1.0):
+        return ShuffleModelAggregator(
+            epsilon=eps, delta=1e-6, n_clients=n, clip_bound=1.0
+        )
+
+    def test_round_recovers_mean_up_to_noise(self):
+        agg = self.make(n=5000)
+        rng = derive_rng("shuffle-round")
+        dim = 8
+        updates = [derive_rng("sh", i).normal(size=dim) * 0.05 for i in range(5000)]
+        reports = [agg.randomize(u, rng) for u in updates]
+        total = agg.shuffle_and_aggregate(reports, rng)
+        mean = total / 5000
+        truth = np.mean(updates, axis=0)
+        noise_std = agg.local_sigma / math.sqrt(5000)
+        assert np.abs(mean - truth).max() < 6 * noise_std
+
+    def test_wrong_report_count_rejected(self):
+        agg = self.make(n=5000)
+        with pytest.raises(ValueError):
+            agg.shuffle_and_aggregate([np.zeros(3)] * 4999, derive_rng("x"))
+
+    def test_population_too_small_to_amplify_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(n=100)
+
+    def test_shuffle_model_needs_more_noise_than_distributed_dp(self):
+        """The §2.2 comparison: at the same central (ε, δ), SecAgg-based
+        distributed DP adds the *minimum* noise, the shuffle model pays
+        the local-randomizer premium."""
+        n, eps, delta = 10_000, 1.0, 1e-6
+        shuffle = self.make(n=n, eps=eps)
+        ddp_plan = plan_noise(
+            rounds=1, epsilon_budget=eps, delta=delta, l2_sensitivity=1.0
+        )
+        assert shuffle.aggregate_noise_variance() > 10 * ddp_plan.variance
+
+    def test_local_sigma_decreases_with_population(self):
+        """More clients → more amplification → weaker local noise."""
+        assert self.make(n=100_000).local_sigma < self.make(n=5_000).local_sigma

@@ -1,0 +1,133 @@
+"""Dataset generation and LDA partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.fl.data import (
+    lda_partition,
+    make_cifar10_like,
+    make_cifar100_like,
+    make_classification_task,
+    make_femnist_like,
+    make_text_task,
+)
+from repro.utils.rng import derive_rng
+
+
+class TestLdaPartition:
+    def test_partition_covers_all_samples_exactly_once(self):
+        rng = derive_rng("lda-test")
+        labels = rng.integers(0, 10, size=500)
+        parts = lda_partition(labels, 8, alpha=1.0, rng=rng)
+        combined = np.concatenate(parts)
+        assert sorted(combined.tolist()) == list(range(500))
+
+    def test_small_alpha_skews_labels(self):
+        rng = derive_rng("lda-skew")
+        labels = rng.integers(0, 10, size=2000)
+        skewed = lda_partition(labels, 10, alpha=0.05, rng=derive_rng("a"))
+        uniform = lda_partition(labels, 10, alpha=100.0, rng=derive_rng("b"))
+
+        def mean_label_entropy(parts):
+            ents = []
+            for idx in parts:
+                if len(idx) == 0:
+                    continue
+                counts = np.bincount(labels[idx], minlength=10) / len(idx)
+                nz = counts[counts > 0]
+                ents.append(-(nz * np.log(nz)).sum())
+            return np.mean(ents)
+
+        assert mean_label_entropy(skewed) < mean_label_entropy(uniform)
+
+    def test_minimum_shard_size_enforced(self):
+        rng = derive_rng("lda-min")
+        labels = rng.integers(0, 5, size=300)
+        parts = lda_partition(labels, 20, alpha=0.05, rng=rng, min_per_client=2)
+        assert all(len(p) >= 2 for p in parts)
+
+    def test_invalid_inputs(self):
+        labels = np.zeros(10, dtype=int)
+        with pytest.raises(ValueError):
+            lda_partition(labels, 0, 1.0, derive_rng("x"))
+        with pytest.raises(ValueError):
+            lda_partition(labels, 2, 0.0, derive_rng("x"))
+
+
+class TestClassificationTasks:
+    def test_deterministic_in_seed(self):
+        a = make_cifar10_like(n_clients=5, seed=3)
+        b = make_cifar10_like(n_clients=5, seed=3)
+        np.testing.assert_array_equal(a.shards[0].x, b.shards[0].x)
+        c = make_cifar10_like(n_clients=5, seed=4)
+        assert not np.array_equal(a.shards[0].x, c.shards[0].x)
+
+    @pytest.mark.parametrize(
+        "factory,classes",
+        [
+            (make_cifar10_like, 10),
+            (make_cifar100_like, 100),
+            (make_femnist_like, 62),
+        ],
+    )
+    def test_shapes_and_labels(self, factory, classes):
+        ds = factory(n_clients=6, seed=1)
+        assert ds.n_clients == 6
+        assert ds.n_classes == classes
+        assert ds.test.y.max() < classes
+        assert all(s.x.shape[1] == ds.n_features for s in ds.shards)
+        assert all(len(s) > 0 for s in ds.shards)
+
+    def test_task_is_learnable(self):
+        """Pooled data must be linearly separable enough to reach well
+        above chance — the precondition for utility experiments."""
+        from repro.fl.models import SoftmaxRegression
+        from repro.fl.optim import SGD
+
+        ds = make_classification_task(
+            "probe", n_clients=4, n_classes=10, n_features=32,
+            samples_per_client=100, seed=0,
+        )
+        x = np.concatenate([s.x for s in ds.shards])
+        y = np.concatenate([s.y for s in ds.shards])
+        model = SoftmaxRegression(32, 10)
+        opt = SGD(lr=0.5, momentum=0.9)
+        params = model.get_flat()
+        for _ in range(150):
+            model.set_flat(params)
+            _, grad = model.loss_and_grad(x, y)
+            params = opt.step(params, grad)
+        model.set_flat(params)
+        assert model.accuracy(ds.test.x, ds.test.y) > 0.6
+
+
+class TestTextTask:
+    def test_shapes(self):
+        ds = make_text_task(n_clients=4, vocab=32, tokens_per_client=100, seed=0)
+        assert ds.kind == "language"
+        assert ds.n_classes == 32
+        assert all(len(s.x) == len(s.y) == 100 for s in ds.shards)
+        assert ds.test.x.max() < 32
+
+    def test_tokens_follow_chain(self):
+        """Consecutive pairs line up: y[i] == x[i+1]."""
+        ds = make_text_task(n_clients=2, vocab=16, tokens_per_client=50, seed=1)
+        shard = ds.shards[0]
+        np.testing.assert_array_equal(shard.y[:-1], shard.x[1:])
+
+    def test_learnable_below_uniform_perplexity(self):
+        from repro.fl.models import BigramLM
+        from repro.fl.optim import AdamW
+
+        ds = make_text_task(n_clients=2, vocab=16, tokens_per_client=800, seed=2)
+        model = BigramLM(16)
+        opt = AdamW(lr=0.05, weight_decay=0.0)
+        params = model.get_flat()
+        x = np.concatenate([s.x for s in ds.shards])
+        y = np.concatenate([s.y for s in ds.shards])
+        for _ in range(120):
+            model.set_flat(params)
+            _, g = model.loss_and_grad(x, y)
+            params = opt.step(params, g)
+        model.set_flat(params)
+        assert model.perplexity(ds.test.x, ds.test.y) < 16  # uniform = vocab

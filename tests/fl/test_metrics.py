@@ -1,0 +1,83 @@
+"""Per-client federated evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.fl.data import make_classification_task, make_text_task
+from repro.fl.metrics import FederatedEvaluation, evaluate_per_client
+from repro.fl.models import BigramLM, SoftmaxRegression
+
+
+class TestFederatedEvaluation:
+    def test_weighted_vs_unweighted(self):
+        ev = FederatedEvaluation(
+            values=np.array([0.2, 0.8]),
+            weights=np.array([1.0, 3.0]),
+            metric_name="accuracy",
+        )
+        assert ev.unweighted_mean == pytest.approx(0.5)
+        assert ev.weighted_mean == pytest.approx(0.65)
+
+    def test_worst_decile(self):
+        values = np.linspace(0.1, 1.0, 10)
+        ev = FederatedEvaluation(values, np.ones(10), "accuracy")
+        assert ev.worst_decile == pytest.approx(0.1)
+        assert ev.percentile(50) == pytest.approx(np.median(values))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FederatedEvaluation(np.array([1.0]), np.array([1.0, 2.0]), "x")
+        with pytest.raises(ValueError):
+            FederatedEvaluation(np.array([]), np.array([]), "x")
+
+
+class TestEvaluatePerClient:
+    def test_classification_per_client(self):
+        ds = make_classification_task(
+            "metrics-test", n_clients=6, n_classes=4, n_features=8,
+            samples_per_client=30, seed=0,
+        )
+        model = SoftmaxRegression(8, 4, seed=0)
+        ev = evaluate_per_client(model, model.get_flat(), ds)
+        assert ev.metric_name == "accuracy"
+        assert ev.values.shape[0] == 6
+        assert np.all((0 <= ev.values) & (ev.values <= 1))
+        assert ev.weights.sum() == sum(len(s) for s in ds.shards)
+
+    def test_language_per_client(self):
+        ds = make_text_task(n_clients=4, vocab=16, tokens_per_client=80, seed=0)
+        model = BigramLM(16, seed=0)
+        ev = evaluate_per_client(model, model.get_flat(), ds)
+        assert ev.metric_name == "perplexity"
+        assert np.all(ev.values > 1)
+
+    def test_max_clients_limits_scope(self):
+        ds = make_classification_task(
+            "metrics-cap", n_clients=8, n_classes=3, n_features=6,
+            samples_per_client=20, seed=1,
+        )
+        model = SoftmaxRegression(6, 3, seed=1)
+        ev = evaluate_per_client(model, model.get_flat(), ds, max_clients=3)
+        assert ev.values.shape[0] == 3
+
+    def test_trained_model_beats_fresh_per_client(self):
+        """Per-client accuracies shift up after pooled training."""
+        from repro.fl.optim import SGD
+
+        ds = make_classification_task(
+            "metrics-train", n_clients=5, n_classes=5, n_features=12,
+            samples_per_client=60, seed=2,
+        )
+        model = SoftmaxRegression(12, 5, seed=2)
+        fresh = evaluate_per_client(model, model.get_flat(), ds)
+        x = np.concatenate([s.x for s in ds.shards])
+        y = np.concatenate([s.y for s in ds.shards])
+        opt = SGD(lr=0.5)
+        params = model.get_flat()
+        for _ in range(80):
+            model.set_flat(params)
+            _, g = model.loss_and_grad(x, y)
+            params = opt.step(params, g)
+        trained = evaluate_per_client(model, params, ds)
+        assert trained.weighted_mean > fresh.weighted_mean + 0.2
+        assert trained.worst_decile >= fresh.worst_decile

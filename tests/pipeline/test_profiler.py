@@ -1,0 +1,100 @@
+"""Online profiling: readiness guards, convergence, drift adaptation."""
+
+import pytest
+
+from repro.pipeline.perf_model import StagePerfModel, WorkflowPerfModel
+from repro.pipeline.profiler import OnlineProfiler, ProfileNotReady
+from repro.pipeline.scheduler import completion_time, optimal_chunks
+from repro.pipeline.stages import DORDIS_STAGES
+from repro.utils.rng import derive_rng
+
+
+def truth_model(scale=1.0):
+    models = [
+        StagePerfModel(scale * 2e-5 * (i + 1), 0.3, 1.0) for i in range(5)
+    ]
+    return WorkflowPerfModel(stages=list(DORDIS_STAGES), models=models)
+
+
+def feed(profiler, model, rounds, rng, d=1_000_000, noise=0.01):
+    for r in range(rounds):
+        m = 1 + r % 6  # the interleaved chunk-count variation §4.2 needs
+        times = [
+            t * (1 + rng.normal(0, noise))
+            for t in model.stage_times(d, m)
+        ]
+        profiler.observe_round(d, m, times)
+
+
+class TestReadiness:
+    def test_not_ready_initially(self):
+        p = OnlineProfiler(stages=list(DORDIS_STAGES))
+        assert not p.ready
+        with pytest.raises(ProfileNotReady):
+            p.current_model()
+
+    def test_single_chunk_count_never_ready(self):
+        """β₂ is unidentifiable without varying m; the profiler must say
+        so instead of fitting garbage."""
+        p = OnlineProfiler(stages=list(DORDIS_STAGES))
+        truth = truth_model()
+        for _ in range(10):
+            p.observe_round(1e6, 4, truth.stage_times(1e6, 4))
+        assert not p.ready
+
+    def test_becomes_ready_with_varied_chunks(self):
+        p = OnlineProfiler(stages=list(DORDIS_STAGES))
+        feed(p, truth_model(), 8, derive_rng("prof-ready"))
+        assert p.ready
+
+
+class TestConvergence:
+    def test_fit_recovers_truth(self):
+        p = OnlineProfiler(stages=list(DORDIS_STAGES))
+        truth = truth_model()
+        feed(p, truth, 30, derive_rng("prof-fit"), noise=0.005)
+        fitted = p.current_model()
+        d = 2_000_000
+        for m in (1, 4, 10):
+            assert completion_time(fitted, d, m) == pytest.approx(
+                completion_time(truth, d, m), rel=0.05
+            )
+
+    def test_replan_matches_truth_optimum(self):
+        p = OnlineProfiler(stages=list(DORDIS_STAGES))
+        truth = truth_model()
+        feed(p, truth, 30, derive_rng("prof-replan"), noise=0.005)
+        m_fit, _ = p.replan(2_000_000)
+        _, t_opt = optimal_chunks(truth, 2_000_000)
+        t_at_fit = completion_time(truth, 2_000_000, m_fit)
+        assert t_at_fit <= t_opt * 1.05
+
+
+class TestDrift:
+    def test_window_forgets_old_environment(self):
+        """After the environment slows 3×, the sliding window re-converges
+        to the new regime."""
+        p = OnlineProfiler(stages=list(DORDIS_STAGES), window=24)
+        rng = derive_rng("prof-drift")
+        feed(p, truth_model(scale=1.0), 24, rng, noise=0.005)
+        before = completion_time(p.current_model(), 1e6, 1)
+        feed(p, truth_model(scale=3.0), 24, rng, noise=0.005)
+        after = completion_time(p.current_model(), 1e6, 1)
+        assert after > 2.0 * before
+
+
+class TestValidation:
+    def test_constructor_guards(self):
+        with pytest.raises(ValueError):
+            OnlineProfiler(stages=list(DORDIS_STAGES), window=2)
+        with pytest.raises(ValueError):
+            OnlineProfiler(stages=list(DORDIS_STAGES), min_observations=2)
+
+    def test_observation_guards(self):
+        p = OnlineProfiler(stages=list(DORDIS_STAGES))
+        with pytest.raises(ValueError):
+            p.observe_round(1e6, 1, [1.0] * 4)
+        with pytest.raises(ValueError):
+            p.observe_round(0, 1, [1.0] * 5)
+        with pytest.raises(ValueError):
+            p.observe_round(1e6, 1, [1.0, 1.0, -1.0, 1.0, 1.0])

@@ -1,0 +1,171 @@
+"""The Appendix-C schedule recurrence, optimizer, and round simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pipeline.perf_model import (
+    StagePerfModel,
+    WorkflowPerfModel,
+    build_dordis_perf_model,
+)
+from repro.pipeline.scheduler import (
+    build_schedule,
+    completion_time,
+    optimal_chunks,
+)
+from repro.pipeline.simulator import compare_plain_pipelined, simulate_round
+from repro.pipeline.stages import DORDIS_STAGES, Resource, Stage
+
+
+class TestScheduleRecurrence:
+    def test_single_chunk_is_sequential_sum(self):
+        """m = 1 (plain execution): completion = Στ_s."""
+        times = [3.0, 1.0, 4.0, 1.0, 5.0]
+        sched = build_schedule(DORDIS_STAGES, times, 1)
+        assert sched.completion_time == pytest.approx(sum(times))
+
+    def test_chunks_within_stage_are_sequential(self):
+        sched = build_schedule(DORDIS_STAGES, [2.0] * 5, 3)
+        for s in range(5):
+            ivals = sched.stage_intervals(s)
+            for (b1, f1), (b2, _) in zip(ivals, ivals[1:]):
+                assert b2 >= f1 - 1e-12
+
+    def test_chunk_follows_its_previous_stage(self):
+        sched = build_schedule(DORDIS_STAGES, [2.0, 3.0, 1.0, 2.0, 1.0], 4)
+        for s in range(1, 5):
+            for c in range(4):
+                assert sched.begin[s, c] >= sched.finish[s - 1, c] - 1e-12
+
+    def test_same_resource_never_overlaps(self):
+        """A resource serves one chunk at a time — across *all* stages
+        using it (the constraint Appendix C's r_{s,c} enforces)."""
+        sched = build_schedule(DORDIS_STAGES, [2.0, 3.0, 1.5, 2.5, 1.0], 5)
+        for resource in Resource:
+            intervals = []
+            for s, stage in enumerate(DORDIS_STAGES):
+                if stage.resource is resource:
+                    intervals += sched.stage_intervals(s)
+            intervals.sort()
+            for (b1, f1), (b2, _) in zip(intervals, intervals[1:]):
+                assert b2 >= f1 - 1e-12
+
+    def test_earlier_same_resource_stage_has_priority(self):
+        """Stage 4 (dispatch) cannot begin until stage 2 (upload) has
+        finished its last chunk."""
+        sched = build_schedule(DORDIS_STAGES, [1.0, 5.0, 1.0, 1.0, 1.0], 3)
+        upload_done = sched.finish[1, 2]
+        assert sched.begin[3, 0] >= upload_done - 1e-12
+
+    def test_pipelining_beats_plain_for_balanced_stages(self):
+        times = [2.0, 2.0, 2.0, 2.0, 2.0]
+        plain = build_schedule(DORDIS_STAGES, times, 1).completion_time
+        # With m chunks the same total work is split into per-chunk slices.
+        per_chunk = [t / 4 for t in times]
+        piped = build_schedule(DORDIS_STAGES, per_chunk, 4).completion_time
+        assert piped < plain
+
+    @given(
+        n_chunks=st.integers(min_value=1, max_value=8),
+        data=st.data(),
+    )
+    @settings(max_examples=40)
+    def test_schedule_invariants_random_times(self, n_chunks, data):
+        times = data.draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=10.0),
+                min_size=5,
+                max_size=5,
+            )
+        )
+        sched = build_schedule(DORDIS_STAGES, times, n_chunks)
+        # Finishing times are begin + τ, and the matrix is monotone per
+        # stage and per chunk.
+        for s in range(5):
+            np.testing.assert_allclose(
+                sched.finish[s] - sched.begin[s], times[s], atol=1e-9
+            )
+        assert sched.completion_time >= max(times) - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_schedule(DORDIS_STAGES, [1.0] * 4, 1)
+        with pytest.raises(ValueError):
+            build_schedule(DORDIS_STAGES, [1.0] * 5, 0)
+        with pytest.raises(ValueError):
+            build_schedule(DORDIS_STAGES, [1.0, -1.0, 1.0, 1.0, 1.0], 1)
+
+    def test_resource_busy_time(self):
+        sched = build_schedule(DORDIS_STAGES, [1.0, 2.0, 3.0, 4.0, 5.0], 2)
+        busy = sched.resource_busy_time()
+        assert busy[Resource.C_COMP] == pytest.approx(2 * (1.0 + 5.0))
+        assert busy[Resource.COMM] == pytest.approx(2 * (2.0 + 4.0))
+        assert busy[Resource.S_COMP] == pytest.approx(2 * 3.0)
+
+
+class TestOptimalChunks:
+    def test_finds_interior_optimum(self):
+        """With real Eq.-3 tradeoffs the optimum is neither 1 nor max."""
+        model = build_dordis_perf_model(100, 11_000_000)
+        m_star, t_star = optimal_chunks(model, 11_000_000, max_chunks=20)
+        assert 1 < m_star <= 20
+        assert t_star <= completion_time(model, 11_000_000, 1)
+
+    def test_optimum_is_argmin_over_range(self):
+        model = build_dordis_perf_model(16, 2_000_000)
+        m_star, t_star = optimal_chunks(model, 2_000_000, max_chunks=12)
+        times = [completion_time(model, 2_000_000, m) for m in range(1, 13)]
+        assert t_star == pytest.approx(min(times))
+        assert times[m_star - 1] == pytest.approx(t_star)
+
+    def test_single_chunk_allowed(self):
+        model = build_dordis_perf_model(4, 100)
+        m_star, _ = optimal_chunks(model, 100, max_chunks=1)
+        assert m_star == 1
+
+    def test_invalid_range(self):
+        model = build_dordis_perf_model(4, 100)
+        with pytest.raises(ValueError):
+            optimal_chunks(model, 100, max_chunks=0)
+
+
+class TestSimulator:
+    def test_round_timing_shares(self):
+        timing = simulate_round(
+            build_dordis_perf_model(16, 1_000_000), 1_000_000, training_time=60.0
+        )
+        assert timing.total == pytest.approx(
+            timing.aggregation_time + 60.0
+        )
+        assert 0 < timing.aggregation_share < 1
+
+    def test_speedup_at_least_one(self):
+        model = build_dordis_perf_model(16, 11_000_000)
+        _, _, speedup = compare_plain_pipelined(model, 11_000_000)
+        assert speedup >= 1.0
+
+    def test_fig10_shape_larger_models_gain_more(self):
+        """§6.4 'Dordis Gains More Speedup with Larger Models'."""
+        def speedup(d):
+            model = build_dordis_perf_model(16, d)
+            return compare_plain_pipelined(model, d)[2]
+
+        assert speedup(20_000_000) > speedup(1_000_000)
+
+    def test_fig10_shape_more_clients_gain_more(self):
+        """§6.4 'Dordis Scales with Number of Sampled Clients'."""
+        def speedup(n):
+            model = build_dordis_perf_model(n, 11_000_000)
+            return compare_plain_pipelined(model, 11_000_000)[2]
+
+        assert speedup(100) > speedup(16)
+
+    def test_fig10_speedup_band(self):
+        """All paper configurations speed up by 1.1–2.5×."""
+        for n, d in [(16, 11_000_000), (16, 20_000_000), (100, 1_000_000),
+                     (100, 11_000_000)]:
+            for xn in (False, True):
+                model = build_dordis_perf_model(n, d, xnoise=xn)
+                _, _, s = compare_plain_pipelined(model, d)
+                assert 1.0 <= s <= 2.6

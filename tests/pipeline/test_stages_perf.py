@@ -1,0 +1,176 @@
+"""Stage abstraction and the Eq.-3 performance model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pipeline.perf_model import (
+    CostModelParams,
+    StagePerfModel,
+    WorkflowPerfModel,
+    build_dordis_perf_model,
+    profile_stage,
+)
+from repro.pipeline.stages import (
+    DORDIS_STAGES,
+    Resource,
+    TABLE1_STEPS,
+    previous_same_resource,
+    stages_alternate_resources,
+)
+
+
+class TestStages:
+    def test_table1_has_eleven_steps_in_five_stages(self):
+        assert len(TABLE1_STEPS) == 11
+        assert sorted({stage for _, _, stage, _ in TABLE1_STEPS}) == [1, 2, 3, 4, 5]
+
+    def test_step_stage_resources_consistent(self):
+        """Each Table-1 stage groups steps of a single resource, matching
+        the DORDIS_STAGES mapping."""
+        for _, _, stage_no, resource in TABLE1_STEPS:
+            assert DORDIS_STAGES[stage_no - 1].resource == resource
+
+    def test_adjacent_stages_alternate(self):
+        """§4.1: by construction adjacent stages use different resources."""
+        assert stages_alternate_resources(DORDIS_STAGES)
+
+    def test_previous_same_resource(self):
+        # Stage 4 (dispatch, comm) shares its resource with stage 2 (upload).
+        assert previous_same_resource(DORDIS_STAGES, 3) == 1
+        # Stage 5 (client decode) with stage 1 (client encode).
+        assert previous_same_resource(DORDIS_STAGES, 4) == 0
+        assert previous_same_resource(DORDIS_STAGES, 0) is None
+        assert previous_same_resource(DORDIS_STAGES, 2) is None
+
+
+class TestStagePerfModel:
+    def test_eq3_evaluation(self):
+        m = StagePerfModel(beta1=2.0, beta2=3.0, beta3=5.0)
+        assert m.time(update_size=100, n_chunks=4) == pytest.approx(
+            2.0 * 25 + 3.0 * 4 + 5.0
+        )
+
+    def test_negative_betas_rejected(self):
+        with pytest.raises(ValueError):
+            StagePerfModel(-1.0, 0.0, 0.0)
+
+    def test_invalid_evaluation_inputs(self):
+        m = StagePerfModel(1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            m.time(0, 1)
+        with pytest.raises(ValueError):
+            m.time(10, 0)
+
+    def test_chunking_tradeoff(self):
+        """More chunks shrink the β₁ term but grow the β₂ term — the
+        tension the optimizer balances."""
+        m = StagePerfModel(beta1=1.0, beta2=20.0, beta3=0.0)
+        times = [m.time(1000, k) for k in (1, 4, 16, 64)]
+        assert times[1] < times[0]  # moderate chunking helps
+        assert times[3] > times[2] > times[1]  # over-chunking hurts
+
+
+class TestProfiling:
+    def test_recovers_known_betas(self):
+        truth = StagePerfModel(beta1=0.002, beta2=0.3, beta3=1.5)
+        obs = [
+            (d, m, truth.time(d, m))
+            for d in (1e5, 5e5, 1e6)
+            for m in (1, 2, 5, 10)
+        ]
+        fitted = profile_stage(obs)
+        assert fitted.beta1 == pytest.approx(truth.beta1, rel=1e-6)
+        assert fitted.beta2 == pytest.approx(truth.beta2, rel=1e-6)
+        assert fitted.beta3 == pytest.approx(truth.beta3, rel=1e-6)
+
+    def test_noisy_profiling_close(self):
+        truth = StagePerfModel(beta1=0.001, beta2=0.2, beta3=2.0)
+        rng = np.random.default_rng(0)
+        obs = [
+            (d, m, truth.time(d, m) * (1 + rng.normal(0, 0.01)))
+            for d in (1e5, 3e5, 1e6, 3e6)
+            for m in (1, 2, 4, 8, 16)
+        ]
+        fitted = profile_stage(obs)
+        assert fitted.beta1 == pytest.approx(truth.beta1, rel=0.1)
+
+    def test_too_few_observations(self):
+        with pytest.raises(ValueError):
+            profile_stage([(1e5, 1, 10.0), (1e5, 2, 8.0)])
+
+    def test_negative_coefficients_clamped(self):
+        # Observations consistent with beta2 = 0 but noisy downward.
+        obs = [(1e6, m, 5.0 + 1e6 / m * 0.001 - 0.01 * m) for m in (1, 2, 4, 8, 16)]
+        fitted = profile_stage(obs)
+        assert fitted.beta2 == 0.0
+
+
+class TestWorkflowModel:
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            WorkflowPerfModel(stages=list(DORDIS_STAGES), models=[])
+
+    def test_stage_times_length(self):
+        model = build_dordis_perf_model(16, 1_000_000)
+        assert len(model.stage_times(1_000_000, 4)) == 5
+
+
+class TestDordisCostModel:
+    def test_aggregation_dominates(self):
+        """Fig. 2: SecAgg accounts for 86%+ of the round."""
+        from repro.pipeline.simulator import simulate_round
+
+        model = build_dordis_perf_model(32, 11_000_000, dropout_rate=0.1)
+        timing = simulate_round(model, 11_000_000)
+        assert timing.aggregation_share > 0.86
+
+    def test_more_clients_longer_round(self):
+        from repro.pipeline.scheduler import completion_time
+
+        small = build_dordis_perf_model(32, 1_000_000)
+        large = build_dordis_perf_model(64, 1_000_000)
+        assert completion_time(large, 1_000_000, 1) > completion_time(
+            small, 1_000_000, 1
+        )
+
+    def test_secagg_plus_cheaper_for_many_clients(self):
+        from repro.pipeline.scheduler import completion_time
+
+        full = build_dordis_perf_model(100, 1_000_000, protocol="secagg")
+        plus = build_dordis_perf_model(100, 1_000_000, protocol="secagg+")
+        assert completion_time(plus, 1_000_000, 1) < completion_time(
+            full, 1_000_000, 1
+        )
+
+    def test_xnoise_overhead_decreases_with_dropout(self):
+        """§6.3: the more clients drop, the less noise the server removes."""
+        from repro.pipeline.scheduler import completion_time
+
+        def overhead(rate):
+            base = build_dordis_perf_model(100, 1_000_000, dropout_rate=rate)
+            xn = build_dordis_perf_model(
+                100, 1_000_000, dropout_rate=rate, xnoise=True
+            )
+            d = 1_000_000
+            return (
+                completion_time(xn, d, 1) - completion_time(base, d, 1)
+            ) / completion_time(base, d, 1)
+
+        rates = [0.0, 0.1, 0.2, 0.3]
+        ovs = [overhead(r) for r in rates]
+        assert all(a >= b - 1e-9 for a, b in zip(ovs, ovs[1:]))
+        assert ovs[0] < 0.40  # paper: ≤ 34% at no dropout
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_clients=1, update_size=10),
+            dict(n_clients=4, update_size=0),
+            dict(n_clients=4, update_size=10, protocol="turbo"),
+            dict(n_clients=4, update_size=10, dropout_rate=1.0),
+        ],
+    )
+    def test_invalid_inputs(self, kwargs):
+        with pytest.raises(ValueError):
+            build_dordis_perf_model(**kwargs)

@@ -1,0 +1,189 @@
+"""Adversarial/failure-injection tests against the protocol state machines.
+
+Fig. 5's abort arms exist to stop active attacks; these tests drive the
+client and server stage methods directly with malformed or malicious
+inputs and assert that honest parties abort (never silently continue).
+"""
+
+import numpy as np
+import pytest
+
+from repro.crypto.pki import PublicKeyInfrastructure
+from repro.crypto.signature import SchnorrSignature
+from repro.secagg.client import SecAggClient, consistency_message
+from repro.secagg.driver import build_graph
+from repro.secagg.server import SecAggServer
+from repro.secagg.types import (
+    AdvertiseKeysMsg,
+    ProtocolAbort,
+    SecAggConfig,
+)
+
+CFG = SecAggConfig(threshold=3, bits=16, dimension=8, dh_group="modp512")
+
+
+def make_round(n=5, config=CFG):
+    clients = {u: SecAggClient(u, config) for u in range(1, n + 1)}
+    server = SecAggServer(config)
+    adverts = {u: c.advertise_keys() for u, c in clients.items()}
+    graph = build_graph(config, sorted(adverts))
+    roster = server.collect_advertise(adverts, graph)
+    return clients, server, roster, graph
+
+
+class TestRosterAttacks:
+    def test_duplicate_public_keys_rejected(self):
+        """A server replaying one client's keys under two identities is
+        caught by the all-keys-distinct assertion."""
+        clients, server, roster, graph = make_round()
+        cloned = dict(roster)
+        victim = roster[1]
+        cloned[2] = AdvertiseKeysMsg(
+            sender=2, c_public=victim.c_public, s_public=victim.s_public
+        )
+        with pytest.raises(ProtocolAbort):
+            clients[3].share_keys(cloned, graph)
+
+    def test_client_missing_from_roster_aborts(self):
+        clients, server, roster, graph = make_round()
+        without_me = {u: m for u, m in roster.items() if u != 3}
+        with pytest.raises(ProtocolAbort):
+            clients[3].share_keys(without_me, graph)
+
+    def test_undersized_roster_aborts(self):
+        config = SecAggConfig(threshold=4, bits=16, dimension=8, dh_group="modp512")
+        clients = {u: SecAggClient(u, config) for u in range(1, 6)}
+        adverts = {u: c.advertise_keys() for u, c in clients.items()}
+        graph = build_graph(config, sorted(adverts))
+        tiny = {u: adverts[u] for u in (1, 2, 3)}
+        with pytest.raises(ProtocolAbort):
+            clients[1].share_keys(tiny, graph)
+
+    def test_forged_key_signature_rejected_in_malicious_mode(self):
+        pki = PublicKeyInfrastructure()
+        config = SecAggConfig(
+            threshold=3, bits=16, dimension=8, malicious=True, dh_group="modp512"
+        )
+        signers = {u: pki.register(u) for u in range(1, 5)}
+        clients = {
+            u: SecAggClient(u, config, signer=signers[u], pki=pki)
+            for u in range(1, 5)
+        }
+        adverts = {u: c.advertise_keys() for u, c in clients.items()}
+        # The server swaps client 2's advertised keys for its own choice,
+        # keeping the (now mismatched) signature.
+        impostor = SecAggClient(99, config, signer=signers[2], pki=pki)
+        fake = impostor.advertise_keys()
+        adverts[2] = AdvertiseKeysMsg(
+            sender=2, c_public=fake.c_public, s_public=fake.s_public,
+            signature=adverts[2].signature,
+        )
+        graph = build_graph(config, sorted(adverts))
+        with pytest.raises(ProtocolAbort):
+            clients[1].share_keys(adverts, graph)
+
+
+class TestCiphertextAttacks:
+    def _shared_round(self):
+        clients, server, roster, graph = make_round()
+        outboxes = {u: clients[u].share_keys(roster, graph) for u in clients}
+        inboxes = server.route_shares(outboxes)
+        return clients, server, inboxes
+
+    def test_tampered_ciphertext_aborts_unmasking(self):
+        clients, server, inboxes = self._shared_round()
+        box = dict(inboxes[1])
+        blob = bytearray(box[2])
+        blob[len(blob) // 2] ^= 0x01
+        box[2] = bytes(blob)
+        clients[1].masked_input(box, np.zeros(8, dtype=np.int64))
+        clients[1].consistency_check(sorted(clients))
+        with pytest.raises(ProtocolAbort):
+            clients[1].unmask(sorted(clients), None, dropped=[], survivors=sorted(clients))
+
+    def test_misrouted_ciphertext_detected(self):
+        """A ciphertext meant for client 3 delivered to client 1 fails
+        decryption (different channel key) and aborts."""
+        clients, server, inboxes = self._shared_round()
+        box = dict(inboxes[1])
+        box[2] = inboxes[3][2]  # 2 -> 3 payload rerouted to 1
+        clients[1].masked_input(box, np.zeros(8, dtype=np.int64))
+        clients[1].consistency_check(sorted(clients))
+        with pytest.raises(ProtocolAbort):
+            clients[1].unmask(sorted(clients), None, dropped=[], survivors=sorted(clients))
+
+
+class TestUnmaskingAttacks:
+    def _to_unmask_stage(self):
+        clients, server, roster, graph = make_round()
+        outboxes = {u: clients[u].share_keys(roster, graph) for u in clients}
+        inboxes = server.route_shares(outboxes)
+        masked = {
+            u: clients[u].masked_input(inboxes[u], np.zeros(8, dtype=np.int64))
+            for u in clients
+        }
+        u3 = server.collect_masked(masked)
+        for u in clients:
+            clients[u].consistency_check(u3)
+        return clients, server, u3
+
+    def test_both_secrets_request_refused(self):
+        """The core SecAgg privacy invariant: a client never reveals both
+        the mask key and the self-mask seed of the same peer — a server
+        asking for both is trying to unmask an individual input."""
+        clients, server, u3 = self._to_unmask_stage()
+        with pytest.raises(ProtocolAbort):
+            clients[1].unmask(
+                u3, None, dropped=[2], survivors=u3  # 2 is also in U3!
+            )
+
+    def test_survivor_list_mismatch_refused(self):
+        clients, server, u3 = self._to_unmask_stage()
+        with pytest.raises(ProtocolAbort):
+            clients[1].unmask(u3, None, dropped=[], survivors=u3[:-1])
+
+    def test_undersized_u4_refused(self):
+        clients, server, u3 = self._to_unmask_stage()
+        with pytest.raises(ProtocolAbort):
+            clients[1].unmask(u3[:2], None, dropped=[], survivors=u3)
+
+    def test_u4_not_subset_of_u3_refused(self):
+        clients, server, u3 = self._to_unmask_stage()
+        with pytest.raises(ProtocolAbort):
+            clients[1].unmask(u3 + [99], None, dropped=[], survivors=u3)
+
+    def test_forged_consistency_signature_refused(self):
+        pki = PublicKeyInfrastructure()
+        config = SecAggConfig(
+            threshold=3, bits=16, dimension=8, malicious=True, dh_group="modp512"
+        )
+        signers = {u: pki.register(u) for u in range(1, 5)}
+        clients = {
+            u: SecAggClient(u, config, signer=signers[u], pki=pki)
+            for u in range(1, 5)
+        }
+        server = SecAggServer(config, pki=pki)
+        adverts = {u: c.advertise_keys() for u, c in clients.items()}
+        graph = build_graph(config, sorted(adverts))
+        roster = server.collect_advertise(adverts, graph)
+        outboxes = {u: clients[u].share_keys(roster, graph) for u in clients}
+        inboxes = server.route_shares(outboxes)
+        masked = {
+            u: clients[u].masked_input(inboxes[u], np.zeros(8, dtype=np.int64))
+            for u in clients
+        }
+        u3 = server.collect_masked(masked)
+        sigs = {u: clients[u].consistency_check(u3) for u in clients}
+        # The server substitutes a signature over a *different* U3 —
+        # pretending a different survivor set was acknowledged.
+        forged_u3 = u3[:-1]
+        sigs[2] = SchnorrSignature(e=12345, s=67890)
+        u4, sig_set = server.collect_consistency(sigs)
+        with pytest.raises(ProtocolAbort):
+            clients[1].unmask(u4, sig_set, dropped=[], survivors=u3)
+
+    def test_consistency_message_binds_round_and_set(self):
+        assert consistency_message(1, [1, 2]) != consistency_message(2, [1, 2])
+        assert consistency_message(1, [1, 2]) != consistency_message(1, [1, 3])
+        # Order-insensitive (the set is what is signed).
+        assert consistency_message(1, [2, 1]) == consistency_message(1, [1, 2])

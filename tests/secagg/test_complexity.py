@@ -1,0 +1,86 @@
+"""Asymptotic cost accounting: O(n) vs O(log n) clients, O(n²) server."""
+
+import math
+
+import pytest
+
+from repro.secagg.complexity import (
+    crossover_population,
+    secagg_client_cost,
+    secagg_plus_client_cost,
+    secagg_server_cost,
+)
+
+
+class TestClientAsymptotics:
+    def test_secagg_linear_in_n(self):
+        c100 = secagg_client_cost(100)
+        c1000 = secagg_client_cost(1000)
+        assert c1000.key_agreements == pytest.approx(
+            10 * c100.key_agreements, rel=0.02
+        )
+        assert c1000.upload_bytes_fixed > 9 * c100.upload_bytes_fixed
+
+    def test_secagg_plus_logarithmic_in_n(self):
+        c100 = secagg_plus_client_cost(100)
+        c10000 = secagg_plus_client_cost(10_000)
+        # log₂(10000)/log₂(100) = 2 — nowhere near the 100× of SecAgg.
+        assert c10000.key_agreements <= 2.5 * c100.key_agreements
+
+    def test_plus_beats_full_at_scale(self):
+        for n in (64, 256, 1024):
+            full = secagg_client_cost(n)
+            plus = secagg_plus_client_cost(n)
+            assert plus.total_crypto_ops < full.total_crypto_ops
+            assert plus.mask_expansions < full.mask_expansions
+
+    def test_crossover_is_small(self):
+        n = crossover_population()
+        assert 3 < n < 50
+        # Below the crossover the degree is clamped to n−1 (no gain).
+        below = secagg_plus_client_cost(4)
+        assert below.key_agreements == secagg_client_cost(4).key_agreements
+
+
+class TestServerAsymptotics:
+    def test_quadratic_under_dropout_full_graph(self):
+        """Dropped×survivors mask reconstruction is the O(n²) term."""
+        s100 = secagg_server_cost(100, dropout_rate=0.2)
+        s1000 = secagg_server_cost(1000, dropout_rate=0.2)
+        ratio = s1000.mask_expansions / s100.mask_expansions
+        assert ratio > 50  # ~100× for a 10× population
+
+    def test_secagg_plus_server_nearly_linear(self):
+        s100 = secagg_server_cost(100, dropout_rate=0.2, degree=20)
+        s1000 = secagg_server_cost(1000, dropout_rate=0.2, degree=30)
+        ratio = s1000.mask_expansions / s100.mask_expansions
+        assert ratio < 20  # O(n·k) with k = O(log n)
+
+    def test_no_dropout_is_linear(self):
+        s = secagg_server_cost(500, dropout_rate=0.0)
+        assert s.mask_expansions == 500  # self-masks only
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            secagg_client_cost(1)
+        with pytest.raises(ValueError):
+            secagg_plus_client_cost(1)
+        with pytest.raises(ValueError):
+            secagg_server_cost(10, dropout_rate=1.0)
+
+
+class TestCountsMatchProtocolDefinition:
+    def test_client_counts_against_fig5(self):
+        """n = 5, full graph: 4 peers → 8 agreements, 10 shares (s_sk and
+        b over U1 incl. self), 4 ciphertexts, 5 mask expansions."""
+        c = secagg_client_cost(5)
+        assert c.key_agreements == 8
+        assert c.shares_generated == 10
+        assert c.ciphertexts_sent == 4
+        assert c.mask_expansions == 5
+
+    def test_server_counts_small_example(self):
+        """n = 6, 2 dropped: 4 self-masks + 2×4 pairwise recomputations."""
+        s = secagg_server_cost(6, dropout_rate=1 / 3)
+        assert s.reconstructions == 6
+        assert s.mask_expansions == 4 + 2 * 4

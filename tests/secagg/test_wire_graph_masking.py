@@ -1,0 +1,134 @@
+"""Wire codecs, masking algebra, and communication graphs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.shamir import Share, ShamirSecretSharing
+from repro.secagg import wire
+from repro.secagg.graph import CompleteGraph, KRegularGraph, recommended_degree
+from repro.secagg.masking import pairwise_mask, self_mask
+from repro.utils.rng import derive_seed
+
+
+class TestWire:
+    @given(fields=st.lists(st.binary(max_size=60), max_size=8))
+    @settings(max_examples=30)
+    def test_fields_roundtrip(self, fields):
+        assert wire.decode_fields(wire.encode_fields(fields)) == fields
+
+    def test_truncated_fields_rejected(self):
+        blob = wire.encode_fields([b"abcdef"])
+        with pytest.raises(ValueError):
+            wire.decode_fields(blob[:-2])
+
+    def test_share_roundtrip(self):
+        share = Share(x=7, ys=(123456789, 42), secret_len=20)
+        assert wire.decode_share(wire.encode_share(share)) == share
+
+    def test_share_payload_roundtrip_with_extras(self):
+        ss = ShamirSecretSharing(threshold=2)
+        s_shares = ss.share(b"\x01" * 32, [1, 2])
+        b_shares = ss.share(b"\x02" * 32, [1, 2])
+        g_shares = ss.share(b"\x03" * 32, [1, 2])
+        blob = wire.encode_share_payload(
+            sender=5,
+            recipient=1,
+            s_sk_share=s_shares[1],
+            b_share=b_shares[1],
+            extra_shares={"g:0": g_shares[1]},
+        )
+        sender, recipient, s, b, extra = wire.decode_share_payload(blob)
+        assert (sender, recipient) == (5, 1)
+        assert s == s_shares[1]
+        assert b == b_shares[1]
+        assert extra == {"g:0": g_shares[1]}
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ValueError):
+            wire.decode_share_payload(wire.encode_fields([b"1", b"2", b"3"]))
+
+    def test_garbage_share_rejected(self):
+        with pytest.raises(ValueError):
+            wire.decode_share(b"\x00" * 5)
+
+
+class TestMasking:
+    def test_pairwise_masks_cancel(self):
+        seed = derive_seed("pair", 1, 2)
+        modulus = 1 << 20
+        a = pairwise_mask(seed, 2, 1, 64, modulus)
+        b = pairwise_mask(seed, 1, 2, 64, modulus)
+        np.testing.assert_array_equal((a + b) % modulus, np.zeros(64, dtype=np.int64))
+
+    def test_self_pair_is_zero(self):
+        assert not pairwise_mask(b"s", 3, 3, 16, 1 << 10).any()
+
+    def test_self_mask_deterministic(self):
+        np.testing.assert_array_equal(
+            self_mask(b"b-seed", 32, 1 << 20), self_mask(b"b-seed", 32, 1 << 20)
+        )
+
+    def test_masks_cover_full_range(self):
+        m = self_mask(b"range", 5000, 1 << 16)
+        assert m.min() >= 0 and m.max() < (1 << 16)
+        assert m.max() > (1 << 15)  # uses the upper half too
+
+    def test_complete_cancellation_over_survivor_set(self):
+        """Sum of all pairwise masks over a complete survivor set is 0 —
+        the identity the masked sum relies on."""
+        modulus = 1 << 20
+        ids = [3, 7, 11, 19]
+        total = np.zeros(16, dtype=np.int64)
+        for u in ids:
+            for v in ids:
+                if u == v:
+                    continue
+                seed = derive_seed("pair", min(u, v), max(u, v))
+                total = (total + pairwise_mask(seed, u, v, 16, modulus)) % modulus
+        np.testing.assert_array_equal(total, np.zeros(16, dtype=np.int64))
+
+
+class TestGraphs:
+    def test_complete_graph(self):
+        g = CompleteGraph().build([1, 2, 3])
+        assert g == {1: {2, 3}, 2: {1, 3}, 3: {1, 2}}
+
+    def test_k_regular_degree(self):
+        g = KRegularGraph(4, seed=1).build(list(range(10, 30)))
+        assert all(len(nbrs) == 4 for nbrs in g.values())
+
+    def test_k_regular_symmetric(self):
+        g = KRegularGraph(4, seed=1).build(list(range(12)))
+        for u, nbrs in g.items():
+            for v in nbrs:
+                assert u in g[v]
+
+    def test_k_regular_deterministic(self):
+        a = KRegularGraph(4, seed=7).build(list(range(16)))
+        b = KRegularGraph(4, seed=7).build(list(range(16)))
+        assert a == b
+
+    def test_k_regular_infeasible_degree_falls_back(self):
+        # k = 3, n = 3 -> complete graph of degree 2.
+        g = KRegularGraph(3, seed=0).build([1, 2, 3])
+        assert all(len(nbrs) == 2 for nbrs in g.values())
+
+    def test_odd_product_degree_adjusted(self):
+        # k = 3, n = 5: k*n odd, no 3-regular graph on 5 nodes; adjust to 2.
+        g = KRegularGraph(3, seed=0).build([1, 2, 3, 4, 5])
+        assert all(len(nbrs) == 2 for nbrs in g.values())
+
+    def test_single_node_graph(self):
+        assert KRegularGraph(3).build([42]) == {42: set()}
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            KRegularGraph(0)
+
+    def test_recommended_degree_logarithmic(self):
+        assert recommended_degree(100) == pytest.approx(3 * np.log2(100), abs=1)
+        assert recommended_degree(100) < 99
+        assert recommended_degree(2) == 1
+        # Must grow slowly.
+        assert recommended_degree(10_000) < 50

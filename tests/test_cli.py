@@ -1,0 +1,82 @@
+"""CLI subcommands: argument handling and end-to-end output."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.task == "cifar10-like"
+        assert args.strategy == "xnoise"
+
+    def test_plan_requires_core_args(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", "--rounds", "10"])
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--task", "imagenet"])
+
+
+class TestRunCommand:
+    def test_quick_session(self, capsys):
+        code = main([
+            "run", "--num-clients", "16", "--sample-size", "6",
+            "--rounds", "3", "--dropout-rate", "0.2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "epsilon consumed" in out
+        assert "rounds completed : 3" in out
+
+    def test_early_strategy_reports_stop(self, capsys):
+        code = main([
+            "run", "--strategy", "early", "--dropout-rate", "0.4",
+            "--num-clients", "16", "--sample-size", "6", "--rounds", "6",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stopped early" in out
+
+
+class TestPlanCommand:
+    def test_plan_output(self, capsys):
+        code = main([
+            "plan", "--rounds", "50", "--epsilon", "6", "--delta", "0.001",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "per-round sigma" in out
+        # The plan lands on the budget.
+        eps_line = [l for l in out.splitlines() if "epsilon at" in l][0]
+        assert "6.0" in eps_line or "5.9" in eps_line
+
+
+class TestPipelineCommand:
+    def test_pipeline_output(self, capsys):
+        code = main([
+            "pipeline", "--clients", "16", "--model-size", "11000000",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "speedup" in out
+        assert "m* =" in out
+
+    def test_xnoise_flag_increases_plain_time(self, capsys):
+        main(["pipeline", "--clients", "16", "--model-size", "1000000"])
+        base = capsys.readouterr().out
+        main(["pipeline", "--clients", "16", "--model-size", "1000000",
+              "--xnoise"])
+        xn = capsys.readouterr().out
+
+        def plain_minutes(text):
+            line = [l for l in text.splitlines() if l.startswith("plain")][0]
+            return float(line.split(":")[1].split("min")[0])
+
+        assert plain_minutes(xn) > plain_minutes(base)

@@ -1,0 +1,124 @@
+"""Property-based tests over the full protocol stack.
+
+Hypothesis drives randomized dropout schedules and parameters through
+real SecAgg / XNoise rounds and checks the end-to-end invariants:
+
+- SecAgg: the unmasked aggregate always equals the survivor-set ring sum;
+- XNoise: the enforced residual level is exactly the target whenever the
+  dropout stays within tolerance — Theorem 1 over the *implementation*,
+  not just the algebra.
+
+Sizes stay small (protocol rounds cost real crypto), but the schedules
+cover every stage-combination of dropouts.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.secagg import DropoutSchedule, ProtocolAbort, SecAggConfig, run_secagg_round
+from repro.secagg.types import (
+    STAGE_ADVERTISE,
+    STAGE_SHARE_KEYS,
+    STAGE_MASKED_INPUT,
+    STAGE_UNMASK,
+)
+from repro.utils.rng import derive_rng
+from repro.xnoise.protocol import XNoiseConfig, run_xnoise_round
+
+N = 6
+BITS = 16
+DIM = 12
+STAGES = [STAGE_ADVERTISE, STAGE_SHARE_KEYS, STAGE_MASKED_INPUT, STAGE_UNMASK]
+
+
+def make_inputs(seed):
+    rng = derive_rng("prop-inputs", seed)
+    return {
+        u: rng.integers(0, 1 << 10, size=DIM).astype(np.int64)
+        for u in range(1, N + 1)
+    }
+
+
+schedules = st.dictionaries(
+    keys=st.sampled_from(STAGES),
+    values=st.sets(st.integers(min_value=1, max_value=N), max_size=2),
+    max_size=3,
+)
+
+
+class TestSecAggProperties:
+    @given(schedule=schedules, seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=25, deadline=None)
+    def test_aggregate_is_survivor_ring_sum_or_clean_abort(self, schedule, seed):
+        """For ANY dropout schedule the protocol either aborts (below
+        threshold) or returns exactly the ring sum over U3."""
+        config = SecAggConfig(
+            threshold=3, bits=BITS, dimension=DIM, dh_group="modp512"
+        )
+        inputs = make_inputs(seed)
+        try:
+            result = run_secagg_round(
+                config, inputs, DropoutSchedule(at_stage=schedule)
+            )
+        except ProtocolAbort:
+            return  # clean refusal is an acceptable outcome
+        expected = np.zeros(DIM, dtype=np.int64)
+        for u in result.u3:
+            expected = (expected + inputs[u]) % (1 << BITS)
+        np.testing.assert_array_equal(result.aggregate, expected)
+        # Set-chain invariant: U1 ⊇ U2 ⊇ U3 ⊇ U4 ⊇ U5, all ≥ t.
+        chain = [result.u1, result.u2, result.u3, result.u4, result.u5]
+        for bigger, smaller in zip(chain, chain[1:]):
+            assert set(smaller) <= set(bigger)
+            assert len(smaller) >= config.threshold
+
+
+class TestXNoiseProperties:
+    @given(
+        upload_drops=st.sets(st.integers(min_value=1, max_value=N), max_size=2),
+        unmask_drops=st.sets(st.integers(min_value=1, max_value=N), max_size=1),
+        seed=st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_theorem1_holds_in_the_implementation(
+        self, upload_drops, unmask_drops, seed
+    ):
+        """Residual noise level is exactly σ²_* for every within-tolerance
+        dropout pattern, including mid-unmasking failures."""
+        config = XNoiseConfig(
+            secagg=SecAggConfig(
+                threshold=3, bits=18, dimension=DIM, dh_group="modp512"
+            ),
+            n_sampled=N,
+            tolerance=2,
+            target_variance=64.0,
+        )
+        inputs = {
+            u: derive_rng("xn-prop", seed, u).integers(-8, 9, size=DIM).astype(np.int64)
+            for u in range(1, N + 1)
+        }
+        schedule = DropoutSchedule(
+            at_stage={
+                STAGE_MASKED_INPUT: set(upload_drops),
+                STAGE_UNMASK: set(unmask_drops) - set(upload_drops),
+            }
+        )
+        try:
+            result = run_xnoise_round(config, inputs, schedule)
+        except ProtocolAbort:
+            return
+        if result.n_dropped <= config.tolerance:
+            assert not result.tolerance_exceeded
+            assert result.residual_variance == pytest.approx(64.0)
+        else:
+            assert result.tolerance_exceeded
+            assert result.residual_variance < 64.0
+        # Every survivor's input made it into the aggregate: strip the
+        # noise expectation by checking the mean error is bounded by a
+        # few noise standard deviations.
+        from repro.dp.quantize import unwrap_modular
+
+        truth = sum(inputs[u] for u in result.u3)
+        err = unwrap_modular(result.aggregate, 18) - truth
+        assert np.abs(err.mean()) < 5 * np.sqrt(result.residual_variance / DIM + 1)

@@ -1,0 +1,71 @@
+"""Device fleets and the simulated cluster."""
+
+import pytest
+
+from repro.sim import ClientDevice, SimulatedCluster, heterogeneous_fleet
+
+
+class TestClientDevice:
+    def test_upload_time(self):
+        dev = ClientDevice(0, compute_factor=1.0, bandwidth_bps=1e6)
+        assert dev.upload_seconds(2e6) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClientDevice(0, compute_factor=0.5, bandwidth_bps=1e6)
+        with pytest.raises(ValueError):
+            ClientDevice(0, compute_factor=1.0, bandwidth_bps=0.0)
+
+
+class TestFleet:
+    def test_size_and_ranges(self):
+        fleet = heterogeneous_fleet(50, seed=1)
+        assert len(fleet) == 50
+        assert all(1.0 <= d.compute_factor <= 8.0 for d in fleet)
+        lo, hi = 21e6 / 8, 210e6 / 8
+        assert all(lo <= d.bandwidth_bps <= hi for d in fleet)
+
+    def test_heterogeneous(self):
+        fleet = heterogeneous_fleet(50, seed=1)
+        factors = {round(d.compute_factor, 3) for d in fleet}
+        assert len(factors) > 10
+
+    def test_deterministic(self):
+        a = heterogeneous_fleet(10, seed=3)
+        b = heterogeneous_fleet(10, seed=3)
+        assert [d.bandwidth_bps for d in a] == [d.bandwidth_bps for d in b]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            heterogeneous_fleet(0)
+
+
+class TestCluster:
+    def test_straggler_is_slowest(self):
+        cluster = SimulatedCluster.build(20, seed=0)
+        sampled = list(range(20))
+        straggler = cluster.straggler(sampled)
+        assert straggler.compute_factor == max(
+            d.compute_factor for d in cluster.devices
+        )
+
+    def test_stage_times_scale_with_straggler(self):
+        cluster = SimulatedCluster.build(10, seed=0)
+        sampled = list(range(10))
+        base = 2.0
+        assert cluster.stage_compute_seconds(sampled, base) == pytest.approx(
+            base * cluster.straggler(sampled).compute_factor
+        )
+
+    def test_upload_gated_by_slowest_bandwidth(self):
+        cluster = SimulatedCluster.build(10, seed=0)
+        sampled = [0, 1, 2]
+        expected = 1e6 / cluster.slowest_bandwidth(sampled)
+        assert cluster.stage_upload_seconds(sampled, 1e6) == pytest.approx(expected)
+
+    def test_empty_sample_rejected(self):
+        cluster = SimulatedCluster.build(5)
+        with pytest.raises(ValueError):
+            cluster.straggler([])
+        with pytest.raises(ValueError):
+            cluster.slowest_bandwidth([])

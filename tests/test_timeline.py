@@ -1,0 +1,50 @@
+"""Wall-clock timelines: elapsed math and time-to-target semantics."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.perf_model import build_dordis_perf_model
+from repro.sim.timeline import Timeline, build_timelines
+
+
+class TestTimeline:
+    def test_elapsed_is_cumulative(self):
+        t = Timeline(60.0, (0.1, 0.2, 0.3), "accuracy")
+        np.testing.assert_allclose(t.elapsed, [60, 120, 180])
+        assert t.total_seconds == 180
+
+    def test_time_to_metric_higher_better(self):
+        t = Timeline(10.0, (0.1, 0.5, 0.9), "accuracy")
+        assert t.time_to_metric(0.5) == 20.0
+        assert t.time_to_metric(0.05) == 10.0
+        assert t.time_to_metric(0.95) == float("inf")
+
+    def test_time_to_metric_lower_better(self):
+        t = Timeline(10.0, (100.0, 60.0, 30.0), "perplexity")
+        assert t.time_to_metric(60.0, higher_is_better=False) == 20.0
+        assert t.time_to_metric(10.0, higher_is_better=False) == float("inf")
+
+    def test_empty_history(self):
+        t = Timeline(10.0, (), "accuracy")
+        assert t.total_seconds == 0.0
+        assert t.time_to_metric(0.5) == float("inf")
+
+
+class TestBuildTimelines:
+    def test_pipelined_reaches_target_sooner(self):
+        """The §6.4 implication: identical metric curve, compressed clock."""
+        model = build_dordis_perf_model(100, 11_000_000)
+        history = [0.2, 0.4, 0.6, 0.7, 0.75]
+        plain, pipe, speedup = build_timelines(
+            history, "accuracy", model, 11_000_000
+        )
+        assert speedup > 1.2
+        assert pipe.time_to_metric(0.6) < plain.time_to_metric(0.6)
+        assert pipe.time_to_metric(0.6) == pytest.approx(
+            plain.time_to_metric(0.6) / (plain.round_seconds / pipe.round_seconds)
+        )
+
+    def test_metric_curves_identical(self):
+        model = build_dordis_perf_model(16, 1_000_000)
+        plain, pipe, _ = build_timelines([0.1, 0.2], "accuracy", model, 1_000_000)
+        assert plain.metric_history == pipe.metric_history

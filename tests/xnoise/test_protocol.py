@@ -1,0 +1,203 @@
+"""End-to-end XNoise rounds: exact noise enforcement under dropout."""
+
+import numpy as np
+import pytest
+
+from repro.secagg import DropoutSchedule, ProtocolAbort, SecAggConfig
+from repro.secagg.types import STAGE_MASKED_INPUT, STAGE_UNMASK
+from repro.xnoise.protocol import (
+    XNoiseConfig,
+    XNoiseServer,
+    run_xnoise_round,
+    seed_label,
+    skellam_noise_from_seed,
+)
+from repro.dp.quantize import unwrap_modular
+from repro.utils.rng import derive_rng
+
+
+def make_config(n=6, t=None, tolerance=2, bits=18, dim=64, variance=100.0,
+                malicious=False, collusion=0):
+    t = t if t is not None else max(2, (2 * n) // 3)
+    return XNoiseConfig(
+        secagg=SecAggConfig(
+            threshold=t,
+            bits=bits,
+            dimension=dim,
+            malicious=malicious,
+            dh_group="modp512",
+        ),
+        n_sampled=n,
+        tolerance=tolerance,
+        target_variance=variance,
+        collusion_tolerance=collusion,
+    )
+
+
+def make_signals(n, dim, scale=10, label="x"):
+    rng = derive_rng("xnoise-signals", label, n, dim)
+    return {
+        u: rng.integers(-scale, scale + 1, size=dim).astype(np.int64)
+        for u in range(1, n + 1)
+    }
+
+
+def decoded_error(result, inputs, survivors, bits):
+    truth = sum(inputs[u] for u in survivors)
+    signed = unwrap_modular(result.aggregate, bits)
+    return signed - truth
+
+
+class TestSeedExpansion:
+    def test_deterministic(self):
+        a = skellam_noise_from_seed(b"seed", 50.0, 128)
+        b = skellam_noise_from_seed(b"seed", 50.0, 128)
+        np.testing.assert_array_equal(a, b)
+
+    def test_variance(self):
+        noise = skellam_noise_from_seed(b"var-seed", 80.0, 40_000)
+        assert noise.var() == pytest.approx(80.0, rel=0.05)
+
+    def test_zero_variance(self):
+        assert not skellam_noise_from_seed(b"s", 0.0, 16).any()
+
+    def test_negative_variance_rejected(self):
+        with pytest.raises(ValueError):
+            skellam_noise_from_seed(b"s", -1.0, 16)
+
+    def test_label_format(self):
+        assert seed_label(3) == "g:3"
+
+
+class TestNoDropout:
+    def test_aggregate_carries_exactly_target_variance(self):
+        """No dropout → all k ≥ 1 components removed; residual = σ²_*."""
+        cfg = make_config(n=6, tolerance=2, variance=400.0, dim=256)
+        inputs = make_signals(6, 256)
+        result = run_xnoise_round(cfg, inputs)
+        assert result.n_dropped == 0
+        assert not result.tolerance_exceeded
+        assert result.residual_variance == pytest.approx(400.0)
+        err = decoded_error(result, inputs, result.u3, 18)
+        # Residual noise is 6 clients × σ²/6 summed = σ²_* total.
+        assert err.var() == pytest.approx(400.0, rel=0.35)
+        assert result.removed_noise_components == 6 * 2  # every survivor, k=1..2
+
+    def test_zero_tolerance_round_is_plain_distributed_dp(self):
+        cfg = make_config(n=5, tolerance=0, variance=100.0, dim=128)
+        inputs = make_signals(5, 128)
+        result = run_xnoise_round(cfg, inputs)
+        assert result.removed_noise_components == 0
+        assert result.residual_variance == pytest.approx(100.0)
+
+
+class TestDropoutWithinTolerance:
+    @pytest.mark.parametrize("dropped", [{2}, {2, 5}])
+    def test_residual_variance_is_target(self, dropped):
+        cfg = make_config(n=7, t=4, tolerance=2, variance=400.0, dim=256)
+        inputs = make_signals(7, 256)
+        result = run_xnoise_round(
+            cfg, inputs, DropoutSchedule.before_upload(dropped)
+        )
+        assert result.n_dropped == len(dropped)
+        assert not result.tolerance_exceeded
+        assert result.residual_variance == pytest.approx(400.0)
+        survivors = [u for u in inputs if u not in dropped]
+        err = decoded_error(result, inputs, survivors, 18)
+        assert err.var() == pytest.approx(400.0, rel=0.35)
+
+    def test_dropout_equal_to_tolerance_removes_nothing(self):
+        cfg = make_config(n=6, t=4, tolerance=2, variance=100.0)
+        inputs = make_signals(6, 64)
+        result = run_xnoise_round(
+            cfg, inputs, DropoutSchedule.before_upload({1, 2})
+        )
+        assert result.removed_noise_components == 0
+        assert result.residual_variance == pytest.approx(100.0)
+
+    def test_unmask_stage_dropout_triggers_stage5_recovery(self):
+        """A survivor that uploads its masked input but drops before
+        revealing its seeds forces the Shamir path (§3.2's robustness)."""
+        cfg = make_config(n=6, t=3, tolerance=2, variance=400.0, dim=256)
+        inputs = make_signals(6, 256)
+        schedule = DropoutSchedule(at_stage={STAGE_UNMASK: {4}})
+        result = run_xnoise_round(cfg, inputs, schedule)
+        # 4 is in U3 (input included) but not U5 (never revealed seeds).
+        assert 4 in result.u3 and 4 not in result.u5
+        assert len(result.u6) >= cfg.secagg.threshold
+        assert result.residual_variance == pytest.approx(400.0)
+        err = decoded_error(result, inputs, result.u3, 18)
+        assert err.var() == pytest.approx(400.0, rel=0.35)
+
+    def test_mixed_dropout_upload_and_removal(self):
+        cfg = make_config(n=8, t=4, tolerance=3, variance=400.0, dim=256)
+        inputs = make_signals(8, 256)
+        schedule = DropoutSchedule(
+            at_stage={STAGE_MASKED_INPUT: {1}, STAGE_UNMASK: {2, 3}}
+        )
+        result = run_xnoise_round(cfg, inputs, schedule)
+        assert result.n_dropped == 1
+        assert result.residual_variance == pytest.approx(400.0)
+        survivors = [u for u in inputs if u != 1]
+        err = decoded_error(result, inputs, survivors, 18)
+        assert err.var() == pytest.approx(400.0, rel=0.4)
+
+
+class TestToleranceExceeded:
+    def test_flagged_and_residual_below_target(self):
+        """|D| > T: XNoise cannot restore the missing noise — it reports
+        the degraded level so the accountant can charge the true cost."""
+        cfg = make_config(n=6, t=3, tolerance=1, variance=100.0)
+        inputs = make_signals(6, 64)
+        result = run_xnoise_round(
+            cfg, inputs, DropoutSchedule.before_upload({1, 2, 3})
+        )
+        assert result.tolerance_exceeded
+        expected = 3 * (100.0 / (6 - 1))  # survivors × per-client level
+        assert result.residual_variance == pytest.approx(expected)
+        assert result.residual_variance < 100.0
+
+
+class TestMaliciousMode:
+    def test_full_round_with_dropout(self):
+        cfg = make_config(
+            n=6, t=4, tolerance=2, variance=400.0, dim=128, malicious=True
+        )
+        inputs = make_signals(6, 128)
+        result = run_xnoise_round(
+            cfg, inputs, DropoutSchedule.before_upload({5})
+        )
+        assert result.residual_variance == pytest.approx(400.0)
+
+    def test_collusion_inflation_raises_residual(self):
+        cfg = make_config(
+            n=6, t=4, tolerance=1, variance=100.0, dim=64, collusion=1
+        )
+        inputs = make_signals(6, 64)
+        result = run_xnoise_round(cfg, inputs)
+        # Residual = σ²_* · t/(t−T_C) = 100 · 4/3.
+        assert result.residual_variance == pytest.approx(100.0 * 4 / 3)
+
+
+class TestValidation:
+    def test_input_count_must_match_sample(self):
+        cfg = make_config(n=6)
+        with pytest.raises(ValueError):
+            run_xnoise_round(cfg, make_signals(5, 64))
+
+    def test_tolerance_must_be_below_sample_size(self):
+        with pytest.raises(ValueError):
+            make_config(n=4, tolerance=4)
+
+    def test_collusion_must_be_below_threshold(self):
+        with pytest.raises(ValueError):
+            make_config(n=6, t=3, collusion=3)
+
+    def test_below_threshold_aborts(self):
+        cfg = make_config(n=6, t=5, tolerance=2)
+        with pytest.raises(ProtocolAbort):
+            run_xnoise_round(
+                cfg,
+                make_signals(6, 64),
+                DropoutSchedule.before_upload({1, 2}),
+            )

@@ -1,0 +1,150 @@
+"""Rebasing baseline behaviour and dropout-understatement detection."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.dh import MODP_512 as TEST_GROUP
+from repro.crypto.pki import PublicKeyInfrastructure
+from repro.xnoise.rebasing import (
+    RebasingScheme,
+    rebasing_removal_bytes,
+)
+from repro.xnoise.verify import (
+    DropoutAttestation,
+    DropoutBroadcast,
+    UnderstatementDetected,
+    round_message,
+)
+
+
+def make_updates(n, dim=64):
+    rng = np.random.default_rng(7)
+    return {u: rng.normal(size=dim) for u in range(1, n + 1)}
+
+
+class TestRebasingEnforcement:
+    def test_faithful_round_hits_target(self):
+        scheme = RebasingScheme(n_sampled=8, tolerance=3, target_variance=2.0)
+        outcome = scheme.run_round(make_updates(8), dropped={1, 2})
+        assert outcome.enforced
+        assert outcome.achieved_variance == pytest.approx(2.0)
+
+    def test_removal_dropout_breaks_enforcement(self):
+        """The robustness gap (§3.1): a survivor dropping mid-removal
+        leaves its excessive noise in place — rebasing over-delivers."""
+        scheme = RebasingScheme(n_sampled=8, tolerance=3, target_variance=2.0)
+        outcome = scheme.run_round(
+            make_updates(8), dropped={1}, removal_dropouts={5}
+        )
+        assert not outcome.enforced
+        assert outcome.achieved_variance > 2.0
+
+    def test_aggregate_carries_signal(self):
+        scheme = RebasingScheme(n_sampled=6, tolerance=2, target_variance=1e-6)
+        updates = make_updates(6)
+        outcome = scheme.run_round(updates, dropped=set())
+        truth = sum(updates.values())
+        np.testing.assert_allclose(outcome.aggregate, truth, atol=0.1)
+
+    def test_dropout_beyond_tolerance_rejected(self):
+        scheme = RebasingScheme(n_sampled=5, tolerance=1, target_variance=1.0)
+        with pytest.raises(ValueError):
+            scheme.run_round(make_updates(5), dropped={1, 2})
+
+    def test_update_shape_validation(self):
+        scheme = RebasingScheme(n_sampled=5, tolerance=1, target_variance=1.0)
+        with pytest.raises(ValueError):
+            scheme.run_round(make_updates(4), dropped=set())
+        with pytest.raises(ValueError):
+            scheme.run_round(make_updates(5), dropped={99})
+
+
+class TestRebasingCost:
+    def test_linear_in_model_size(self):
+        """Table 3's key contrast: rebasing cost ∝ model size."""
+        assert rebasing_removal_bytes(5_000_000) == pytest.approx(12.5e6)
+        assert rebasing_removal_bytes(500_000_000) == pytest.approx(1.25e9)
+        ratio = rebasing_removal_bytes(500_000_000) / rebasing_removal_bytes(5_000_000)
+        assert ratio == pytest.approx(100.0)
+
+    def test_matches_table3_first_row(self):
+        """Paper Table 3: 5M params → 11.9 MB extra for rebasing."""
+        assert rebasing_removal_bytes(5_000_000) / 2**20 == pytest.approx(11.9, abs=0.05)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            rebasing_removal_bytes(0)
+
+
+class TestDropoutAttestation:
+    def _setup(self, n=5, round_index=3):
+        pki = PublicKeyInfrastructure(TEST_GROUP)
+        signers = {u: pki.register(u) for u in range(1, n + 1)}
+        att = DropoutAttestation(pki, round_index)
+        return pki, signers, att
+
+    def test_honest_broadcast_verifies(self):
+        pki, signers, att = self._setup()
+        sampled = set(signers)
+        received = {
+            u: att.sign_participation(signers[u]) for u in [1, 2, 4, 5]
+        }  # 3 dropped
+        bcast = DropoutAttestation.honest_broadcast(3, sampled, received)
+        att.verify_broadcast(sampled, bcast)  # no exception
+        assert bcast.claimed_dropped == frozenset({3})
+
+    def test_understating_dropout_detected(self):
+        """Server claims client 3 survived without its signature."""
+        pki, signers, att = self._setup()
+        sampled = set(signers)
+        received = {u: att.sign_participation(signers[u]) for u in [1, 2, 4, 5]}
+        lying = DropoutBroadcast(
+            round_index=3,
+            claimed_dropped=frozenset(),  # pretends nobody dropped
+            survivor_signatures=dict(received),
+        )
+        with pytest.raises(UnderstatementDetected):
+            att.verify_broadcast(sampled, lying)
+
+    def test_forged_signature_detected(self):
+        """Server forges the dropped client's signature by replaying
+        another client's — verification fails."""
+        pki, signers, att = self._setup()
+        sampled = set(signers)
+        received = {u: att.sign_participation(signers[u]) for u in [1, 2, 4, 5]}
+        forged = dict(received)
+        forged[3] = received[1]  # replay client 1's signature as client 3's
+        lying = DropoutBroadcast(
+            round_index=3,
+            claimed_dropped=frozenset(),
+            survivor_signatures=forged,
+        )
+        with pytest.raises(UnderstatementDetected):
+            att.verify_broadcast(sampled, lying)
+
+    def test_stale_round_replay_detected(self):
+        """Signatures from a previous round cannot be replayed: the round
+        index is part of the signed message."""
+        pki, signers, _ = self._setup(round_index=3)
+        att_old = DropoutAttestation(pki, 2)
+        att_new = DropoutAttestation(pki, 3)
+        sampled = set(signers)
+        old_sigs = {u: att_old.sign_participation(signers[u]) for u in sampled}
+        replay = DropoutBroadcast(
+            round_index=3,
+            claimed_dropped=frozenset(),
+            survivor_signatures=old_sigs,
+        )
+        with pytest.raises(UnderstatementDetected):
+            att_new.verify_broadcast(sampled, replay)
+
+    def test_wrong_round_broadcast_rejected(self):
+        pki, signers, att = self._setup(round_index=3)
+        bcast = DropoutBroadcast(
+            round_index=9, claimed_dropped=frozenset(), survivor_signatures={}
+        )
+        with pytest.raises(UnderstatementDetected):
+            att.verify_broadcast(set(signers), bcast)
+
+    def test_round_message_binds_round_index(self):
+        assert round_message(1) != round_message(2)
