@@ -6,12 +6,24 @@ CIFAR-ResNet-11M (16), CIFAR-VGG-20M (16)} × dropout {0,10,20,30}% ×
 from the paper: aggregation dominates; pipelining speeds rounds up by up
 to ~2.4×; larger models and more clients gain more; XNoise's overhead
 shrinks with dropout; SecAgg+ variants are slightly cheaper.
+
+Since the engine refactor the pipelined numbers are also *measured*:
+``test_fig10_engine_measures_overlap`` executes every workload's 5-stage
+round as overlapping chunk tasks on the :class:`repro.engine.RoundEngine`
+and reads the speedup off the traced schedule, asserting it reproduces
+the Appendix-C prediction the rest of this file plots.
 """
 
+import asyncio
+
+import numpy as np
 import pytest
 from conftest import print_header
 
+from repro.api.protocol import ProtocolClient, ProtocolServer
+from repro.engine import RoundEngine, StageTiming
 from repro.pipeline.perf_model import build_dordis_perf_model
+from repro.pipeline.scheduler import completion_time, optimal_chunks
 from repro.pipeline.simulator import compare_plain_pipelined
 
 WORKLOADS = [
@@ -77,6 +89,98 @@ def test_fig10_workload(once, name, size, clients, other):
         for rate in RATES
     ]
     assert all(a >= b - 1e-9 for a, b in zip(overheads, overheads[1:]))
+
+
+class _DordisRoundServer(ProtocolServer):
+    """The Table-1 5-stage round as a declared workflow (timing harness)."""
+
+    def set_graph_dict(self):
+        return {
+            "encode": {"resource": "c-comp", "deps": []},
+            "upload": {"resource": "comm", "deps": ["encode"]},
+            "aggregate": {"resource": "s-comp", "deps": ["upload"]},
+            "dispatch": {"resource": "comm", "deps": ["aggregate"]},
+            "decode": {"resource": "c-comp", "deps": ["dispatch"]},
+        }
+
+    def aggregate(self, responses):
+        total = None
+        for vec in responses.values():
+            total = vec if total is None else total + vec
+        return total
+
+
+class _DordisRoundClient(ProtocolClient):
+    def __init__(self, client_id, vector):
+        super().__init__(client_id)
+        self.vector = vector
+
+    def set_routine(self):
+        return {
+            "encode": lambda _p: self.vector,
+            "upload": lambda payload: payload,
+            "dispatch": lambda aggregate: aggregate,
+            "decode": lambda aggregate: aggregate,
+        }
+
+
+def _engine_round_seconds(model, update_size, n_chunks, pipelined):
+    """Execute one 5-stage round on the engine; return traced seconds."""
+    dim = max(n_chunks, 8)
+    inputs = {u: np.ones(dim) for u in range(4)}
+
+    def factory(_j, chunk_inputs):
+        return _DordisRoundServer(), [
+            _DordisRoundClient(u, v) for u, v in chunk_inputs.items()
+        ]
+
+    engine = RoundEngine(
+        timing=StageTiming(_DordisRoundServer(), model, update_size)
+    )
+    chunked = asyncio.run(
+        engine.run_chunked_round(
+            factory, inputs, n_chunks, pipelined=pipelined,
+            extract=lambda r: next(iter(r.values())),
+        )
+    )
+    return chunked.completion_time
+
+
+def test_fig10_engine_measures_overlap(once):
+    """The engine *executes* the Fig.-10 pipelined rounds: measured
+    speedups equal the Appendix-C schedule the offline grid predicts."""
+
+    def measure():
+        rows = {}
+        for name, size, clients, _other in WORKLOADS:
+            model = build_dordis_perf_model(
+                clients, size, xnoise=True, dropout_rate=0.1
+            )
+            m_star, predicted_pipe = optimal_chunks(model, size)
+            plain = _engine_round_seconds(model, size, 1, pipelined=True)
+            piped = _engine_round_seconds(model, size, m_star, pipelined=True)
+            rows[name] = (m_star, plain, piped, predicted_pipe)
+        return rows
+
+    rows = once(measure)
+    print_header("Fig 10 — engine-executed rounds (XNoise, d=10%)")
+    print(f"{'workload':>20} | {'m*':>3} {'plain':>9} {'piped':>9} | agg speedup")
+    for name, (m_star, plain, piped, _pred) in rows.items():
+        print(
+            f"{name:>20} | {m_star:>3} {plain / 60:>7.1f}mn "
+            f"{piped / 60:>7.1f}mn | {plain / piped:>6.2f}x"
+        )
+    for name, size, clients, _other in WORKLOADS:
+        m_star, plain, piped, predicted_pipe = rows[name]
+        model = build_dordis_perf_model(
+            clients, size, xnoise=True, dropout_rate=0.1
+        )
+        # Measured execution reproduces the offline calculator exactly:
+        # plain = the m=1 stage-time sum, pipelined = the Appendix-C
+        # optimum — the schedule is now the execution path.
+        assert plain == pytest.approx(completion_time(model, size, 1))
+        assert piped == pytest.approx(predicted_pipe)
+        assert piped < plain
 
 
 def test_fig10_cross_workload_shape(once):

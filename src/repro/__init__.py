@@ -20,6 +20,9 @@ Privacy* (Jiang, Wang, Chen — EuroSys 2024).  It contains:
 - ``repro.pipeline`` — the pipeline-parallel aggregation architecture:
   stage abstraction, the Eq.-3 performance model, the Appendix-C schedule
   recurrence, and the chunk-count optimizer.
+- ``repro.engine``   — the unified async round engine: every declared
+  protocol workflow executes over a pluggable transport with concurrent
+  client dispatch and chunk-pipelined scheduling per Appendix C.
 - ``repro.sim``      — network/latency heterogeneity models and an
   in-process cluster used to drive the protocols.
 - ``repro.core``     — the end-to-end Dordis framework and the baseline

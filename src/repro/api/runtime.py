@@ -1,21 +1,22 @@
 """Round runtime for Appendix-D protocol declarations.
 
-Walks a :class:`ProtocolServer`'s validated workflow in dependency
-order.  Operations tagged ``c-comp`` or client-side ``comm`` fan out to
-every live client through its routine table; server operations call the
-server's coordination method with the collected responses.  The runtime
-is transport-agnostic by construction — the same property that lets the
-real system swap Socket.IO for this in-process driver.
+``AggregationRuntime`` is now a thin synchronous wrapper over the
+unified :class:`repro.engine.RoundEngine`: the engine walks the
+:class:`ProtocolServer`'s validated workflow in dependency order,
+fanning operations tagged ``c-comp`` or client-side ``comm`` out to
+every live client **concurrently** through the configured transport
+(in-process by default — the same property that lets the real system
+swap Socket.IO for direct dispatch), while server operations call the
+server's coordination method with the collected responses.
 """
 
 from __future__ import annotations
 
 from typing import Iterable
 
-import numpy as np
-
 from repro.api.app import AppClient, AppServer
-from repro.api.protocol import ProtocolClient, ProtocolServer, WorkflowError
+from repro.api.protocol import ProtocolClient, ProtocolServer
+from repro.engine import RoundEngine
 
 
 class AggregationRuntime:
@@ -27,6 +28,7 @@ class AggregationRuntime:
         clients: Iterable[ProtocolClient],
         app_server: AppServer | None = None,
         app_clients: dict[int, AppClient] | None = None,
+        engine: RoundEngine | None = None,
     ):
         self.server = server
         self.clients = {c.id: c for c in clients}
@@ -34,38 +36,23 @@ class AggregationRuntime:
             raise ValueError("need at least one client")
         self.app_server = app_server
         self.app_clients = dict(app_clients or {})
+        self.engine = engine or RoundEngine()
 
     def run_round(self, round_index: int = 0):
         """Run every declared operation once; returns the final result.
 
-        Protocol contract: a *client operation* (resource ``c-comp``) is
-        dispatched to every client as a request named after the
-        operation, with the previous operation's result as payload; a
-        *server operation* receives the dict of client responses (or the
-        previous server result).  The last operation's return value is
-        the round result, handed to the AppServer/AppClients.
+        Protocol contract: a *client operation* (resource ``c-comp`` or
+        ``comm``) is dispatched to every client as a request named after
+        the operation, with the previous operation's result as payload
+        (dicts keyed by client id are unpacked per client); a *server
+        operation* receives the dict of client responses (or the previous
+        server result).  The last operation's return value is the round
+        result, handed to the AppServer/AppClients.
         """
-        graph = self.server.set_graph_dict()
-        inputs = None
-        if self.app_clients:
-            inputs = {
-                cid: app.prepare_data(round_index)
-                for cid, app in self.app_clients.items()
-            }
-        carry = inputs
-        for op in self.server.workflow_order():
-            resource = graph[op]["resource"]
-            if resource == "c-comp":
-                responses = {}
-                for cid, client in self.clients.items():
-                    payload = carry[cid] if isinstance(carry, dict) and cid in carry else carry
-                    responses[cid] = client.handle(op, payload)
-                carry = responses
-            else:
-                method = self.server.operation_method(op)
-                carry = method(carry)
-        if self.app_server is not None:
-            self.app_server.use_output(carry)
-        for cid, app in self.app_clients.items():
-            app.use_output(carry)
-        return carry
+        return self.engine.run_round_sync(
+            self.server,
+            self.clients,
+            round_index=round_index,
+            app_server=self.app_server,
+            app_clients=self.app_clients,
+        )

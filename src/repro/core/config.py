@@ -50,6 +50,11 @@ class DordisConfig:
         "simulated" — noise algebra without masking (fast; identical
         privacy accounting); "secagg" — run the real XNoise+SecAgg
         protocol per round (slow; for end-to-end validation).
+    pipeline_chunks:
+        m ≥ 1: split each secagg round into m chunk sub-rounds executed
+        concurrently on the round engine per the §4.1 pipeline schedule
+        (1 → plain, unchunked execution).  Only affects the "secagg"
+        aggregation path.
     """
 
     # Task / model.
@@ -81,6 +86,7 @@ class DordisConfig:
     # Aggregation.
     secure_aggregation: str = "simulated"
     dh_group: str = "modp512"
+    pipeline_chunks: int = 1
 
     seed: int = 0
 
@@ -112,6 +118,8 @@ class DordisConfig:
             raise ValueError("dropout_rate must be in [0, 1)")
         if self.secure_aggregation not in {"simulated", "secagg"}:
             raise ValueError("secure_aggregation must be simulated or secagg")
+        if self.pipeline_chunks < 1:
+            raise ValueError("pipeline_chunks must be >= 1")
 
     @property
     def is_language_task(self) -> bool:

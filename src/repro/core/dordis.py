@@ -6,16 +6,25 @@ the fast noise-algebra simulation or the real XNoise+SecAgg protocol),
 decode, and apply FedAvg — then charge the RDP accountant with the
 *actual* aggregate noise level, which is where Orig's budget overrun and
 XNoise's exact enforcement become visible.
+
+Rounds are submitted to a shared :class:`repro.engine.RoundEngine`:
+each round's data dependency chains on its predecessor's handle, the
+engine's virtual resource clocks persist across rounds (so consecutive
+rounds land on one session timeline and overlap wherever the dependency
+structure allows), and the real-protocol aggregation path executes
+chunk-pipelined per the §4.1 schedule when ``config.pipeline_chunks > 1``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.core.baselines import NoiseStrategy, make_strategy
 from repro.core.config import DordisConfig
+from repro.engine import RoundEngine
+from repro.engine.core import run_sync
 from repro.dp.accountant import RdpAccountant
 from repro.dp.planner import NoisePlan, plan_noise
 from repro.dp.quantize import clip_l2
@@ -42,12 +51,19 @@ class TrainingResult:
     ``metric_history`` holds accuracy (classification, higher better) or
     perplexity (language, lower better) per completed round;
     ``epsilon_history`` the cumulative privacy spend after each round.
+    ``round_seconds_history`` is the engine-traced simulated duration of
+    each completed round's aggregation.  Entries are non-zero only when
+    the session's engine carries a timing source (e.g.
+    ``DordisSession(cfg, engine=RoundEngine(transport=SimulatedNetworkTransport(...)))``
+    or a ``StageTiming`` model); the default in-process engine and the
+    simulated-aggregation path record 0.0.
     """
 
     metric_name: str
     metric_history: list = field(default_factory=list)
     epsilon_history: list = field(default_factory=list)
     dropout_history: list = field(default_factory=list)
+    round_seconds_history: list = field(default_factory=list)
     rounds_completed: int = 0
     stopped_early: bool = False
 
@@ -88,8 +104,10 @@ class DordisSession:
         dataset: FederatedDataset | None = None,
         dropout_model=None,
         strategy: NoiseStrategy | None = None,
+        engine: RoundEngine | None = None,
     ):
         self.config = config
+        self.engine = engine or RoundEngine()
         self.dataset = dataset if dataset is not None else self._build_dataset()
         self.model = self._build_model()
         self.strategy = strategy or make_strategy(
@@ -203,8 +221,18 @@ class DordisSession:
     # ------------------------------------------------------------------
     def run(self, rounds: int | None = None) -> TrainingResult:
         """Train for the configured horizon; returns the trajectories."""
+        horizon = rounds if rounds is not None else self.config.rounds
+        return run_sync(self._run_rounds(horizon))
+
+    async def _run_rounds(self, horizon: int) -> TrainingResult:
+        """Submit each round to the engine, chained on its predecessor.
+
+        FedAvg's data dependency (round r+1 trains on round r's model)
+        serializes the chain via ``after=``; protocols without that
+        dependency may submit with ``after=None`` and genuinely overlap
+        on the shared engine timeline.
+        """
         cfg = self.config
-        horizon = rounds if rounds is not None else cfg.rounds
         server = FedAvgServer(self.model)
         trainer = LocalTrainer(
             self.model,
@@ -218,60 +246,86 @@ class DordisSession:
             metric_name="perplexity" if cfg.is_language_task else "accuracy"
         )
 
+        previous = None
         for r in range(horizon):
-            sampled = sorted(
-                sampler.choice(cfg.num_clients, size=cfg.sample_size, replace=False)
+            handle = self.engine.submit_round(
+                lambda r=r: self._run_one_round(
+                    r, server, trainer, accountant, sampler, result
+                ),
+                after=previous,
             )
-            dropped = self.dropout_model.dropped(sampled, r)
-            survivors = [u for u in sampled if u not in dropped]
-            if not survivors:
-                result.dropout_history.append(1.0)
-                continue
-            result.dropout_history.append(len(dropped) / len(sampled))
-
-            if cfg.secure_aggregation == "secagg":
-                # The real protocol: every sampled client trains (dropped
-                # ones drop *before upload*, after local work).
-                updates_by_id = {
-                    u: trainer.compute_update(
-                        server.global_params,
-                        self.dataset.shards[u],
-                        round_index=r,
-                        client_id=u,
-                    )
-                    for u in sampled
-                }
-                update_sum = self._aggregate_secagg(
-                    updates_by_id, sampled, dropped, r
-                )
-            else:
-                updates = [
-                    trainer.compute_update(
-                        server.global_params,
-                        self.dataset.shards[u],
-                        round_index=r,
-                        client_id=u,
-                    )
-                    for u in survivors
-                ]
-                update_sum = self._aggregate(updates, sampled, survivors, r)
-            server.apply_update_sum(update_sum, len(survivors))
-
-            actual = self.strategy.actual_variance(
-                self.plan.variance, len(sampled), len(dropped)
-            )
-            self.plan.spend_round(accountant, actual)
-            result.epsilon_history.append(accountant.epsilon())
-            result.metric_history.append(self._evaluate(server))
-            result.rounds_completed = r + 1
-
-            if (
-                self.strategy.stops_when_budget_exhausted()
-                and accountant.epsilon() >= cfg.epsilon
-            ):
-                result.stopped_early = True
+            stop = await handle.result()
+            previous = handle
+            if stop:
                 break
         return result
+
+    async def _run_one_round(
+        self, r, server, trainer, accountant, sampler, result
+    ) -> bool:
+        """One Fig.-7 round; returns True when the session should stop."""
+        cfg = self.config
+        sampled = sorted(
+            sampler.choice(cfg.num_clients, size=cfg.sample_size, replace=False)
+        )
+        dropped = self.dropout_model.dropped(sampled, r)
+        survivors = [u for u in sampled if u not in dropped]
+        if not survivors:
+            result.dropout_history.append(1.0)
+            return False
+        result.dropout_history.append(len(dropped) / len(sampled))
+        rounds_mark = len(self.engine.current_job_rounds())
+
+        if cfg.secure_aggregation == "secagg":
+            # The real protocol: every sampled client trains (dropped
+            # ones drop *before upload*, after local work).
+            updates_by_id = {
+                u: trainer.compute_update(
+                    server.global_params,
+                    self.dataset.shards[u],
+                    round_index=r,
+                    client_id=u,
+                )
+                for u in sampled
+            }
+            update_sum = await self._aggregate_secagg(
+                updates_by_id, sampled, dropped, r
+            )
+        else:
+            updates = [
+                trainer.compute_update(
+                    server.global_params,
+                    self.dataset.shards[u],
+                    round_index=r,
+                    client_id=u,
+                )
+                for u in survivors
+            ]
+            update_sum = self._aggregate(updates, sampled, survivors, r)
+        server.apply_update_sum(update_sum, len(survivors))
+
+        actual = self.strategy.actual_variance(
+            self.plan.variance, len(sampled), len(dropped)
+        )
+        self.plan.spend_round(accountant, actual)
+        result.epsilon_history.append(accountant.epsilon())
+        result.metric_history.append(self._evaluate(server))
+        # Sum the durations of exactly the engine rounds this job ran
+        # (the sink is job-local, so concurrent jobs on the same engine
+        # never leak into each other's accounting).
+        executed = self.engine.current_job_rounds()[rounds_mark:]
+        result.round_seconds_history.append(
+            sum(finish - begin for begin, finish in executed)
+        )
+        result.rounds_completed = r + 1
+
+        if (
+            self.strategy.stops_when_budget_exhausted()
+            and accountant.epsilon() >= cfg.epsilon
+        ):
+            result.stopped_early = True
+            return True
+        return False
 
     # ------------------------------------------------------------------
     def _aggregate(
@@ -324,19 +378,28 @@ class DordisSession:
             encoded.append(mech.encode(update, per_survivor_var, rng))
         return mech.decode(mech.aggregate_ring(encoded))
 
-    def _aggregate_secagg(
+    async def _aggregate_secagg(
         self,
         updates_by_id: dict[int, np.ndarray],
         sampled: list[int],
         dropped: set[int],
         round_index: int,
     ) -> np.ndarray:
-        """Run the integrated XNoise+SecAgg protocol for real (Fig. 5)."""
-        import math
+        """Run the integrated XNoise+SecAgg protocol for real (Fig. 5).
 
+        With ``pipeline_chunks > 1`` the round executes as m independent
+        chunk sub-rounds overlapped on the engine (§4.1): each chunk is a
+        full XNoise+SecAgg round over its coordinate slice, and the chunk
+        aggregates concatenate back per the ``Σ ∥`` identity.
+        """
         from repro.secagg.driver import DropoutSchedule
         from repro.secagg.types import SecAggConfig
-        from repro.xnoise.protocol import XNoiseConfig, run_xnoise_round
+        from repro.secagg.workflow import with_dropout
+        from repro.xnoise.protocol import (
+            XNoiseConfig,
+            arun_xnoise_round,
+            xnoise_round_components,
+        )
 
         assert self.skellam is not None
         cfg = self.config
@@ -364,7 +427,27 @@ class DordisSession:
             int(u) + 1: mech.encode_signal(updates_by_id[u], rng) for u in sampled
         }
         schedule = DropoutSchedule.before_upload({int(u) + 1 for u in dropped})
-        result = run_xnoise_round(
-            xconfig, inputs, schedule, round_index=round_index
+
+        n_chunks = min(cfg.pipeline_chunks, mech.padded_dimension)
+        if n_chunks <= 1:
+            result = await arun_xnoise_round(
+                xconfig, inputs, schedule,
+                round_index=round_index, engine=self.engine,
+            )
+            return mech.decode(result.aggregate)
+
+        transport = with_dropout(self.engine.transport, schedule)
+
+        def chunk_factory(j: int, chunk_inputs: dict[int, np.ndarray]):
+            dim = next(iter(chunk_inputs.values())).shape[0]
+            chunk_config = replace(
+                xconfig, secagg=replace(xconfig.secagg, dimension=dim)
+            )
+            return xnoise_round_components(
+                chunk_config, chunk_inputs, round_index=round_index
+            )
+
+        chunked = await self.engine.run_chunked_round(
+            chunk_factory, inputs, n_chunks, transport=transport,
         )
-        return mech.decode(result.aggregate)
+        return mech.decode(chunked.result)

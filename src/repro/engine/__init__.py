@@ -1,0 +1,64 @@
+"""Unified async round execution (the Dordis execution substrate).
+
+Every round in the repo — the Appendix-D programming-interface runtime,
+the SecAgg/XNoise protocol drivers, and the training session loop — runs
+through one event-driven :class:`RoundEngine`:
+
+- **Transport-agnostic**: in-process direct dispatch, asyncio message
+  queues, simulated per-link latency from §6.1 device profiles, and
+  dropout-injecting middleware are interchangeable backends.
+- **Chunk-pipelined**: aggregation tasks split into m sub-tasks
+  (:mod:`repro.pipeline.chunking`) executed as overlapping asyncio tasks
+  whose cross-chunk ordering is the Appendix-C schedule — the pipeline
+  model is the execution path, not an offline calculator.
+- **Traced**: per-stage virtual timing lands in a
+  :class:`repro.sim.timeline.ExecutionTrace` shared across rounds.
+"""
+
+from repro.engine.core import (
+    ChunkedRoundResult,
+    RoundEngine,
+    RoundHandle,
+    Targeted,
+    run_sync,
+)
+from repro.engine.timing import (
+    OpTiming,
+    PerOpTiming,
+    StageTiming,
+    ZeroTiming,
+    stage_groups,
+)
+from repro.engine.transport import (
+    Channel,
+    ClientUnavailable,
+    Delivery,
+    DropoutTransport,
+    InProcessTransport,
+    QueueTransport,
+    SimulatedNetworkTransport,
+    Transport,
+    payload_nbytes,
+)
+
+__all__ = [
+    "ChunkedRoundResult",
+    "RoundEngine",
+    "RoundHandle",
+    "Targeted",
+    "run_sync",
+    "stage_groups",
+    "OpTiming",
+    "PerOpTiming",
+    "StageTiming",
+    "ZeroTiming",
+    "Channel",
+    "ClientUnavailable",
+    "Delivery",
+    "DropoutTransport",
+    "InProcessTransport",
+    "QueueTransport",
+    "SimulatedNetworkTransport",
+    "Transport",
+    "payload_nbytes",
+]

@@ -1,0 +1,272 @@
+"""Pluggable transports for the :class:`repro.engine.RoundEngine`.
+
+A transport is how the engine reaches protocol clients.  ``connect()``
+binds a transport to one round's client set and returns a
+:class:`Channel`; the engine issues concurrent ``request()`` calls on the
+channel and folds the reported per-link latencies into its virtual
+timeline.  Implementations:
+
+- :class:`InProcessTransport` — direct dispatch in the caller's task,
+  zero latency.  The engine with this transport is behaviorally identical
+  to the old synchronous drivers (the regression tests rely on it).
+- :class:`QueueTransport` — genuine message passing: one asyncio queue
+  and worker task per client, responses returned through futures.  The
+  shape a Socket.IO/websocket backend would plug into.
+- :class:`SimulatedNetworkTransport` — queue transport whose links carry
+  the per-client latency implied by :mod:`repro.sim.network` device
+  profiles (payload bytes / bandwidth), so heterogeneous stragglers gate
+  comm stages exactly as in the paper's §6.1 setup.
+- :class:`DropoutTransport` — middleware that silences clients according
+  to a :class:`repro.secagg.driver.DropoutSchedule`; this is the old
+  ``SecAggDriver``'s dropout-injection role recast as a transport layer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # imported lazily to avoid an api ↔ engine import cycle
+    from repro.api.protocol import ProtocolClient
+    from repro.sim.network import ClientDevice
+
+
+class ClientUnavailable(Exception):
+    """The transport could not reach a client (dropout, dead link).
+
+    The engine treats this as a missing response — the client simply does
+    not appear in the op's response dict — mirroring how the synchronous
+    drivers modelled dropout by skipping the client's stage call.
+    """
+
+    def __init__(self, client_id: int, op: str):
+        super().__init__(f"client {client_id} unreachable for request {op!r}")
+        self.client_id = client_id
+        self.op = op
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One completed request/response exchange on a channel.
+
+    ``latency`` is the *simulated* seconds the exchange spent on the wire
+    (0 for in-process dispatch); the engine adds it to the virtual clock,
+    it is never a wall-clock measurement.
+    """
+
+    client_id: int
+    op: str
+    response: Any
+    latency: float = 0.0
+
+
+class Channel:
+    """A transport bound to one round's clients."""
+
+    async def request(self, client_id: int, op: str, payload: Any) -> Delivery:
+        raise NotImplementedError
+
+    async def aclose(self) -> None:
+        """Release any resources (worker tasks, queues)."""
+
+
+class Transport:
+    """Factory of per-round channels."""
+
+    def connect(self, clients: Mapping[int, ProtocolClient]) -> Channel:
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# In-process
+# ---------------------------------------------------------------------------
+
+
+class _InProcessChannel(Channel):
+    def __init__(self, clients: Mapping[int, ProtocolClient]):
+        self._clients = dict(clients)
+
+    async def request(self, client_id: int, op: str, payload: Any) -> Delivery:
+        if client_id not in self._clients:
+            raise ClientUnavailable(client_id, op)
+        response = self._clients[client_id].handle(op, payload)
+        return Delivery(client_id, op, response)
+
+
+class InProcessTransport(Transport):
+    """Direct dispatch — the default, zero-latency backend."""
+
+    def connect(self, clients: Mapping[int, ProtocolClient]) -> Channel:
+        return _InProcessChannel(clients)
+
+
+# ---------------------------------------------------------------------------
+# Asyncio message passing
+# ---------------------------------------------------------------------------
+
+
+class _QueueChannel(Channel):
+    """One request queue + worker task per client."""
+
+    def __init__(
+        self,
+        clients: Mapping[int, ProtocolClient],
+        latency_fn: Optional[Callable[[int, str, Any, Any], float]] = None,
+    ):
+        self._clients = dict(clients)
+        self._latency_fn = latency_fn
+        self._queues: dict[int, asyncio.Queue] = {}
+        self._workers: dict[int, asyncio.Task] = {}
+
+    def _queue_for(self, client_id: int) -> asyncio.Queue:
+        queue = self._queues.get(client_id)
+        if queue is None:
+            queue = asyncio.Queue()
+            self._queues[client_id] = queue
+            self._workers[client_id] = asyncio.get_running_loop().create_task(
+                self._worker(client_id, queue)
+            )
+        return queue
+
+    async def _worker(self, client_id: int, queue: asyncio.Queue) -> None:
+        client = self._clients[client_id]
+        while True:
+            op, payload, future = await queue.get()
+            if future.cancelled():
+                continue
+            try:
+                future.set_result(client.handle(op, payload))
+            except Exception as exc:  # propagate to the requester
+                future.set_exception(exc)
+
+    async def request(self, client_id: int, op: str, payload: Any) -> Delivery:
+        if client_id not in self._clients:
+            raise ClientUnavailable(client_id, op)
+        future = asyncio.get_running_loop().create_future()
+        await self._queue_for(client_id).put((op, payload, future))
+        response = await future
+        latency = 0.0
+        if self._latency_fn is not None:
+            latency = self._latency_fn(client_id, op, payload, response)
+        return Delivery(client_id, op, response, latency=latency)
+
+    async def aclose(self) -> None:
+        for task in self._workers.values():
+            task.cancel()
+        for task in self._workers.values():
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._workers.clear()
+        self._queues.clear()
+
+
+class QueueTransport(Transport):
+    """Asyncio-queue message passing with no simulated latency."""
+
+    def connect(self, clients: Mapping[int, ProtocolClient]) -> Channel:
+        return _QueueChannel(clients)
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Rough serialized size of a message payload, for latency modelling.
+
+    Counts ndarray buffers, byte strings, and containers thereof; every
+    other object costs a small fixed overhead (headers, framing).
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return 16 + sum(payload_nbytes(v) for v in payload)
+    if isinstance(payload, dict):
+        return 16 + sum(
+            payload_nbytes(k) + payload_nbytes(v) for k, v in payload.items()
+        )
+    if hasattr(payload, "__dataclass_fields__"):
+        return 16 + sum(
+            payload_nbytes(getattr(payload, name))
+            for name in payload.__dataclass_fields__
+        )
+    return 8
+
+
+class SimulatedNetworkTransport(QueueTransport):
+    """Queue transport with per-link latency from §6.1 device profiles.
+
+    Each exchange costs ``(request bytes + response bytes) / bandwidth``
+    of the client's :class:`repro.sim.network.ClientDevice`.  The engine
+    takes the max over concurrently dispatched clients, so the slowest
+    sampled device gates each comm stage, as in the paper's cost model.
+    """
+
+    def __init__(
+        self,
+        devices: Mapping[int, "ClientDevice"],
+        size_fn: Callable[[Any], int] = payload_nbytes,
+    ):
+        self.devices = dict(devices)
+        self._size_fn = size_fn
+
+    def _latency(self, client_id: int, op: str, payload: Any, response: Any) -> float:
+        device = self.devices.get(client_id)
+        if device is None:
+            return 0.0
+        nbytes = self._size_fn(payload) + self._size_fn(response)
+        return device.upload_seconds(nbytes)
+
+    def connect(self, clients: Mapping[int, ProtocolClient]) -> Channel:
+        return _QueueChannel(clients, latency_fn=self._latency)
+
+
+# ---------------------------------------------------------------------------
+# Dropout middleware
+# ---------------------------------------------------------------------------
+
+
+class _DropoutChannel(Channel):
+    def __init__(self, inner: Channel, schedule, stage_of):
+        self._inner = inner
+        self._schedule = schedule
+        self._stage_of = stage_of
+
+    async def request(self, client_id: int, op: str, payload: Any) -> Delivery:
+        stage = self._stage_of(op)
+        if stage is not None and client_id in self._schedule.dropped_by(stage):
+            raise ClientUnavailable(client_id, op)
+        return await self._inner.request(client_id, op, payload)
+
+    async def aclose(self) -> None:
+        await self._inner.aclose()
+
+
+class DropoutTransport(Transport):
+    """Silence clients per a :class:`DropoutSchedule` — SecAgg's old driver
+    recast as middleware.
+
+    ``stage_of`` maps an operation name to the protocol stage constant it
+    belongs to (``None`` → never dropped); a client scheduled to drop by
+    that stage raises :class:`ClientUnavailable`, and a dropped client
+    never comes back within the round — exactly the old driver's
+    ``alive -= dropout.dropped_by(stage)`` bookkeeping.
+    """
+
+    def __init__(
+        self,
+        inner: Transport,
+        schedule,
+        stage_of: Callable[[str], Optional[int]],
+    ):
+        self.inner = inner
+        self.schedule = schedule
+        self.stage_of = stage_of
+
+    def connect(self, clients: Mapping[int, ProtocolClient]) -> Channel:
+        return _DropoutChannel(self.inner.connect(clients), self.schedule, self.stage_of)

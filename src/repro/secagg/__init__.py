@@ -13,9 +13,13 @@ in-process state machines:
   SecAgg, random k-regular for SecAgg+ (the "(poly)logarithmic overhead"
   variant).
 - :mod:`repro.secagg.masking` — pairwise and self masks over Z_{2^b}.
-- :mod:`repro.secagg.driver` — a round driver that injects client dropout
-  before any stage and returns the aggregate plus per-stage traffic
-  statistics.
+- :mod:`repro.secagg.workflow` — the Fig.-5 protocol declared as an
+  Appendix-D workflow for the unified round engine
+  (:mod:`repro.engine`), with dropout injected as transport middleware.
+- :mod:`repro.secagg.driver` — round drivers: the engine-backed
+  :func:`run_secagg_round` and the retained synchronous reference it is
+  regression-tested against; both inject client dropout before any stage
+  and return the aggregate plus per-stage traffic statistics.
 - :mod:`repro.secagg.wire` — byte-level codecs for the encrypted share
   payloads.
 
@@ -37,7 +41,18 @@ from repro.secagg.types import (
 from repro.secagg.graph import CompleteGraph, KRegularGraph
 from repro.secagg.client import SecAggClient
 from repro.secagg.server import SecAggServer
-from repro.secagg.driver import run_secagg_round, DropoutSchedule
+from repro.secagg.driver import (
+    run_secagg_round,
+    run_secagg_round_reference,
+    arun_secagg_round,
+    DropoutSchedule,
+)
+from repro.secagg.workflow import (
+    SecAggWorkflowClient,
+    SecAggWorkflowServer,
+    secagg_stage_of,
+    with_dropout,
+)
 from repro.secagg.secagg_plus import secagg_plus_config, recommended_degree
 from repro.secagg.complexity import (
     secagg_client_cost,
@@ -54,7 +69,13 @@ __all__ = [
     "SecAggClient",
     "SecAggServer",
     "run_secagg_round",
+    "run_secagg_round_reference",
+    "arun_secagg_round",
     "DropoutSchedule",
+    "SecAggWorkflowClient",
+    "SecAggWorkflowServer",
+    "secagg_stage_of",
+    "with_dropout",
     "secagg_plus_config",
     "recommended_degree",
     "secagg_client_cost",

@@ -1,12 +1,20 @@
 """Round driver: runs a full SecAgg round with injected client dropout.
 
-The driver plays the network: it calls the client/server stage methods in
-protocol order, withholds messages from clients scheduled to drop, and
-meters traffic.  The paper's dropout model (§6.1) — "clients drop out
-after being sampled but before sending their masked and perturbed
-update" — corresponds to scheduling dropouts before
-``STAGE_MASKED_INPUT``; the driver supports dropout before *any* stage so
-tests can also exercise mid-unmasking failures.
+Execution now flows through the unified :class:`repro.engine.RoundEngine`:
+the Fig.-5 workflow is declared by
+:class:`repro.secagg.workflow.SecAggWorkflowServer`, client operations
+fan out concurrently over the engine's transport, and dropout — the role
+this module's old synchronous loop played inline — is injected by
+:class:`repro.engine.DropoutTransport` middleware.  The paper's dropout
+model (§6.1) — "clients drop out after being sampled but before sending
+their masked and perturbed update" — corresponds to scheduling dropouts
+before ``STAGE_MASKED_INPUT``; any stage works, so tests can also
+exercise mid-unmasking failures.
+
+The pre-engine serial loop is retained as
+:func:`run_secagg_round_reference` — the executable specification the
+engine path is regression-tested against (bit-identical aggregates,
+participant sets, and traffic).
 """
 
 from __future__ import annotations
@@ -17,9 +25,17 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.crypto.pki import PublicKeyInfrastructure
+from repro.engine import RoundEngine
+from repro.engine.core import run_sync
 from repro.secagg.client import SecAggClient
-from repro.secagg.graph import CompleteGraph, KRegularGraph
+from repro.secagg.graph import build_graph  # noqa: F401  (re-export)
 from repro.secagg.server import SecAggServer
+from repro.secagg.workflow import (
+    SecAggWorkflowClient,
+    SecAggWorkflowServer,
+    secagg_stage_of,  # noqa: F401  (re-export)
+    with_dropout,
+)
 from repro.secagg.types import (
     ProtocolAbort,
     RoundResult,
@@ -57,16 +73,115 @@ class DropoutSchedule:
         return gone
 
 
-def build_graph(config: SecAggConfig, roster: list[int]) -> dict[int, set[int]]:
-    """Construct the public masking graph over the stage-0 roster."""
-    if config.graph_degree is None:
-        return CompleteGraph().build(roster)
-    return KRegularGraph(config.graph_degree, config.graph_seed).build(roster)
+def resolve_round_pki(
+    config: SecAggConfig,
+    pki: Optional[PublicKeyInfrastructure],
+    client_factory,
+) -> Optional[PublicKeyInfrastructure]:
+    """Default PKI for a round whose clients are built internally.
+
+    Malicious mode needs one PKI shared by clients and server; when the
+    caller supplied neither it nor a client factory, create it here so
+    both sides of the round see the same instance.
+    """
+    if client_factory is None and config.malicious and pki is None:
+        return PublicKeyInfrastructure()
+    return pki
 
 
-def _vector_bytes(config: SecAggConfig) -> int:
-    """Wire size of one masked vector: dimension × b bits."""
-    return config.dimension * config.bits // 8
+def make_secagg_clients(
+    config: SecAggConfig,
+    sampled: list[int],
+    pki: Optional[PublicKeyInfrastructure],
+    round_index: int,
+    client_factory: Optional[Callable[[int], SecAggClient]],
+    client_cls: type = SecAggClient,
+    client_config=None,
+) -> dict[int, SecAggClient]:
+    """Instantiate one round's clients (registering PKI identities).
+
+    ``client_cls``/``client_config`` let protocol extensions reuse the
+    signer/PKI bookkeeping with their own client class (XNoise passes
+    ``XNoiseClient`` and its :class:`XNoiseConfig`).
+
+    In malicious mode the caller must supply the PKI (the same instance
+    its server uses) — creating one here would silently leave the
+    server unable to verify the identities registered for the clients.
+    """
+    if client_factory is None:
+        signers = {}
+        if config.malicious:
+            if pki is None:
+                raise ValueError(
+                    "malicious mode requires a shared PKI: construct one "
+                    "and pass the same instance to the clients and server"
+                )
+            for u in sampled:
+                if pki.is_registered(u):
+                    raise ValueError(
+                        f"client {u} already registered in the PKI; pass a "
+                        "client_factory that holds the existing signing keys"
+                    )
+                signers[u] = pki.register(u)
+        build_config = config if client_config is None else client_config
+
+        def client_factory(u: int) -> SecAggClient:
+            return client_cls(
+                u,
+                build_config,
+                signer=signers.get(u),
+                pki=pki,
+                round_index=round_index,
+            )
+
+    return {u: client_factory(u) for u in sampled}
+
+
+def secagg_round_components(
+    config: SecAggConfig,
+    inputs: dict[int, np.ndarray],
+    pki: Optional[PublicKeyInfrastructure] = None,
+    round_index: int = 0,
+    client_factory: Optional[Callable[[int], SecAggClient]] = None,
+) -> tuple[SecAggWorkflowServer, list[SecAggWorkflowClient]]:
+    """(declared server, declared clients) for one engine-executed round."""
+    sampled = sorted(inputs)
+    pki = resolve_round_pki(config, pki, client_factory)
+    clients = make_secagg_clients(
+        config, sampled, pki, round_index, client_factory
+    )
+    server = SecAggServer(config, pki=pki, round_index=round_index)
+    return (
+        SecAggWorkflowServer(server),
+        [SecAggWorkflowClient(clients[u], inputs[u]) for u in sampled],
+    )
+
+
+async def arun_secagg_round(
+    config: SecAggConfig,
+    inputs: dict[int, np.ndarray],
+    dropout: Optional[DropoutSchedule] = None,
+    pki: Optional[PublicKeyInfrastructure] = None,
+    round_index: int = 0,
+    client_factory: Optional[Callable[[int], SecAggClient]] = None,
+    engine: Optional[RoundEngine] = None,
+) -> RoundResult:
+    """Execute one secure-aggregation round on the engine (async).
+
+    Dropout middleware wraps the engine's own transport, so a caller
+    that configured e.g. a :class:`SimulatedNetworkTransport` keeps its
+    latency model.
+    """
+    server, clients = secagg_round_components(
+        config, inputs, pki, round_index, client_factory
+    )
+    engine = engine or RoundEngine()
+    return await engine.run_round(
+        server,
+        clients,
+        round_index=round_index,
+        transport=with_dropout(engine.transport, dropout),
+    )
 
 
 def run_secagg_round(
@@ -94,32 +209,33 @@ def run_secagg_round(
     U3 and per-stage traffic.  Raises :class:`ProtocolAbort` if any stage
     falls below threshold.
     """
+    return run_sync(
+        arun_secagg_round(
+            config, inputs, dropout, pki, round_index, client_factory
+        )
+    )
+
+
+def run_secagg_round_reference(
+    config: SecAggConfig,
+    inputs: dict[int, np.ndarray],
+    dropout: Optional[DropoutSchedule] = None,
+    pki: Optional[PublicKeyInfrastructure] = None,
+    round_index: int = 0,
+    client_factory: Optional[Callable[[int], SecAggClient]] = None,
+) -> RoundResult:
+    """The pre-engine synchronous driver, kept as executable specification.
+
+    Regression tests run both this and the engine path on identical
+    inputs and require bit-identical outcomes.  Do not add features here;
+    new behavior belongs in the workflow/engine path.
+    """
     dropout = dropout or DropoutSchedule()
     traffic = TrafficMeter()
     sampled = sorted(inputs)
 
-    if client_factory is None:
-        signers = {}
-        if config.malicious:
-            pki = pki or PublicKeyInfrastructure()
-            for u in sampled:
-                if pki.is_registered(u):
-                    raise ValueError(
-                        f"client {u} already registered in the PKI; pass a "
-                        "client_factory that holds the existing signing keys"
-                    )
-                signers[u] = pki.register(u)
-
-        def client_factory(u: int) -> SecAggClient:
-            return SecAggClient(
-                u,
-                config,
-                signer=signers.get(u),
-                pki=pki,
-                round_index=round_index,
-            )
-
-    clients = {u: client_factory(u) for u in sampled}
+    pki = resolve_round_pki(config, pki, client_factory)
+    clients = make_secagg_clients(config, sampled, pki, round_index, client_factory)
     server = SecAggServer(config, pki=pki, round_index=round_index)
 
     # Stage 0 — AdvertiseKeys.
@@ -148,7 +264,7 @@ def run_secagg_round(
     masked = {}
     for u in sorted(alive & set(server.u2)):
         masked[u] = clients[u].masked_input(inboxes.get(u, {}), inputs[u])
-        traffic.add_up(STAGE_MASKED_INPUT, _vector_bytes(config))
+        traffic.add_up(STAGE_MASKED_INPUT, config.vector_bytes)
     u3 = server.collect_masked(masked)
     traffic.add_down(STAGE_MASKED_INPUT, 8 * len(u3) * len(u3))
 

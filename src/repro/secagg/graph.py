@@ -79,3 +79,10 @@ def recommended_degree(n: int, base: float = 3.0) -> int:
         return max(n - 1, 1)
     k = int(math.ceil(base * math.log2(n)))
     return max(2, min(k, n - 1))
+
+
+def build_graph(config, roster: list[int]) -> dict[int, set[int]]:
+    """Construct the public masking graph over the stage-0 roster."""
+    if config.graph_degree is None:
+        return CompleteGraph().build(roster)
+    return KRegularGraph(config.graph_degree, config.graph_seed).build(roster)

@@ -94,6 +94,11 @@ class SecAggConfig:
     def modulus(self) -> int:
         return 1 << self.bits
 
+    @property
+    def vector_bytes(self) -> int:
+        """Wire size of one masked vector: dimension × b bits."""
+        return self.dimension * self.bits // 8
+
 
 @dataclass(frozen=True)
 class AdvertiseKeysMsg:

@@ -1,0 +1,194 @@
+"""SecAgg as a declared workflow for the unified round engine.
+
+The Fig.-5 protocol, expressed through the Appendix-D programming
+interface: every client stage method becomes a routine-table entry, and
+the server state machine becomes a :class:`ProtocolServer` whose
+coordination methods narrow each stage to the live participant set with
+:class:`repro.engine.Targeted` results.  Dropout is *not* modelled here —
+it is injected by wrapping the engine's transport in
+:class:`repro.engine.DropoutTransport` with :func:`secagg_stage_of`, the
+role the old synchronous ``SecAggDriver`` loop used to play inline.
+
+Traffic metering reproduces the old driver's accounting byte-for-byte,
+which the engine-vs-reference regression tests check.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.api.protocol import ProtocolClient, ProtocolServer
+from repro.engine import Targeted
+from repro.secagg.client import SecAggClient
+from repro.secagg.graph import build_graph
+from repro.secagg.server import SecAggServer
+from repro.secagg.types import (
+    RoundResult,
+    TrafficMeter,
+    STAGE_ADVERTISE,
+    STAGE_SHARE_KEYS,
+    STAGE_MASKED_INPUT,
+    STAGE_CONSISTENCY,
+    STAGE_UNMASK,
+    STAGE_NOISE_REMOVAL,
+)
+
+#: Operation name → Fig.-5 stage constant (dropout-injection points).
+STAGE_OF_OP = {
+    "advertise_keys": STAGE_ADVERTISE,
+    "share_keys": STAGE_SHARE_KEYS,
+    "masked_input": STAGE_MASKED_INPUT,
+    "consistency_check": STAGE_CONSISTENCY,
+    "unmask": STAGE_UNMASK,
+    "noise_shares": STAGE_NOISE_REMOVAL,
+}
+
+
+def secagg_stage_of(op: str) -> Optional[int]:
+    """Stage lookup for :class:`repro.engine.DropoutTransport`."""
+    return STAGE_OF_OP.get(op)
+
+
+def with_dropout(transport, schedule) -> "DropoutTransport":
+    """Wrap a transport in SecAgg dropout middleware (``None`` → none)."""
+    from repro.engine import DropoutTransport
+    from repro.secagg.driver import DropoutSchedule
+
+    return DropoutTransport(
+        transport, schedule or DropoutSchedule(), secagg_stage_of
+    )
+
+
+class SecAggWorkflowClient(ProtocolClient):
+    """Routine table around one :class:`SecAggClient` and its input."""
+
+    def __init__(self, inner: SecAggClient, update_ring: np.ndarray):
+        super().__init__(inner.id)
+        self.inner = inner
+        self.update_ring = update_ring
+
+    def set_routine(self) -> dict:
+        return {
+            "advertise_keys": self._advertise_keys,
+            "share_keys": self._share_keys,
+            "masked_input": self._masked_input,
+            "consistency_check": self._consistency_check,
+            "unmask": self._unmask,
+            "noise_shares": self._noise_shares,
+        }
+
+    def _advertise_keys(self, _payload):
+        return self.inner.advertise_keys()
+
+    def _share_keys(self, payload):
+        roster, graph = payload
+        return self.inner.share_keys(roster, graph)
+
+    def _masked_input(self, inbox):
+        return self.inner.masked_input(inbox, self.update_ring)
+
+    def _consistency_check(self, u3):
+        return self.inner.consistency_check(u3)
+
+    def _unmask(self, payload):
+        u4, sig_set, dropped, survivors = payload
+        return self.inner.unmask(u4, sig_set, dropped=dropped, survivors=survivors)
+
+    def _noise_shares(self, labels):
+        return self.inner.shares_of_extra_secret(labels)
+
+
+class SecAggWorkflowServer(ProtocolServer):
+    """Declared Fig.-5 workflow around one :class:`SecAggServer`."""
+
+    def __init__(self, inner: SecAggServer, traffic: Optional[TrafficMeter] = None):
+        self.inner = inner
+        self.config = inner.config
+        self.traffic = traffic if traffic is not None else TrafficMeter()
+
+    # ------------------------------------------------------------------
+    def set_graph_dict(self) -> dict:
+        ops = [
+            ("advertise_keys", "c-comp", []),
+            ("collect_advertise", "s-comp", ["advertise_keys"]),
+            ("share_keys", "c-comp", ["collect_advertise"]),
+            ("route_shares", "s-comp", ["share_keys"]),
+            ("masked_input", "c-comp", ["route_shares"]),
+            ("collect_masked", "s-comp", ["masked_input"]),
+            ("consistency_check", "c-comp", ["collect_masked"]),
+            ("collect_consistency", "s-comp", ["consistency_check"]),
+            ("unmask", "c-comp", ["collect_consistency"]),
+            ("collect_unmask", "s-comp", ["unmask"]),
+        ]
+        return {op: {"resource": r, "deps": d} for op, r, d in ops}
+
+    # ------------------------------------------------------------------
+    # Coordination methods (one per declared s-comp operation)
+    # ------------------------------------------------------------------
+    def collect_advertise(self, responses: dict) -> Targeted:
+        for _ in responses:
+            self.traffic.add_up(
+                STAGE_ADVERTISE, 512 + (288 if self.config.malicious else 0)
+            )
+        graph = build_graph(self.config, sorted(responses))
+        roster = self.inner.collect_advertise(responses, graph)
+        self.traffic.add_down(STAGE_ADVERTISE, len(roster) * 512 * len(roster))
+        return Targeted({u: (dict(roster), graph) for u in sorted(roster)})
+
+    def route_shares(self, responses: dict) -> Targeted:
+        for u in sorted(responses):
+            self.traffic.add_up(
+                STAGE_SHARE_KEYS, sum(len(ct) for ct in responses[u].values())
+            )
+        inboxes = self.inner.route_shares(responses)
+        for box in inboxes.values():
+            self.traffic.add_down(
+                STAGE_SHARE_KEYS, sum(len(ct) for ct in box.values())
+            )
+        return Targeted({u: inboxes[u] for u in sorted(inboxes)})
+
+    def collect_masked(self, responses: dict) -> Targeted:
+        for _ in responses:
+            self.traffic.add_up(STAGE_MASKED_INPUT, self.config.vector_bytes)
+        u3 = self.inner.collect_masked(responses)
+        self.traffic.add_down(STAGE_MASKED_INPUT, 8 * len(u3) * len(u3))
+        return Targeted({u: list(u3) for u in u3})
+
+    def collect_consistency(self, responses: dict) -> Targeted:
+        if self.config.malicious:
+            for _ in responses:
+                self.traffic.add_up(STAGE_CONSISTENCY, 288)
+            u4, sig_set = self.inner.collect_consistency(responses)
+            self.traffic.add_down(STAGE_CONSISTENCY, 288 * len(u4) * len(u4))
+        else:
+            u4, sig_set = self.inner.skip_consistency(), None
+        dropped = self.inner.dropped_after_masking
+        survivors = list(self.inner.u3)
+        return Targeted(
+            {u: (list(u4), sig_set, dropped, survivors) for u in u4}
+        )
+
+    def _meter_unmask(self, responses: dict) -> None:
+        for msg in responses.values():
+            self.traffic.add_up(
+                STAGE_UNMASK, 300 * (len(msg.s_sk_shares) + len(msg.b_shares))
+            )
+
+    def collect_unmask(self, responses: dict) -> RoundResult:
+        self._meter_unmask(responses)
+        aggregate = self.inner.collect_unmask(responses)
+        return self._round_result(aggregate)
+
+    # ------------------------------------------------------------------
+    def _round_result(self, aggregate: np.ndarray) -> RoundResult:
+        return RoundResult(
+            aggregate=aggregate,
+            u1=list(self.inner.u1),
+            u2=list(self.inner.u2),
+            u3=list(self.inner.u3),
+            u4=list(self.inner.u4),
+            u5=list(self.inner.u5),
+            traffic=self.traffic,
+        )

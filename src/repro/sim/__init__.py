@@ -12,12 +12,21 @@ subpackage reproduces that environment analytically:
 
 from repro.sim.network import ClientDevice, heterogeneous_fleet
 from repro.sim.cluster import SimulatedCluster
-from repro.sim.timeline import Timeline, build_timelines
+from repro.sim.timeline import (
+    ExecutionTrace,
+    StageSpan,
+    Timeline,
+    TraceTimeline,
+    build_timelines,
+)
 
 __all__ = [
     "ClientDevice",
     "heterogeneous_fleet",
     "SimulatedCluster",
+    "ExecutionTrace",
+    "StageSpan",
     "Timeline",
+    "TraceTimeline",
     "build_timelines",
 ]

@@ -8,11 +8,18 @@ model (plain or pipelined) into a wall-clock curve — the derived
 experiment the paper's §6.4 numbers imply: the same accuracy is reached
 up to 2.4× sooner with pipelining, because the *round sequence* is
 unchanged and only its clock is compressed.
+
+It also defines :class:`ExecutionTrace`, the per-(stage, chunk) interval
+record the :class:`repro.engine.RoundEngine` fills while *executing*
+rounds — the measured counterpart to the offline
+:class:`repro.pipeline.scheduler.PipelineSchedule` — and
+:class:`TraceTimeline`, which turns traced per-round durations into the
+same time-to-metric curves as the model-driven :class:`Timeline`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -20,19 +27,8 @@ from repro.pipeline.perf_model import WorkflowPerfModel
 from repro.pipeline.simulator import compare_plain_pipelined
 
 
-@dataclass(frozen=True)
-class Timeline:
-    """Cumulative wall-clock per completed round plus the metric curve."""
-
-    round_seconds: float
-    metric_history: tuple
-    metric_name: str
-
-    @property
-    def elapsed(self) -> np.ndarray:
-        """Elapsed seconds after each completed round."""
-        n = len(self.metric_history)
-        return self.round_seconds * np.arange(1, n + 1)
+class _TimelineQueries:
+    """Shared curve queries over ``elapsed`` + ``metric_history``."""
 
     def time_to_metric(self, target: float, higher_is_better: bool = True) -> float:
         """Seconds until the metric first reaches ``target``; inf if never."""
@@ -45,6 +41,137 @@ class Timeline:
     @property
     def total_seconds(self) -> float:
         return float(self.elapsed[-1]) if len(self.metric_history) else 0.0
+
+
+@dataclass(frozen=True)
+class Timeline(_TimelineQueries):
+    """Cumulative wall-clock per completed round plus the metric curve."""
+
+    round_seconds: float
+    metric_history: tuple
+    metric_name: str
+
+    @property
+    def elapsed(self) -> np.ndarray:
+        """Elapsed seconds after each completed round."""
+        n = len(self.metric_history)
+        return self.round_seconds * np.arange(1, n + 1)
+
+
+@dataclass(frozen=True)
+class StageSpan:
+    """One stage execution interval for one chunk, in virtual seconds.
+
+    ``round_index`` is the **engine-assigned round serial** (0, 1, … in
+    execution order on one engine), not the caller's training-round
+    number; chunked rounds report theirs as
+    ``ChunkedRoundResult.trace_round``.
+    """
+
+    round_index: int
+    chunk: int
+    stage: int
+    label: str
+    resource: str
+    begin: float
+    finish: float
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.begin
+
+
+@dataclass
+class ExecutionTrace:
+    """Per-stage timing surfaced by engine-executed rounds.
+
+    Spans accumulate across every round an engine runs, in one shared
+    virtual clock — consecutive rounds therefore appear on a common
+    timeline and their overlap (or lack of it) is directly visible.
+    """
+
+    spans: list = field(default_factory=list)
+    _max_finish: float = field(default=0.0, repr=False)
+    _round_bounds: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        # Derive the caches when constructed over pre-existing spans
+        # (e.g. a trace rehydrated from recorded data).
+        spans, self.spans = self.spans, []
+        for span in spans:
+            self.add(span)
+
+    def add(self, span: StageSpan) -> None:
+        self.spans.append(span)
+        if span.finish > self._max_finish:
+            self._max_finish = span.finish
+        bounds = self._round_bounds.get(span.round_index)
+        if bounds is None:
+            self._round_bounds[span.round_index] = (span.begin, span.finish)
+        else:
+            self._round_bounds[span.round_index] = (
+                min(bounds[0], span.begin),
+                max(bounds[1], span.finish),
+            )
+
+    def round_spans(self, round_index: int) -> list:
+        return [s for s in self.spans if s.round_index == round_index]
+
+    @property
+    def completion_time(self) -> float:
+        """Finish time of the latest span (0 for an empty trace); O(1)."""
+        return self._max_finish if self.spans else 0.0
+
+    def round_interval(self, round_index: int) -> tuple[float, float]:
+        """(first begin, last finish) of one round's spans; O(1)."""
+        bounds = self._round_bounds.get(round_index)
+        if bounds is None:
+            raise ValueError(f"no spans recorded for round {round_index}")
+        return bounds
+
+    def round_duration(self, round_index: int) -> float:
+        begin, finish = self.round_interval(round_index)
+        return finish - begin
+
+    def stage_intervals(
+        self, stage: int, round_index: int = 0
+    ) -> list[tuple[float, float]]:
+        """(begin, finish) per chunk for one stage, in chunk order."""
+        spans = sorted(
+            (s for s in self.round_spans(round_index) if s.stage == stage),
+            key=lambda s: s.chunk,
+        )
+        return [(s.begin, s.finish) for s in spans]
+
+    def resource_busy_time(self) -> dict:
+        """Total busy seconds per resource, mirroring
+        :meth:`repro.pipeline.scheduler.PipelineSchedule.resource_busy_time`."""
+        out: dict = {}
+        for s in self.spans:
+            out[s.resource] = out.get(s.resource, 0.0) + s.duration
+        return out
+
+
+@dataclass(frozen=True)
+class TraceTimeline(_TimelineQueries):
+    """Timeline over *measured* (traced) per-round durations.
+
+    Same query API as :class:`Timeline`, but each round carries its own
+    duration — what an engine-executed session reports instead of the
+    uniform model-predicted round time.
+    """
+
+    round_durations: tuple
+    metric_history: tuple
+    metric_name: str
+
+    def __post_init__(self) -> None:
+        if len(self.round_durations) != len(self.metric_history):
+            raise ValueError("one duration per completed round required")
+
+    @property
+    def elapsed(self) -> np.ndarray:
+        return np.cumsum(np.asarray(self.round_durations, dtype=float))
 
 
 def build_timelines(

@@ -22,9 +22,27 @@ from repro.xnoise.decomposition import (
     removable_indices,
     residual_variance_after_removal,
 )
-from repro.xnoise.protocol import XNoiseConfig, XNoiseResult, run_xnoise_round
 from repro.xnoise.rebasing import RebasingScheme, rebasing_removal_bytes
 from repro.xnoise.verify import DropoutAttestation, UnderstatementDetected
+
+# repro.xnoise.protocol pulls in the round engine (which in turn reaches
+# back through repro.pipeline → repro.xnoise.rebasing), so its exports
+# load lazily: any __all__ name not bound above is looked up in the
+# protocol module on first access, then cached in module globals.
+
+
+def __getattr__(name: str):
+    if name in __all__:
+        from repro.xnoise import protocol
+
+        value = getattr(protocol, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))
 
 __all__ = [
     "NoiseDecomposition",
@@ -33,7 +51,13 @@ __all__ = [
     "residual_variance_after_removal",
     "XNoiseConfig",
     "XNoiseResult",
+    "XNoiseClient",
+    "XNoiseServer",
+    "XNoiseWorkflowServer",
     "run_xnoise_round",
+    "arun_xnoise_round",
+    "run_xnoise_round_reference",
+    "xnoise_round_components",
     "RebasingScheme",
     "rebasing_removal_bytes",
     "DropoutAttestation",

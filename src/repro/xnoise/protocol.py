@@ -23,16 +23,28 @@ why removal costs seeds, not model-sized vectors (§3.1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
 from repro.crypto.pki import PublicKeyInfrastructure
 from repro.crypto.prg import PRG
 from repro.crypto.shamir import ShamirSecretSharing, random_seed
+from repro.engine import RoundEngine, Targeted
+from repro.engine.core import run_sync
 from repro.secagg.client import SecAggClient
-from repro.secagg.driver import DropoutSchedule, build_graph
+from repro.secagg.driver import (
+    DropoutSchedule,
+    make_secagg_clients,
+    resolve_round_pki,
+)
+from repro.secagg.graph import build_graph
 from repro.secagg.server import SecAggServer
+from repro.secagg.workflow import (
+    SecAggWorkflowClient,
+    SecAggWorkflowServer,
+    with_dropout,
+)
 from repro.secagg.types import (
     ProtocolAbort,
     RoundResult,
@@ -117,13 +129,21 @@ class XNoiseClient(SecAggClient):
         self,
         client_id: int,
         config: XNoiseConfig,
+        noise_seeds: Optional[list[bytes]] = None,
         **kwargs,
     ):
         self.xconfig = config
         self.decomposition = config.decomposition()
-        self.noise_seeds: list[bytes] = [
-            random_seed(32) for _ in range(self.decomposition.n_components)
-        ]
+        if noise_seeds is None:
+            noise_seeds = [
+                random_seed(32) for _ in range(self.decomposition.n_components)
+            ]
+        if len(noise_seeds) != self.decomposition.n_components:
+            raise ValueError(
+                f"need {self.decomposition.n_components} noise seeds, "
+                f"got {len(noise_seeds)}"
+            )
+        self.noise_seeds: list[bytes] = list(noise_seeds)
         extra = {
             seed_label(k): self.noise_seeds[k]
             for k in range(1, self.decomposition.n_components)
@@ -205,12 +225,164 @@ class XNoiseServer(SecAggServer):
         return aggregate, removed
 
 
+class XNoiseWorkflowServer(SecAggWorkflowServer):
+    """Fig.-5 workflow extended with ExcessiveNoiseRemoval (stage 5)."""
+
+    def __init__(self, inner: XNoiseServer, traffic: Optional[TrafficMeter] = None):
+        super().__init__(inner, traffic)
+        self.xconfig = inner.xconfig
+
+    def set_graph_dict(self) -> dict:
+        graph = super().set_graph_dict()
+        graph["noise_shares"] = {"resource": "c-comp", "deps": ["collect_unmask"]}
+        graph["remove_noise"] = {"resource": "s-comp", "deps": ["noise_shares"]}
+        return graph
+
+    def _meter_unmask(self, responses: dict) -> None:
+        super()._meter_unmask(responses)
+        for msg in responses.values():
+            self.traffic.add_up(STAGE_UNMASK, 32 * len(msg.revealed_seeds))
+
+    def collect_unmask(self, responses: dict) -> Targeted:
+        self._meter_unmask(responses)
+        self._aggregate = self.inner.collect_unmask(responses)
+        self._revealed = {
+            u: dict(m.revealed_seeds) for u, m in responses.items()
+        }
+        self._removal = list(self.inner.removal_indices())
+        self._needs_recovery = (
+            sorted(set(self.inner.u3) - set(self._revealed))
+            if self._removal
+            else []
+        )
+        self._labels = {
+            u: [seed_label(k) for k in self._removal]
+            for u in self._needs_recovery
+        }
+        if self._needs_recovery:
+            return Targeted({v: self._labels for v in sorted(self.inner.u5)})
+        return Targeted({})
+
+    def remove_noise(self, responses: dict) -> XNoiseResult:
+        removal, needs_recovery = self._removal, self._needs_recovery
+        collected: dict[int, dict[str, list]] = {
+            u: {lbl: [] for lbl in self._labels[u]} for u in needs_recovery
+        }
+        u6: list[int] = []
+        for v in sorted(responses):
+            response = responses[v]
+            if response:
+                u6.append(v)
+            for peer, found in response.items():
+                for lbl, share in found.items():
+                    collected[peer][lbl].append(share)
+                    self.traffic.add_up(STAGE_NOISE_REMOVAL, 300)
+        reconstructed: dict[int, dict[int, bytes]] = {}
+        if needs_recovery:
+            if len(u6) < self.config.threshold and removal:
+                raise ProtocolAbort(
+                    f"only {len(u6)} stage-5 responders; below threshold"
+                )
+            ss = ShamirSecretSharing(self.config.threshold)
+            for u in needs_recovery:
+                seeds: dict[int, bytes] = {}
+                for k in removal:
+                    shares = collected[u][seed_label(k)]
+                    try:
+                        seeds[k] = ss.reconstruct(shares)
+                    except ValueError as exc:
+                        raise ProtocolAbort(
+                            f"cannot reconstruct seed g_{{{u},{k}}}: {exc}"
+                        ) from exc
+                reconstructed[u] = seeds
+
+        aggregate, removed = self.inner.remove_excess_noise(
+            self._aggregate, self._revealed, reconstructed
+        )
+        n_dropped = self.inner.n_dropped()
+        exceeded = n_dropped > self.xconfig.tolerance
+        residual = self.inner.decomposition.residual_variance(
+            min(n_dropped, self.xconfig.tolerance)
+        )
+        if exceeded:
+            # Fewer survivors than |U|−T: aggregate noise is below target.
+            residual = (self.xconfig.n_sampled - n_dropped) * (
+                self.inner.decomposition.client_total_variance()
+            )
+        return XNoiseResult(
+            aggregate=aggregate,
+            u1=list(self.inner.u1),
+            u2=list(self.inner.u2),
+            u3=list(self.inner.u3),
+            u4=list(self.inner.u4),
+            u5=list(self.inner.u5),
+            traffic=self.traffic,
+            u6=u6,
+            removed_noise_components=removed,
+            residual_variance=residual,
+            tolerance_exceeded=exceeded,
+            n_dropped=n_dropped,
+        )
+
+
+def xnoise_round_components(
+    config: XNoiseConfig,
+    inputs: dict[int, np.ndarray],
+    pki: Optional[PublicKeyInfrastructure] = None,
+    round_index: int = 0,
+    client_factory: Optional[Callable[[int], XNoiseClient]] = None,
+) -> tuple[XNoiseWorkflowServer, list[SecAggWorkflowClient]]:
+    """(declared server, declared clients) for one XNoise engine round."""
+    if len(inputs) != config.n_sampled:
+        raise ValueError(
+            f"got {len(inputs)} inputs for n_sampled={config.n_sampled}"
+        )
+    sampled = sorted(inputs)
+    pki = resolve_round_pki(config.secagg, pki, client_factory)
+    clients = make_secagg_clients(
+        config.secagg, sampled, pki, round_index, client_factory,
+        client_cls=XNoiseClient, client_config=config,
+    )
+    server = XNoiseServer(config, pki=pki, round_index=round_index)
+    return (
+        XNoiseWorkflowServer(server),
+        [SecAggWorkflowClient(clients[u], inputs[u]) for u in sampled],
+    )
+
+
+async def arun_xnoise_round(
+    config: XNoiseConfig,
+    inputs: dict[int, np.ndarray],
+    dropout: Optional[DropoutSchedule] = None,
+    pki: Optional[PublicKeyInfrastructure] = None,
+    round_index: int = 0,
+    client_factory: Optional[Callable[[int], XNoiseClient]] = None,
+    engine: Optional[RoundEngine] = None,
+) -> XNoiseResult:
+    """Execute one XNoise+SecAgg round on the engine (async).
+
+    Dropout middleware wraps the engine's own transport, preserving any
+    configured latency model.
+    """
+    server, clients = xnoise_round_components(
+        config, inputs, pki, round_index, client_factory
+    )
+    engine = engine or RoundEngine()
+    return await engine.run_round(
+        server,
+        clients,
+        round_index=round_index,
+        transport=with_dropout(engine.transport, dropout),
+    )
+
+
 def run_xnoise_round(
     config: XNoiseConfig,
     inputs: dict[int, np.ndarray],
     dropout: Optional[DropoutSchedule] = None,
     pki: Optional[PublicKeyInfrastructure] = None,
     round_index: int = 0,
+    client_factory: Optional[Callable[[int], XNoiseClient]] = None,
 ) -> XNoiseResult:
     """Execute one full XNoise+SecAgg round (Fig. 5, stages 0–5).
 
@@ -218,6 +390,27 @@ def run_xnoise_round(
     integers; e.g. :meth:`repro.dp.skellam.SkellamMechanism.encode_signal`
     output).  Returns the unmasked ring aggregate with the excess noise
     removed and the residual noise level implied by Theorem 1.
+    """
+    return run_sync(
+        arun_xnoise_round(
+            config, inputs, dropout, pki, round_index, client_factory
+        )
+    )
+
+
+def run_xnoise_round_reference(
+    config: XNoiseConfig,
+    inputs: dict[int, np.ndarray],
+    dropout: Optional[DropoutSchedule] = None,
+    pki: Optional[PublicKeyInfrastructure] = None,
+    round_index: int = 0,
+    client_factory: Optional[Callable[[int], XNoiseClient]] = None,
+) -> XNoiseResult:
+    """The pre-engine synchronous driver, kept as executable specification.
+
+    Regression tests run both this and the engine path on identical
+    inputs (and, via ``client_factory``, identical noise seeds) and
+    require bit-identical outcomes.  Do not add features here.
     """
     if len(inputs) != config.n_sampled:
         raise ValueError(
@@ -228,22 +421,11 @@ def run_xnoise_round(
     sampled = sorted(inputs)
     secagg_cfg = config.secagg
 
-    signers = {}
-    if secagg_cfg.malicious:
-        pki = pki or PublicKeyInfrastructure()
-        for u in sampled:
-            if pki.is_registered(u):
-                raise ValueError(
-                    f"client {u} already registered; supply fresh identities"
-                )
-            signers[u] = pki.register(u)
-
-    clients = {
-        u: XNoiseClient(
-            u, config, signer=signers.get(u), pki=pki, round_index=round_index
-        )
-        for u in sampled
-    }
+    pki = resolve_round_pki(secagg_cfg, pki, client_factory)
+    clients = make_secagg_clients(
+        secagg_cfg, sampled, pki, round_index, client_factory,
+        client_cls=XNoiseClient, client_config=config,
+    )
     server = XNoiseServer(config, pki=pki, round_index=round_index)
 
     # Stage 0 — AdvertiseKeys.

@@ -1,0 +1,54 @@
+"""Session-level engine integration: chunked real-protocol rounds."""
+
+import pytest
+
+from repro.core import DordisConfig, DordisSession
+
+
+def secagg_config(**overrides):
+    defaults = dict(
+        task="cifar10-like",
+        model="softmax",
+        mechanism="skellam",
+        secure_aggregation="secagg",
+        strategy="xnoise",
+        num_clients=8,
+        sample_size=5,
+        rounds=2,
+        samples_per_client=15,
+        learning_rate=0.1,
+        epsilon=6.0,
+        clip_bound=1.0,
+        dropout_rate=0.2,
+        tolerance_fraction=0.4,
+        seed=1,
+    )
+    defaults.update(overrides)
+    return DordisConfig(**defaults)
+
+
+class TestChunkedSecAggSession:
+    def test_pipeline_chunks_validated(self):
+        with pytest.raises(ValueError):
+            secagg_config(pipeline_chunks=0)
+
+    def test_chunked_session_matches_unchunked_accounting(self):
+        """Chunking is a pure execution-schedule change: the privacy
+        trajectory (a function of the round sequence, not the schedule)
+        is untouched."""
+        plain = DordisSession(secagg_config(pipeline_chunks=1)).run()
+        chunked = DordisSession(secagg_config(pipeline_chunks=3)).run()
+        assert chunked.rounds_completed == plain.rounds_completed
+        assert chunked.epsilon_consumed == pytest.approx(
+            plain.epsilon_consumed, rel=1e-9
+        )
+        assert chunked.dropout_history == plain.dropout_history
+
+    def test_round_durations_recorded_per_completed_round(self):
+        session = DordisSession(secagg_config(pipeline_chunks=2))
+        result = session.run()
+        assert len(result.round_seconds_history) == len(result.metric_history)
+        # The engine traced real protocol spans for every executed round.
+        assert session.engine.trace.spans
+        rounds_seen = {s.round_index for s in session.engine.trace.spans}
+        assert len(rounds_seen) == result.rounds_completed

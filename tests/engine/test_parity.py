@@ -1,0 +1,237 @@
+"""Engine vs. legacy synchronous drivers: bit-identical regression.
+
+The acceptance bar for the engine port: with the in-process transport,
+the engine paths must reproduce the retained reference implementations
+*exactly* — aggregates, participant sets, and traffic accounting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import AggregationRuntime, PlainDPHandler, SkellamDPHandler
+from repro.api.protocol import ProtocolClient, ProtocolServer
+from repro.secagg.driver import (
+    DropoutSchedule,
+    run_secagg_round,
+    run_secagg_round_reference,
+)
+from repro.secagg.types import (
+    SecAggConfig,
+    STAGE_SHARE_KEYS,
+    STAGE_MASKED_INPUT,
+    STAGE_CONSISTENCY,
+    STAGE_UNMASK,
+    STAGE_NOISE_REMOVAL,
+)
+from repro.utils.rng import derive_rng
+from repro.xnoise.protocol import (
+    XNoiseClient,
+    XNoiseConfig,
+    run_xnoise_round,
+    run_xnoise_round_reference,
+)
+
+CONFIG = SecAggConfig(threshold=3, bits=16, dimension=8, dh_group="modp512")
+
+SCHEDULES = [
+    ("none", None),
+    ("before-upload", DropoutSchedule.before_upload({2, 4})),
+    ("share-keys", DropoutSchedule(at_stage={STAGE_SHARE_KEYS: {5}})),
+    ("mid-unmask", DropoutSchedule(at_stage={STAGE_UNMASK: {3}})),
+    ("consistency", DropoutSchedule(at_stage={STAGE_CONSISTENCY: {1}})),
+    (
+        "staggered",
+        DropoutSchedule(
+            at_stage={STAGE_MASKED_INPUT: {2}, STAGE_UNMASK: {4}}
+        ),
+    ),
+]
+
+
+def _inputs(n=5, dim=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return {u: rng.integers(0, 1 << 16, size=dim) for u in range(1, n + 1)}
+
+
+def _same_round(a, b):
+    return (
+        np.array_equal(a.aggregate, b.aggregate)
+        and a.u1 == b.u1
+        and a.u2 == b.u2
+        and a.u3 == b.u3
+        and a.u4 == b.u4
+        and a.u5 == b.u5
+        and a.traffic.up_bytes == b.traffic.up_bytes
+        and a.traffic.down_bytes == b.traffic.down_bytes
+    )
+
+
+class TestSecAggParity:
+    @pytest.mark.parametrize("name,schedule", SCHEDULES)
+    def test_engine_matches_reference(self, name, schedule):
+        inputs = _inputs()
+        engine_result = run_secagg_round(CONFIG, dict(inputs), schedule)
+        reference = run_secagg_round_reference(CONFIG, dict(inputs), schedule)
+        assert _same_round(engine_result, reference)
+        # The unmasked sum is exactly the ring sum over U3 — the
+        # strongest bit-identical check available.
+        expected = np.zeros(CONFIG.dimension, dtype=np.int64)
+        for u in engine_result.u3:
+            expected = (expected + inputs[u]) % CONFIG.modulus
+        np.testing.assert_array_equal(engine_result.aggregate, expected)
+
+    def test_malicious_mode_parity(self):
+        config = SecAggConfig(
+            threshold=3, bits=16, dimension=4, malicious=True, dh_group="modp512"
+        )
+        inputs = _inputs(n=5, dim=4, seed=3)
+        schedule = DropoutSchedule.before_upload({2})
+        a = run_secagg_round(config, dict(inputs), schedule)
+        b = run_secagg_round_reference(config, dict(inputs), schedule)
+        assert _same_round(a, b)
+
+
+class TestXNoiseParity:
+    XCONFIG = XNoiseConfig(
+        secagg=CONFIG, n_sampled=5, tolerance=2, target_variance=4.0
+    )
+
+    def _factory(self):
+        """Deterministic noise seeds so both paths add identical noise."""
+        xconfig = self.XCONFIG
+
+        def make(u):
+            rng = derive_rng("parity-seeds", u)
+            n = xconfig.decomposition().n_components
+            return XNoiseClient(
+                u, xconfig, noise_seeds=[rng.bytes(32) for _ in range(n)]
+            )
+
+        return make
+
+    @pytest.mark.parametrize(
+        "name,schedule",
+        SCHEDULES
+        + [
+            (
+                "stage5-recovery",
+                DropoutSchedule(
+                    at_stage={STAGE_UNMASK: {4}, STAGE_NOISE_REMOVAL: {5}}
+                ),
+            )
+        ],
+    )
+    def test_engine_matches_reference(self, name, schedule):
+        inputs = {
+            u: np.random.default_rng(u).integers(-40, 40, size=8)
+            for u in range(1, 6)
+        }
+        a = run_xnoise_round(
+            self.XCONFIG, dict(inputs), schedule, client_factory=self._factory()
+        )
+        b = run_xnoise_round_reference(
+            self.XCONFIG, dict(inputs), schedule, client_factory=self._factory()
+        )
+        assert _same_round(a, b)
+        assert a.u6 == b.u6
+        assert a.removed_noise_components == b.removed_noise_components
+        assert a.residual_variance == b.residual_variance
+        assert a.tolerance_exceeded == b.tolerance_exceeded
+        assert a.n_dropped == b.n_dropped
+
+
+class TestRuntimeParity:
+    """AggregationRuntime (now engine-backed) vs the old serial walk."""
+
+    class MeanServer(ProtocolServer):
+        def __init__(self, dp):
+            self.dp = dp
+
+        def set_graph_dict(self):
+            return {
+                "encode_data": {"resource": "c-comp", "deps": []},
+                "aggregate": {"resource": "s-comp", "deps": ["encode_data"]},
+                "decode_data": {"resource": "s-comp", "deps": ["aggregate"]},
+            }
+
+        def aggregate(self, encoded):
+            total = None
+            for vec in encoded.values():
+                total = vec if total is None else total + vec
+            return total
+
+        def decode_data(self, aggregate):
+            return self.dp.decode_data(aggregate)
+
+    class MeanClient(ProtocolClient):
+        def __init__(self, client_id, dp):
+            super().__init__(client_id)
+            self.dp = dp
+            self._rng = derive_rng("parity-client", client_id)
+
+        def set_routine(self):
+            return {"encode_data": self._encode}
+
+        def _encode(self, payload):
+            return self.dp.encode_data(payload, self._rng)
+
+    def _handlers(self, dim):
+        def make():
+            h = SkellamDPHandler()
+            h.init_params(dimension=dim, clip_bound=2.0, bits=20, scale=128.0)
+            return h
+
+        return make
+
+    def _legacy_run_round(self, server, clients, inputs):
+        """The pre-engine serial walk, verbatim semantics."""
+        graph = server.set_graph_dict()
+        carry = inputs
+        for op in server.workflow_order():
+            if graph[op]["resource"] == "c-comp":
+                responses = {}
+                for cid, client in clients.items():
+                    payload = (
+                        carry[cid]
+                        if isinstance(carry, dict) and cid in carry
+                        else carry
+                    )
+                    responses[cid] = client.handle(op, payload)
+                carry = responses
+            else:
+                carry = server.operation_method(op)(carry)
+        return carry
+
+    def test_skellam_datapath_identical(self):
+        dim = 16
+        vectors = {
+            i: derive_rng("parity-vec", i).normal(size=dim) * 0.1
+            for i in range(3)
+        }
+        make = self._handlers(dim)
+
+        engine_clients = [self.MeanClient(i, make()) for i in range(3)]
+        runtime = AggregationRuntime(self.MeanServer(make()), engine_clients)
+        engine_result = runtime.engine.run_round_sync(
+            runtime.server, runtime.clients, inputs=dict(vectors)
+        )
+
+        legacy_clients = {i: self.MeanClient(i, make()) for i in range(3)}
+        legacy_result = self._legacy_run_round(
+            self.MeanServer(make()), legacy_clients, dict(vectors)
+        )
+        np.testing.assert_array_equal(engine_result, legacy_result)
+
+    def test_plain_sum_identical(self):
+        vectors = {i: np.full(6, float(i + 1)) for i in range(4)}
+        clients = [self.MeanClient(i, PlainDPHandler()) for i in range(4)]
+        runtime = AggregationRuntime(self.MeanServer(PlainDPHandler()), clients)
+        result = runtime.engine.run_round_sync(
+            runtime.server, runtime.clients, inputs=dict(vectors)
+        )
+        legacy = self._legacy_run_round(
+            self.MeanServer(PlainDPHandler()),
+            {i: self.MeanClient(i, PlainDPHandler()) for i in range(4)},
+            dict(vectors),
+        )
+        np.testing.assert_array_equal(result, legacy)

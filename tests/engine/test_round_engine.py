@@ -1,0 +1,484 @@
+"""RoundEngine: concurrent dispatch, chunk pipelining, virtual timing."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.api.protocol import ProtocolClient, ProtocolServer
+from repro.engine import (
+    ClientUnavailable,
+    DropoutTransport,
+    InProcessTransport,
+    PerOpTiming,
+    QueueTransport,
+    RoundEngine,
+    SimulatedNetworkTransport,
+    StageTiming,
+    Targeted,
+)
+from repro.pipeline.perf_model import StagePerfModel, WorkflowPerfModel
+from repro.pipeline.scheduler import build_schedule
+from repro.secagg.driver import DropoutSchedule
+from repro.sim.network import ClientDevice
+from repro.sim.timeline import TraceTimeline
+
+
+# ---------------------------------------------------------------------------
+# Toy protocols
+# ---------------------------------------------------------------------------
+
+
+class SumServer(ProtocolServer):
+    """encode (c-comp) → aggregate (s-comp)."""
+
+    def set_graph_dict(self):
+        return {
+            "encode": {"resource": "c-comp", "deps": []},
+            "aggregate": {"resource": "s-comp", "deps": ["encode"]},
+        }
+
+    def aggregate(self, responses):
+        return sum(responses.values())
+
+
+class SumClient(ProtocolClient):
+    def __init__(self, client_id, vector):
+        super().__init__(client_id)
+        self.vector = np.asarray(vector, dtype=float)
+
+    def set_routine(self):
+        return {"encode": self._encode}
+
+    def _encode(self, _payload):
+        return self.vector
+
+
+class RoundTripServer(ProtocolServer):
+    """Five alternating stages: the full Table-1 resource cycle.
+
+    encode (c-comp) → aggregate (s-comp) → dispatch (comm) →
+    decode (c-comp) → finalize (s-comp).
+    """
+
+    def set_graph_dict(self):
+        return {
+            "encode": {"resource": "c-comp", "deps": []},
+            "aggregate": {"resource": "s-comp", "deps": ["encode"]},
+            "dispatch": {"resource": "comm", "deps": ["aggregate"]},
+            "decode": {"resource": "c-comp", "deps": ["dispatch"]},
+            "finalize": {"resource": "s-comp", "deps": ["decode"]},
+        }
+
+    def aggregate(self, responses):
+        self._sum = sum(responses.values())
+        return self._sum
+
+    def finalize(self, _acks):
+        return self._sum
+
+
+class RoundTripClient(ProtocolClient):
+    def __init__(self, client_id, vector):
+        super().__init__(client_id)
+        self.vector = np.asarray(vector, dtype=float)
+        self.received = None
+
+    def set_routine(self):
+        return {
+            "encode": lambda _p: self.vector,
+            "dispatch": self._receive,
+            "decode": lambda _p: True,
+        }
+
+    def _receive(self, aggregate):
+        self.received = aggregate
+        return True
+
+
+TIMES = {
+    "encode": 2.0,
+    "aggregate": 1.0,
+    "dispatch": 1.5,
+    "decode": 0.5,
+    "finalize": 1.0,
+}
+
+
+def roundtrip_factory(vectors):
+    def factory(_chunk_index, chunk_inputs):
+        return RoundTripServer(), [
+            RoundTripClient(u, v) for u, v in chunk_inputs.items()
+        ]
+
+    return factory
+
+
+# ---------------------------------------------------------------------------
+# Basic dispatch semantics
+# ---------------------------------------------------------------------------
+
+
+class TestDispatch:
+    def test_sum_round(self):
+        engine = RoundEngine()
+        clients = [SumClient(i, np.full(4, i + 1.0)) for i in range(3)]
+        result = engine.run_round_sync(SumServer(), clients)
+        np.testing.assert_allclose(result, np.full(4, 6.0))
+
+    def test_targeted_restricts_recipients(self):
+        class TargetedServer(SumServer):
+            def set_graph_dict(self):
+                graph = super().set_graph_dict()
+                graph["second"] = {"resource": "c-comp", "deps": ["aggregate"]}
+                graph["collect"] = {"resource": "s-comp", "deps": ["second"]}
+                return graph
+
+            def aggregate(self, responses):
+                return Targeted({0: "a", 2: "b"})
+
+            def collect(self, responses):
+                return responses
+
+        calls = []
+
+        class RecordingClient(SumClient):
+            def set_routine(self):
+                routine = super().set_routine()
+                routine["second"] = lambda p: calls.append((self.id, p)) or p
+                return routine
+
+        clients = [RecordingClient(i, np.zeros(2)) for i in range(3)]
+        result = RoundEngine().run_round_sync(TargetedServer(), clients)
+        assert sorted(calls) == [(0, "a"), (2, "b")]
+        assert result == {0: "a", 2: "b"}
+
+    def test_dropout_middleware_excludes_clients(self):
+        schedule = DropoutSchedule(at_stage={0: {1}})
+        transport = DropoutTransport(
+            InProcessTransport(), schedule, lambda op: 0 if op == "encode" else None
+        )
+        engine = RoundEngine(transport=transport)
+        clients = [SumClient(i, np.full(2, i + 1.0)) for i in range(3)]
+        result = engine.run_round_sync(SumServer(), clients)
+        np.testing.assert_allclose(result, np.full(2, 4.0))  # 1 + 3
+
+    def test_queue_transport_matches_in_process(self):
+        clients = [SumClient(i, np.full(3, i + 1.0)) for i in range(4)]
+        direct = RoundEngine().run_round_sync(SumServer(), clients)
+        queued = RoundEngine(transport=QueueTransport()).run_round_sync(
+            SumServer(), clients
+        )
+        np.testing.assert_array_equal(direct, queued)
+
+    def test_client_error_propagates(self):
+        class FailingClient(SumClient):
+            def set_routine(self):
+                def boom(_p):
+                    raise RuntimeError("client exploded")
+
+                return {"encode": boom}
+
+        with pytest.raises(RuntimeError, match="client exploded"):
+            RoundEngine().run_round_sync(
+                SumServer(), [FailingClient(0, np.zeros(1))]
+            )
+
+    def test_client_operations_run_concurrently(self):
+        """Every client request of an op is in flight at once.
+
+        The channel blocks each request on a barrier sized to the client
+        count: a serial for-loop would deadlock on the first request,
+        while the engine's gathered dispatch lets all n reach it.
+        """
+        from repro.engine import Channel
+
+        n = 5
+        inner_transport = InProcessTransport()
+        barrier = None  # created inside the running loop
+
+        class BarrierTransport(InProcessTransport):
+            def connect(self, clients):
+                inner = inner_transport.connect(clients)
+
+                class BarrierChannel(Channel):
+                    async def request(self, cid, op, payload):
+                        await asyncio.wait_for(barrier.wait(), timeout=5)
+                        return await inner.request(cid, op, payload)
+
+                    async def aclose(self):
+                        await inner.aclose()
+
+                return BarrierChannel()
+
+        async def main():
+            nonlocal barrier
+            barrier = asyncio.Barrier(n)
+            engine = RoundEngine(transport=BarrierTransport())
+            clients = [SumClient(i, np.full(2, 1.0)) for i in range(n)]
+            return await engine.run_round(SumServer(), clients)
+
+        result = asyncio.run(main())
+        np.testing.assert_allclose(result, np.full(2, float(n)))
+
+
+# ---------------------------------------------------------------------------
+# Chunk pipelining — the acceptance-criterion tests
+# ---------------------------------------------------------------------------
+
+
+class TestChunkPipelining:
+    def _run(self, n_chunks, pipelined):
+        vectors = {u: np.arange(12, dtype=float) + u for u in range(3)}
+        engine = RoundEngine(timing=PerOpTiming(TIMES))
+        chunked = asyncio.run(
+            engine.run_chunked_round(
+                roundtrip_factory(vectors),
+                vectors,
+                n_chunks,
+                pipelined=pipelined,
+                extract=lambda r: r,
+            )
+        )
+        return engine, chunked, vectors
+
+    def test_chunked_aggregate_matches_unchunked(self):
+        _, chunked, vectors = self._run(3, pipelined=True)
+        np.testing.assert_allclose(chunked.result, sum(vectors.values()))
+
+    @pytest.mark.parametrize("n_chunks", [2, 3, 4])
+    def test_pipelined_beats_serial(self, n_chunks):
+        """Chunked concurrent dispatch finishes sooner than serial (§4.1)."""
+        _, pipelined, _ = self._run(n_chunks, pipelined=True)
+        _, serial, _ = self._run(n_chunks, pipelined=False)
+        assert pipelined.completion_time < serial.completion_time
+        # Serial execution is exactly m back-to-back rounds.
+        assert serial.completion_time == pytest.approx(
+            n_chunks * sum(TIMES.values())
+        )
+
+    @pytest.mark.parametrize("n_chunks", [1, 2, 3, 5])
+    def test_execution_matches_appendix_c_schedule(self, n_chunks):
+        """The engine's traced schedule equals the offline prediction."""
+        engine, chunked, _ = self._run(n_chunks, pipelined=True)
+        server = RoundTripServer()
+        stages = server.pipeline_stages()
+        stage_times = [TIMES[op] for op in server.workflow_order()]
+        predicted = build_schedule(stages, stage_times, n_chunks)
+        assert chunked.completion_time == pytest.approx(
+            predicted.completion_time
+        )
+        # Begin/finish of every (stage, chunk) matches the recurrence.
+        for s in range(len(stages)):
+            observed = engine.trace.stage_intervals(s)
+            for c, (begin, finish) in enumerate(observed):
+                assert begin == pytest.approx(predicted.begin[s, c])
+                assert finish == pytest.approx(predicted.finish[s, c])
+
+    def test_chunk_failure_cancels_siblings(self):
+        """An aborting chunk must not strand siblings on unfired gates."""
+
+        class FailingServer(RoundTripServer):
+            def aggregate(self, responses):
+                raise RuntimeError("chunk exploded")
+
+        def factory(j, chunk_inputs):
+            server = FailingServer() if j == 0 else RoundTripServer()
+            return server, [
+                RoundTripClient(u, v) for u, v in chunk_inputs.items()
+            ]
+
+        vectors = {u: np.ones(9) for u in range(3)}
+
+        async def main():
+            engine = RoundEngine()
+            with pytest.raises(RuntimeError, match="chunk exploded"):
+                await engine.run_chunked_round(
+                    factory, vectors, 3, extract=lambda r: r
+                )
+            # Sibling chunk tasks were cancelled, not left pending.
+            pending = asyncio.all_tasks() - {asyncio.current_task()}
+            assert not pending
+
+        asyncio.run(main())
+
+    def test_resource_busy_time_matches_schedule(self):
+        engine, _, _ = self._run(3, pipelined=True)
+        busy = engine.trace.resource_busy_time()
+        assert busy["c-comp"] == pytest.approx(3 * (TIMES["encode"] + TIMES["decode"]))
+        assert busy["s-comp"] == pytest.approx(
+            3 * (TIMES["aggregate"] + TIMES["finalize"])
+        )
+        assert busy["comm"] == pytest.approx(3 * TIMES["dispatch"])
+
+
+# ---------------------------------------------------------------------------
+# Cross-round submission
+# ---------------------------------------------------------------------------
+
+
+class TestRoundSubmission:
+    def _two_rounds(self, chain):
+        engine = RoundEngine(timing=PerOpTiming(TIMES))
+        vectors = {u: np.ones(4) for u in range(2)}
+
+        async def main():
+            def job():
+                return engine.run_round(
+                    RoundTripServer(),
+                    [RoundTripClient(u, v) for u, v in vectors.items()],
+                )
+
+            first = engine.submit_round(job)
+            second = engine.submit_round(job, after=first if chain else None)
+            return await first.result(), await second.result()
+
+        results = asyncio.run(main())
+        return engine, results
+
+    def test_chained_round_starts_at_dependency_finish(self):
+        """A data-dependent round may not begin before its input exists."""
+        engine, results = self._two_rounds(chain=True)
+        first_finish = max(s.finish for s in engine.trace.round_spans(0))
+        second_begins = min(s.begin for s in engine.trace.round_spans(1))
+        assert second_begins >= first_finish - 1e-9
+        assert all(np.allclose(r, np.full(4, 2.0)) for r in results)
+
+    def test_chained_floor_ignores_resource_disjoint_rounds(self):
+        """A dependent round floors at its dependency's finish, not at
+        whatever unrelated resource-disjoint work shares the trace."""
+        engine = RoundEngine(
+            timing=PerOpTiming({"encode": 2.0, "aggregate": 1.0, "beacon": 100.0})
+        )
+
+        class BeaconServer(ProtocolServer):
+            """A server-side comm op — occupies only the comm resource."""
+
+            def set_graph_dict(self):
+                return {"beacon": {"resource": "comm", "deps": []}}
+
+            def beacon(self, carry):
+                return "sent"
+
+        async def main():
+            def job():
+                return engine.run_round(
+                    SumServer(), [SumClient(u, np.ones(2)) for u in range(2)]
+                )
+
+            # 100-virtual-second comm round; touches no chain resource.
+            unrelated = engine.submit_round(
+                lambda: engine.run_round(BeaconServer(), [SumClient(9, [0.0])])
+            )
+            first = engine.submit_round(job)
+            second = engine.submit_round(job, after=first)
+            await asyncio.gather(unrelated.task, first.task, second.task)
+            return await unrelated.result(), first, second
+
+        beacon_result, first, second = asyncio.run(main())
+        assert beacon_result == "sent"  # served by the server method
+        # encode(2) + aggregate(1) per round; the chain is unaffected by
+        # the unrelated round's 100s comm span.
+        assert first.finish_time == pytest.approx(3.0)
+        assert second.finish_time == pytest.approx(6.0)
+
+    def test_independent_rounds_overlap(self):
+        """Rounds without a data dependency share the pipeline (§4.1)."""
+        engine, results = self._two_rounds(chain=False)
+        serial_total = 2 * sum(TIMES.values())
+        assert engine.trace.completion_time < serial_total - 1e-9
+        # Some stage of round 1 runs while round 0 is still in flight.
+        first_finish = max(s.finish for s in engine.trace.round_spans(0))
+        second_begins = min(s.begin for s in engine.trace.round_spans(1))
+        assert second_begins < first_finish
+        # No resource ever serves two rounds at once.
+        by_resource = {}
+        for span in engine.trace.spans:
+            by_resource.setdefault(span.resource, []).append(span)
+        for spans in by_resource.values():
+            spans.sort(key=lambda s: s.begin)
+            for a, b in zip(spans, spans[1:]):
+                assert b.begin >= a.finish - 1e-9
+        assert all(np.allclose(r, np.full(4, 2.0)) for r in results)
+
+
+# ---------------------------------------------------------------------------
+# Timing models and simulated network latency
+# ---------------------------------------------------------------------------
+
+
+class TestTiming:
+    def test_stage_timing_follows_perf_model(self):
+        class MeanServer(SumServer):
+            def set_graph_dict(self):
+                graph = super().set_graph_dict()
+                graph["decode"] = {"resource": "s-comp", "deps": ["aggregate"]}
+                return graph
+
+            def decode(self, total):
+                return total / 3.0
+
+        server = MeanServer()
+        perf = WorkflowPerfModel(
+            stages=server.pipeline_stages(),
+            models=[
+                StagePerfModel(beta1=1e-3, beta2=0.1, beta3=0.5),
+                StagePerfModel(beta1=2e-3, beta2=0.0, beta3=1.0),
+            ],
+        )
+        update_size = 1000.0
+        timing = StageTiming(server, perf, update_size)
+        engine = RoundEngine(timing=timing)
+        clients = [SumClient(i, np.ones(2)) for i in range(3)]
+        engine.run_round_sync(server, clients)
+        spans = engine.trace.round_spans(0)
+        assert spans[0].duration == pytest.approx(
+            perf.models[0].time(update_size, 1)
+        )
+        # aggregate + decode share the s-comp stage: durations sum to τ₂.
+        assert spans[1].duration == pytest.approx(
+            perf.models[1].time(update_size, 1)
+        )
+
+    def test_stage_timing_rejects_mismatched_model(self):
+        server = SumServer()
+        perf = WorkflowPerfModel(
+            stages=server.pipeline_stages()[:1],
+            models=[StagePerfModel(0.0, 0.0, 1.0)],
+        )
+        with pytest.raises(ValueError):
+            StageTiming(server, perf, 10.0)
+
+    def test_simulated_network_latency_gates_stage(self):
+        """The slowest device's link time bounds the comm duration."""
+        vectors = {0: np.ones(8), 1: np.ones(8)}
+        devices = {
+            0: ClientDevice(client_id=0, compute_factor=1.0, bandwidth_bps=1e4),
+            1: ClientDevice(client_id=1, compute_factor=1.0, bandwidth_bps=1e6),
+        }
+        transport = SimulatedNetworkTransport(devices)
+        engine = RoundEngine(transport=transport)
+        clients = [SumClient(u, v) for u, v in vectors.items()]
+        result = engine.run_round_sync(SumServer(), clients)
+        np.testing.assert_allclose(result, np.full(8, 2.0))
+        encode_span = engine.trace.round_spans(0)[0]
+        slowest = devices[0].upload_seconds(vectors[0].nbytes)
+        assert encode_span.duration == pytest.approx(slowest, rel=0.5)
+        assert encode_span.duration >= devices[1].upload_seconds(8 * 8)
+
+
+class TestTraceTimeline:
+    def test_cumulative_elapsed_and_target(self):
+        timeline = TraceTimeline(
+            round_durations=(10.0, 20.0, 5.0),
+            metric_history=(0.1, 0.5, 0.9),
+            metric_name="accuracy",
+        )
+        np.testing.assert_allclose(timeline.elapsed, [10.0, 30.0, 35.0])
+        assert timeline.time_to_metric(0.5) == pytest.approx(30.0)
+        assert timeline.time_to_metric(0.95) == float("inf")
+        assert timeline.total_seconds == pytest.approx(35.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TraceTimeline((1.0,), (0.1, 0.2), "accuracy")
