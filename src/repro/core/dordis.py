@@ -13,6 +13,11 @@ engine's virtual resource clocks persist across rounds (so consecutive
 rounds land on one session timeline and overlap wherever the dependency
 structure allows), and the real-protocol aggregation path executes
 chunk-pipelined per the §4.1 schedule when ``config.pipeline_chunks > 1``.
+Because the engine arbitrates resources with a discrete-event
+virtual-time arbiter (:mod:`repro.engine.arbiter`), a session's
+multi-round traces are deterministic and independent of asyncio task
+scheduling — identical configs reproduce identical
+``round_seconds_history`` trajectories.
 """
 
 from __future__ import annotations

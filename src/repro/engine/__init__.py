@@ -13,10 +13,18 @@ through one event-driven :class:`RoundEngine`:
   model is the execution path, not an offline calculator.
 - **Traced**: per-stage virtual timing lands in a
   :class:`repro.sim.timeline.ExecutionTrace` shared across rounds.
+- **Exactly arbitrated**: a discrete-event virtual-time arbiter
+  (:mod:`repro.engine.arbiter`) grants each resource to the lowest-
+  virtual-begin-time waiter across chunks *and* concurrently submitted
+  rounds, so traces are deterministic, scheduling-order independent,
+  and equal to the offline replay
+  (:func:`repro.sim.timeline.simulate_trace`).
 """
 
+from repro.engine.arbiter import AsyncResourceArbiter, VirtualTimeArbiter
 from repro.engine.core import (
     ChunkedRoundResult,
+    EngineBusyError,
     RoundEngine,
     RoundHandle,
     Targeted,
@@ -42,7 +50,10 @@ from repro.engine.transport import (
 )
 
 __all__ = [
+    "AsyncResourceArbiter",
+    "VirtualTimeArbiter",
     "ChunkedRoundResult",
+    "EngineBusyError",
     "RoundEngine",
     "RoundHandle",
     "Targeted",

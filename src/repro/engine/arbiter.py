@@ -1,0 +1,319 @@
+"""Discrete-event virtual-time resource arbitration.
+
+The engine's cross-round correctness problem (pre-arbiter): per-resource
+``asyncio.Lock``s serialized concurrent rounds in *lock-grant* order,
+i.e. in whatever order the event loop happened to schedule the waiting
+tasks.  A stage that was virtually ready at t=5 could be traced behind
+one ready at t=10 that reached the lock first — admissible (no resource
+ever served two rounds at once) but pessimistic, and dependent on task
+scheduling.
+
+:class:`VirtualTimeArbiter` replaces that with a discrete-event
+simulation that *is* the execution order.  Every stage execution is a
+node registered up front (per round, per chunk) with its Appendix-C
+dependencies; the arbiter grants exactly one node at a time, always the
+one with the **lowest virtual begin time** — ``max(ready, clock[resource])``
+— with ties broken by round serial, then chunk index, then stage.  A
+node's ready time is the max of its dependencies' finish times (the
+o-term and r-term of the recurrence) and the submitting job's virtual
+floor.  Because grant decisions depend only on registered rounds and
+reported finish times — never on task scheduling — the executed trace
+is deterministic and equals the offline replay
+(:func:`repro.sim.timeline.simulate_trace`) exactly.
+
+Two layers:
+
+- :class:`VirtualTimeArbiter` — the pure, synchronous DES core
+  (``add_round`` / ``poll`` / ``complete`` / ``abort_round``).  Usable
+  without an event loop; :func:`repro.sim.timeline.simulate_trace`
+  drives it to replay a schedule offline.
+- :class:`AsyncResourceArbiter` — the asyncio layer the
+  :class:`~repro.engine.core.RoundEngine` uses: stage tasks park on
+  per-node futures in :meth:`acquire` and an event-driven grant step
+  (scheduled with ``call_soon`` after every registration, completion,
+  and abort) releases the next winner.  Deferring grants to a fresh
+  loop turn guarantees every round registered by already-created tasks
+  participates in the first grant decision, so concurrently submitted
+  rounds are arbitrated exactly as the offline replay predicts.
+
+The arbiter sequences stage executions **globally** — one stage in
+flight at a time, across all resources.  That is a deliberate trade:
+durations are only known after a stage runs (transport latency is
+measured during dispatch, and zero-duration ops are legal), so granting
+a second resource concurrently could let a stage start whose virtual
+slot an in-flight stage's completion was about to claim — breaking the
+equality with the offline replay.  Real concurrency is preserved where
+it matters in-process: every client request of a stage's op still fans
+out concurrently (``asyncio.gather`` in the engine's dispatch); what is
+serialized is the wall-clock interleaving of *stages*, whose virtual
+overlap the trace still records exactly.
+
+The per-resource clocks dict is owned by the caller and mutated in
+place, so an engine can rebuild the arbiter per event loop while its
+virtual timeline persists across rounds and loops.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional, Sequence
+
+from repro.pipeline.stages import previous_same_resource
+
+
+class _Node:
+    """One (round, stage, chunk) stage execution awaiting its turn."""
+
+    __slots__ = (
+        "round_serial",
+        "stage",
+        "chunk",
+        "resource",
+        "ready",
+        "deps_left",
+        "dependents",
+        "begin",
+        "finish",
+        "granted",
+        "finished",
+        "future",
+    )
+
+    def __init__(self, round_serial: int, stage: int, chunk: int,
+                 resource: str, floor: float):
+        self.round_serial = round_serial
+        self.stage = stage
+        self.chunk = chunk
+        self.resource = resource
+        self.ready = floor
+        self.deps_left = 0
+        self.dependents: list[_Node] = []
+        self.begin = 0.0
+        self.finish = 0.0
+        self.granted = False
+        self.finished = False
+        self.future: Optional[asyncio.Future] = None
+
+    @property
+    def key(self) -> tuple[int, int, int]:
+        return (self.round_serial, self.stage, self.chunk)
+
+
+class VirtualTimeArbiter:
+    """The synchronous discrete-event core.
+
+    ``clocks`` maps resource label → virtual time the resource becomes
+    free; it is mutated in place so the caller can persist it across
+    arbiter instances (the engine rebuilds the async layer per event
+    loop but keeps one timeline).
+    """
+
+    def __init__(self, clocks: Optional[dict] = None):
+        self.clocks: dict = clocks if clocks is not None else {}
+        self._nodes: dict[tuple[int, int, int], _Node] = {}
+        self._round_nodes: dict[int, list[_Node]] = {}
+        self._unfinished: dict[int, int] = {}
+        self._enabled: list[_Node] = []
+        self._running: Optional[_Node] = None
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def add_round(
+        self,
+        round_serial: int,
+        resources: Sequence[str],
+        n_chunks: int = 1,
+        *,
+        serial: bool = False,
+        floor: float = 0.0,
+    ) -> None:
+        """Register one round: ``len(resources)`` stages × ``n_chunks``.
+
+        Dependency wiring is the Appendix-C recurrence: stage s of chunk
+        c waits on stage s−1 of chunk c (the o-term; the job ``floor``
+        stands in for s=0) and on the r-term — chunk c−1 of stage s, or
+        for the first chunk the last chunk of the latest earlier stage
+        on the same resource.  ``serial=True`` instead chains chunk c's
+        first stage after chunk c−1's last: the unpipelined baseline.
+        """
+        if round_serial in self._round_nodes:
+            raise ValueError(f"round {round_serial} already registered")
+        if not resources:
+            raise ValueError("a round needs at least one stage")
+        if n_chunks < 1:
+            raise ValueError("n_chunks must be >= 1")
+        n_stages = len(resources)
+        nodes: dict[tuple[int, int], _Node] = {
+            (s, c): _Node(round_serial, s, c, resources[s],
+                          floor if s == 0 else 0.0)
+            for s in range(n_stages)
+            for c in range(n_chunks)
+        }
+        for (s, c), node in nodes.items():
+            deps: list[_Node] = []
+            if s > 0:
+                deps.append(nodes[(s - 1, c)])
+            if serial:
+                if s == 0 and c > 0:
+                    deps.append(nodes[(n_stages - 1, c - 1)])
+            elif c > 0:
+                deps.append(nodes[(s, c - 1)])
+            else:
+                q = previous_same_resource(resources, s)
+                if q is not None:
+                    deps.append(nodes[(q, n_chunks - 1)])
+            node.deps_left = len(deps)
+            for dep in deps:
+                dep.dependents.append(node)
+            self._nodes[node.key] = node
+        self._round_nodes[round_serial] = list(nodes.values())
+        self._unfinished[round_serial] = len(nodes)
+        self._enabled.extend(n for n in nodes.values() if n.deps_left == 0)
+
+    # ------------------------------------------------------------------
+    # The discrete-event step
+    # ------------------------------------------------------------------
+    def _grant_key(self, node: _Node) -> tuple[float, int, int, int]:
+        begin = max(node.ready, self.clocks.get(node.resource, 0.0))
+        return (begin, node.round_serial, node.chunk, node.stage)
+
+    def poll(self) -> Optional[_Node]:
+        """Select the next stage to execute, or None.
+
+        None means either a stage is already in flight (the arbiter runs
+        exactly one at a time — that sequencing is what makes the trace
+        a discrete-event schedule) or nothing is enabled yet.  The
+        winner's ``begin`` is resolved against the resource clock at
+        grant time.
+        """
+        if self._running is not None or not self._enabled:
+            return None
+        best = min(self._enabled, key=self._grant_key)
+        self._enabled.remove(best)
+        best.begin = max(best.ready, self.clocks.get(best.resource, 0.0))
+        self._running = best
+        return best
+
+    def complete(self, node: _Node, finish: float) -> None:
+        """Record a stage's virtual finish; advance clocks and dependents."""
+        if self._running is not node:
+            raise RuntimeError(
+                f"stage {node.key} is not the stage currently in flight"
+            )
+        if finish < node.begin:
+            raise ValueError("finish may not precede begin")
+        self._running = None
+        node.finish = finish
+        node.finished = True
+        self.clocks[node.resource] = max(
+            self.clocks.get(node.resource, 0.0), finish
+        )
+        for dep in node.dependents:
+            dep.ready = max(dep.ready, finish)
+            dep.deps_left -= 1
+            if dep.deps_left == 0:
+                self._enabled.append(dep)
+        serial = node.round_serial
+        self._unfinished[serial] -= 1
+        if self._unfinished[serial] == 0:
+            self._purge_round(serial)
+
+    def abort_round(self, round_serial: int) -> list[_Node]:
+        """Withdraw a failed round's unfinished stages; returns them.
+
+        The resource clocks keep whatever the round's *completed* stages
+        recorded (their spans stay traced), but pending stages vanish so
+        other rounds are never blocked behind a dead job.
+        """
+        nodes = self._round_nodes.get(round_serial)
+        if nodes is None:
+            return []
+        pending = [n for n in nodes if not n.finished]
+        for node in pending:
+            if node in self._enabled:
+                self._enabled.remove(node)
+            if self._running is node:
+                self._running = None
+        self._purge_round(round_serial)
+        return pending
+
+    def discard(self, node: _Node) -> None:
+        """Drop one granted-but-dead stage (its waiter was cancelled)."""
+        if self._running is node:
+            self._running = None
+        self._nodes.pop(node.key, None)
+
+    def _purge_round(self, round_serial: int) -> None:
+        for node in self._round_nodes.pop(round_serial, []):
+            self._nodes.pop(node.key, None)
+        self._unfinished.pop(round_serial, None)
+
+    @property
+    def idle(self) -> bool:
+        """True when no registered stage remains unfinished."""
+        return not self._round_nodes and self._running is None
+
+
+class AsyncResourceArbiter(VirtualTimeArbiter):
+    """The asyncio layer: park stage tasks on futures, grant event-driven.
+
+    Grants are deferred to a fresh event-loop turn (``call_soon``) after
+    every registration, completion, and abort.  The deferral is load-
+    bearing: it lets every task created before the grant step run its
+    registration first, so the first grant already arbitrates among all
+    concurrently submitted rounds — the property that makes executed
+    traces equal the offline replay regardless of task start order.
+    """
+
+    def __init__(self, clocks: Optional[dict] = None):
+        super().__init__(clocks)
+        self._dispatch_scheduled = False
+
+    def add_round(self, *args, **kwargs) -> None:
+        super().add_round(*args, **kwargs)
+        self._schedule_dispatch()
+
+    async def acquire(self, round_serial: int, stage: int, chunk: int) -> float:
+        """Wait for this stage's turn; returns its virtual begin time."""
+        node = self._nodes[(round_serial, stage, chunk)]
+        if node.granted:
+            return node.begin
+        node.future = asyncio.get_running_loop().create_future()
+        return await node.future
+
+    def release(self, round_serial: int, stage: int, chunk: int,
+                finish: float) -> None:
+        """Report the acquired stage's virtual finish time."""
+        self.complete(self._nodes[(round_serial, stage, chunk)], finish)
+        self._schedule_dispatch()
+
+    def abort_round(self, round_serial: int) -> list[_Node]:
+        pending = super().abort_round(round_serial)
+        for node in pending:
+            if node.future is not None and not node.future.done():
+                node.future.cancel()
+        self._schedule_dispatch()
+        return pending
+
+    def _schedule_dispatch(self) -> None:
+        if self._dispatch_scheduled:
+            return
+        self._dispatch_scheduled = True
+        asyncio.get_running_loop().call_soon(self._dispatch)
+
+    def _dispatch(self) -> None:
+        self._dispatch_scheduled = False
+        while True:
+            node = self.poll()
+            if node is None:
+                return
+            if node.future is not None and node.future.cancelled():
+                # The waiter died (its round is being torn down); skip it
+                # so surviving rounds are never blocked behind it.
+                self.discard(node)
+                continue
+            node.granted = True
+            if node.future is not None:
+                node.future.set_result(node.begin)
+            return

@@ -16,11 +16,20 @@ begins at ``max(f_{s-1,c}, r_{s,c})`` where the r-term serializes each
 resource (one chunk at a time, earlier stages have priority) — so the
 traced completion time of an engine run reproduces
 :func:`repro.pipeline.scheduler.build_schedule` for the same stage
-times, while the protocol work itself really runs overlapped.
+times.
+
+Cross-round (and cross-chunk) resource arbitration is a discrete-event
+simulation (:mod:`repro.engine.arbiter`): every stage execution is a
+registered node and each resource is granted to the lowest-virtual-
+begin-time waiter, ties broken by round serial then chunk index.
+Traces are therefore deterministic and independent of asyncio task
+scheduling; :func:`repro.sim.timeline.simulate_trace` replays the same
+arbitration offline and the executed trace equals it exactly.
 
 Rounds submitted through :meth:`RoundEngine.submit_round` share the
-engine's per-resource availability clocks, so consecutive rounds land on
-one session timeline and overlap wherever their data dependencies allow.
+engine's per-resource availability clocks (which persist across rounds
+and event loops), so consecutive rounds land on one session timeline
+and overlap wherever their data dependencies allow.
 """
 
 from __future__ import annotations
@@ -33,6 +42,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Optional
 
 import numpy as np
 
+from repro.engine.arbiter import AsyncResourceArbiter
 from repro.engine.timing import OpTiming, stage_groups
 from repro.engine.transport import (
     Channel,
@@ -41,7 +51,7 @@ from repro.engine.transport import (
     Transport,
 )
 from repro.pipeline.chunking import concat_chunks, split_vector
-from repro.pipeline.stages import Resource, Stage, previous_same_resource
+from repro.pipeline.stages import Resource, Stage
 from repro.sim.timeline import ExecutionTrace, StageSpan
 
 if TYPE_CHECKING:  # imported lazily to avoid an api ↔ engine import cycle
@@ -124,47 +134,17 @@ class ChunkedRoundResult:
         return self.finish - self.begin
 
 
-class _StageGates:
-    """Appendix-C cross-chunk dependencies for one round.
+class EngineBusyError(RuntimeError):
+    """A :class:`RoundEngine` was driven from a second event loop while
+    rounds were still in flight on another.
 
-    Gate (s, c) resolves when stage s of chunk c finishes, carrying the
-    virtual finish time.  ``ready(s, c)`` returns the r-term:
-    ``f_{s,c-1}`` for c > 0, else ``f_{q,m-1}`` where q is the latest
-    earlier stage on the same resource (⊥ → 0).  ``serial=True`` instead
-    chains chunk c's first stage after chunk c-1's last — the unpipelined
-    baseline executed with the same machinery.
+    Raised by the engine's loop guard — most commonly when ``run_sync``
+    (or ``run_round_sync``) is called under a running event loop that is
+    itself still executing rounds on the same engine, which moves the new
+    round onto a private helper-loop thread.  Sharing one engine across
+    live loops would corrupt its virtual-time arbitration, so it is
+    refused instead.
     """
-
-    def __init__(self, stages: list[Stage], n_chunks: int, serial: bool = False):
-        self.stages = stages
-        self.n_chunks = n_chunks
-        self.serial = serial
-        self._events: dict[tuple[int, int], asyncio.Event] = {
-            (s, c): asyncio.Event()
-            for s in range(len(stages))
-            for c in range(n_chunks)
-        }
-        self._times: dict[tuple[int, int], float] = {}
-
-    async def _finish_time(self, key: tuple[int, int]) -> float:
-        await self._events[key].wait()
-        return self._times[key]
-
-    async def ready(self, s: int, c: int) -> float:
-        if self.serial:
-            if s == 0 and c > 0:
-                return await self._finish_time((len(self.stages) - 1, c - 1))
-            return 0.0
-        if c > 0:
-            return await self._finish_time((s, c - 1))
-        q = previous_same_resource(self.stages, s)
-        if q is not None:
-            return await self._finish_time((q, self.n_chunks - 1))
-        return 0.0
-
-    def done(self, s: int, c: int, finish: float) -> None:
-        self._times[(s, c)] = finish
-        self._events[(s, c)].set()
 
 
 def run_sync(coro) -> Any:
@@ -175,7 +155,7 @@ def run_sync(coro) -> Any:
     coroutine executes on a private loop in a helper thread instead of
     raising.  Engine state is rebuilt per loop when idle; an engine
     that still has rounds in flight on another loop refuses the second
-    loop with a RuntimeError rather than corrupting its clocks.
+    loop with :class:`EngineBusyError` rather than corrupting its clocks.
     """
     try:
         asyncio.get_running_loop()
@@ -223,17 +203,14 @@ class RoundEngine:
         self._resource_free: dict[str, float] = {}
         self._round_serial = 0
         self._submit_serial = 0
-        # Per-resource asyncio locks serialize concurrent rounds on one
-        # resource; rebuilt per event loop (locks cannot cross loops).
-        # Known approximation: *across* concurrently-running rounds the
-        # lock grants follow task scheduling order, so a stage that is
-        # virtually ready earlier can be traced behind one that acquired
-        # the lock first — traces stay admissible (no resource ever
-        # serves two rounds at once) but may be pessimistic.  Within one
-        # chunked round the stage gates impose the exact Appendix-C
-        # order, so those schedules are never affected.
-        self._locks: dict[str, asyncio.Lock] = {}
-        self._locks_loop = None
+        # The discrete-event arbiter orders *all* stage executions —
+        # across chunks and across concurrently submitted rounds — by
+        # virtual begin time (ties: round serial, then chunk), so traces
+        # are exact and independent of asyncio task scheduling.  It is
+        # rebuilt per event loop (its futures cannot cross loops) around
+        # the engine-owned ``_resource_free`` clocks, which persist.
+        self._arbiter: Optional[AsyncResourceArbiter] = None
+        self._arbiter_loop = None
         # In-flight workflow count + owning loop: one engine may only be
         # driven from one event loop at a time (see _enter_loop).
         self._active_count = 0
@@ -272,17 +249,22 @@ class RoundEngine:
                 for cid, app in app_clients.items()
             }
         groups = stage_groups(server)
-        gates = _StageGates([g[0] for g in groups], 1)
         self._enter_loop()
+        arbiter = self._arbiter
         channel = None
         trace_round = self._next_round_serial()
         try:
+            arbiter.add_round(
+                trace_round,
+                [g[0].resource.value for g in groups],
+                floor=_JOB_FLOOR.get(),
+            )
             channel = (transport or self.transport).connect(by_id)
             carry = await self._execute_workflow(
                 server,
                 by_id,
                 groups,
-                gates,
+                arbiter,
                 channel,
                 inputs,
                 chunk_index=0,
@@ -290,6 +272,11 @@ class RoundEngine:
                 timing=timing or self.timing,
                 trace_round=trace_round,
             )
+        except BaseException:
+            # A failed round must withdraw its pending stages, or other
+            # rounds sharing the arbiter would wait on them forever.
+            arbiter.abort_round(trace_round)
+            raise
         finally:
             self._exit_loop()
             if channel is not None:
@@ -348,9 +335,8 @@ class RoundEngine:
         ]
         if any(s != structure[0] for s in structure[1:]):
             raise ValueError("chunk sub-rounds must share one workflow structure")
-        gates = _StageGates(
-            [g[0] for g in per_chunk_groups[0]], n_chunks, serial=not pipelined
-        )
+        self._enter_loop()
+        arbiter = self._arbiter
         trace_round = self._next_round_serial()
         use_transport = transport or self.transport
         use_timing = timing or self.timing
@@ -363,7 +349,7 @@ class RoundEngine:
                     server,
                     by_id,
                     per_chunk_groups[j],
-                    gates,
+                    arbiter,
                     channel,
                     None,
                     chunk_index=j,
@@ -374,17 +360,27 @@ class RoundEngine:
             finally:
                 await channel.aclose()
 
-        self._enter_loop()
-        tasks = [asyncio.ensure_future(_chunk(j)) for j in range(n_chunks)]
+        tasks: list[asyncio.Task] = []
         try:
+            arbiter.add_round(
+                trace_round,
+                [g[0].resource.value for g in per_chunk_groups[0]],
+                n_chunks,
+                serial=not pipelined,
+                floor=_JOB_FLOOR.get(),
+            )
+            tasks = [asyncio.ensure_future(_chunk(j)) for j in range(n_chunks)]
             chunk_results = await asyncio.gather(*tasks)
         except BaseException:
-            # A failed chunk (e.g. ProtocolAbort) never fires its gates;
-            # cancel the siblings blocked on them so channels close and
-            # no task outlives the round.
+            # A failed chunk (e.g. ProtocolAbort) leaves stages the
+            # siblings depend on unfinished; cancel the siblings parked
+            # on the arbiter and withdraw the round so channels close,
+            # no task outlives the round, and other rounds never wait
+            # on the dead job's stages.
             for task in tasks:
                 task.cancel()
             await asyncio.gather(*tasks, return_exceptions=True)
+            arbiter.abort_round(trace_round)
             raise
         finally:
             self._exit_loop()
@@ -481,20 +477,24 @@ class RoundEngine:
     def _enter_loop(self):
         """Claim the engine for the current event loop.
 
-        The per-loop lock table is only rebuilt when nothing is in
-        flight; concurrent use from a second loop (e.g. run_sync's
-        helper thread while the outer loop still runs a round) would
-        silently break resource mutual exclusion, so it is refused.
+        The per-loop arbiter is only rebuilt when nothing is in flight
+        (its resource clocks live on the engine and persist); concurrent
+        use from a second loop (e.g. run_sync's helper thread while the
+        outer loop still runs a round) would silently break virtual-time
+        arbitration, so it is refused.
         """
         loop = asyncio.get_running_loop()
         if self._active_count and self._active_loop is not loop:
-            raise RuntimeError(
+            raise EngineBusyError(
                 "this RoundEngine is already running rounds on another "
-                "event loop; use a separate engine per loop"
+                "event loop; either await those rounds before driving "
+                "the engine from this loop (run_sync under a running "
+                "loop executes on a private helper loop, which triggers "
+                "this guard) or create a separate RoundEngine per loop"
             )
-        if self._locks_loop is not loop:
-            self._locks = {}
-            self._locks_loop = loop
+        if self._arbiter_loop is not loop:
+            self._arbiter = AsyncResourceArbiter(self._resource_free)
+            self._arbiter_loop = loop
         self._active_loop = loop
         self._active_count += 1
         return loop
@@ -502,15 +502,12 @@ class RoundEngine:
     def _exit_loop(self) -> None:
         self._active_count -= 1
 
-    def _resource_lock(self, resource: str) -> asyncio.Lock:
-        return self._locks.setdefault(resource, asyncio.Lock())
-
     async def _execute_workflow(
         self,
         server: ProtocolServer,
         by_id: dict[int, ProtocolClient],
         groups: list[tuple[Stage, list[str]]],
-        gates: _StageGates,
+        arbiter: AsyncResourceArbiter,
         channel: Channel,
         inputs,
         *,
@@ -520,39 +517,32 @@ class RoundEngine:
         trace_round: int,
     ) -> Any:
         carry = inputs
-        now = _JOB_FLOOR.get()
         for s, (stage, ops) in enumerate(groups):
-            r_term = await gates.ready(s, chunk_index)
             resource = stage.resource.value
-            # The lock serializes concurrent rounds on this resource (a
-            # resource serves one chunk at a time, Appendix C); within a
-            # round the gates already impose the schedule's order, so the
-            # lock is uncontended there.
-            async with self._resource_lock(resource):
-                begin = max(now, r_term, self._resource_free.get(resource, 0.0))
-                t = begin
-                for op in ops:
-                    # Ops grouped into one stage share its resource by
-                    # construction (§4.1 grouping).
-                    if _dispatches_to_clients(server, op, resource):
-                        carry, duration = await self._dispatch_clients(
-                            channel, by_id, op, resource, carry,
-                            n_chunks=n_chunks, chunk_index=chunk_index,
-                            timing=timing,
-                        )
-                    else:
-                        method = server.operation_method(op)
-                        carry = method(carry)
-                        duration = timing.duration(
-                            op, resource,
-                            n_chunks=n_chunks, chunk_index=chunk_index,
-                        )
-                    t += duration
-                finish = t
-                self._resource_free[resource] = max(
-                    self._resource_free.get(resource, 0.0), finish
-                )
-            gates.done(s, chunk_index, finish)
+            # The arbiter resolves both Appendix-C terms at once: the
+            # grant waits for this stage's dependencies (o- and r-term)
+            # and for the resource, which serves the lowest-virtual-
+            # begin waiter across every chunk and submitted round.
+            begin = await arbiter.acquire(trace_round, s, chunk_index)
+            t = begin
+            for op in ops:
+                # Ops grouped into one stage share its resource by
+                # construction (§4.1 grouping).
+                if _dispatches_to_clients(server, op, resource):
+                    carry, duration = await self._dispatch_clients(
+                        channel, by_id, op, resource, carry,
+                        n_chunks=n_chunks, chunk_index=chunk_index,
+                        timing=timing,
+                    )
+                else:
+                    method = server.operation_method(op)
+                    carry = method(carry)
+                    duration = timing.duration(
+                        op, resource,
+                        n_chunks=n_chunks, chunk_index=chunk_index,
+                    )
+                t += duration
+            finish = t
             self.trace.add(
                 StageSpan(
                     round_index=trace_round,
@@ -564,7 +554,7 @@ class RoundEngine:
                     finish=finish,
                 )
             )
-            now = finish
+            arbiter.release(trace_round, s, chunk_index, finish)
         return carry
 
     async def _dispatch_clients(

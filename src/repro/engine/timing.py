@@ -35,7 +35,14 @@ def stage_groups(server: ProtocolServer) -> list[tuple[Stage, list[str]]]:
     for op in server.workflow_order():
         resource = graph[op]["resource"]
         if current is None or resource != current.resource.value:
-            current = next(it)
+            current = next(it, None)
+            if current is None:
+                raise ValueError(
+                    f"workflow op {op!r} (resource {resource!r}) starts a "
+                    f"new stage but the server declares only "
+                    f"{len(stages)} pipeline stages — the workflow and "
+                    f"pipeline_stages() disagree"
+                )
             groups.append((current, []))
         groups[-1][1].append(op)
     return groups
@@ -57,7 +64,7 @@ class PerOpTiming(OpTiming):
     """Explicit per-operation durations (seconds per chunk)."""
 
     def __init__(self, durations: Mapping[str, float], default: float = 0.0):
-        if any(t < 0 for t in durations.values()):
+        if any(t < 0 for t in durations.values()) or default < 0:
             raise ValueError("durations must be non-negative")
         self.durations = dict(durations)
         self.default = default

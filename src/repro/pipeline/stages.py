@@ -63,9 +63,17 @@ def stages_alternate_resources(stages: list[Stage]) -> bool:
     )
 
 
-def previous_same_resource(stages: list[Stage], index: int) -> int | None:
-    """Appendix C's q = max_{i<s}{ i | r_i = r_s }, or None."""
+def previous_same_resource(stages, index: int) -> int | None:
+    """Appendix C's q = max_{i<s}{ i | r_i = r_s }, or None.
+
+    Accepts a sequence of :class:`Stage` objects or of plain resource
+    labels (the engine's arbiter passes the latter).
+    """
+
+    def resource(entry):
+        return entry.resource if isinstance(entry, Stage) else entry
+
     for i in range(index - 1, -1, -1):
-        if stages[i].resource == stages[index].resource:
+        if resource(stages[i]) == resource(stages[index]):
             return i
     return None

@@ -14,10 +14,12 @@ from repro.sim.network import ClientDevice, heterogeneous_fleet
 from repro.sim.cluster import SimulatedCluster
 from repro.sim.timeline import (
     ExecutionTrace,
+    SimulatedRound,
     StageSpan,
     Timeline,
     TraceTimeline,
     build_timelines,
+    simulate_trace,
 )
 
 __all__ = [
@@ -25,8 +27,10 @@ __all__ = [
     "heterogeneous_fleet",
     "SimulatedCluster",
     "ExecutionTrace",
+    "SimulatedRound",
     "StageSpan",
     "Timeline",
     "TraceTimeline",
     "build_timelines",
+    "simulate_trace",
 ]

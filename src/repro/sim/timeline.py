@@ -15,6 +15,13 @@ rounds — the measured counterpart to the offline
 :class:`repro.pipeline.scheduler.PipelineSchedule` — and
 :class:`TraceTimeline`, which turns traced per-round durations into the
 same time-to-metric curves as the model-driven :class:`Timeline`.
+
+:func:`simulate_trace` is the offline discrete-event replay of the
+engine's virtual-time arbiter: given round structures and per-stage
+durations it reproduces, span for span, the :class:`ExecutionTrace` the
+engine emits when those rounds execute concurrently — the oracle the
+engine's determinism tests and the concurrent-rounds benchmark compare
+against.
 """
 
 from __future__ import annotations
@@ -172,6 +179,96 @@ class TraceTimeline(_TimelineQueries):
     @property
     def elapsed(self) -> np.ndarray:
         return np.cumsum(np.asarray(self.round_durations, dtype=float))
+
+
+@dataclass(frozen=True)
+class SimulatedRound:
+    """Offline description of one engine round for :func:`simulate_trace`.
+
+    ``resources`` holds one resource label per stage (the §4.1 grouping,
+    e.g. ``("c-comp", "s-comp")``); ``durations[stage][chunk]`` the
+    virtual seconds each (stage, chunk) execution takes — for a
+    ``PerOpTiming`` engine run that is the sum of the stage's op
+    durations plus any transport latency.  ``serial=True`` chains chunks
+    end to end (the engine's ``pipelined=False`` baseline); ``floor`` is
+    the submitting job's virtual start (``submit_round`` dependency
+    floor); ``round_index`` overrides the engine-style serial (default:
+    position in the list passed to :func:`simulate_trace`).
+    """
+
+    resources: tuple
+    durations: tuple
+    labels: tuple | None = None
+    n_chunks: int = 1
+    serial: bool = False
+    floor: float = 0.0
+    round_index: int | None = None
+
+
+def simulate_trace(rounds, initial_clocks=None) -> ExecutionTrace:
+    """Replay the engine's discrete-event arbitration offline.
+
+    Runs the same :class:`repro.engine.arbiter.VirtualTimeArbiter` the
+    engine executes on: each resource is granted to the lowest-virtual-
+    begin-time stage (ties broken by round serial, then chunk index,
+    then stage), one stage at a time.  For rounds that were submitted
+    concurrently — registered before any of them finished a stage — the
+    returned trace equals the engine's executed trace *exactly*,
+    including span order.  Rounds a job submits only after another
+    round's virtual finish should carry that finish as their ``floor``
+    (as ``submit_round`` dependents do).
+
+    ``initial_clocks`` seeds the per-resource availability clocks, e.g.
+    a copy of a live engine's clocks to replay rounds appended to an
+    existing timeline.
+    """
+    # Imported lazily: repro.engine.core imports this module, so a
+    # top-level import of the arbiter would be circular.
+    from repro.engine.arbiter import VirtualTimeArbiter
+
+    arbiter = VirtualTimeArbiter(dict(initial_clocks) if initial_clocks else {})
+    specs: dict[int, SimulatedRound] = {}
+    for position, spec in enumerate(rounds):
+        serial_no = (
+            spec.round_index if spec.round_index is not None else position
+        )
+        if serial_no in specs:
+            raise ValueError(f"duplicate round_index {serial_no}")
+        if len(spec.durations) != len(spec.resources):
+            raise ValueError("one durations row per stage required")
+        if any(len(row) != spec.n_chunks for row in spec.durations):
+            raise ValueError("one duration per (stage, chunk) required")
+        specs[serial_no] = spec
+        arbiter.add_round(
+            serial_no,
+            list(spec.resources),
+            spec.n_chunks,
+            serial=spec.serial,
+            floor=spec.floor,
+        )
+    trace = ExecutionTrace()
+    while True:
+        node = arbiter.poll()
+        if node is None:
+            break
+        spec = specs[node.round_serial]
+        finish = node.begin + float(spec.durations[node.stage][node.chunk])
+        labels = spec.labels
+        trace.add(
+            StageSpan(
+                round_index=node.round_serial,
+                chunk=node.chunk,
+                stage=node.stage,
+                label=labels[node.stage] if labels else node.resource,
+                resource=node.resource,
+                begin=node.begin,
+                finish=finish,
+            )
+        )
+        arbiter.complete(node, finish)
+    if not arbiter.idle:
+        raise RuntimeError("replay stalled: unresolved stage dependencies")
+    return trace
 
 
 def build_timelines(

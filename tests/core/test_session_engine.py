@@ -52,3 +52,12 @@ class TestChunkedSecAggSession:
         assert session.engine.trace.spans
         rounds_seen = {s.round_index for s in session.engine.trace.spans}
         assert len(rounds_seen) == result.rounds_completed
+
+    def test_session_traces_are_deterministic(self):
+        """The arbiter makes multi-round session traces a pure function
+        of the config: two identical runs emit byte-identical traces."""
+        first = DordisSession(secagg_config(pipeline_chunks=3))
+        second = DordisSession(secagg_config(pipeline_chunks=3))
+        first.run()
+        second.run()
+        assert repr(first.engine.trace.spans) == repr(second.engine.trace.spans)

@@ -1,0 +1,214 @@
+"""The discrete-event virtual-time arbiter (DES core + async layer)."""
+
+import asyncio
+
+import pytest
+
+from repro.engine import AsyncResourceArbiter, VirtualTimeArbiter
+from repro.pipeline.scheduler import build_schedule
+from repro.pipeline.stages import DORDIS_STAGES
+
+
+def drain(arbiter, durations):
+    """Run the DES to completion; returns {(round, stage, chunk): (b, f)}."""
+    out = {}
+    while True:
+        node = arbiter.poll()
+        if node is None:
+            break
+        finish = node.begin + durations(node)
+        out[node.key] = (node.begin, finish)
+        arbiter.complete(node, finish)
+    assert arbiter.idle
+    return out
+
+
+class TestRecurrence:
+    @pytest.mark.parametrize("n_chunks", [1, 2, 3, 5])
+    def test_single_round_matches_appendix_c(self, n_chunks):
+        """Offline DES over one chunked round == build_schedule."""
+        stage_times = [2.0, 1.5, 1.0, 1.5, 0.5]
+        resources = [s.resource.value for s in DORDIS_STAGES]
+        arbiter = VirtualTimeArbiter()
+        arbiter.add_round(0, resources, n_chunks)
+        spans = drain(arbiter, lambda n: stage_times[n.stage])
+        predicted = build_schedule(DORDIS_STAGES, stage_times, n_chunks)
+        for s in range(len(resources)):
+            for c in range(n_chunks):
+                begin, finish = spans[(0, s, c)]
+                assert begin == pytest.approx(predicted.begin[s, c])
+                assert finish == pytest.approx(predicted.finish[s, c])
+
+    def test_serial_mode_chains_chunks(self):
+        stage_times = [1.0, 2.0]
+        arbiter = VirtualTimeArbiter()
+        arbiter.add_round(0, ["c-comp", "s-comp"], 3, serial=True)
+        spans = drain(arbiter, lambda n: stage_times[n.stage])
+        # Chunk c's first stage begins at chunk c-1's last finish.
+        assert spans[(0, 0, 1)][0] == pytest.approx(spans[(0, 1, 0)][1])
+        assert spans[(0, 0, 2)][0] == pytest.approx(spans[(0, 1, 1)][1])
+        assert spans[(0, 1, 2)][1] == pytest.approx(3 * sum(stage_times))
+
+    def test_floor_delays_first_stages(self):
+        arbiter = VirtualTimeArbiter()
+        arbiter.add_round(0, ["c-comp", "s-comp"], 2, floor=10.0)
+        spans = drain(arbiter, lambda n: 1.0)
+        assert spans[(0, 0, 0)][0] == pytest.approx(10.0)
+        assert spans[(0, 0, 1)][0] == pytest.approx(11.0)
+
+
+class TestCrossRoundArbitration:
+    def test_lowest_virtual_ready_waiter_wins(self):
+        """The resource goes to the earliest-ready stage, not to whoever
+        asked first — the exact-trace property the locks lacked."""
+        arbiter = VirtualTimeArbiter()
+        # Round 0's upload is ready at t=10, round 1's at t=5; round 1
+        # was *registered* second but must still be served first.
+        arbiter.add_round(0, ["c-comp", "comm"])
+        arbiter.add_round(1, ["s-comp", "comm"])
+        durs = {(0, 0): 10.0, (0, 1): 1.0, (1, 0): 5.0, (1, 1): 6.0}
+        spans = drain(arbiter, lambda n: durs[(n.round_serial, n.stage)])
+        assert spans[(1, 1, 0)] == (5.0, 11.0)   # ready 5 → served first
+        assert spans[(0, 1, 0)] == (11.0, 12.0)  # ready 10 → waits
+
+    def test_tie_broken_by_round_serial(self):
+        arbiter = VirtualTimeArbiter()
+        arbiter.add_round(0, ["comm"])
+        arbiter.add_round(1, ["comm"])
+        first = arbiter.poll()
+        assert first.round_serial == 0
+        arbiter.complete(first, 2.0)
+        second = arbiter.poll()
+        assert second.round_serial == 1
+        assert second.begin == pytest.approx(2.0)
+
+    def test_tie_broken_by_chunk_before_stage(self):
+        arbiter = VirtualTimeArbiter()
+        arbiter.add_round(0, ["c-comp", "s-comp"], 2)
+        spans = drain(arbiter, lambda n: 0.0)
+        assert arbiter.idle
+        assert set(spans) == {(0, s, c) for s in range(2) for c in range(2)}
+
+    def test_one_stage_in_flight_at_a_time(self):
+        arbiter = VirtualTimeArbiter()
+        arbiter.add_round(0, ["c-comp"])
+        arbiter.add_round(1, ["s-comp"])
+        node = arbiter.poll()
+        assert node is not None
+        assert arbiter.poll() is None  # sequenced: nothing until complete
+        arbiter.complete(node, 1.0)
+        assert arbiter.poll() is not None
+
+    def test_clock_persistence_across_rounds(self):
+        clocks = {}
+        arbiter = VirtualTimeArbiter(clocks)
+        arbiter.add_round(0, ["comm"])
+        drain(arbiter, lambda n: 4.0)
+        assert clocks["comm"] == pytest.approx(4.0)
+        # A rebuilt arbiter over the same clocks continues the timeline.
+        successor = VirtualTimeArbiter(clocks)
+        successor.add_round(1, ["comm"])
+        spans = drain(successor, lambda n: 1.0)
+        assert spans[(1, 0, 0)] == (4.0, 5.0)
+
+    def test_abort_unblocks_other_rounds(self):
+        arbiter = VirtualTimeArbiter()
+        arbiter.add_round(0, ["c-comp", "s-comp"])
+        arbiter.add_round(1, ["c-comp"])
+        node = arbiter.poll()
+        assert node.key == (0, 0, 0)
+        arbiter.abort_round(0)  # dies mid-stage: running + pending dropped
+        node = arbiter.poll()
+        assert node.key == (1, 0, 0)
+        assert node.begin == pytest.approx(0.0)  # clock untouched by abort
+        arbiter.complete(node, 1.0)
+        assert arbiter.idle
+
+
+class TestValidation:
+    def test_duplicate_round_rejected(self):
+        arbiter = VirtualTimeArbiter()
+        arbiter.add_round(0, ["comm"])
+        with pytest.raises(ValueError, match="already registered"):
+            arbiter.add_round(0, ["comm"])
+
+    def test_empty_round_rejected(self):
+        with pytest.raises(ValueError, match="at least one stage"):
+            VirtualTimeArbiter().add_round(0, [])
+        with pytest.raises(ValueError, match="n_chunks"):
+            VirtualTimeArbiter().add_round(0, ["comm"], 0)
+
+    def test_finish_before_begin_rejected(self):
+        arbiter = VirtualTimeArbiter()
+        arbiter.add_round(0, ["comm"], floor=5.0)
+        node = arbiter.poll()
+        with pytest.raises(ValueError, match="finish"):
+            arbiter.complete(node, 4.0)
+
+    def test_complete_requires_the_running_stage(self):
+        arbiter = VirtualTimeArbiter()
+        arbiter.add_round(0, ["c-comp", "s-comp"])
+        node = arbiter.poll()
+        stray = arbiter._nodes[(0, 1, 0)]
+        with pytest.raises(RuntimeError, match="not the stage"):
+            arbiter.complete(stray, 1.0)
+        arbiter.complete(node, 1.0)
+
+
+class TestAsyncLayer:
+    def test_acquire_release_round_trip(self):
+        async def main():
+            arbiter = AsyncResourceArbiter()
+            arbiter.add_round(0, ["c-comp", "s-comp"])
+            begins = []
+            begins.append(await arbiter.acquire(0, 0, 0))
+            arbiter.release(0, 0, 0, 3.0)
+            begins.append(await arbiter.acquire(0, 1, 0))
+            arbiter.release(0, 1, 0, 4.0)
+            return begins
+
+        assert asyncio.run(main()) == [0.0, 3.0]
+
+    def test_grants_follow_virtual_readiness_not_park_order(self):
+        """Round 1 parks on the contended resource first but is ready
+        later; the grant must still go to round 0."""
+
+        async def main():
+            arbiter = AsyncResourceArbiter()
+            arbiter.add_round(0, ["c-comp", "comm"])
+            arbiter.add_round(1, ["s-comp", "comm"])
+            order = []
+
+            async def round_task(serial, first_finish):
+                await arbiter.acquire(serial, 0, 0)
+                arbiter.release(serial, 0, 0, first_finish)
+                begin = await arbiter.acquire(serial, 1, 0)
+                order.append((serial, begin))
+                arbiter.release(serial, 1, 0, begin + 1.0)
+
+            # Round 1's task is created (and parks) first.
+            await asyncio.gather(
+                asyncio.ensure_future(round_task(1, 9.0)),
+                asyncio.ensure_future(round_task(0, 2.0)),
+            )
+            return order
+
+        order = asyncio.run(main())
+        assert order == [(0, 2.0), (1, 9.0)]
+
+    def test_abort_cancels_parked_waiters(self):
+        async def main():
+            arbiter = AsyncResourceArbiter()
+            arbiter.add_round(0, ["c-comp", "s-comp"])
+
+            async def stuck():
+                return await arbiter.acquire(0, 1, 0)  # deps never finish
+
+            task = asyncio.ensure_future(stuck())
+            await asyncio.sleep(0)
+            arbiter.abort_round(0)
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            assert arbiter.idle
+
+        asyncio.run(main())

@@ -1,0 +1,250 @@
+"""Concurrent-round traces are scheduling-order independent (exact).
+
+The arbiter's headline property: however asyncio happens to interleave
+the tasks of concurrently submitted rounds, the executed
+``ExecutionTrace`` is byte-identical run to run and equals the offline
+discrete-event replay (:func:`repro.sim.timeline.simulate_trace`)
+span for span — the pre-arbiter per-resource locks made traces depend
+on lock-grant (i.e. task-scheduling) order instead.
+"""
+
+import asyncio
+import random
+
+import numpy as np
+import pytest
+
+from repro.api.protocol import ProtocolClient, ProtocolServer
+from repro.engine import (
+    Channel,
+    InProcessTransport,
+    PerOpTiming,
+    RoundEngine,
+    Transport,
+    stage_groups,
+)
+from repro.sim.timeline import SimulatedRound, simulate_trace
+
+# One concurrent workload: four single-chunk rounds with staggered
+# readiness contending for the comm resource.
+WORKLOAD = [
+    [("prep0", "s-comp", 1.0), ("up0", "comm", 8.0)],
+    [("prep1", "c-comp", 2.0), ("up1", "comm", 7.0)],
+    [("prep2", "s-comp", 3.0), ("up2", "comm", 6.0)],
+    [("prep3", "c-comp", 4.0), ("up3", "comm", 5.0)],
+]
+
+
+def make_server(spec):
+    """A linear declared workflow from [(op, resource, duration), …]."""
+
+    class LinearServer(ProtocolServer):
+        def set_graph_dict(self):
+            graph, prev = {}, None
+            for op, res, _ in spec:
+                graph[op] = {"resource": res, "deps": [prev] if prev else []}
+                prev = op
+            return graph
+
+    for op, res, _ in spec:
+        if res == "s-comp":
+            setattr(LinearServer, op, lambda self, carry, _op=op: carry)
+    return LinearServer()
+
+
+class EchoClient(ProtocolClient):
+    def __init__(self, client_id, ops):
+        super().__init__(client_id)
+        self._ops = ops
+
+    def set_routine(self):
+        return {op: (lambda payload: payload) for op in self._ops}
+
+
+class JitterTransport(Transport):
+    """Inject a seeded, random number of event-loop yields per request.
+
+    Different seeds produce genuinely different asyncio interleavings of
+    the concurrent round tasks — the exact perturbation that reordered
+    lock grants in the pre-arbiter engine.
+    """
+
+    def __init__(self, seed: int, inner: Transport | None = None):
+        self.inner = inner or InProcessTransport()
+        self.rng = random.Random(seed)
+
+    def connect(self, clients):
+        inner = self.inner.connect(clients)
+        rng = self.rng
+
+        class JitterChannel(Channel):
+            async def request(self, cid, op, payload):
+                for _ in range(rng.randrange(4)):
+                    await asyncio.sleep(0)
+                return await inner.request(cid, op, payload)
+
+            async def aclose(self):
+                await inner.aclose()
+
+        return JitterChannel()
+
+
+def run_workload(seed):
+    times = {op: d for spec in WORKLOAD for op, _, d in spec}
+    engine = RoundEngine(
+        transport=JitterTransport(seed), timing=PerOpTiming(times)
+    )
+
+    async def main():
+        tasks = []
+        for spec in WORKLOAD:
+            server = make_server(spec)
+            clients = [
+                EchoClient(u, [op for op, res, _ in spec if res != "s-comp"])
+                for u in range(2)
+            ]
+            tasks.append(asyncio.ensure_future(engine.run_round(server, clients)))
+        await asyncio.gather(*tasks)
+
+    asyncio.run(main())
+    return engine.trace
+
+
+def workload_specs():
+    specs = []
+    for spec in WORKLOAD:
+        groups = stage_groups(make_server(spec))
+        specs.append(
+            SimulatedRound(
+                resources=tuple(g.resource.value for g, _ in groups),
+                durations=tuple((d,) for _, _, d in spec),
+                labels=tuple(g.name for g, _ in groups),
+            )
+        )
+    return specs
+
+
+class TestSchedulingOrderIndependence:
+    def test_traces_byte_identical_across_interleavings(self):
+        """Same two-plus concurrent rounds, seeded but different asyncio
+        interleavings → byte-identical ExecutionTrace output."""
+        traces = [run_workload(seed) for seed in (0, 1, 7, 1234)]
+        reference = traces[0]
+        for trace in traces[1:]:
+            assert trace.spans == reference.spans
+            assert repr(trace.spans) == repr(reference.spans)
+
+    def test_executed_trace_equals_offline_replay_exactly(self):
+        """Acceptance criterion: executed trace == simulate_trace, span
+        for span (begin, finish, order, labels — everything)."""
+        executed = run_workload(0)
+        predicted = simulate_trace(workload_specs())
+        assert executed.spans == predicted.spans
+        assert executed.completion_time == predicted.completion_time
+
+    def test_shuffled_task_start_order_byte_identical(self):
+        """Start the same rounds' tasks in shuffled orders: identical
+        rounds make the (start-order-assigned) serials unobservable, so
+        any trace difference would expose scheduling dependence."""
+        spec = [("prep", "s-comp", 2.0), ("up", "comm", 3.0)]
+        times = {op: d for op, _, d in spec}
+
+        def run(order_seed):
+            engine = RoundEngine(
+                transport=JitterTransport(order_seed),
+                timing=PerOpTiming(times),
+            )
+
+            async def main():
+                coros = []
+                for _ in range(3):
+                    server = make_server(spec)
+                    clients = [EchoClient(u, ["up"]) for u in range(2)]
+                    coros.append(engine.run_round(server, clients))
+                random.Random(order_seed).shuffle(coros)
+                await asyncio.gather(
+                    *[asyncio.ensure_future(c) for c in coros]
+                )
+
+            asyncio.run(main())
+            return engine.trace
+
+        traces = [run(seed) for seed in (0, 3, 11)]
+        for trace in traces[1:]:
+            assert repr(trace.spans) == repr(traces[0].spans)
+
+
+class TestChunkedConcurrentRounds:
+    def test_two_chunked_rounds_match_offline_replay(self):
+        """Two chunk-pipelined rounds submitted concurrently: executed
+        trace equals the replay, chunks and all."""
+        spec = [("prep", "c-comp", 2.0), ("up", "comm", 1.5),
+                ("agg", "s-comp", 1.0)]
+        times = {op: d for op, _, d in spec}
+        n_chunks = 3
+        engine = RoundEngine(timing=PerOpTiming(times))
+
+        def factory(_j, chunk_inputs):
+            server = make_server(spec)
+            server.agg = lambda _responses: np.zeros(2)  # concatenatable
+            clients = [
+                EchoClient(u, ["prep", "up"]) for u in chunk_inputs
+            ]
+            return server, clients
+
+        inputs = {u: np.arange(6, dtype=float) for u in range(2)}
+
+        async def main():
+            first = asyncio.ensure_future(
+                engine.run_chunked_round(
+                    factory, inputs, n_chunks, extract=lambda r: r
+                )
+            )
+            second = asyncio.ensure_future(
+                engine.run_chunked_round(
+                    factory, inputs, n_chunks, extract=lambda r: r
+                )
+            )
+            await asyncio.gather(first, second)
+
+        asyncio.run(main())
+
+        groups = stage_groups(make_server(spec))
+        rounds = [
+            SimulatedRound(
+                resources=tuple(g.resource.value for g, _ in groups),
+                durations=tuple(
+                    (d,) * n_chunks for _, _, d in spec
+                ),
+                labels=tuple(g.name for g, _ in groups),
+                n_chunks=n_chunks,
+            )
+            for _ in range(2)
+        ]
+        predicted = simulate_trace(rounds)
+        assert engine.trace.spans == predicted.spans
+
+    def test_replay_continues_from_seeded_clocks(self):
+        """simulate_trace(initial_clocks=…) appends to a live timeline."""
+        spec = [("prep", "c-comp", 2.0), ("agg", "s-comp", 1.0)]
+        times = {op: d for op, _, d in spec}
+        engine = RoundEngine(timing=PerOpTiming(times))
+        server = make_server(spec)
+        clients = [EchoClient(u, ["prep"]) for u in range(2)]
+        engine.run_round_sync(server, clients)
+        clocks = dict(engine._resource_free)
+
+        groups = stage_groups(make_server(spec))
+        replay = simulate_trace(
+            [
+                SimulatedRound(
+                    resources=tuple(g.resource.value for g, _ in groups),
+                    durations=((2.0,), (1.0,)),
+                    labels=tuple(g.name for g, _ in groups),
+                    round_index=1,
+                )
+            ],
+            initial_clocks=clocks,
+        )
+        engine.run_round_sync(make_server(spec), [EchoClient(u, ["prep"]) for u in range(2)])
+        assert engine.trace.round_spans(1) == replay.spans
