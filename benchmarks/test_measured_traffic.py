@@ -1,0 +1,148 @@
+"""Fig.-9-style measured (not modeled) per-round wire traffic.
+
+Every prior traffic number in this repo came from a cost model or the
+protocol's own byte-size bookkeeping.  This benchmark runs real rounds
+behind the :mod:`repro.wire` serialization boundary and reports the
+**measured** per-stage framed bytes — for plain SecAgg, the integrated
+XNoise+SecAgg protocol, and chunk-pipelined execution — then pins the
+qualitative shape: XNoise pays a per-round premium for its seed
+bookkeeping (constant in the model dimension), and chunking re-sends
+per-chunk protocol overhead but never changes what the vectors
+themselves cost.
+"""
+
+import numpy as np
+import pytest
+from conftest import print_header
+
+from repro.engine import InProcessTransport, RoundEngine, SerializingTransport, run_sync
+from repro.secagg.driver import arun_secagg_round
+from repro.secagg.types import SecAggConfig
+from repro.utils.rng import derive_rng
+from repro.xnoise.protocol import (
+    XNoiseClient,
+    XNoiseConfig,
+    arun_xnoise_round,
+    xnoise_round_components,
+)
+
+N_CLIENTS = 6
+THRESHOLD = 4
+DIMENSION = 64
+BITS = 16
+CHUNK_COUNTS = [1, 2, 4]
+
+
+def _secagg_config(dimension=DIMENSION):
+    return SecAggConfig(
+        threshold=THRESHOLD, bits=BITS, dimension=dimension, dh_group="modp512"
+    )
+
+
+def _xnoise_config(dimension=DIMENSION):
+    return XNoiseConfig(
+        secagg=_secagg_config(dimension),
+        n_sampled=N_CLIENTS,
+        tolerance=2,
+        target_variance=4.0,
+    )
+
+
+def _inputs(dimension=DIMENSION):
+    rng = derive_rng("measured-traffic", dimension)
+    return {
+        u: rng.integers(0, 1 << BITS, size=dimension)
+        for u in range(1, N_CLIENTS + 1)
+    }
+
+
+def _engine():
+    return RoundEngine(transport=SerializingTransport(InProcessTransport()))
+
+
+def _measure_secagg():
+    engine = _engine()
+    run_sync(arun_secagg_round(_secagg_config(), _inputs(), None, engine=engine))
+    return engine.trace
+
+
+def _measure_xnoise():
+    engine = _engine()
+    signals = {u: v - (1 << (BITS - 1)) for u, v in _inputs().items()}
+    run_sync(arun_xnoise_round(_xnoise_config(), signals, None, engine=engine))
+    return engine.trace
+
+
+def _measure_chunked(n_chunks):
+    engine = _engine()
+    signals = {u: v - (1 << (BITS - 1)) for u, v in _inputs().items()}
+
+    def factory(_j, chunk_inputs):
+        dim = next(iter(chunk_inputs.values())).shape[0]
+        return xnoise_round_components(_xnoise_config(dim), chunk_inputs)
+
+    chunked = run_sync(engine.run_chunked_round(factory, signals, n_chunks))
+    return engine.trace, chunked.trace_round
+
+
+def test_measured_per_round_traffic(once):
+    def run_all():
+        secagg = _measure_secagg()
+        xnoise = _measure_xnoise()
+        chunked = {m: _measure_chunked(m) for m in CHUNK_COUNTS}
+        return secagg, xnoise, chunked
+
+    secagg, xnoise, chunked = once(run_all)
+
+    print_header(
+        f"Measured per-round framed bytes over the wire "
+        f"(n={N_CLIENTS}, t={THRESHOLD}, d={DIMENSION}, b={BITS})"
+    )
+    print(f"{'stage':24s} {'SecAgg':>10s} {'XNoise':>10s}")
+    sec_stages = secagg.stage_traffic(0)
+    xn_stages = xnoise.stage_traffic(0)
+    for label in xn_stages:
+        print(
+            f"{label:24s} {sec_stages.get(label, 0):>10,d} "
+            f"{xn_stages[label]:>10,d}"
+        )
+    sec_total = secagg.round_traffic_bytes(0)
+    xn_total = xnoise.round_traffic_bytes(0)
+    print(f"{'total':24s} {sec_total:>10,d} {xn_total:>10,d}")
+    print()
+    print("chunk-pipelined XNoise+SecAgg (m sub-rounds):")
+    totals = {}
+    for m, (trace, trace_round) in chunked.items():
+        totals[m] = trace.round_traffic_bytes(trace_round)
+        print(f"  m={m}: {totals[m]:>10,d} B "
+              f"({totals[m] / xn_total:5.2f}x the unchunked round)")
+
+    # Every c-comp stage of the real protocol moved measured bytes.
+    assert all(v > 0 for k, v in xn_stages.items() if k in (
+        "advertise_keys", "share_keys", "masked_input", "unmask"))
+
+    # XNoise rides on SecAgg: same vectors, extra seed-share bookkeeping.
+    assert xn_total > sec_total
+
+    # Chunking re-pays per-chunk protocol overhead (keys, shares): total
+    # bytes grow with m, strictly — the §4.1 speedup buys time, not bytes.
+    assert totals[1] < totals[2] < totals[4]
+    # ...but the premium is bounded: overhead per chunk is at most the
+    # protocol's fixed cost, so m=4 stays within m× the m=1 round.
+    assert totals[4] < 4 * totals[1]
+
+    # The masked-vector *upload* costs the same in both protocols (d
+    # int64 coordinates per survivor); XNoise's stage total is larger
+    # only because the routed ShareKeys inboxes — the stage's request
+    # payloads — also carry the encrypted noise-seed shares.
+    from repro.secagg.types import MaskedInputMsg
+    from repro.wire import encoded_nbytes
+
+    upload = encoded_nbytes(
+        MaskedInputMsg(
+            sender=1, masked_vector=np.zeros(DIMENSION, dtype=np.int64)
+        )
+    )
+    sec_masked = sec_stages["masked_input"]
+    xn_masked = xn_stages["masked_input"]
+    assert xn_masked > sec_masked >= N_CLIENTS * upload

@@ -1,13 +1,16 @@
 """Command-line interface.
 
-Three subcommands mirror the workflow a user of the original system
+Four subcommands mirror the workflow a user of the original system
 walks through:
 
 - ``run``      — train one Dordis session and report utility + ε;
 - ``plan``     — offline noise planning: print the per-round σ for a
   budget/horizon (§2.2);
 - ``pipeline`` — print plain-vs-pipelined round times and the optimal
-  chunk count for a workload (§4).
+  chunk count for a workload (§4);
+- ``sockets``  — run one secure-aggregation round over real framed TCP
+  (localhost) connections and report the *measured* per-stage traffic
+  and per-connection byte accounting.
 
 Examples::
 
@@ -15,6 +18,7 @@ Examples::
         --strategy xnoise --rounds 8
     python -m repro.cli plan --rounds 150 --epsilon 6 --delta 0.01
     python -m repro.cli pipeline --clients 100 --model-size 11000000
+    python -m repro.cli sockets --clients 6 --dimension 64 --drop 1
 """
 
 from __future__ import annotations
@@ -65,6 +69,21 @@ def _add_pipeline_parser(sub) -> None:
     p.add_argument("--max-chunks", type=int, default=20)
 
 
+def _add_sockets_parser(sub) -> None:
+    p = sub.add_parser(
+        "sockets",
+        help="one secure-aggregation round over real framed TCP sockets",
+    )
+    p.add_argument("--clients", type=int, default=5)
+    p.add_argument("--dimension", type=int, default=16)
+    p.add_argument("--bits", type=int, default=16)
+    p.add_argument("--drop", type=int, default=0,
+                   help="clients dropping before the masked upload")
+    p.add_argument("--xnoise", action="store_true",
+                   help="run the integrated XNoise+SecAgg protocol instead")
+    p.add_argument("--seed", type=int, default=0)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Dordis reproduction CLI"
@@ -73,6 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_parser(sub)
     _add_plan_parser(sub)
     _add_pipeline_parser(sub)
+    _add_sockets_parser(sub)
     return parser
 
 
@@ -146,9 +166,101 @@ def _cmd_pipeline(args) -> int:
     return 0
 
 
+def _cmd_sockets(args) -> int:
+    import numpy as np
+
+    from repro.engine import RoundEngine, StreamTransport
+    from repro.engine.core import run_sync
+    from repro.secagg.driver import DropoutSchedule, arun_secagg_round
+    from repro.secagg.types import SecAggConfig
+    from repro.utils.rng import derive_rng
+    from repro.xnoise.protocol import XNoiseConfig, arun_xnoise_round
+
+    n = args.clients
+    if n < 3:
+        print("need at least 3 clients", file=sys.stderr)
+        return 2
+    threshold = max(2, n // 2 + 1)
+    if not 0 <= args.drop <= n - threshold:
+        print(
+            f"--drop must be in [0, {n - threshold}]: with {n} clients the "
+            f"Shamir threshold is {threshold}, so at most {n - threshold} "
+            f"dropouts are tolerable",
+            file=sys.stderr,
+        )
+        return 2
+    config = SecAggConfig(
+        threshold=threshold,
+        bits=args.bits,
+        dimension=args.dimension,
+        dh_group="modp512",
+    )
+    rng = derive_rng("sockets-demo", args.seed)
+    inputs = {
+        u: rng.integers(0, config.modulus, size=args.dimension)
+        for u in range(1, n + 1)
+    }
+    dropped = set(range(1, args.drop + 1))
+    schedule = DropoutSchedule.before_upload(dropped)
+    transport = StreamTransport()
+    engine = RoundEngine(transport=transport)
+
+    if args.xnoise:
+        xconfig = XNoiseConfig(
+            secagg=config,
+            n_sampled=n,
+            tolerance=max(1, n - threshold),
+            target_variance=4.0,
+        )
+        signal_inputs = {
+            u: (v - config.modulus // 2) for u, v in inputs.items()
+        }
+        result = run_sync(
+            arun_xnoise_round(xconfig, signal_inputs, schedule, engine=engine)
+        )
+    else:
+        result = run_sync(
+            arun_secagg_round(config, dict(inputs), schedule, engine=engine)
+        )
+
+    protocol = "XNoise+SecAgg" if args.xnoise else "SecAgg"
+    print(f"protocol         : {protocol} over framed TCP (localhost)")
+    print(f"sampled/survived : {n} sampled, {len(result.u3)} in U3 "
+          f"({args.drop} dropped before upload)")
+    if not args.xnoise:
+        expected = np.zeros(config.dimension, dtype=np.int64)
+        for u in result.u3:
+            expected = (expected + inputs[u]) % config.modulus
+        ok = np.array_equal(result.aggregate, expected)
+        print(f"aggregate        : {'verified — ring sum over U3 matches' if ok else 'MISMATCH'}")
+        if not ok:
+            return 1
+    print()
+    print("measured per-stage traffic (framed bytes on the socket):")
+    for label, nbytes in engine.trace.stage_traffic(0).items():
+        if nbytes:
+            print(f"  {label:20s} {nbytes:>10,d} B")
+    total = engine.trace.round_traffic_bytes(0)
+    stats = transport.closed_connection_stats
+    frames = sum(s.frame_bytes for s in stats)
+    handshake = sum(s.handshake_sent + s.handshake_received for s in stats)
+    print(f"  {'total':20s} {total:>10,d} B")
+    print()
+    print(f"connections      : {len(stats)} "
+          f"(+{handshake:,d} B handshake, not stage-accounted)")
+    print(f"accounting check : traced {total:,d} B == framed {frames:,d} B "
+          f"{'✓' if total == frames else '✗ MISMATCH'}")
+    return 0 if total == frames else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"run": _cmd_run, "plan": _cmd_plan, "pipeline": _cmd_pipeline}
+    handlers = {
+        "run": _cmd_run,
+        "plan": _cmd_plan,
+        "pipeline": _cmd_pipeline,
+        "sockets": _cmd_sockets,
+    }
     return handlers[args.command](args)
 
 

@@ -55,6 +55,15 @@ class DordisConfig:
         concurrently on the round engine per the §4.1 pipeline schedule
         (1 → plain, unchunked execution).  Only affects the "secagg"
         aggregation path.
+    transport:
+        Engine transport backend for protocol rounds:
+        "inprocess" — direct dispatch of live Python objects (fastest);
+        "serialized" — every payload crosses the :mod:`repro.wire`
+        serialization boundary in-process, so traced per-stage traffic
+        is the measured framed byte count;
+        "sockets" — each client behind a real localhost TCP connection
+        with framed messages and per-connection accounting.
+        Ignored when the caller supplies its own engine.
     """
 
     # Task / model.
@@ -87,6 +96,7 @@ class DordisConfig:
     secure_aggregation: str = "simulated"
     dh_group: str = "modp512"
     pipeline_chunks: int = 1
+    transport: str = "inprocess"
 
     seed: int = 0
 
@@ -120,6 +130,10 @@ class DordisConfig:
             raise ValueError("secure_aggregation must be simulated or secagg")
         if self.pipeline_chunks < 1:
             raise ValueError("pipeline_chunks must be >= 1")
+        if self.transport not in {"inprocess", "serialized", "sockets"}:
+            raise ValueError(
+                "transport must be inprocess, serialized, or sockets"
+            )
 
     @property
     def is_language_task(self) -> bool:

@@ -100,6 +100,23 @@ _TASK_FACTORIES = {
 }
 
 
+def build_transport(name: str):
+    """Engine transport for a :attr:`DordisConfig.transport` name."""
+    from repro.engine import (
+        InProcessTransport,
+        SerializingTransport,
+        StreamTransport,
+    )
+
+    if name == "serialized":
+        return SerializingTransport(InProcessTransport())
+    if name == "sockets":
+        return StreamTransport()
+    if name == "inprocess":
+        return InProcessTransport()
+    raise ValueError(f"unknown transport {name!r}")
+
+
 class DordisSession:
     """One configured training run."""
 
@@ -112,7 +129,9 @@ class DordisSession:
         engine: RoundEngine | None = None,
     ):
         self.config = config
-        self.engine = engine or RoundEngine()
+        self.engine = engine or RoundEngine(
+            transport=build_transport(config.transport)
+        )
         self.dataset = dataset if dataset is not None else self._build_dataset()
         self.model = self._build_model()
         self.strategy = strategy or make_strategy(

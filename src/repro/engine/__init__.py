@@ -5,8 +5,10 @@ the SecAgg/XNoise protocol drivers, and the training session loop — runs
 through one event-driven :class:`RoundEngine`:
 
 - **Transport-agnostic**: in-process direct dispatch, asyncio message
-  queues, simulated per-link latency from §6.1 device profiles, and
-  dropout-injecting middleware are interchangeable backends.
+  queues, simulated per-link latency from §6.1 device profiles,
+  wire-serializing middleware, real framed TCP sockets
+  (:class:`StreamTransport`), and dropout-injecting middleware are
+  interchangeable backends.
 - **Chunk-pipelined**: aggregation tasks split into m sub-tasks
   (:mod:`repro.pipeline.chunking`) executed as overlapping asyncio tasks
   whose cross-chunk ordering is the Appendix-C schedule — the pipeline
@@ -37,6 +39,7 @@ from repro.engine.timing import (
     ZeroTiming,
     stage_groups,
 )
+from repro.engine.stream import ConnectionStats, StreamTransport
 from repro.engine.transport import (
     Channel,
     ClientUnavailable,
@@ -44,8 +47,10 @@ from repro.engine.transport import (
     DropoutTransport,
     InProcessTransport,
     QueueTransport,
+    SerializingTransport,
     SimulatedNetworkTransport,
     Transport,
+    measured_nbytes,
     payload_nbytes,
 )
 
@@ -65,11 +70,15 @@ __all__ = [
     "ZeroTiming",
     "Channel",
     "ClientUnavailable",
+    "ConnectionStats",
     "Delivery",
     "DropoutTransport",
     "InProcessTransport",
     "QueueTransport",
+    "SerializingTransport",
     "SimulatedNetworkTransport",
+    "StreamTransport",
     "Transport",
+    "measured_nbytes",
     "payload_nbytes",
 ]

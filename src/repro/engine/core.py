@@ -53,6 +53,7 @@ from repro.engine.transport import (
 from repro.pipeline.chunking import concat_chunks, split_vector
 from repro.pipeline.stages import Resource, Stage
 from repro.sim.timeline import ExecutionTrace, StageSpan
+from repro.wire.codecs import register_targeted as _register_targeted
 
 if TYPE_CHECKING:  # imported lazily to avoid an api ↔ engine import cycle
     from repro.api.protocol import ProtocolClient, ProtocolServer
@@ -95,6 +96,11 @@ class Targeted:
     """
 
     payloads: Mapping[int, Any]
+
+
+# Targeted maps are part of the wire contract; the registration lives
+# here because the wire layer must not import the engine.
+_register_targeted(Targeted)
 
 
 @dataclass
@@ -525,15 +531,17 @@ class RoundEngine:
             # begin waiter across every chunk and submitted round.
             begin = await arbiter.acquire(trace_round, s, chunk_index)
             t = begin
+            stage_traffic = 0
             for op in ops:
                 # Ops grouped into one stage share its resource by
                 # construction (§4.1 grouping).
                 if _dispatches_to_clients(server, op, resource):
-                    carry, duration = await self._dispatch_clients(
+                    carry, duration, traffic = await self._dispatch_clients(
                         channel, by_id, op, resource, carry,
                         n_chunks=n_chunks, chunk_index=chunk_index,
                         timing=timing,
                     )
+                    stage_traffic += traffic
                 else:
                     method = server.operation_method(op)
                     carry = method(carry)
@@ -552,6 +560,7 @@ class RoundEngine:
                     resource=resource,
                     begin=begin,
                     finish=finish,
+                    traffic_bytes=stage_traffic,
                 )
             )
             arbiter.release(trace_round, s, chunk_index, finish)
@@ -568,8 +577,14 @@ class RoundEngine:
         n_chunks: int,
         chunk_index: int,
         timing: OpTiming,
-    ) -> tuple[dict[int, Any], float]:
-        """Fan one client operation out concurrently; collect live replies."""
+    ) -> tuple[dict[int, Any], float, int]:
+        """Fan one client operation out concurrently; collect live replies.
+
+        Returns the response dict, the op's virtual duration, and the
+        op's *measured* traffic — the sum of framed request/response
+        bytes every delivery reports (0 for in-process dispatch, which
+        never serializes).
+        """
         if isinstance(carry, Targeted):
             requests = [(cid, carry.payloads[cid]) for cid in sorted(carry.payloads)]
         elif isinstance(carry, dict):
@@ -586,6 +601,7 @@ class RoundEngine:
         )
         responses: dict[int, Any] = {}
         worst_latency = 0.0
+        traffic = 0
         for (cid, _), outcome in zip(requests, deliveries):
             if isinstance(outcome, ClientUnavailable):
                 continue
@@ -593,8 +609,9 @@ class RoundEngine:
                 raise outcome
             responses[cid] = outcome.response
             worst_latency = max(worst_latency, outcome.latency)
+            traffic += outcome.request_nbytes + outcome.response_nbytes
         duration = (
             timing.duration(op, resource, n_chunks=n_chunks, chunk_index=chunk_index)
             + worst_latency
         )
-        return responses, duration
+        return responses, duration, traffic

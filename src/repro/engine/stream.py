@@ -1,0 +1,323 @@
+"""Framed TCP transport: every client behind a real socket.
+
+:class:`StreamTransport` runs each protocol client as a *client
+endpoint* — a localhost asyncio TCP server hosting the client's state
+machine — and connects the engine-side channel to it over a genuine
+socket.  Every request/response pair crosses the serialization
+boundary as :mod:`repro.wire` frames:
+
+1. on first use the channel dials the endpoint and performs the
+   ``HELLO``/``WELCOME`` handshake (wire version + client id — a
+   misdialed or version-skewed connection fails before any protocol
+   bytes flow);
+2. each engine request becomes one ``REQUEST`` frame carrying the
+   codec-encoded ``(op, payload)``; the endpoint decodes, drives
+   ``ProtocolClient.handle``, and answers with one ``RESPONSE`` frame
+   (or an ``ERROR`` frame re-raised server-side as the registered
+   exception type — how abort notices travel);
+3. every byte is accounted per connection (:class:`ConnectionStats`),
+   from both ends of the socket, so tests can assert byte-for-byte
+   that traced per-stage traffic equals what was actually written.
+
+Accounting contract: traced per-stage ``traffic_bytes`` sums the
+frames of *completed* deliveries.  An ERROR exchange is counted in its
+connection's :class:`ConnectionStats` (the bytes really crossed the
+socket) but produces no delivery — the engine aborts the round on the
+re-raised exception — so ``traced == Σ frame_bytes`` holds exactly for
+every round that runs to completion, and only for those.
+
+The engine never sees any of this: deliveries simply report the framed
+byte counts, and a round over sockets is bit-identical to one over
+:class:`~repro.engine.transport.InProcessTransport` (the parity suite
+pins that).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional
+
+from repro.engine.transport import Channel, ClientUnavailable, Delivery, Transport
+from repro.wire import codecs as wire_codecs
+from repro.wire.frame import (
+    KIND_ERROR,
+    KIND_HELLO,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    KIND_WELCOME,
+    WIRE_VERSION,
+    FrameEOF,
+    read_frame,
+    write_frame,
+)
+
+if TYPE_CHECKING:
+    from repro.api.protocol import ProtocolClient
+
+
+@dataclass
+class ConnectionStats:
+    """Byte accounting for one client connection, from both socket ends.
+
+    Channel-side counters split handshake traffic from request/response
+    frames (so per-stage sums exclude the one-off connection setup);
+    ``endpoint_received_bytes`` / ``endpoint_sent_bytes`` are what the
+    client endpoint independently observed on its end of the socket —
+    the ground truth the channel-side counts must equal byte for byte.
+    """
+
+    client_id: int
+    handshake_sent: int = 0
+    handshake_received: int = 0
+    request_bytes: int = 0
+    response_bytes: int = 0
+    requests: int = 0
+    endpoint_received_bytes: int = 0
+    endpoint_sent_bytes: int = 0
+
+    @property
+    def bytes_sent(self) -> int:
+        """Everything the channel wrote to this socket."""
+        return self.handshake_sent + self.request_bytes
+
+    @property
+    def bytes_received(self) -> int:
+        """Everything the channel read from this socket."""
+        return self.handshake_received + self.response_bytes
+
+    @property
+    def frame_bytes(self) -> int:
+        """Request + response frames (the per-stage-accounted traffic)."""
+        return self.request_bytes + self.response_bytes
+
+
+class _ClientEndpoint:
+    """One client's 'process': a localhost TCP server around its state
+    machine, speaking the framed request/response protocol."""
+
+    def __init__(self, client: "ProtocolClient"):
+        self.client = client
+        self.bytes_received = 0
+        self.bytes_sent = 0
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._handlers: set[asyncio.Task] = set()
+
+    async def start(self) -> tuple[str, int]:
+        self._server = await asyncio.start_server(self._serve, "127.0.0.1", 0)
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def _serve(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        try:
+            await self._handshake(reader, writer)
+            while True:
+                try:
+                    kind, body, nbytes = await read_frame(reader)
+                except FrameEOF:
+                    return
+                self.bytes_received += nbytes
+                if kind != KIND_REQUEST:
+                    raise ValueError(
+                        f"client endpoint expected REQUEST, got {kind:#x}"
+                    )
+                op, payload = wire_codecs.decode_payload(body)
+                try:
+                    response = self.client.handle(op, payload)
+                except Exception as exc:
+                    self.bytes_sent += await write_frame(
+                        writer, KIND_ERROR, wire_codecs.encode_error(exc)
+                    )
+                else:
+                    self.bytes_sent += await write_frame(
+                        writer, KIND_RESPONSE, wire_codecs.encode_payload(response)
+                    )
+        except (ConnectionError, asyncio.CancelledError):
+            raise
+        except ValueError as exc:
+            # A malformed frame kills the connection (fail loud, never
+            # misparse); the channel side surfaces its own error.
+            with contextlib.suppress(Exception):
+                self.bytes_sent += await write_frame(
+                    writer, KIND_ERROR, wire_codecs.encode_error(exc)
+                )
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _handshake(self, reader, writer) -> None:
+        kind, body, nbytes = await read_frame(reader)
+        self.bytes_received += nbytes
+        if kind != KIND_HELLO:
+            raise ValueError(f"handshake must open with HELLO, got {kind:#x}")
+        hello = wire_codecs.decode_payload(body)
+        if hello != (WIRE_VERSION, self.client.id):
+            raise ValueError(
+                f"bad HELLO {hello!r} for client {self.client.id} "
+                f"speaking wire version {WIRE_VERSION}"
+            )
+        self.bytes_sent += await write_frame(
+            writer, KIND_WELCOME, wire_codecs.encode_payload(self.client.id)
+        )
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # The channel closed its end first, so handlers are draining
+        # toward EOF; await them so no task outlives the round.
+        for task in list(self._handlers):
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await task
+
+
+@dataclass
+class _StreamConnection:
+    reader: asyncio.StreamReader
+    writer: asyncio.StreamWriter
+    endpoint: _ClientEndpoint
+    stats: ConnectionStats
+    lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+
+
+class _StreamChannel(Channel):
+    def __init__(
+        self,
+        clients: Mapping[int, "ProtocolClient"],
+        transport: "StreamTransport",
+    ):
+        self._clients = dict(clients)
+        self._transport = transport
+        self._conns: dict[int, asyncio.Future] = {}
+
+    async def _connection(self, client_id: int) -> _StreamConnection:
+        future = self._conns.get(client_id)
+        if future is None:
+            future = asyncio.get_running_loop().create_future()
+            self._conns[client_id] = future
+            try:
+                conn = await self._open(client_id)
+            except BaseException as exc:
+                self._conns.pop(client_id, None)
+                if not future.done():
+                    if isinstance(exc, asyncio.CancelledError):
+                        future.cancel()
+                    else:
+                        future.set_exception(exc)
+                        # The failure propagates via the raise below; an
+                        # unawaited future must not warn about it.
+                        future.exception()
+                raise
+            future.set_result(conn)
+            return conn
+        return await asyncio.shield(future)
+
+    async def _open(self, client_id: int) -> _StreamConnection:
+        endpoint = _ClientEndpoint(self._clients[client_id])
+        host, port = await endpoint.start()
+        writer = None
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            stats = ConnectionStats(client_id=client_id)
+            stats.handshake_sent = await write_frame(
+                writer,
+                KIND_HELLO,
+                wire_codecs.encode_payload((WIRE_VERSION, client_id)),
+            )
+            kind, body, nbytes = await read_frame(reader)
+            stats.handshake_received = nbytes
+            if kind == KIND_ERROR:
+                raise wire_codecs.decode_error(body)
+            if kind != KIND_WELCOME:
+                raise ValueError(f"handshake expected WELCOME, got {kind:#x}")
+            welcomed = wire_codecs.decode_payload(body)
+            if welcomed != client_id:
+                raise ValueError(
+                    f"endpoint welcomed client {welcomed!r}, expected {client_id}"
+                )
+            return _StreamConnection(reader, writer, endpoint, stats)
+        except BaseException:
+            if writer is not None:
+                writer.close()
+                with contextlib.suppress(Exception):
+                    await writer.wait_closed()
+            await endpoint.aclose()
+            raise
+
+    async def request(self, client_id: int, op: str, payload: Any) -> Delivery:
+        if client_id not in self._clients:
+            raise ClientUnavailable(client_id, op)
+        conn = await self._connection(client_id)
+        body = wire_codecs.encode_payload((op, payload))
+        # One in-flight exchange per connection: frames on a byte
+        # stream must not interleave.
+        async with conn.lock:
+            sent = await write_frame(conn.writer, KIND_REQUEST, body)
+            kind, rbody, received = await read_frame(conn.reader)
+        conn.stats.request_bytes += sent
+        conn.stats.response_bytes += received
+        conn.stats.requests += 1
+        latency = 0.0
+        if self._transport.latency_fn is not None:
+            latency = self._transport.latency_fn(client_id, sent + received)
+        if kind == KIND_ERROR:
+            raise wire_codecs.decode_error(rbody)
+        if kind != KIND_RESPONSE:
+            raise ValueError(f"unexpected frame kind {kind:#x} in response")
+        return Delivery(
+            client_id,
+            op,
+            wire_codecs.decode_payload(rbody),
+            latency=latency,
+            request_nbytes=sent,
+            response_nbytes=received,
+        )
+
+    async def aclose(self) -> None:
+        conns, self._conns = self._conns, {}
+        for future in conns.values():
+            if not future.done():
+                future.cancel()
+                continue
+            if future.exception() is not None:
+                continue
+            conn = future.result()
+            conn.writer.close()
+            with contextlib.suppress(Exception):
+                await conn.writer.wait_closed()
+            await conn.endpoint.aclose()
+            conn.stats.endpoint_received_bytes = conn.endpoint.bytes_received
+            conn.stats.endpoint_sent_bytes = conn.endpoint.bytes_sent
+            self._transport.closed_connection_stats.append(conn.stats)
+
+
+class StreamTransport(Transport):
+    """Each client behind a real asyncio TCP (localhost) connection.
+
+    Connections are dialed lazily (first request to a client), live for
+    the channel's round, and are fully accounted: the per-connection
+    :class:`ConnectionStats` land in ``closed_connection_stats`` when
+    the round's channel closes.  ``latency_fn(client_id, frame_bytes)``
+    optionally maps measured frame sizes to *virtual* link seconds
+    (e.g. ``device.upload_seconds``), folding real encoded sizes into
+    the engine's simulated timeline; by default socket rounds add no
+    virtual latency, which keeps them trace-identical to in-process
+    execution.
+    """
+
+    def __init__(
+        self, latency_fn: Optional[Callable[[int, int], float]] = None
+    ):
+        self.latency_fn = latency_fn
+        self.closed_connection_stats: list[ConnectionStats] = []
+
+    def connect(self, clients: Mapping[int, "ProtocolClient"]) -> Channel:
+        return _StreamChannel(clients, self)

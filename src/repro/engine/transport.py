@@ -15,7 +15,15 @@ timeline.  Implementations:
 - :class:`SimulatedNetworkTransport` — queue transport whose links carry
   the per-client latency implied by :mod:`repro.sim.network` device
   profiles (payload bytes / bandwidth), so heterogeneous stragglers gate
-  comm stages exactly as in the paper's §6.1 setup.
+  comm stages exactly as in the paper's §6.1 setup.  Sizes are
+  *measured* through the :mod:`repro.wire` codecs, not guessed.
+- :class:`SerializingTransport` — middleware that makes every payload
+  cross a genuine serialization boundary: requests and responses travel
+  as :mod:`repro.wire` frames through any inner transport, and each
+  :class:`Delivery` reports the exact framed byte counts.
+- :class:`repro.engine.stream.StreamTransport` — each client behind a
+  real asyncio TCP (localhost) connection with framed messages,
+  handshake, and per-connection accounting.
 - :class:`DropoutTransport` — middleware that silences clients according
   to a :class:`repro.secagg.driver.DropoutSchedule`; this is the old
   ``SecAggDriver``'s dropout-injection role recast as a transport layer.
@@ -28,6 +36,15 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional
 
 import numpy as np
+
+from repro.wire import codecs as wire_codecs
+from repro.wire.frame import (
+    KIND_ERROR,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    decode_frame,
+    encode_frame,
+)
 
 if TYPE_CHECKING:  # imported lazily to avoid an api ↔ engine import cycle
     from repro.api.protocol import ProtocolClient
@@ -55,12 +72,24 @@ class Delivery:
     ``latency`` is the *simulated* seconds the exchange spent on the wire
     (0 for in-process dispatch); the engine adds it to the virtual clock,
     it is never a wall-clock measurement.
+
+    ``request_nbytes`` / ``response_nbytes`` are the framed byte counts
+    the exchange put on the wire — measured, not modelled, for
+    serializing/socket transports (0 for in-process dispatch, which
+    moves live objects).  The engine sums them into each traced
+    :class:`~repro.sim.timeline.StageSpan`'s ``traffic_bytes``.
     """
 
     client_id: int
     op: str
     response: Any
     latency: float = 0.0
+    request_nbytes: int = 0
+    response_nbytes: int = 0
+
+    @property
+    def wire_nbytes(self) -> int:
+        return self.request_nbytes + self.response_nbytes
 
 
 class Channel:
@@ -173,10 +202,16 @@ class QueueTransport(Transport):
 
 
 def payload_nbytes(payload: Any) -> int:
-    """Rough serialized size of a message payload, for latency modelling.
+    """Rough serialized size of a message payload — the legacy heuristic.
 
     Counts ndarray buffers, byte strings, and containers thereof; every
     other object costs a small fixed overhead (headers, framing).
+
+    This is a documented **fallback only**: the accounting and latency
+    paths use :func:`measured_nbytes`, the exact framed size from the
+    :mod:`repro.wire` codecs, and reach for this guess solely when a
+    payload type has no registered codec (e.g. an application object a
+    custom protocol passes through a simulated transport).
     """
     if payload is None:
         return 0
@@ -198,6 +233,51 @@ def payload_nbytes(payload: Any) -> int:
     return 8
 
 
+def measured_nbytes(payload: Any) -> int:
+    """Exact framed wire size of ``payload`` via the codec registry.
+
+    Falls back to the :func:`payload_nbytes` heuristic for payload
+    types no codec covers, so custom application objects still get a
+    size instead of an error.
+    """
+    try:
+        return wire_codecs.encoded_nbytes(payload)
+    except wire_codecs.CodecError:
+        return payload_nbytes(payload)
+
+
+class _SizedQueueChannel(_QueueChannel):
+    """Queue channel reporting measured sizes and size-derived latency.
+
+    Each size is computed exactly once per exchange; latency is derived
+    from those same numbers, so the reported traffic and the simulated
+    link time can never disagree.
+    """
+
+    def __init__(self, clients, transport: "SimulatedNetworkTransport"):
+        super().__init__(clients)
+        self._transport = transport
+
+    async def request(self, client_id: int, op: str, payload: Any) -> Delivery:
+        delivery = await super().request(client_id, op, payload)
+        size_fn = self._transport.size_fn
+        # The request wire message is the framed (op, payload) envelope,
+        # the response just the payload — byte-identical to what
+        # SerializingTransport/StreamTransport put on a real link.
+        request_nbytes = size_fn((op, payload))
+        response_nbytes = size_fn(delivery.response)
+        return Delivery(
+            delivery.client_id,
+            delivery.op,
+            delivery.response,
+            latency=self._transport.link_seconds(
+                client_id, request_nbytes + response_nbytes
+            ),
+            request_nbytes=request_nbytes,
+            response_nbytes=response_nbytes,
+        )
+
+
 class SimulatedNetworkTransport(QueueTransport):
     """Queue transport with per-link latency from §6.1 device profiles.
 
@@ -205,25 +285,119 @@ class SimulatedNetworkTransport(QueueTransport):
     of the client's :class:`repro.sim.network.ClientDevice`.  The engine
     takes the max over concurrently dispatched clients, so the slowest
     sampled device gates each comm stage, as in the paper's cost model.
+
+    ``size_fn`` sizes one *wire message*: it receives the ``(op,
+    payload)`` tuple for requests and the bare response payload for
+    responses.  The default, :func:`measured_nbytes`, returns the
+    actual framed encoding — byte-identical to the frames
+    :class:`SerializingTransport` and ``StreamTransport`` put on a real
+    link — so simulated ``bytes / bandwidth`` latency and traced
+    per-stage traffic both reflect what a deployment would send, not
+    the old heuristic guess.
     """
 
     def __init__(
         self,
         devices: Mapping[int, "ClientDevice"],
-        size_fn: Callable[[Any], int] = payload_nbytes,
+        size_fn: Callable[[Any], int] = measured_nbytes,
     ):
         self.devices = dict(devices)
-        self._size_fn = size_fn
+        self.size_fn = size_fn
 
-    def _latency(self, client_id: int, op: str, payload: Any, response: Any) -> float:
+    def link_seconds(self, client_id: int, nbytes: int) -> float:
         device = self.devices.get(client_id)
         if device is None:
             return 0.0
-        nbytes = self._size_fn(payload) + self._size_fn(response)
         return device.upload_seconds(nbytes)
 
     def connect(self, clients: Mapping[int, ProtocolClient]) -> Channel:
-        return _QueueChannel(clients, latency_fn=self._latency)
+        return _SizedQueueChannel(clients, self)
+
+
+# ---------------------------------------------------------------------------
+# Serialization middleware
+# ---------------------------------------------------------------------------
+
+
+class _WireEndpoint:
+    """The client edge of a serialization boundary.
+
+    Receives REQUEST frames, decodes them, drives the wrapped
+    :class:`ProtocolClient`, and answers with RESPONSE (or ERROR)
+    frames — exactly what a remote client process does, minus the
+    socket.  Duck-types the ``.id`` / ``.handle`` surface transports
+    dispatch on.
+    """
+
+    def __init__(self, inner: ProtocolClient):
+        self.id = inner.id
+        self.inner = inner
+
+    def handle(self, op: str, frame: bytes):
+        kind, body = decode_frame(frame)
+        if kind != KIND_REQUEST:
+            raise ValueError(f"client endpoint expected a REQUEST frame, got {kind:#x}")
+        wire_op, payload = wire_codecs.decode_payload(body)
+        if wire_op != op:
+            raise ValueError(
+                f"frame op {wire_op!r} does not match dispatched op {op!r}"
+            )
+        try:
+            response = self.inner.handle(op, payload)
+        except Exception as exc:
+            return encode_frame(KIND_ERROR, wire_codecs.encode_error(exc))
+        return encode_frame(KIND_RESPONSE, wire_codecs.encode_payload(response))
+
+
+class _SerializingChannel(Channel):
+    def __init__(self, inner: Channel):
+        self._inner = inner
+
+    async def request(self, client_id: int, op: str, payload: Any) -> Delivery:
+        frame = encode_frame(
+            KIND_REQUEST, wire_codecs.encode_payload((op, payload))
+        )
+        delivery = await self._inner.request(client_id, op, frame)
+        kind, body = decode_frame(delivery.response)
+        if kind == KIND_ERROR:
+            raise wire_codecs.decode_error(body)
+        if kind != KIND_RESPONSE:
+            raise ValueError(f"unexpected frame kind {kind:#x} in response")
+        return Delivery(
+            client_id,
+            op,
+            wire_codecs.decode_payload(body),
+            latency=delivery.latency,
+            request_nbytes=len(frame),
+            response_nbytes=len(delivery.response),
+        )
+
+    async def aclose(self) -> None:
+        await self._inner.aclose()
+
+
+class SerializingTransport(Transport):
+    """Make every payload cross a genuine serialization boundary.
+
+    Wraps any inner transport: requests are encoded to
+    :mod:`repro.wire` REQUEST frames at the server edge, decoded (and
+    re-encoded as RESPONSE/ERROR frames) at the client edge, so the
+    inner transport only ever carries ``bytes`` — and each
+    :class:`Delivery` reports the exact framed sizes.  With an
+    :class:`InProcessTransport` inside, this is the cheapest way to get
+    wire-faithful traffic measurement: the frames are byte-identical to
+    what :class:`repro.engine.stream.StreamTransport` writes to its
+    sockets.  Client-side exceptions cross as ERROR frames and are
+    re-raised from a registered exception type
+    (:func:`repro.wire.codecs.decode_error`).
+    """
+
+    def __init__(self, inner: Optional[Transport] = None):
+        self.inner = inner or InProcessTransport()
+
+    def connect(self, clients: Mapping[int, ProtocolClient]) -> Channel:
+        endpoints = {cid: _WireEndpoint(c) for cid, c in clients.items()}
+        return _SerializingChannel(self.inner.connect(endpoints))
 
 
 # ---------------------------------------------------------------------------

@@ -40,7 +40,30 @@ def decode_fields(data: bytes) -> list[bytes]:
 
 
 def encode_share(share: Share) -> bytes:
-    """Serialize one Shamir share (16 bytes per polynomial evaluation)."""
+    """Serialize one Shamir share (16 bytes per polynomial evaluation).
+
+    Field widths are fixed (x: 8 bytes, secret_len: 4, count: 2, each
+    y: 16), so every out-of-range field is validated here and raises a
+    ``ValueError`` naming the field — never a raw ``OverflowError``
+    from ``int.to_bytes``.
+    """
+    if not 0 <= share.x < 1 << 64:
+        raise ValueError(
+            f"share field 'x' = {share.x} outside [0, 2**64)"
+        )
+    if not 0 <= share.secret_len < 1 << 32:
+        raise ValueError(
+            f"share field 'secret_len' = {share.secret_len} outside [0, 2**32)"
+        )
+    if len(share.ys) >= 1 << 16:
+        raise ValueError(
+            f"share field 'ys' has {len(share.ys)} evaluations (max {(1 << 16) - 1})"
+        )
+    for i, y in enumerate(share.ys):
+        if not 0 <= y < 1 << 128:
+            raise ValueError(
+                f"share field 'ys[{i}]' = {y} outside [0, 2**128)"
+            )
     parts = [
         share.x.to_bytes(8, "big"),
         share.secret_len.to_bytes(4, "big"),
@@ -74,6 +97,12 @@ def encode_share_payload(
     extra_shares: dict[str, Share] | None = None,
 ) -> bytes:
     """The full plaintext of one ShareKeys ciphertext."""
+    if not 0 <= sender < 1 << 64:
+        raise ValueError(f"share payload field 'sender' = {sender} outside [0, 2**64)")
+    if not 0 <= recipient < 1 << 64:
+        raise ValueError(
+            f"share payload field 'recipient' = {recipient} outside [0, 2**64)"
+        )
     fields = [
         sender.to_bytes(8, "big"),
         recipient.to_bytes(8, "big"),
@@ -101,5 +130,55 @@ def decode_share_payload(
     rest = fields[4:]
     for i in range(0, len(rest), 2):
         label = rest[i].decode("utf-8")
+        if label in extra:
+            raise ValueError(f"duplicate extra-share label {label!r}")
         extra[label] = decode_share(rest[i + 1])
     return sender, recipient, s_share, b_share, extra
+
+
+def encode_share_bundle(bundle: dict[int, bytes]) -> bytes:
+    """One client's ShareKeys outbox: ``recipient id → AE ciphertext``.
+
+    Recipients are emitted in ascending id order, so equal bundles
+    encode identically and the decoder can reject duplicates for free.
+    """
+    fields = []
+    for recipient in sorted(bundle):
+        if not 0 <= int(recipient) < 1 << 64:
+            raise ValueError(
+                f"share bundle recipient id {recipient} outside [0, 2**64)"
+            )
+        ciphertext = bundle[recipient]
+        if not isinstance(ciphertext, (bytes, bytearray, memoryview)):
+            # bytes(7) would silently emit seven NULs — refuse instead.
+            raise ValueError(
+                f"share bundle ciphertext for recipient {recipient} is "
+                f"{type(ciphertext).__name__}, not bytes"
+            )
+        fields.append(int(recipient).to_bytes(8, "big"))
+        fields.append(bytes(ciphertext))
+    return encode_fields(fields)
+
+
+def decode_share_bundle(data: bytes) -> dict[int, bytes]:
+    """Inverse of :func:`encode_share_bundle`.
+
+    Rejects duplicate and out-of-order recipient ids — a bundle that
+    names one recipient twice is malformed, not "last entry wins".
+    """
+    fields = decode_fields(data)
+    if len(fields) % 2 != 0:
+        raise ValueError("malformed share bundle: odd field count")
+    bundle: dict[int, bytes] = {}
+    previous = -1
+    for i in range(0, len(fields), 2):
+        if len(fields[i]) != 8:
+            raise ValueError("malformed share bundle: bad recipient id width")
+        recipient = int.from_bytes(fields[i], "big")
+        if recipient == previous:
+            raise ValueError(f"duplicate recipient id {recipient} in share bundle")
+        if recipient < previous:
+            raise ValueError("share bundle recipient ids out of order")
+        bundle[recipient] = fields[i + 1]
+        previous = recipient
+    return bundle

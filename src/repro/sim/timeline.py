@@ -73,6 +73,13 @@ class StageSpan:
     execution order on one engine), not the caller's training-round
     number; chunked rounds report theirs as
     ``ChunkedRoundResult.trace_round``.
+
+    ``traffic_bytes`` is the stage's *measured* wire traffic: the sum of
+    framed request/response bytes every delivery of the stage's client
+    ops reported (see :class:`repro.engine.transport.Delivery`).  It is
+    0 for in-process execution, which never serializes, and exact — byte
+    for byte what was written to the socket — for the serializing and
+    stream transports.
     """
 
     round_index: int
@@ -82,6 +89,7 @@ class StageSpan:
     resource: str
     begin: float
     finish: float
+    traffic_bytes: int = 0
 
     @property
     def duration(self) -> float:
@@ -158,6 +166,26 @@ class ExecutionTrace:
             out[s.resource] = out.get(s.resource, 0.0) + s.duration
         return out
 
+    # -- measured traffic ------------------------------------------------
+    def round_traffic_bytes(self, round_index: int) -> int:
+        """Measured wire bytes of one round (sum over its spans)."""
+        return sum(s.traffic_bytes for s in self.round_spans(round_index))
+
+    def stage_traffic(self, round_index: int = 0) -> dict:
+        """``{stage label: measured bytes}`` for one round, in stage order.
+
+        Chunked rounds sum each stage's traffic across chunks.
+        """
+        out: dict = {}
+        for s in sorted(self.round_spans(round_index), key=lambda s: s.stage):
+            out[s.label] = out.get(s.label, 0) + s.traffic_bytes
+        return out
+
+    @property
+    def total_traffic_bytes(self) -> int:
+        """Measured wire bytes across every traced round."""
+        return sum(s.traffic_bytes for s in self.spans)
+
 
 @dataclass(frozen=True)
 class TraceTimeline(_TimelineQueries):
@@ -194,6 +222,12 @@ class SimulatedRound:
     the submitting job's virtual start (``submit_round`` dependency
     floor); ``round_index`` overrides the engine-style serial (default:
     position in the list passed to :func:`simulate_trace`).
+
+    ``traffic[stage][chunk]`` optionally carries the measured wire
+    bytes of each stage execution, so a replay of a round run over a
+    serializing/socket transport can equal the executed trace *exactly*
+    — including ``StageSpan.traffic_bytes``.  Omitted (``None``), every
+    replayed span reports 0 traffic, matching in-process execution.
     """
 
     resources: tuple
@@ -203,6 +237,7 @@ class SimulatedRound:
     serial: bool = False
     floor: float = 0.0
     round_index: int | None = None
+    traffic: tuple | None = None
 
 
 def simulate_trace(rounds, initial_clocks=None) -> ExecutionTrace:
@@ -238,6 +273,11 @@ def simulate_trace(rounds, initial_clocks=None) -> ExecutionTrace:
             raise ValueError("one durations row per stage required")
         if any(len(row) != spec.n_chunks for row in spec.durations):
             raise ValueError("one duration per (stage, chunk) required")
+        if spec.traffic is not None:
+            if len(spec.traffic) != len(spec.resources):
+                raise ValueError("one traffic row per stage required")
+            if any(len(row) != spec.n_chunks for row in spec.traffic):
+                raise ValueError("one traffic entry per (stage, chunk) required")
         specs[serial_no] = spec
         arbiter.add_round(
             serial_no,
@@ -254,6 +294,9 @@ def simulate_trace(rounds, initial_clocks=None) -> ExecutionTrace:
         spec = specs[node.round_serial]
         finish = node.begin + float(spec.durations[node.stage][node.chunk])
         labels = spec.labels
+        traffic = (
+            int(spec.traffic[node.stage][node.chunk]) if spec.traffic else 0
+        )
         trace.add(
             StageSpan(
                 round_index=node.round_serial,
@@ -263,6 +306,7 @@ def simulate_trace(rounds, initial_clocks=None) -> ExecutionTrace:
                 resource=node.resource,
                 begin=node.begin,
                 finish=finish,
+                traffic_bytes=traffic,
             )
         )
         arbiter.complete(node, finish)

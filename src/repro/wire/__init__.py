@@ -1,0 +1,71 @@
+"""The wire layer: typed payload codecs and framed binary messages.
+
+Everything a Dordis transport puts on a real link goes through this
+package: :mod:`repro.wire.codecs` gives every protocol payload one
+canonical, versioned byte encoding with a strict total decoder, and
+:mod:`repro.wire.frame` wraps encoded payloads in self-delimiting
+length-prefixed frames with a handshake and error kind.  The codec
+registry is the contract any transport backend (in-process, asyncio
+TCP, a future websocket/gRPC bridge) plugs into — transports move
+opaque frames; only the codec layer understands their contents.
+"""
+
+from repro.wire.codecs import (
+    CodecError,
+    PAYLOAD_VERSION,
+    decode_error,
+    decode_payload,
+    decode_value,
+    encode_error,
+    encode_payload,
+    encode_value,
+    encoded_nbytes,
+    encoded_value_nbytes,
+    register_codec,
+    registered_codecs,
+)
+from repro.wire.frame import (
+    FRAME_OVERHEAD,
+    KIND_ERROR,
+    KIND_HELLO,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    KIND_WELCOME,
+    MAGIC,
+    MAX_BODY,
+    WIRE_VERSION,
+    FrameEOF,
+    decode_frame,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+
+__all__ = [
+    "CodecError",
+    "PAYLOAD_VERSION",
+    "decode_error",
+    "decode_payload",
+    "decode_value",
+    "encode_error",
+    "encode_payload",
+    "encode_value",
+    "encoded_nbytes",
+    "encoded_value_nbytes",
+    "register_codec",
+    "registered_codecs",
+    "FRAME_OVERHEAD",
+    "KIND_ERROR",
+    "KIND_HELLO",
+    "KIND_REQUEST",
+    "KIND_RESPONSE",
+    "KIND_WELCOME",
+    "MAGIC",
+    "MAX_BODY",
+    "WIRE_VERSION",
+    "FrameEOF",
+    "decode_frame",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+]

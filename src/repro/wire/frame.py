@@ -1,0 +1,130 @@
+"""Length-prefixed binary frames for wire-native transports.
+
+Every message a Dordis transport puts on a real link is one *frame*:
+
+``MAGIC(2) ∥ VERSION(1) ∥ KIND(1) ∥ LENGTH(4, big-endian) ∥ BODY``
+
+The fixed 8-byte header makes framing self-delimiting over a byte
+stream, the magic/version bytes make cross-protocol or cross-version
+traffic fail to parse instead of misparse, and the bounded length
+prefix means a malicious or corrupted header can never make a reader
+allocate unbounded memory or wait for data that will never come.
+
+Frame *kinds* partition the conversation: a connection opens with a
+``HELLO``/``WELCOME`` handshake (protocol version + client id), then
+carries ``REQUEST``/``RESPONSE`` pairs; a client-side exception crosses
+back as an ``ERROR`` frame (see :func:`repro.wire.codecs.encode_error`).
+
+All decode paths raise :class:`ValueError` on malformed input — never
+a partial parse, never a hang.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+MAGIC = b"DW"
+WIRE_VERSION = 1
+
+#: Fixed header size: magic(2) + version(1) + kind(1) + length(4).
+FRAME_OVERHEAD = 8
+
+#: Upper bound on one frame body (256 MiB).  A length prefix above this
+#: is rejected outright — the defense against hostile 4 GiB prefixes.
+MAX_BODY = 1 << 28
+
+KIND_HELLO = 0x01
+KIND_WELCOME = 0x02
+KIND_REQUEST = 0x10
+KIND_RESPONSE = 0x11
+KIND_ERROR = 0x12
+
+_KNOWN_KINDS = frozenset(
+    {KIND_HELLO, KIND_WELCOME, KIND_REQUEST, KIND_RESPONSE, KIND_ERROR}
+)
+
+
+class FrameEOF(Exception):
+    """The peer closed the stream cleanly between frames (not an error)."""
+
+
+def encode_frame(kind: int, body: bytes) -> bytes:
+    """One wire frame; ``len()`` of the result is the framed byte count."""
+    if kind not in _KNOWN_KINDS:
+        raise ValueError(f"unknown frame kind {kind:#x}")
+    if len(body) > MAX_BODY:
+        raise ValueError(
+            f"frame body of {len(body)} bytes exceeds MAX_BODY={MAX_BODY}"
+        )
+    return (
+        MAGIC
+        + bytes((WIRE_VERSION, kind))
+        + len(body).to_bytes(4, "big")
+        + body
+    )
+
+
+def _check_header(header: bytes) -> tuple[int, int]:
+    """Validate an 8-byte frame header; returns (kind, body length)."""
+    if header[:2] != MAGIC:
+        raise ValueError(f"bad frame magic {header[:2]!r} (expected {MAGIC!r})")
+    if header[2] != WIRE_VERSION:
+        raise ValueError(
+            f"unsupported frame version {header[2]} (speaking {WIRE_VERSION})"
+        )
+    kind = header[3]
+    if kind not in _KNOWN_KINDS:
+        raise ValueError(f"unknown frame kind {kind:#x}")
+    length = int.from_bytes(header[4:8], "big")
+    if length > MAX_BODY:
+        raise ValueError(
+            f"oversized frame: length prefix {length} exceeds MAX_BODY={MAX_BODY}"
+        )
+    return kind, length
+
+
+def decode_frame(data: bytes) -> tuple[int, bytes]:
+    """Parse exactly one frame; raises ``ValueError`` on any deviation.
+
+    Strict: truncated headers, truncated bodies, and trailing garbage
+    all fail — a buffer either is one whole frame or it does not parse.
+    """
+    if len(data) < FRAME_OVERHEAD:
+        raise ValueError("truncated frame header")
+    kind, length = _check_header(data[:FRAME_OVERHEAD])
+    body = data[FRAME_OVERHEAD:]
+    if len(body) < length:
+        raise ValueError("truncated frame body")
+    if len(body) > length:
+        raise ValueError("trailing garbage after frame")
+    return kind, bytes(body)
+
+
+async def read_frame(reader: asyncio.StreamReader) -> tuple[int, bytes, int]:
+    """Read one frame from a stream: ``(kind, body, framed byte count)``.
+
+    Raises :class:`FrameEOF` on a clean close *between* frames and
+    ``ValueError`` on a close mid-frame (the peer died mid-send).
+    """
+    try:
+        header = await reader.readexactly(FRAME_OVERHEAD)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise FrameEOF from exc
+        raise ValueError("connection closed inside a frame header") from exc
+    kind, length = _check_header(header)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ValueError("connection closed inside a frame body") from exc
+    return kind, body, FRAME_OVERHEAD + length
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, kind: int, body: bytes
+) -> int:
+    """Write one frame and drain; returns the framed byte count."""
+    frame = encode_frame(kind, body)
+    writer.write(frame)
+    await writer.drain()
+    return len(frame)

@@ -61,3 +61,42 @@ class TestChunkedSecAggSession:
         first.run()
         second.run()
         assert repr(first.engine.trace.spans) == repr(second.engine.trace.spans)
+
+
+class TestSessionWireTransports:
+    """`DordisConfig.transport` routes rounds through the wire stack."""
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError, match="transport"):
+            secagg_config(transport="carrier-pigeon")
+
+    def test_serialized_session_matches_inprocess_accounting(self):
+        """The serialization boundary changes measurement, not behavior.
+
+        (Metric histories are not comparable across runs — clients draw
+        masks/seeds from OS randomness — so, as in the chunked test, the
+        deterministic trajectories are the bar.)
+        """
+        base = DordisSession(secagg_config(pipeline_chunks=2)).run()
+        serialized_session = DordisSession(
+            secagg_config(pipeline_chunks=2, transport="serialized")
+        )
+        serialized = serialized_session.run()
+        assert serialized.rounds_completed == base.rounds_completed
+        assert serialized.epsilon_history == base.epsilon_history
+        assert serialized.dropout_history == base.dropout_history
+        # And the serialization boundary measured real traffic.
+        assert serialized_session.engine.trace.total_traffic_bytes > 0
+
+    @pytest.mark.timeout(300)
+    def test_socket_session_matches_inprocess_accounting(self):
+        base = DordisSession(secagg_config(rounds=1)).run()
+        socket_session = DordisSession(secagg_config(rounds=1, transport="sockets"))
+        over_sockets = socket_session.run()
+        assert over_sockets.rounds_completed == base.rounds_completed
+        assert over_sockets.epsilon_history == base.epsilon_history
+        # Traced traffic equals the framed bytes on the sockets.
+        transport = socket_session.engine.transport
+        assert socket_session.engine.trace.total_traffic_bytes == sum(
+            s.frame_bytes for s in transport.closed_connection_stats
+        )

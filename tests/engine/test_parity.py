@@ -3,6 +3,11 @@
 The acceptance bar for the engine port: with the in-process transport,
 the engine paths must reproduce the retained reference implementations
 *exactly* — aggregates, participant sets, and traffic accounting.
+
+The wire-transport classes extend the bar: a round executed over
+``StreamTransport`` (real framed TCP) or
+``SerializingTransport(InProcessTransport())`` must be bit-identical —
+aggregates, participant sets, and traces — to in-process execution.
 """
 
 import numpy as np
@@ -10,8 +15,16 @@ import pytest
 
 from repro.api import AggregationRuntime, PlainDPHandler, SkellamDPHandler
 from repro.api.protocol import ProtocolClient, ProtocolServer
+from repro.engine import (
+    InProcessTransport,
+    RoundEngine,
+    SerializingTransport,
+    StreamTransport,
+    run_sync,
+)
 from repro.secagg.driver import (
     DropoutSchedule,
+    arun_secagg_round,
     run_secagg_round,
     run_secagg_round_reference,
 )
@@ -27,6 +40,7 @@ from repro.utils.rng import derive_rng
 from repro.xnoise.protocol import (
     XNoiseClient,
     XNoiseConfig,
+    arun_xnoise_round,
     run_xnoise_round,
     run_xnoise_round_reference,
 )
@@ -138,6 +152,104 @@ class TestXNoiseParity:
         assert a.residual_variance == b.residual_variance
         assert a.tolerance_exceeded == b.tolerance_exceeded
         assert a.n_dropped == b.n_dropped
+
+
+def _make_transport(name):
+    if name == "serialized":
+        return SerializingTransport(InProcessTransport())
+    return StreamTransport()
+
+
+def _timing_spans(trace):
+    """Trace spans minus traffic (in-process execution never serializes,
+    so its spans carry 0 traffic by construction)."""
+    return [
+        (s.round_index, s.chunk, s.stage, s.label, s.resource, s.begin, s.finish)
+        for s in trace.spans
+    ]
+
+
+@pytest.mark.timeout(300)
+class TestWireTransportParity:
+    """Rounds over a genuine serialization boundary ≡ in-process rounds.
+
+    Bit-identical aggregates, participant sets, metered traffic, and
+    (timing-wise) traces — plus: the serializing and socket paths must
+    *measure* identical framed traffic, since they write the same
+    frames to different carriers.
+    """
+
+    @pytest.mark.parametrize("name,schedule", SCHEDULES)
+    @pytest.mark.parametrize("transport_name", ["serialized", "sockets"])
+    def test_secagg_round_identical(self, transport_name, name, schedule):
+        inputs = _inputs()
+        base_engine = RoundEngine(transport=InProcessTransport())
+        base = run_sync(
+            arun_secagg_round(CONFIG, dict(inputs), schedule, engine=base_engine)
+        )
+        wire_engine = RoundEngine(transport=_make_transport(transport_name))
+        over_wire = run_sync(
+            arun_secagg_round(CONFIG, dict(inputs), schedule, engine=wire_engine)
+        )
+        assert _same_round(base, over_wire)
+        assert _timing_spans(wire_engine.trace) == _timing_spans(base_engine.trace)
+        # Every client stage actually moved bytes.
+        dispatched = [s for s in wire_engine.trace.spans if s.resource == "c-comp"]
+        assert dispatched and all(s.traffic_bytes > 0 for s in dispatched)
+
+    @pytest.mark.parametrize("transport_name", ["serialized", "sockets"])
+    def test_xnoise_round_identical(self, transport_name):
+        xconfig = XNoiseConfig(
+            secagg=CONFIG, n_sampled=5, tolerance=2, target_variance=4.0
+        )
+
+        def factory(u):
+            rng = derive_rng("wire-parity-seeds", u)
+            n = xconfig.decomposition().n_components
+            return XNoiseClient(
+                u, xconfig, noise_seeds=[rng.bytes(32) for _ in range(n)]
+            )
+
+        inputs = {
+            u: np.random.default_rng(u).integers(-40, 40, size=8)
+            for u in range(1, 6)
+        }
+        schedule = DropoutSchedule(
+            at_stage={STAGE_UNMASK: {4}, STAGE_NOISE_REMOVAL: {5}}
+        )
+        base_engine = RoundEngine(transport=InProcessTransport())
+        base = run_sync(
+            arun_xnoise_round(
+                xconfig, dict(inputs), schedule,
+                client_factory=factory, engine=base_engine,
+            )
+        )
+        wire_engine = RoundEngine(transport=_make_transport(transport_name))
+        over_wire = run_sync(
+            arun_xnoise_round(
+                xconfig, dict(inputs), schedule,
+                client_factory=factory, engine=wire_engine,
+            )
+        )
+        assert _same_round(base, over_wire)
+        assert base.u6 == over_wire.u6
+        assert base.removed_noise_components == over_wire.removed_noise_components
+        assert base.residual_variance == over_wire.residual_variance
+        assert _timing_spans(wire_engine.trace) == _timing_spans(base_engine.trace)
+
+    def test_serialized_and_sockets_measure_identical_traffic(self):
+        inputs = _inputs()
+        traffic = {}
+        for transport_name in ("serialized", "sockets"):
+            engine = RoundEngine(transport=_make_transport(transport_name))
+            run_sync(
+                arun_secagg_round(CONFIG, dict(inputs), None, engine=engine)
+            )
+            traffic[transport_name] = [
+                s.traffic_bytes for s in engine.trace.spans
+            ]
+        assert traffic["serialized"] == traffic["sockets"]
+        assert sum(traffic["sockets"]) > 0
 
 
 class TestRuntimeParity:

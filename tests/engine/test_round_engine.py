@@ -450,7 +450,14 @@ class TestTiming:
             StageTiming(server, perf, 10.0)
 
     def test_simulated_network_latency_gates_stage(self):
-        """The slowest device's link time bounds the comm duration."""
+        """The slowest device's link time bounds the comm duration.
+
+        Latency is ``measured bytes / bandwidth``: the size is the
+        *actual* framed wire encoding of each payload/response (via
+        :func:`repro.engine.measured_nbytes`), not the old heuristic.
+        """
+        from repro.engine import measured_nbytes
+
         vectors = {0: np.ones(8), 1: np.ones(8)}
         devices = {
             0: ClientDevice(client_id=0, compute_factor=1.0, bandwidth_bps=1e4),
@@ -462,9 +469,14 @@ class TestTiming:
         result = engine.run_round_sync(SumServer(), clients)
         np.testing.assert_allclose(result, np.full(8, 2.0))
         encode_span = engine.trace.round_spans(0)[0]
-        slowest = devices[0].upload_seconds(vectors[0].nbytes)
-        assert encode_span.duration == pytest.approx(slowest, rel=0.5)
-        assert encode_span.duration >= devices[1].upload_seconds(8 * 8)
+        # Request = the framed (op, payload) envelope, response = the
+        # framed vector — what the wire transports actually send.
+        exchange = measured_nbytes(("encode", None)) + measured_nbytes(vectors[0])
+        slowest = devices[0].upload_seconds(exchange)
+        assert encode_span.duration == pytest.approx(slowest)
+        assert encode_span.duration >= devices[1].upload_seconds(exchange)
+        # The stage's traffic is the measured exchange of both links.
+        assert encode_span.traffic_bytes == 2 * exchange
 
 
 class TestTraceTimeline:

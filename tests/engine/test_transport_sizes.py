@@ -1,0 +1,64 @@
+"""Size accounting: measured codec sizes vs the pinned heuristic fallback.
+
+The accounting path uses :func:`repro.engine.measured_nbytes` (exact
+framed encoding); :func:`repro.engine.payload_nbytes` survives only as
+the documented fallback for payload types with no registered codec.
+Its outputs are pinned here so a drive-by "improvement" of the guess
+cannot silently shift simulated latencies.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.engine import measured_nbytes, payload_nbytes
+from repro.wire import CodecError, encoded_nbytes
+
+
+@dataclass
+class _Point:
+    x: np.ndarray
+    tag: bytes
+    note: str
+
+
+class TestPayloadNbytesPinned:
+    """The heuristic's contract, pinned value by value."""
+
+    def test_ndarray(self):
+        assert payload_nbytes(np.zeros(8, dtype=np.int64)) == 64
+        assert payload_nbytes(np.zeros((4, 4), dtype=np.float32)) == 64
+        assert payload_nbytes(np.zeros(0, dtype=np.int64)) == 0
+
+    def test_bytes(self):
+        assert payload_nbytes(b"") == 0
+        assert payload_nbytes(b"abcde") == 5
+        assert payload_nbytes(bytearray(17)) == 17
+
+    def test_dataclass(self):
+        point = _Point(x=np.zeros(4, dtype=np.int64), tag=b"abc", note="hi")
+        # 16 (container overhead) + 32 (ndarray) + 3 (bytes) + 8 (other).
+        assert payload_nbytes(point) == 16 + 32 + 3 + 8
+
+    def test_containers_and_scalars(self):
+        assert payload_nbytes(None) == 0
+        assert payload_nbytes(7) == 8
+        assert payload_nbytes([b"ab", b"cd"]) == 16 + 4
+        assert payload_nbytes({1: b"abc"}) == 16 + 8 + 3
+
+
+class TestMeasuredNbytes:
+    def test_registered_payloads_use_the_codec(self):
+        payload = {1: np.arange(8, dtype=np.int64)}
+        assert measured_nbytes(payload) == encoded_nbytes(payload)
+        assert measured_nbytes(payload) != payload_nbytes(payload)
+
+    def test_unregistered_payloads_fall_back_to_the_heuristic(self):
+        class Opaque:
+            pass
+
+        opaque = Opaque()
+        with pytest.raises(CodecError):
+            encoded_nbytes(opaque)
+        assert measured_nbytes(opaque) == payload_nbytes(opaque) == 8

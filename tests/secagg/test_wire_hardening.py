@@ -1,0 +1,131 @@
+"""Hardened decode/encode paths of :mod:`repro.secagg.wire`.
+
+Out-of-range fields must raise descriptive ``ValueError``s naming the
+field — never a raw ``OverflowError`` out of ``int.to_bytes`` — and
+share bundles must reject duplicate or out-of-range recipient ids.
+"""
+
+import pytest
+
+from repro.crypto.shamir import Share
+from repro.secagg import wire
+
+
+def _share(**overrides) -> Share:
+    base = dict(x=1, ys=(42, 7), secret_len=24)
+    base.update(overrides)
+    return Share(**base)
+
+
+class TestEncodeShareValidation:
+    def test_valid_share_roundtrips(self):
+        share = _share()
+        assert wire.decode_share(wire.encode_share(share)) == share
+
+    def test_oversized_y_named_in_error(self):
+        share = _share(ys=(42, 1 << 128))
+        with pytest.raises(ValueError, match=r"ys\[1\]"):
+            wire.encode_share(share)
+
+    def test_negative_y_rejected(self):
+        with pytest.raises(ValueError, match=r"ys\[0\]"):
+            wire.encode_share(_share(ys=(-1,)))
+
+    def test_oversized_x_named_in_error(self):
+        with pytest.raises(ValueError, match="'x'"):
+            wire.encode_share(_share(x=1 << 64))
+
+    def test_oversized_secret_len_named_in_error(self):
+        with pytest.raises(ValueError, match="'secret_len'"):
+            wire.encode_share(_share(secret_len=1 << 32))
+
+    def test_never_a_raw_overflowerror(self):
+        for bad in (
+            _share(ys=(1 << 200,)),
+            _share(x=1 << 70),
+            _share(secret_len=1 << 40),
+        ):
+            try:
+                wire.encode_share(bad)
+            except ValueError:
+                continue
+            pytest.fail("out-of-range share field did not raise ValueError")
+
+
+class TestSharePayloadValidation:
+    def test_out_of_range_sender_rejected(self):
+        with pytest.raises(ValueError, match="'sender'"):
+            wire.encode_share_payload(1 << 64, 2, _share(), _share())
+
+    def test_out_of_range_recipient_rejected(self):
+        with pytest.raises(ValueError, match="'recipient'"):
+            wire.encode_share_payload(1, -3, _share(), _share())
+
+    def test_duplicate_extra_label_rejected_on_decode(self):
+        from repro.secagg.wire import encode_fields, encode_share
+
+        fields = [
+            (1).to_bytes(8, "big"),
+            (2).to_bytes(8, "big"),
+            encode_share(_share()),
+            encode_share(_share()),
+            b"g:1",
+            encode_share(_share()),
+            b"g:1",
+            encode_share(_share(x=2)),
+        ]
+        with pytest.raises(ValueError, match="duplicate extra-share label"):
+            wire.decode_share_payload(encode_fields(fields))
+
+
+class TestShareBundles:
+    def test_roundtrip(self):
+        bundle = {3: b"ct-three", 1: b"ct-one", 2: b""}
+        assert wire.decode_share_bundle(wire.encode_share_bundle(bundle)) == bundle
+
+    def test_encoding_is_canonical(self):
+        a = wire.encode_share_bundle({1: b"x", 2: b"y"})
+        b = wire.encode_share_bundle({2: b"y", 1: b"x"})
+        assert a == b
+
+    def test_out_of_range_recipient_rejected_on_encode(self):
+        with pytest.raises(ValueError, match="recipient id"):
+            wire.encode_share_bundle({1 << 64: b"ct"})
+        with pytest.raises(ValueError, match="recipient id"):
+            wire.encode_share_bundle({-1: b"ct"})
+
+    def test_duplicate_recipient_rejected_on_decode(self):
+        from repro.secagg.wire import encode_fields
+
+        forged = encode_fields(
+            [(5).to_bytes(8, "big"), b"ct-a", (5).to_bytes(8, "big"), b"ct-b"]
+        )
+        with pytest.raises(ValueError, match="duplicate recipient id 5"):
+            wire.decode_share_bundle(forged)
+
+    def test_out_of_order_recipients_rejected_on_decode(self):
+        from repro.secagg.wire import encode_fields
+
+        forged = encode_fields(
+            [(5).to_bytes(8, "big"), b"ct-a", (2).to_bytes(8, "big"), b"ct-b"]
+        )
+        with pytest.raises(ValueError, match="out of order"):
+            wire.decode_share_bundle(forged)
+
+    def test_bad_id_width_rejected(self):
+        from repro.secagg.wire import encode_fields
+
+        forged = encode_fields([(5).to_bytes(4, "big"), b"ct"])
+        with pytest.raises(ValueError, match="recipient id width"):
+            wire.decode_share_bundle(forged)
+
+    def test_odd_field_count_rejected(self):
+        from repro.secagg.wire import encode_fields
+
+        forged = encode_fields([(5).to_bytes(8, "big")])
+        with pytest.raises(ValueError, match="odd field count"):
+            wire.decode_share_bundle(forged)
+
+    def test_non_bytes_ciphertext_rejected(self):
+        with pytest.raises(ValueError, match="not bytes"):
+            wire.encode_share_bundle({1: 7})

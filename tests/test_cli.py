@@ -80,3 +80,34 @@ class TestPipelineCommand:
             return float(line.split(":")[1].split("min")[0])
 
         assert plain_minutes(xn) > plain_minutes(base)
+
+
+class TestSocketsCommand:
+    @pytest.mark.timeout(120)
+    def test_secagg_round_over_sockets(self, capsys):
+        code = main([
+            "sockets", "--clients", "4", "--dimension", "8", "--drop", "1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SecAgg over framed TCP" in out
+        assert "verified — ring sum over U3 matches" in out
+        assert "accounting check" in out and "✓" in out
+
+    @pytest.mark.timeout(120)
+    def test_xnoise_round_over_sockets(self, capsys):
+        code = main([
+            "sockets", "--clients", "4", "--dimension", "8", "--xnoise",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "XNoise+SecAgg over framed TCP" in out
+        assert "✓" in out
+
+    def test_too_few_clients_rejected(self, capsys):
+        assert main(["sockets", "--clients", "2"]) == 2
+
+    def test_excessive_drop_rejected(self, capsys):
+        # 4 clients → threshold 3 → at most 1 tolerable dropout.
+        assert main(["sockets", "--clients", "4", "--drop", "2"]) == 2
+        assert "tolerable" in capsys.readouterr().err

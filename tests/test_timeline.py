@@ -48,3 +48,51 @@ class TestBuildTimelines:
         model = build_dordis_perf_model(16, 1_000_000)
         plain, pipe, _ = build_timelines([0.1, 0.2], "accuracy", model, 1_000_000)
         assert plain.metric_history == pipe.metric_history
+
+
+class TestSimulatedRoundTraffic:
+    def test_replayed_spans_carry_traffic(self):
+        from repro.sim.timeline import SimulatedRound, simulate_trace
+
+        trace = simulate_trace([
+            SimulatedRound(
+                resources=("c-comp", "s-comp"),
+                durations=((1.0, 1.0), (2.0, 2.0)),
+                n_chunks=2,
+                traffic=((100, 150), (0, 0)),
+            )
+        ])
+        by_key = {(s.stage, s.chunk): s.traffic_bytes for s in trace.spans}
+        assert by_key == {(0, 0): 100, (0, 1): 150, (1, 0): 0, (1, 1): 0}
+        assert trace.round_traffic_bytes(0) == 250
+
+    def test_traffic_defaults_to_zero(self):
+        from repro.sim.timeline import SimulatedRound, simulate_trace
+
+        trace = simulate_trace([
+            SimulatedRound(resources=("c-comp",), durations=((1.0,),))
+        ])
+        assert all(s.traffic_bytes == 0 for s in trace.spans)
+
+    def test_mismatched_traffic_shape_rejected(self):
+        import pytest
+
+        from repro.sim.timeline import SimulatedRound, simulate_trace
+
+        with pytest.raises(ValueError, match="traffic row per stage"):
+            simulate_trace([
+                SimulatedRound(
+                    resources=("c-comp", "s-comp"),
+                    durations=((1.0,), (2.0,)),
+                    traffic=((1,),),
+                )
+            ])
+        with pytest.raises(ValueError, match="per \\(stage, chunk\\)"):
+            simulate_trace([
+                SimulatedRound(
+                    resources=("c-comp",),
+                    durations=((1.0, 1.0),),
+                    n_chunks=2,
+                    traffic=((1,),),
+                )
+            ])

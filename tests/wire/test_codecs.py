@@ -1,0 +1,365 @@
+"""Codec layer: round-trip properties for every registered codec plus
+adversarial decoding (truncation, garbage, versions, duplicates)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.dh import TOY_GROUP
+from repro.crypto.shamir import ShamirSecretSharing, Share
+from repro.crypto.signature import (
+    SchnorrSignature,
+    SchnorrSigner,
+    generate_signing_keypair,
+)
+from repro.engine import Targeted  # noqa: F401  (registers the Targeted codec)
+from repro.secagg.types import AdvertiseKeysMsg, MaskedInputMsg, UnmaskingMsg
+from repro.wire import (
+    CodecError,
+    PAYLOAD_VERSION,
+    decode_error,
+    decode_payload,
+    encode_error,
+    encode_payload,
+    encoded_nbytes,
+    registered_codecs,
+)
+from repro.wire.frame import FRAME_OVERHEAD
+
+# ---------------------------------------------------------------------------
+# Structural value round-trips (property-based)
+# ---------------------------------------------------------------------------
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**300), max_value=2**300),
+    st.floats(allow_nan=False),
+    st.text(max_size=24),
+    st.binary(max_size=48),
+)
+_hashables = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-(2**64), max_value=2**64),
+    st.text(max_size=12),
+    st.binary(max_size=12),
+)
+_payloads = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.lists(children, max_size=5).map(tuple),
+        st.sets(_hashables, max_size=5),
+        st.sets(_hashables, max_size=5).map(frozenset),
+        st.dictionaries(_hashables, children, max_size=5),
+    ),
+    max_leaves=20,
+)
+
+
+class TestStructuralRoundTrip:
+    @given(payload=_payloads)
+    @settings(max_examples=150)
+    def test_roundtrip(self, payload):
+        assert decode_payload(encode_payload(payload)) == payload
+
+    @given(payload=_payloads)
+    @settings(max_examples=50)
+    def test_encoding_is_canonical(self, payload):
+        """Equal payloads encode identically (containers are sorted)."""
+        once = encode_payload(payload)
+        again = encode_payload(decode_payload(once))
+        assert once == again
+
+    def test_dict_order_does_not_matter(self):
+        a = encode_payload({1: "a", 2: "b", 3: "c"})
+        b = encode_payload({3: "c", 1: "a", 2: "b"})
+        assert a == b
+
+    @given(
+        arr=st.lists(
+            st.integers(min_value=-(2**62), max_value=2**62), max_size=32
+        )
+    )
+    @settings(max_examples=50)
+    def test_ndarray_int64_roundtrip(self, arr):
+        v = np.array(arr, dtype=np.int64)
+        out = decode_payload(encode_payload(v))
+        assert out.dtype == v.dtype
+        np.testing.assert_array_equal(out, v)
+
+    @given(
+        arr=st.lists(st.floats(allow_nan=False), min_size=1, max_size=16),
+        shape2=st.booleans(),
+    )
+    @settings(max_examples=50)
+    def test_ndarray_float_and_2d_roundtrip(self, arr, shape2):
+        v = np.array(arr, dtype=np.float64)
+        if shape2:
+            v = v.reshape(1, -1)
+        out = decode_payload(encode_payload(v))
+        assert out.shape == v.shape and out.dtype == v.dtype
+        np.testing.assert_array_equal(out, v)
+
+    def test_numpy_scalars_canonicalize(self):
+        assert decode_payload(encode_payload(np.int64(-7))) == -7
+        assert decode_payload(encode_payload(np.float64(0.5))) == 0.5
+        assert decode_payload(encode_payload(np.bool_(True))) is True
+
+    def test_big_int_dh_key_sized(self):
+        key = (1 << 2047) + 12345
+        assert decode_payload(encode_payload(key)) == key
+
+    def test_object_dtype_refused(self):
+        with pytest.raises(CodecError):
+            encode_payload(np.array([object()]))
+
+    def test_unregistered_type_refused(self):
+        class Mystery:
+            pass
+
+        with pytest.raises(CodecError, match="no codec registered"):
+            encode_payload(Mystery())
+
+
+# ---------------------------------------------------------------------------
+# Registered (typed) codec round-trips — one case per registry entry
+# ---------------------------------------------------------------------------
+
+
+def _random_share(rng) -> Share:
+    ss = ShamirSecretSharing(2)
+    shares = ss.share(rng.bytes(24), [1, 2, 3])
+    return shares[int(rng.integers(1, 4))]
+
+
+def _random_signature(rng) -> SchnorrSignature:
+    sk, _ = generate_signing_keypair(TOY_GROUP)
+    return SchnorrSigner(sk, TOY_GROUP).sign(rng.bytes(8))
+
+
+def _sample_payloads(seed: int) -> dict[type, object]:
+    """One random instance per registered codec type."""
+    rng = np.random.default_rng(seed)
+    share = _random_share(rng)
+    sig = _random_signature(rng)
+    return {
+        Share: share,
+        SchnorrSignature: sig,
+        AdvertiseKeysMsg: AdvertiseKeysMsg(
+            sender=int(rng.integers(1, 99)),
+            c_public=int(rng.integers(1, 2**60)),
+            s_public=int(rng.integers(1, 2**60)),
+            signature=sig if seed % 2 else None,
+        ),
+        MaskedInputMsg: MaskedInputMsg(
+            sender=int(rng.integers(1, 99)),
+            masked_vector=rng.integers(0, 2**16, size=8).astype(np.int64),
+        ),
+        UnmaskingMsg: UnmaskingMsg(
+            sender=int(rng.integers(1, 99)),
+            s_sk_shares={2: share},
+            b_shares={3: _random_share(rng)},
+            revealed_seeds={1: rng.bytes(32)},
+        ),
+        Targeted: Targeted(
+            {1: rng.bytes(4), 2: [1, 2, 3], 3: {"k": share}}
+        ),
+    }
+
+
+def _equal(a, b) -> bool:
+    if isinstance(a, MaskedInputMsg):
+        return a.sender == b.sender and np.array_equal(
+            a.masked_vector, b.masked_vector
+        )
+    if isinstance(a, Targeted):
+        return dict(a.payloads) == dict(b.payloads)
+    return a == b
+
+
+class TestRegisteredCodecs:
+    def test_registry_covers_the_protocol_payload_types(self):
+        tags = registered_codecs()
+        names = {cls.__name__ for cls in tags}
+        assert {
+            "Share",
+            "SchnorrSignature",
+            "AdvertiseKeysMsg",
+            "MaskedInputMsg",
+            "UnmaskingMsg",
+            "Targeted",
+        } <= names
+        assert len(set(tags.values())) == len(tags)  # tags are unique
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_every_registered_codec_roundtrips(self, seed):
+        samples = _sample_payloads(seed)
+        assert set(samples) >= set(registered_codecs())
+        for cls, payload in samples.items():
+            decoded = decode_payload(encode_payload(payload))
+            assert type(decoded) is cls
+            assert _equal(payload, decoded), cls.__name__
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_truncation_rejected_for_every_codec(self, seed):
+        for cls, payload in _sample_payloads(seed).items():
+            encoded = encode_payload(payload)
+            for cut in range(1, len(encoded)):
+                with pytest.raises(ValueError):
+                    decode_payload(encoded[:cut])
+
+    def test_trailing_garbage_rejected_for_every_codec(self):
+        for cls, payload in _sample_payloads(0).items():
+            with pytest.raises(CodecError, match="trailing garbage"):
+                decode_payload(encode_payload(payload) + b"\x00")
+
+
+# ---------------------------------------------------------------------------
+# Envelope strictness
+# ---------------------------------------------------------------------------
+
+
+class TestEnvelope:
+    def test_empty_payload_rejected(self):
+        with pytest.raises(CodecError, match="empty payload"):
+            decode_payload(b"")
+
+    def test_wrong_version_byte_rejected(self):
+        good = encode_payload([1, 2, 3])
+        bad = bytes([PAYLOAD_VERSION + 1]) + good[1:]
+        with pytest.raises(CodecError, match="unsupported payload version"):
+            decode_payload(bad)
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(CodecError, match="unknown value tag"):
+            decode_payload(bytes([PAYLOAD_VERSION, 0x1F]))
+
+    def test_duplicate_dict_keys_rejected(self):
+        single = encode_payload({7: 1})
+        # Splice the one (key, value) pair in twice and bump the count.
+        pair = single[6:]  # version(1) + tag(1) + count(4)
+        forged = single[:2] + (2).to_bytes(4, "big") + pair + pair
+        with pytest.raises(CodecError, match="duplicate keys"):
+            decode_payload(forged)
+
+    def test_duplicate_set_elements_rejected(self):
+        single = encode_payload({7})
+        element = single[6:]
+        forged = single[:2] + (2).to_bytes(4, "big") + element + element
+        with pytest.raises(CodecError, match="duplicate elements"):
+            decode_payload(forged)
+
+    def test_ndarray_shape_buffer_mismatch_rejected(self):
+        encoded = bytearray(encode_payload(np.arange(4, dtype=np.int64)))
+        # Shrink the trailing buffer: shape says 4 × 8 bytes.
+        del encoded[-8:]
+        fixed = bytes(encoded)
+        with pytest.raises(ValueError):
+            decode_payload(fixed)
+
+    def test_hostile_deep_nesting_rejected(self):
+        """KBs of nested list headers must raise CodecError, not blow
+        the interpreter stack."""
+        one_element_list = b"\x07" + (1).to_bytes(4, "big")
+        bomb = bytes([PAYLOAD_VERSION]) + one_element_list * 10_000 + b"\x00"
+        with pytest.raises(CodecError, match="nesting exceeds"):
+            decode_payload(bomb)
+
+    def test_unhashable_dict_key_rejected(self):
+        from repro.wire import encode_value
+
+        forged = (
+            bytes([PAYLOAD_VERSION, 0x0B])
+            + (1).to_bytes(4, "big")
+            + encode_value([1, 2])  # a list is not a valid dict key
+            + encode_value(3)
+        )
+        with pytest.raises(CodecError, match="unhashable dict key"):
+            decode_payload(forged)
+
+    def test_unhashable_set_element_rejected(self):
+        from repro.wire import encode_value
+
+        forged = (
+            bytes([PAYLOAD_VERSION, 0x09])
+            + (1).to_bytes(4, "big")
+            + encode_value([1, 2])
+        )
+        with pytest.raises(CodecError, match="unhashable set element"):
+            decode_payload(forged)
+
+    @given(data=st.binary(max_size=96))
+    @settings(max_examples=150)
+    def test_fuzz_decode_is_total(self, data):
+        """Arbitrary bytes decode or raise ValueError — nothing else."""
+        try:
+            decode_payload(data)
+        except ValueError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Error (abort-notice) payloads and measured sizes
+# ---------------------------------------------------------------------------
+
+
+class TestErrorPayloads:
+    def test_protocol_abort_roundtrips(self):
+        from repro.secagg.types import ProtocolAbort
+
+        exc = decode_error(encode_error(ProtocolAbort("below threshold")))
+        assert isinstance(exc, ProtocolAbort)
+        assert str(exc) == "below threshold"
+
+    def test_unknown_exception_degrades_to_runtimeerror(self):
+        class Exotic(Exception):
+            pass
+
+        exc = decode_error(encode_error(Exotic("boom")))
+        assert isinstance(exc, RuntimeError)
+        assert "Exotic" in str(exc) and "boom" in str(exc)
+
+    def test_malformed_error_payload_rejected(self):
+        with pytest.raises(CodecError):
+            decode_error(encode_payload([1, 2, 3]))
+
+
+class TestEncodedNbytes:
+    def test_matches_frame_plus_payload(self):
+        payload = {1: np.arange(8, dtype=np.int64)}
+        assert encoded_nbytes(payload) == FRAME_OVERHEAD + len(
+            encode_payload(payload)
+        )
+
+    @given(payload=_payloads)
+    @settings(max_examples=100)
+    def test_size_walk_equals_real_encoding(self, payload):
+        """The O(1)-per-buffer size walk is exactly len(encode)."""
+        assert encoded_nbytes(payload) == FRAME_OVERHEAD + len(
+            encode_payload(payload)
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_size_walk_covers_registered_codecs(self, seed):
+        for payload in _sample_payloads(seed).values():
+            assert encoded_nbytes(payload) == FRAME_OVERHEAD + len(
+                encode_payload(payload)
+            )
+
+    def test_ndarray_sized_without_copy(self):
+        for arr in (
+            np.arange(16, dtype=np.int64),
+            np.arange(12, dtype=np.float32).reshape(3, 4),
+            np.asfortranarray(np.arange(9, dtype=np.int64).reshape(3, 3)),
+        ):
+            assert encoded_nbytes(arr) == FRAME_OVERHEAD + len(
+                encode_payload(arr)
+            )
+
+    def test_unregistered_payload_raises(self):
+        class Mystery:
+            pass
+
+        with pytest.raises(CodecError):
+            encoded_nbytes(Mystery())

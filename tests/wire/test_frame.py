@@ -1,0 +1,130 @@
+"""Frame layer: round-trips, strictness, and hostile headers."""
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.wire import frame as f
+
+
+class TestFrameRoundTrip:
+    @given(body=st.binary(max_size=2048))
+    @settings(max_examples=50)
+    def test_roundtrip_every_kind(self, body):
+        for kind in (
+            f.KIND_HELLO,
+            f.KIND_WELCOME,
+            f.KIND_REQUEST,
+            f.KIND_RESPONSE,
+            f.KIND_ERROR,
+        ):
+            encoded = f.encode_frame(kind, body)
+            assert len(encoded) == f.FRAME_OVERHEAD + len(body)
+            assert f.decode_frame(encoded) == (kind, body)
+
+    def test_unknown_kind_refused_on_encode(self):
+        with pytest.raises(ValueError, match="unknown frame kind"):
+            f.encode_frame(0x7F, b"")
+
+    def test_oversized_body_refused_on_encode(self):
+        # Forge the size without allocating MAX_BODY bytes.
+        class Huge(bytes):
+            def __len__(self):
+                return f.MAX_BODY + 1
+
+        with pytest.raises(ValueError, match="exceeds MAX_BODY"):
+            f.encode_frame(f.KIND_REQUEST, Huge())
+
+
+class TestFrameAdversarial:
+    GOOD = f.encode_frame(f.KIND_REQUEST, b"payload-bytes")
+
+    def test_every_truncation_rejected(self):
+        for cut in range(len(self.GOOD)):
+            with pytest.raises(ValueError):
+                f.decode_frame(self.GOOD[:cut])
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ValueError, match="trailing garbage"):
+            f.decode_frame(self.GOOD + b"x")
+
+    def test_wrong_magic_rejected(self):
+        with pytest.raises(ValueError, match="bad frame magic"):
+            f.decode_frame(b"XX" + self.GOOD[2:])
+
+    def test_wrong_version_rejected(self):
+        bad = self.GOOD[:2] + bytes([f.WIRE_VERSION + 1]) + self.GOOD[3:]
+        with pytest.raises(ValueError, match="unsupported frame version"):
+            f.decode_frame(bad)
+
+    def test_unknown_kind_rejected(self):
+        bad = self.GOOD[:3] + b"\x7f" + self.GOOD[4:]
+        with pytest.raises(ValueError, match="unknown frame kind"):
+            f.decode_frame(bad)
+
+    def test_oversized_length_prefix_rejected(self):
+        """A hostile 4 GiB length prefix must fail immediately — not
+        allocate, not wait for bytes that never come."""
+        bad = (
+            f.MAGIC
+            + bytes((f.WIRE_VERSION, f.KIND_REQUEST))
+            + (0xFFFFFFFF).to_bytes(4, "big")
+        )
+        with pytest.raises(ValueError, match="oversized frame"):
+            f.decode_frame(bad + b"tiny")
+
+    @given(data=st.binary(max_size=64))
+    @settings(max_examples=100)
+    def test_fuzz_never_misparses(self, data):
+        """Arbitrary bytes either are one valid frame or raise ValueError."""
+        try:
+            kind, body = f.decode_frame(data)
+        except ValueError:
+            return
+        assert f.encode_frame(kind, body) == data
+
+
+class TestStreamFraming:
+    @pytest.mark.timeout(30)
+    def test_read_write_over_stream(self):
+        async def scenario():
+            async def serve(reader, writer):
+                kind, body, _ = await f.read_frame(reader)
+                await f.write_frame(writer, f.KIND_RESPONSE, body[::-1])
+                writer.close()
+
+            server = await asyncio.start_server(serve, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            reader, writer = await asyncio.open_connection(host, port)
+            sent = await f.write_frame(writer, f.KIND_REQUEST, b"abc")
+            kind, body, received = await f.read_frame(reader)
+            writer.close()
+            server.close()
+            await server.wait_closed()
+            return sent, kind, body, received
+
+        sent, kind, body, received = asyncio.run(scenario())
+        assert sent == f.FRAME_OVERHEAD + 3
+        assert (kind, body) == (f.KIND_RESPONSE, b"cba")
+        assert received == f.FRAME_OVERHEAD + 3
+
+    @pytest.mark.timeout(30)
+    def test_clean_eof_vs_mid_frame_close(self):
+        async def scenario():
+            async def serve(reader, writer):
+                # Half a header, then hang up: the peer died mid-send.
+                writer.write(f.MAGIC + bytes((f.WIRE_VERSION,)))
+                await writer.drain()
+                writer.close()
+
+            server = await asyncio.start_server(serve, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            reader, writer = await asyncio.open_connection(host, port)
+            with pytest.raises(ValueError, match="closed inside a frame header"):
+                await f.read_frame(reader)
+            writer.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
