@@ -15,7 +15,6 @@ makespan and strictly better than the adversarial ones.
 import asyncio
 import random
 
-import pytest
 from conftest import print_header
 
 from repro.api.protocol import ProtocolClient, ProtocolServer
@@ -138,7 +137,7 @@ def sample_arrival_orders(n, seed=0):
 
 def test_arbiter_trace_is_exact_and_no_worse_than_lock_order(once):
     def measure():
-        executed = once_trace = run_engine_workload()
+        once_trace = run_engine_workload()
         predicted = simulate_trace(workload_specs())
         lock_makespans = [
             lock_order_makespan(order)

@@ -11,7 +11,6 @@ from conftest import print_header
 
 from repro.core.baselines import OrigStrategy, XNoiseStrategy
 from repro.dp.planner import plan_noise
-from repro.utils.rng import derive_rng
 
 TASKS = [
     # (name, delta, rounds, sample size) — §6.1 parameters.

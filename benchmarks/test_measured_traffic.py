@@ -12,7 +12,6 @@ themselves cost.
 """
 
 import numpy as np
-import pytest
 from conftest import print_header
 
 from repro.engine import InProcessTransport, RoundEngine, SerializingTransport, run_sync
@@ -20,7 +19,6 @@ from repro.secagg.driver import arun_secagg_round
 from repro.secagg.types import SecAggConfig
 from repro.utils.rng import derive_rng
 from repro.xnoise.protocol import (
-    XNoiseClient,
     XNoiseConfig,
     arun_xnoise_round,
     xnoise_round_components,
@@ -146,3 +144,68 @@ def test_measured_per_round_traffic(once):
     sec_masked = sec_stages["masked_input"]
     xn_masked = xn_stages["masked_input"]
     assert xn_masked > sec_masked >= N_CLIENTS * upload
+
+
+def _measure_secagg_split(dimension):
+    engine = _engine()
+    run_sync(
+        arun_secagg_round(
+            _secagg_config(dimension), _inputs(dimension), None, engine=engine
+        )
+    )
+    return engine.trace
+
+
+def test_measured_direction_split(once):
+    """The per-direction shape behind the paper's network story: the
+    masked-vector *uplink* is the model-sized client cost (it scales
+    with d and dominates at realistic dimensions), while every other
+    per-direction component — key adverts, routed share inboxes, unmask
+    reveals — is model-size independent."""
+    SMALL, LARGE = 256, 4096
+
+    def run_both():
+        return _measure_secagg_split(SMALL), _measure_secagg_split(LARGE)
+
+    small, large = once(run_both)
+    print_header(
+        f"Measured per-direction framed bytes (SecAgg, n={N_CLIENTS}, "
+        f"t={THRESHOLD}, b={BITS})"
+    )
+    print(f"{'stage':24s} {'down@' + str(SMALL):>12s} {'up@' + str(SMALL):>12s}"
+          f" {'down@' + str(LARGE):>12s} {'up@' + str(LARGE):>12s}")
+    small_split = small.stage_traffic_split(0)
+    large_split = large.stage_traffic_split(0)
+    for label in small_split:
+        s, lg = small_split[label], large_split[label]
+        if s.total or lg.total:
+            print(f"{label:24s} {s.down:>12,d} {s.up:>12,d} "
+                  f"{lg.down:>12,d} {lg.up:>12,d}")
+    s_tot, l_tot = small.round_traffic_split(0), large.round_traffic_split(0)
+    print(f"{'total':24s} {s_tot.down:>12,d} {s_tot.up:>12,d} "
+          f"{l_tot.down:>12,d} {l_tot.up:>12,d}")
+
+    # Directional invariant at every granularity.
+    for trace in (small, large):
+        for span in trace.spans:
+            assert span.up_bytes + span.down_bytes == span.traffic_bytes
+        agg = trace.round_traffic_split(0)
+        assert agg.total == trace.round_traffic_bytes(0)
+
+    # The masked-input uplink is the model-sized term: it grows with d
+    # while its downlink (the routed share inboxes) does not move.
+    assert large_split["masked_input"].up > small_split["masked_input"].up
+    assert large_split["masked_input"].down == small_split["masked_input"].down
+
+    # Every *other* directional component is model-size independent.
+    for label in small_split:
+        if label == "masked_input":
+            continue
+        assert large_split[label] == small_split[label]
+
+    # At a realistic model size the masked-input uplink dominates the
+    # whole SecAgg client cost — both the round's entire downlink and
+    # the sum of every other uplink component, as in the paper.
+    masked_up = large_split["masked_input"].up
+    assert masked_up > l_tot.down
+    assert masked_up > l_tot.up - masked_up

@@ -18,7 +18,6 @@ import numpy as np
 
 from repro.engine import (
     DropoutTransport,
-    InProcessTransport,
     PerOpTiming,
     RoundEngine,
     SimulatedNetworkTransport,

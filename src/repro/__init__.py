@@ -16,7 +16,11 @@ Privacy* (Jiang, Wang, Chen — EuroSys 2024).  It contains:
   seed secret-sharing, and malicious-server checks, plus the ``rebasing``
   baseline.
 - ``repro.fl``       — a NumPy federated-learning substrate (models, non-IID
-  data, FedAvg, client dropout models).
+  data, FedAvg).
+- ``repro.fleet``    — the scenario layer: per-device profiles with
+  directional (uplink/downlink) bandwidth, client-availability models
+  (fixed-rate dropout, behaviour-trace churn), and the ``Fleet`` object
+  sessions and transports consume.
 - ``repro.pipeline`` — the pipeline-parallel aggregation architecture:
   stage abstraction, the Eq.-3 performance model, the Appendix-C schedule
   recurrence, and the chunk-count optimizer.

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.crypto.ae import AuthenticatedEncryption
-from repro.crypto.dh import DHKeyPair, KeyAgreement, MODP_2048, resolve_group
+from repro.crypto.dh import DHKeyPair, KeyAgreement, resolve_group
 from repro.crypto.prg import PRG
 from repro.crypto.shamir import Share, ShamirSecretSharing
 from repro.dp.skellam import SkellamConfig, SkellamMechanism

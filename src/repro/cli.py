@@ -42,6 +42,17 @@ def _add_run_parser(sub) -> None:
     p.add_argument("--clip-bound", type=float, default=0.5)
     p.add_argument("--learning-rate", type=float, default=0.15)
     p.add_argument("--dropout-rate", type=float, default=0.0)
+    p.add_argument("--availability", default="fixed",
+                   choices=["fixed", "trace"],
+                   help="fixed: i.i.d. dropout at --dropout-rate; trace: "
+                        "Fig.-1a behaviour-trace churn (rate swings per "
+                        "round, --dropout-rate ignored)")
+    p.add_argument("--asymmetric", action="store_true",
+                   help="give devices independent Zipf downlinks "
+                        "(100-1000 Mbps) instead of symmetric links")
+    p.add_argument("--no-fleet", action="store_true",
+                   help="opt out of the fleet layer: legacy zero-latency "
+                        "execution with hard-wired fixed-rate dropout")
     p.add_argument("--strategy", default="xnoise",
                    help="orig | early | conK | xnoise")
     p.add_argument("--mechanism", default="gaussian",
@@ -97,10 +108,28 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args) -> int:
+    import numpy as np
+
     from repro.core import DordisConfig, DordisSession
+    from repro.fleet import FleetConfig
 
     model = args.model or ("bigram" if args.task == "reddit-like" else "softmax")
     optimizer = "adamw" if args.task == "reddit-like" else "sgd"
+    if args.no_fleet:
+        if args.availability != "fixed" or args.asymmetric:
+            print(
+                "--no-fleet disables the fleet layer, which owns "
+                "--availability trace and --asymmetric; drop --no-fleet "
+                "or the fleet flags",
+                file=sys.stderr,
+            )
+            return 2
+        fleet = None
+    else:
+        fleet = FleetConfig(
+            availability=args.availability,
+            downlink_range=(100e6 / 8, 1000e6 / 8) if args.asymmetric else None,
+        )
     config = DordisConfig(
         task=args.task,
         model=model,
@@ -115,15 +144,28 @@ def _cmd_run(args) -> int:
         strategy=args.strategy,
         mechanism=args.mechanism,
         seed=args.seed,
+        fleet=fleet,
     )
-    result = DordisSession(config).run()
-    print(f"task={args.task} strategy={args.strategy} "
-          f"dropout={args.dropout_rate:.0%}")
+    session = DordisSession(config)
+    result = session.run()
+    dropout = (
+        f"trace (mean {float(np.mean(result.dropout_history)):.0%})"
+        if args.availability == "trace" and fleet is not None
+        else f"{args.dropout_rate:.0%}"
+    )
+    print(f"task={args.task} strategy={args.strategy} dropout={dropout}")
     print(f"rounds completed : {result.rounds_completed}"
           f"{' (stopped early)' if result.stopped_early else ''}")
     print(f"final {result.metric_name:10s}: {result.final_metric:.4f}")
     print(f"epsilon consumed : {result.epsilon_consumed:.3f} "
           f"(budget {args.epsilon})")
+    if fleet is not None and result.round_seconds_history:
+        trace = session.engine.trace
+        print(f"mean round       : "
+              f"{float(np.mean(result.round_seconds_history)):.3f} s "
+              f"(fleet-timed)")
+        print(f"traffic          : {trace.total_down_bytes / 2**20:.2f} MiB "
+              f"down, {trace.total_up_bytes / 2**20:.2f} MiB up")
     return 0
 
 
@@ -237,20 +279,32 @@ def _cmd_sockets(args) -> int:
             return 1
     print()
     print("measured per-stage traffic (framed bytes on the socket):")
-    for label, nbytes in engine.trace.stage_traffic(0).items():
-        if nbytes:
-            print(f"  {label:20s} {nbytes:>10,d} B")
+    print(f"  {'stage':20s} {'down':>10s} {'up':>10s} {'total':>10s}")
+    for label, split in engine.trace.stage_traffic_split(0).items():
+        if split.total:
+            print(f"  {label:20s} {split.down:>10,d} {split.up:>10,d} "
+                  f"{split.total:>10,d}")
     total = engine.trace.round_traffic_bytes(0)
+    round_split = engine.trace.round_traffic_split(0)
     stats = transport.closed_connection_stats
     frames = sum(s.frame_bytes for s in stats)
+    down_frames = sum(s.down_bytes for s in stats)
+    up_frames = sum(s.up_bytes for s in stats)
     handshake = sum(s.handshake_sent + s.handshake_received for s in stats)
-    print(f"  {'total':20s} {total:>10,d} B")
+    print(f"  {'total':20s} {round_split.down:>10,d} {round_split.up:>10,d} "
+          f"{total:>10,d}")
     print()
     print(f"connections      : {len(stats)} "
           f"(+{handshake:,d} B handshake, not stage-accounted)")
-    print(f"accounting check : traced {total:,d} B == framed {frames:,d} B "
-          f"{'✓' if total == frames else '✗ MISMATCH'}")
-    return 0 if total == frames else 1
+    balanced = (
+        total == frames
+        and round_split.down == down_frames
+        and round_split.up == up_frames
+    )
+    print(f"accounting check : traced {round_split.down:,d}↓ + "
+          f"{round_split.up:,d}↑ == framed {down_frames:,d}↓ + "
+          f"{up_frames:,d}↑ {'✓' if balanced else '✗ MISMATCH'}")
+    return 0 if balanced else 1
 
 
 def main(argv: list[str] | None = None) -> int:

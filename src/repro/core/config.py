@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.fleet.fleet import FleetConfig
+
 
 @dataclass
 class DordisConfig:
@@ -34,11 +36,27 @@ class DordisConfig:
     bits:
         DSkellam ring width (paper: 20).
 
+    Fleet / scenario
+    ----------------
+    fleet:
+        The device population (:class:`repro.fleet.FleetConfig`):
+        per-client compute slowdown, separate uplink/downlink
+        bandwidth, and the availability model dropout is derived from —
+        ``"fixed"`` (§6.1 i.i.d. at ``dropout_rate``) or ``"trace"``
+        (Fig.-1a behaviour-trace churn, where the rate swings per
+        round).  The default builds a symmetric heterogeneous fleet, so
+        every session's transports carry per-direction link latency and
+        ``round_seconds_history`` is meaningful out of the box.
+        ``fleet=None`` is the documented opt-out: legacy zero-latency
+        execution (durations 0.0 unless the engine carries its own
+        timing source) with hard-wired fixed-rate dropout.
+
     Dropout / enforcement
     ---------------------
     dropout_rate:
-        Per-round i.i.d. dropout of sampled clients (§6.1's model), or
-        ``None`` with a trace supplied at run time.
+        Per-round i.i.d. dropout of sampled clients (§6.1's model) when
+        the fleet's availability is ``"fixed"``; ignored under
+        ``"trace"``, where the behaviour trace sets each round's rate.
     strategy:
         "orig" | "early" | "conK" | "xnoise" (§2.3.1 / §3).
     tolerance_fraction:
@@ -86,6 +104,9 @@ class DordisConfig:
     mechanism: str = "gaussian"
     bits: int = 20
 
+    # Fleet / scenario.
+    fleet: Optional[FleetConfig] = field(default_factory=FleetConfig)
+
     # Dropout / enforcement.
     dropout_rate: float = 0.0
     strategy: str = "xnoise"
@@ -126,6 +147,11 @@ class DordisConfig:
             raise ValueError("mechanism must be gaussian or skellam")
         if not 0 <= self.dropout_rate < 1:
             raise ValueError("dropout_rate must be in [0, 1)")
+        if self.fleet is not None and not isinstance(self.fleet, FleetConfig):
+            raise ValueError(
+                "fleet must be a repro.fleet.FleetConfig (or None to opt "
+                "out of fleet timing/availability)"
+            )
         if self.secure_aggregation not in {"simulated", "secagg"}:
             raise ValueError("secure_aggregation must be simulated or secagg")
         if self.pipeline_chunks < 1:

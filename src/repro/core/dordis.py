@@ -43,6 +43,7 @@ from repro.fl.data import (
     make_text_task,
 )
 from repro.fl.dropout import FixedRateDropout
+from repro.fleet import Fleet
 from repro.fl.models import BigramLM, MLPClassifier, SoftmaxRegression
 from repro.fl.optim import SGD, AdamW
 from repro.fl.server import FedAvgServer
@@ -57,11 +58,17 @@ class TrainingResult:
     perplexity (language, lower better) per completed round;
     ``epsilon_history`` the cumulative privacy spend after each round.
     ``round_seconds_history`` is the engine-traced simulated duration of
-    each completed round's aggregation.  Entries are non-zero only when
-    the session's engine carries a timing source (e.g.
+    each completed round.  By default it is *meaningful*: the session's
+    fleet (:attr:`DordisConfig.fleet`) supplies the timing source — the
+    real-protocol (``secagg``) path charges every exchange's framed
+    bytes against each client's own uplink/downlink, and the fast
+    noise-algebra path records the fleet's modeled
+    broadcast → local-train → upload round cost as traced spans.
+    Configuring ``fleet=None`` (the documented opt-out) restores the
+    legacy zero-latency behaviour: entries are then 0.0 unless the
+    caller supplies an engine with its own timing source (e.g.
     ``DordisSession(cfg, engine=RoundEngine(transport=SimulatedNetworkTransport(...)))``
-    or a ``StageTiming`` model); the default in-process engine and the
-    simulated-aggregation path record 0.0.
+    or a ``StageTiming`` model).
     """
 
     metric_name: str
@@ -100,14 +107,24 @@ _TASK_FACTORIES = {
 }
 
 
-def build_transport(name: str):
-    """Engine transport for a :attr:`DordisConfig.transport` name."""
+def build_transport(name: str, fleet: Fleet | None = None):
+    """Engine transport for a :attr:`DordisConfig.transport` name.
+
+    With a fleet, every backend carries the fleet's per-direction link
+    model (request frames on each client's downlink, responses on its
+    uplink — :func:`repro.fleet.fleet_transport`); without one, the
+    legacy zero-latency backends.
+    """
     from repro.engine import (
         InProcessTransport,
         SerializingTransport,
         StreamTransport,
     )
 
+    if fleet is not None:
+        from repro.fleet import fleet_transport
+
+        return fleet_transport(name, fleet)
     if name == "serialized":
         return SerializingTransport(InProcessTransport())
     if name == "sockets":
@@ -129,8 +146,28 @@ class DordisSession:
         engine: RoundEngine | None = None,
     ):
         self.config = config
+        # The fleet (device profiles + availability) is the scenario the
+        # session runs against; dropout and link timing derive from it
+        # unless the caller overrides either explicitly.
+        self.fleet: Fleet | None = None
+        if config.fleet is not None:
+            self.fleet = Fleet.build(
+                config.num_clients,
+                config.fleet,
+                dropout_rate=config.dropout_rate,
+                horizon=max(config.rounds, 1),
+                seed=config.seed,
+            )
+        # Protocol rounds shift client ids by +1 (non-zero Shamir
+        # points), so the engine transport — which only ever serves
+        # those rounds; the fast path bypasses it — addresses the fleet
+        # through the shifted view, pricing each client's frames on its
+        # *own* links.
         self.engine = engine or RoundEngine(
-            transport=build_transport(config.transport)
+            transport=build_transport(
+                config.transport,
+                self.fleet.with_id_offset(1) if self.fleet else None,
+            )
         )
         self.dataset = dataset if dataset is not None else self._build_dataset()
         self.model = self._build_model()
@@ -142,9 +179,14 @@ class DordisSession:
                 else {}
             ),
         )
-        self.dropout_model = dropout_model or FixedRateDropout(
-            config.dropout_rate, seed=config.seed
-        )
+        if dropout_model is not None:
+            self.dropout_model = dropout_model
+        elif self.fleet is not None:
+            self.dropout_model = self.fleet.availability
+        else:
+            self.dropout_model = FixedRateDropout(
+                config.dropout_rate, seed=config.seed
+            )
         self.plan = self._plan_noise()
         self.skellam: SkellamMechanism | None = None
         if config.mechanism == "skellam":
@@ -301,6 +343,8 @@ class DordisSession:
         rounds_mark = len(self.engine.current_job_rounds())
 
         if cfg.secure_aggregation == "secagg":
+            from repro.secagg.types import ProtocolAbort
+
             # The real protocol: every sampled client trains (dropped
             # ones drop *before upload*, after local work).
             updates_by_id = {
@@ -312,9 +356,18 @@ class DordisSession:
                 )
                 for u in sampled
             }
-            update_sum = await self._aggregate_secagg(
-                updates_by_id, sampled, dropped, r
-            )
+            try:
+                update_sum = await self._aggregate_secagg(
+                    updates_by_id, sampled, dropped, r
+                )
+            except ProtocolAbort:
+                # Dropout beyond the SecAgg threshold: the protocol
+                # (correctly) refuses to unmask, so the round yields no
+                # aggregate.  Under churning availability (behaviour
+                # traces) such rounds are expected operational reality —
+                # skip the model update like an all-dropped round and
+                # keep training, rather than killing the session.
+                return False
         else:
             updates = [
                 trainer.compute_update(
@@ -326,6 +379,25 @@ class DordisSession:
                 for u in survivors
             ]
             update_sum = self._aggregate(updates, sampled, survivors, r)
+            if self.fleet is not None:
+                # The fast path executes no protocol rounds, so the
+                # fleet's timing model supplies the round's cost: model
+                # broadcast on every sampled downlink, local training
+                # gated by the compute straggler, update upload on every
+                # surviving uplink.  Recorded as traced spans, it lands
+                # in round_seconds_history exactly like an engine-
+                # executed round's latency would.
+                cost = self.fleet.round_cost(
+                    sampled, survivors, 8 * self.model.n_params
+                )
+                self.engine.record_modeled_round(
+                    (
+                        ("broadcast", "comm", cost.down_seconds,
+                         cost.down_bytes, 0),
+                        ("local_train", "c-comp", cost.compute_seconds, 0, 0),
+                        ("upload", "comm", cost.up_seconds, 0, cost.up_bytes),
+                    )
+                )
         server.apply_update_sum(update_sum, len(survivors))
 
         actual = self.strategy.actual_variance(
@@ -362,8 +434,9 @@ class DordisSession:
         """Clip, perturb, and sum survivor updates (noise per strategy)."""
         cfg = self.config
         n_sampled = len(sampled)
-        client_var = self.strategy.client_variance(self.plan.variance, n_sampled)
-        # What the aggregate should carry after any server-side removal.
+        # What the aggregate should carry after any server-side removal
+        # (survivors each added the strategy's client variance; XNoise's
+        # removal step brings the sum down to this).
         actual_var = self.strategy.actual_variance(
             self.plan.variance, n_sampled, n_sampled - len(survivors)
         )
@@ -451,12 +524,24 @@ class DordisSession:
             int(u) + 1: mech.encode_signal(updates_by_id[u], rng) for u in sampled
         }
         schedule = DropoutSchedule.before_upload({int(u) + 1 for u in dropped})
+        # The round's client-compute stages run at the pace of the
+        # sampled straggler: scale whatever op cost model the engine
+        # carries by the fleet's compute slowdown (a no-op for the
+        # default zero-cost timing).
+        timing = None
+        if self.fleet is not None:
+            from repro.engine import ScaledResourceTiming
+
+            timing = ScaledResourceTiming(
+                self.engine.timing,
+                {"c-comp": self.fleet.straggler_factor(sampled)},
+            )
 
         n_chunks = min(cfg.pipeline_chunks, mech.padded_dimension)
         if n_chunks <= 1:
             result = await arun_xnoise_round(
                 xconfig, inputs, schedule,
-                round_index=round_index, engine=self.engine,
+                round_index=round_index, engine=self.engine, timing=timing,
             )
             return mech.decode(result.aggregate)
 
@@ -473,5 +558,6 @@ class DordisSession:
 
         chunked = await self.engine.run_chunked_round(
             chunk_factory, inputs, n_chunks, transport=transport,
+            timing=timing,
         )
         return mech.decode(chunked.result)

@@ -30,7 +30,6 @@ sanity check the unit tests pin down.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 import numpy as np

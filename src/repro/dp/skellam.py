@@ -16,7 +16,7 @@ rounding bias β = e^{−0.5}, bit width b = 20.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -35,6 +35,7 @@ from repro.engine.core import (
 from repro.engine.timing import (
     OpTiming,
     PerOpTiming,
+    ScaledResourceTiming,
     StageTiming,
     ZeroTiming,
     stage_groups,
@@ -66,6 +67,7 @@ __all__ = [
     "stage_groups",
     "OpTiming",
     "PerOpTiming",
+    "ScaledResourceTiming",
     "StageTiming",
     "ZeroTiming",
     "Channel",

@@ -444,6 +444,45 @@ class RoundEngine:
         return handle
 
     # ------------------------------------------------------------------
+    # Externally-modeled rounds
+    # ------------------------------------------------------------------
+    def record_modeled_round(self, stages) -> int:
+        """Append one *modeled* round to this engine's trace.
+
+        For workloads that do their work outside the engine but still
+        want to live on its timeline — e.g. the training session's fast
+        noise-algebra path, whose round cost comes from the fleet's
+        timing model rather than executed protocol stages.  ``stages``
+        is an iterable of ``(label, resource, duration_seconds,
+        down_bytes, up_bytes)`` tuples, laid back to back starting at
+        the trace's current completion time.  Returns the engine round
+        serial the spans carry; the round is attributed to the current
+        submitted job (``current_job_rounds``) like an executed one.
+        """
+        serial = self._next_round_serial()
+        t = self.trace.completion_time
+        for s, (label, resource, duration, down, up) in enumerate(stages):
+            if duration < 0:
+                raise ValueError("modeled stage durations must be non-negative")
+            finish = t + duration
+            self.trace.add(
+                StageSpan(
+                    round_index=serial,
+                    chunk=0,
+                    stage=s,
+                    label=label,
+                    resource=resource,
+                    begin=t,
+                    finish=finish,
+                    up_bytes=up,
+                    down_bytes=down,
+                )
+            )
+            t = finish
+        self._record_job_round(serial)
+        return serial
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     @property
@@ -531,17 +570,19 @@ class RoundEngine:
             # begin waiter across every chunk and submitted round.
             begin = await arbiter.acquire(trace_round, s, chunk_index)
             t = begin
-            stage_traffic = 0
+            stage_down = 0
+            stage_up = 0
             for op in ops:
                 # Ops grouped into one stage share its resource by
                 # construction (§4.1 grouping).
                 if _dispatches_to_clients(server, op, resource):
-                    carry, duration, traffic = await self._dispatch_clients(
+                    carry, duration, down, up = await self._dispatch_clients(
                         channel, by_id, op, resource, carry,
                         n_chunks=n_chunks, chunk_index=chunk_index,
                         timing=timing,
                     )
-                    stage_traffic += traffic
+                    stage_down += down
+                    stage_up += up
                 else:
                     method = server.operation_method(op)
                     carry = method(carry)
@@ -560,7 +601,8 @@ class RoundEngine:
                     resource=resource,
                     begin=begin,
                     finish=finish,
-                    traffic_bytes=stage_traffic,
+                    up_bytes=stage_up,
+                    down_bytes=stage_down,
                 )
             )
             arbiter.release(trace_round, s, chunk_index, finish)
@@ -577,13 +619,14 @@ class RoundEngine:
         n_chunks: int,
         chunk_index: int,
         timing: OpTiming,
-    ) -> tuple[dict[int, Any], float, int]:
+    ) -> tuple[dict[int, Any], float, int, int]:
         """Fan one client operation out concurrently; collect live replies.
 
         Returns the response dict, the op's virtual duration, and the
-        op's *measured* traffic — the sum of framed request/response
-        bytes every delivery reports (0 for in-process dispatch, which
-        never serializes).
+        op's *measured* directional traffic — the framed request bytes
+        (server→client, the downlink) and response bytes
+        (client→server, the uplink) every delivery reports (0 for
+        in-process dispatch, which never serializes).
         """
         if isinstance(carry, Targeted):
             requests = [(cid, carry.payloads[cid]) for cid in sorted(carry.payloads)]
@@ -601,7 +644,8 @@ class RoundEngine:
         )
         responses: dict[int, Any] = {}
         worst_latency = 0.0
-        traffic = 0
+        down = 0
+        up = 0
         for (cid, _), outcome in zip(requests, deliveries):
             if isinstance(outcome, ClientUnavailable):
                 continue
@@ -609,9 +653,10 @@ class RoundEngine:
                 raise outcome
             responses[cid] = outcome.response
             worst_latency = max(worst_latency, outcome.latency)
-            traffic += outcome.request_nbytes + outcome.response_nbytes
+            down += outcome.request_nbytes
+            up += outcome.response_nbytes
         duration = (
             timing.duration(op, resource, n_chunks=n_chunks, chunk_index=chunk_index)
             + worst_latency
         )
-        return responses, duration, traffic
+        return responses, duration, down, up

@@ -62,10 +62,15 @@ class ConnectionStats:
     """Byte accounting for one client connection, from both socket ends.
 
     Channel-side counters split handshake traffic from request/response
-    frames (so per-stage sums exclude the one-off connection setup);
-    ``endpoint_received_bytes`` / ``endpoint_sent_bytes`` are what the
-    client endpoint independently observed on its end of the socket —
-    the ground truth the channel-side counts must equal byte for byte.
+    frames (so per-stage sums exclude the one-off connection setup) and
+    are *directional*: ``request_bytes`` is the downlink (server→client
+    frames the channel wrote), ``response_bytes`` the uplink
+    (client→server frames it read) — ``down_bytes``/``up_bytes`` name
+    that explicitly.  The ``endpoint_*`` counters are what the client
+    endpoint independently observed on its end of the socket, per
+    direction — the ground truth the channel-side counts must equal
+    byte for byte (``endpoint_request_bytes``/``endpoint_response_bytes``
+    exclude the handshake, like their channel-side counterparts).
     """
 
     client_id: int
@@ -76,6 +81,20 @@ class ConnectionStats:
     requests: int = 0
     endpoint_received_bytes: int = 0
     endpoint_sent_bytes: int = 0
+    endpoint_request_bytes: int = 0
+    endpoint_response_bytes: int = 0
+
+    @property
+    def down_bytes(self) -> int:
+        """Server→client frame bytes (the downlink share of the stage
+        accounting)."""
+        return self.request_bytes
+
+    @property
+    def up_bytes(self) -> int:
+        """Client→server frame bytes (the uplink share of the stage
+        accounting)."""
+        return self.response_bytes
 
     @property
     def bytes_sent(self) -> int:
@@ -101,6 +120,10 @@ class _ClientEndpoint:
         self.client = client
         self.bytes_received = 0
         self.bytes_sent = 0
+        # Per-direction frame counters (handshake excluded): what this
+        # end of the socket saw of the stage-accounted traffic.
+        self.request_bytes = 0
+        self.response_bytes = 0
         self._server: Optional[asyncio.base_events.Server] = None
         self._handlers: set[asyncio.Task] = set()
 
@@ -128,17 +151,25 @@ class _ClientEndpoint:
                     raise ValueError(
                         f"client endpoint expected REQUEST, got {kind:#x}"
                     )
+                self.request_bytes += nbytes
                 op, payload = wire_codecs.decode_payload(body)
                 try:
                     response = self.client.handle(op, payload)
                 except Exception as exc:
-                    self.bytes_sent += await write_frame(
+                    # An ERROR reply crosses the uplink like any other
+                    # response frame; count it there so both socket
+                    # ends agree per direction even on aborted rounds.
+                    sent = await write_frame(
                         writer, KIND_ERROR, wire_codecs.encode_error(exc)
                     )
+                    self.bytes_sent += sent
+                    self.response_bytes += sent
                 else:
-                    self.bytes_sent += await write_frame(
+                    sent = await write_frame(
                         writer, KIND_RESPONSE, wire_codecs.encode_payload(response)
                     )
+                    self.bytes_sent += sent
+                    self.response_bytes += sent
         except (ConnectionError, asyncio.CancelledError):
             raise
         except ValueError as exc:
@@ -266,7 +297,9 @@ class _StreamChannel(Channel):
         conn.stats.response_bytes += received
         conn.stats.requests += 1
         latency = 0.0
-        if self._transport.latency_fn is not None:
+        if self._transport.latency_split_fn is not None:
+            latency = self._transport.latency_split_fn(client_id, sent, received)
+        elif self._transport.latency_fn is not None:
             latency = self._transport.latency_fn(client_id, sent + received)
         if kind == KIND_ERROR:
             raise wire_codecs.decode_error(rbody)
@@ -296,6 +329,8 @@ class _StreamChannel(Channel):
             await conn.endpoint.aclose()
             conn.stats.endpoint_received_bytes = conn.endpoint.bytes_received
             conn.stats.endpoint_sent_bytes = conn.endpoint.bytes_sent
+            conn.stats.endpoint_request_bytes = conn.endpoint.request_bytes
+            conn.stats.endpoint_response_bytes = conn.endpoint.response_bytes
             self._transport.closed_connection_stats.append(conn.stats)
 
 
@@ -308,15 +343,26 @@ class StreamTransport(Transport):
     the round's channel closes.  ``latency_fn(client_id, frame_bytes)``
     optionally maps measured frame sizes to *virtual* link seconds
     (e.g. ``device.upload_seconds``), folding real encoded sizes into
-    the engine's simulated timeline; by default socket rounds add no
-    virtual latency, which keeps them trace-identical to in-process
-    execution.
+    the engine's simulated timeline;
+    ``latency_split_fn(client_id, down_nbytes, up_nbytes)`` is the
+    directional variant (e.g. ``device.link_seconds``) charging the
+    request frame against the downlink and the response frame against
+    the uplink — pass one or the other, not both.  By default socket
+    rounds add no virtual latency, which keeps them trace-identical to
+    in-process execution.
     """
 
     def __init__(
-        self, latency_fn: Optional[Callable[[int, int], float]] = None
+        self,
+        latency_fn: Optional[Callable[[int, int], float]] = None,
+        latency_split_fn: Optional[Callable[[int, int, int], float]] = None,
     ):
+        if latency_fn is not None and latency_split_fn is not None:
+            raise ValueError(
+                "pass latency_fn or latency_split_fn, not both"
+            )
         self.latency_fn = latency_fn
+        self.latency_split_fn = latency_split_fn
         self.closed_connection_stats: list[ConnectionStats] = []
 
     def connect(self, clients: Mapping[int, "ProtocolClient"]) -> Channel:

@@ -75,6 +75,32 @@ class PerOpTiming(OpTiming):
         return self.durations.get(op, self.default)
 
 
+class ScaledResourceTiming(OpTiming):
+    """Scale an inner model's durations per resource.
+
+    The training session's real-protocol path charges the sampled
+    straggler's compute slowdown this way: each round wraps the
+    engine's base timing and multiplies every ``c-comp`` duration by
+    :meth:`repro.fleet.Fleet.straggler_factor` — comm stages keep
+    their transport-derived link latency untouched (a no-op around the
+    default zero-cost model).
+    """
+
+    def __init__(self, inner: OpTiming, factors: Mapping[str, float]):
+        if any(f < 0 for f in factors.values()):
+            raise ValueError("scale factors must be non-negative")
+        self.inner = inner
+        self.factors = dict(factors)
+
+    def duration(
+        self, op: str, resource: str, *, n_chunks: int = 1, chunk_index: int = 0
+    ) -> float:
+        base = self.inner.duration(
+            op, resource, n_chunks=n_chunks, chunk_index=chunk_index
+        )
+        return base * self.factors.get(resource, 1.0)
+
+
 class StageTiming(OpTiming):
     """Durations from a declared workflow's Eq.-3 stage perf model.
 

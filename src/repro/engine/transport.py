@@ -48,7 +48,7 @@ from repro.wire.frame import (
 
 if TYPE_CHECKING:  # imported lazily to avoid an api ↔ engine import cycle
     from repro.api.protocol import ProtocolClient
-    from repro.sim.network import ClientDevice
+    from repro.fleet.profile import DeviceProfile
 
 
 class ClientUnavailable(Exception):
@@ -76,8 +76,12 @@ class Delivery:
     ``request_nbytes`` / ``response_nbytes`` are the framed byte counts
     the exchange put on the wire — measured, not modelled, for
     serializing/socket transports (0 for in-process dispatch, which
-    moves live objects).  The engine sums them into each traced
-    :class:`~repro.sim.timeline.StageSpan`'s ``traffic_bytes``.
+    moves live objects).  They are *directional*: the request travels
+    server→client (the **downlink**), the response client→server (the
+    **uplink**) — ``down_nbytes``/``up_nbytes`` name that explicitly.
+    The engine folds them into each traced
+    :class:`~repro.sim.timeline.StageSpan`'s ``down_bytes``/``up_bytes``
+    (whose sum is ``traffic_bytes``).
     """
 
     client_id: int
@@ -86,6 +90,16 @@ class Delivery:
     latency: float = 0.0
     request_nbytes: int = 0
     response_nbytes: int = 0
+
+    @property
+    def down_nbytes(self) -> int:
+        """Server→client bytes (the request frame, on the downlink)."""
+        return self.request_nbytes
+
+    @property
+    def up_nbytes(self) -> int:
+        """Client→server bytes (the response frame, on the uplink)."""
+        return self.response_nbytes
 
     @property
     def wire_nbytes(self) -> int:
@@ -195,10 +209,24 @@ class _QueueChannel(Channel):
 
 
 class QueueTransport(Transport):
-    """Asyncio-queue message passing with no simulated latency."""
+    """Asyncio-queue message passing, with an optional per-exchange
+    latency hook.
+
+    ``latency_fn(client_id, op, payload, response)`` maps one exchange
+    to virtual link seconds (default: none).  When the inner payloads
+    are already wire frames — e.g. under a
+    :class:`SerializingTransport` — the hook sees the framed ``bytes``
+    and can charge each direction against its own bandwidth.
+    """
+
+    def __init__(
+        self,
+        latency_fn: Optional[Callable[[int, str, Any, Any], float]] = None,
+    ):
+        self.latency_fn = latency_fn
 
     def connect(self, clients: Mapping[int, ProtocolClient]) -> Channel:
-        return _QueueChannel(clients)
+        return _QueueChannel(clients, self.latency_fn)
 
 
 def payload_nbytes(payload: Any) -> int:
@@ -271,7 +299,9 @@ class _SizedQueueChannel(_QueueChannel):
             delivery.op,
             delivery.response,
             latency=self._transport.link_seconds(
-                client_id, request_nbytes + response_nbytes
+                client_id,
+                down_nbytes=request_nbytes,
+                up_nbytes=response_nbytes,
             ),
             request_nbytes=request_nbytes,
             response_nbytes=response_nbytes,
@@ -281,9 +311,12 @@ class _SizedQueueChannel(_QueueChannel):
 class SimulatedNetworkTransport(QueueTransport):
     """Queue transport with per-link latency from §6.1 device profiles.
 
-    Each exchange costs ``(request bytes + response bytes) / bandwidth``
-    of the client's :class:`repro.sim.network.ClientDevice`.  The engine
-    takes the max over concurrently dispatched clients, so the slowest
+    Each exchange charges the request bytes against the client's
+    *downlink* and the response bytes against its *uplink*
+    (:meth:`repro.fleet.DeviceProfile.link_seconds`); for a symmetric
+    device that reduces — bit-identically, one division — to the
+    pre-split ``(request + response) / bandwidth``.  The engine takes
+    the max over concurrently dispatched clients, so the slowest
     sampled device gates each comm stage, as in the paper's cost model.
 
     ``size_fn`` sizes one *wire message*: it receives the ``(op,
@@ -298,17 +331,23 @@ class SimulatedNetworkTransport(QueueTransport):
 
     def __init__(
         self,
-        devices: Mapping[int, "ClientDevice"],
+        devices: Mapping[int, "DeviceProfile"],
         size_fn: Callable[[Any], int] = measured_nbytes,
     ):
+        super().__init__()
         self.devices = dict(devices)
         self.size_fn = size_fn
 
-    def link_seconds(self, client_id: int, nbytes: int) -> float:
+    def link_seconds(
+        self, client_id: int, *, down_nbytes: int = 0, up_nbytes: int = 0
+    ) -> float:
         device = self.devices.get(client_id)
         if device is None:
             return 0.0
-        return device.upload_seconds(nbytes)
+        if hasattr(device, "link_seconds"):
+            return device.link_seconds(down_nbytes, up_nbytes)
+        # A bare legacy device (only upload_seconds): symmetric link.
+        return device.upload_seconds(down_nbytes + up_nbytes)
 
     def connect(self, clients: Mapping[int, ProtocolClient]) -> Channel:
         return _SizedQueueChannel(clients, self)

@@ -13,9 +13,10 @@ federated tasks with the same structure (documented in DESIGN.md §1):
 - :mod:`repro.fl.optim`   — SGD with momentum and AdamW on flat vectors.
 - :mod:`repro.fl.client` / :mod:`repro.fl.server` — local training and
   FedAvg aggregation.
-- :mod:`repro.fl.dropout` — client-availability models: i.i.d. fixed-rate
-  dropout and a trace-driven on/off behaviour generator reproducing the
-  Fig. 1a dynamics.
+- :mod:`repro.fl.dropout` — legacy re-export of the client-availability
+  models, which now live in :mod:`repro.fleet.availability` (i.i.d.
+  fixed-rate dropout and the trace-driven on/off behaviour generator
+  reproducing the Fig. 1a dynamics).
 """
 
 from repro.fl.data import (

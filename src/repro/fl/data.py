@@ -15,7 +15,7 @@ Every generator is deterministic in its seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -86,7 +86,6 @@ def lda_partition(
             buckets[client].extend(idx[start : start + count])
             start += count
     # Guarantee a minimum shard size by stealing from the richest client.
-    sizes = [len(b) for b in buckets]
     for client in range(n_clients):
         while len(buckets[client]) < min_per_client:
             donor = int(np.argmax([len(b) for b in buckets]))

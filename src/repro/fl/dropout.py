@@ -1,107 +1,25 @@
-"""Client-availability and dropout models.
+"""Client-availability and dropout models — legacy import location.
 
-Two models drive the experiments:
-
-- :class:`FixedRateDropout` — the §6.1 dropout model: sampled clients
-  drop i.i.d. with a configurable per-round rate, "after being sampled
-  but before sending their masked and perturbed update".
-- :class:`BehaviorTrace` — a stand-in for the 136k-device user-behaviour
-  trace [Yang et al.] behind Fig. 1a: each client alternates heavy-tailed
-  online/offline sessions, so the per-round dropout rate of a 16-client
-  sample swings across the whole [0, 1] range.
+The models moved to :mod:`repro.fleet.availability`: availability is a
+property of the device population (the fleet layer), not of the
+learning algorithm.  This module re-exports them so existing imports
+keep working.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from repro.fleet.availability import (
+    AlwaysAvailable,
+    BehaviorTrace,
+    FixedRateDropout,
+    TraceDrivenDropout,
+    build_availability,
+)
 
-from repro.utils.rng import derive_rng
-
-
-class FixedRateDropout:
-    """I.i.d. per-round dropout at a fixed rate."""
-
-    def __init__(self, rate: float, seed: int = 0):
-        if not 0 <= rate < 1:
-            raise ValueError("rate must be in [0, 1)")
-        self.rate = rate
-        self.seed = seed
-
-    def dropped(self, sampled: list[int], round_index: int) -> set[int]:
-        """The subset of this round's sample that drops out."""
-        if self.rate == 0:
-            return set()
-        rng = derive_rng("fixed-dropout", self.seed, round_index)
-        mask = rng.random(len(sampled)) < self.rate
-        return {u for u, gone in zip(sampled, mask) if gone}
-
-
-class BehaviorTrace:
-    """Synthetic device availability: alternating on/off sessions.
-
-    Session lengths are lognormal (heavy-tailed, like real device usage);
-    each client has its own online propensity drawn from a Beta
-    distribution so the population mixes always-on devices with highly
-    volatile ones — the "volatile users" the paper extracts.
-    """
-
-    def __init__(
-        self,
-        n_clients: int,
-        horizon: int,
-        mean_session: float = 8.0,
-        volatility: tuple[float, float] = (1.2, 1.2),
-        seed: int = 0,
-    ):
-        if n_clients < 1 or horizon < 1:
-            raise ValueError("n_clients and horizon must be positive")
-        if mean_session <= 0:
-            raise ValueError("mean_session must be positive")
-        self.n_clients = n_clients
-        self.horizon = horizon
-        self._avail = np.zeros((n_clients, horizon), dtype=bool)
-        rng = derive_rng("behavior-trace", seed)
-        propensity = rng.beta(*volatility, size=n_clients)
-        for c in range(n_clients):
-            t = 0
-            online = rng.random() < propensity[c]
-            while t < horizon:
-                mean = mean_session * (
-                    propensity[c] if online else (1 - propensity[c]) + 0.1
-                )
-                length = max(1, int(rng.lognormal(np.log(mean + 1e-9), 0.8)))
-                self._avail[c, t : t + length] = online
-                t += length
-                online = not online
-
-    def available(self, client: int, round_index: int) -> bool:
-        return bool(self._avail[client % self.n_clients, round_index % self.horizon])
-
-    def availability_matrix(self) -> np.ndarray:
-        """(clients × rounds) boolean availability (for Fig. 1a plots)."""
-        return self._avail.copy()
-
-    def dropout_rates(self, sample_size: int, seed: int = 0) -> np.ndarray:
-        """Per-round dropout rate of a random ``sample_size`` sample.
-
-        Reproduces Fig. 1a: sample clients uniformly each round and
-        measure the fraction unavailable by round end.
-        """
-        rng = derive_rng("trace-sampling", seed)
-        rates = np.empty(self.horizon)
-        for r in range(self.horizon):
-            sample = rng.choice(self.n_clients, size=min(sample_size, self.n_clients), replace=False)
-            rates[r] = 1.0 - self._avail[sample, r].mean()
-        return rates
-
-
-class TraceDrivenDropout:
-    """Dropout adapter: a sampled client drops if its trace says offline."""
-
-    def __init__(self, trace: BehaviorTrace):
-        self.trace = trace
-
-    def dropped(self, sampled: list[int], round_index: int) -> set[int]:
-        return {
-            u for u in sampled if not self.trace.available(u, round_index)
-        }
+__all__ = [
+    "AlwaysAvailable",
+    "BehaviorTrace",
+    "FixedRateDropout",
+    "TraceDrivenDropout",
+    "build_availability",
+]

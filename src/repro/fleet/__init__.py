@@ -1,0 +1,47 @@
+"""The heterogeneous fleet/scenario layer.
+
+One place owns the client population: per-device profiles with
+*directional* bandwidth (:class:`DeviceProfile`: separate
+``uplink_bps`` / ``downlink_bps``, compute slowdown), pluggable
+availability (:mod:`repro.fleet.availability`: §6.1 fixed-rate dropout
+or the Fig.-1a behaviour-trace churn), and the :class:`Fleet` object
+binding the two into a scenario the rest of the stack consumes —
+transports derive per-link latency from it, the training session
+derives per-round dropout and modeled round cost from it.
+
+Legacy entry points remain importable: :mod:`repro.sim.network`
+re-exports the profile layer (``ClientDevice`` builds a symmetric
+profile) and :mod:`repro.fl.dropout` re-exports the availability
+models.
+"""
+
+from repro.fleet.availability import (
+    AlwaysAvailable,
+    BehaviorTrace,
+    FixedRateDropout,
+    TraceDrivenDropout,
+    build_availability,
+)
+from repro.fleet.fleet import Fleet, FleetConfig, FleetRoundCost
+from repro.fleet.links import FleetNetworkTransport, fleet_transport
+from repro.fleet.profile import (
+    DEFAULT_BANDWIDTH_RANGE,
+    DeviceProfile,
+    heterogeneous_fleet,
+)
+
+__all__ = [
+    "AlwaysAvailable",
+    "BehaviorTrace",
+    "DEFAULT_BANDWIDTH_RANGE",
+    "DeviceProfile",
+    "Fleet",
+    "FleetConfig",
+    "FleetNetworkTransport",
+    "FleetRoundCost",
+    "FixedRateDropout",
+    "fleet_transport",
+    "TraceDrivenDropout",
+    "build_availability",
+    "heterogeneous_fleet",
+]

@@ -1,0 +1,235 @@
+"""The fleet: device profiles + an availability model, as one scenario.
+
+A :class:`Fleet` is the single object the rest of the stack consults
+about the client population: which device a client runs on (per-direction
+bandwidth, compute slowdown), who is online this round, and what a
+synchronized round costs in virtual seconds and directional bytes.
+
+- The engine consumes it through transports
+  (:meth:`Fleet.link_seconds` feeds
+  :class:`repro.engine.transport.SimulatedNetworkTransport` and the
+  per-direction latency hooks of the wire transports).
+- The training session (:mod:`repro.core.dordis`) derives per-round
+  dropout from :attr:`availability` and — on the fast noise-algebra
+  path, which runs no protocol rounds — records the fleet's modeled
+  round cost (:meth:`round_cost`) as traced spans, so
+  ``round_seconds_history`` is meaningful by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.fleet.availability import AlwaysAvailable, build_availability
+from repro.fleet.profile import (
+    DEFAULT_BANDWIDTH_RANGE,
+    DeviceProfile,
+    heterogeneous_fleet,
+)
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Declarative description of a device population.
+
+    ``availability`` is ``"fixed"`` (§6.1 i.i.d. dropout at the
+    session's ``dropout_rate``) or ``"trace"`` (Fig.-1a behaviour-trace
+    churn).  ``downlink_range=None`` keeps links symmetric — the
+    pre-split behaviour; a range gives every device an independent Zipf
+    downlink (asymmetric WAN).  ``compute_seconds`` is the base
+    local-training time of the *fastest* device per round; the sampled
+    straggler's ``compute_factor`` scales it.
+    """
+
+    availability: str = "fixed"
+    zipf_a: float = 1.2
+    uplink_range: tuple[float, float] = DEFAULT_BANDWIDTH_RANGE
+    downlink_range: Optional[tuple[float, float]] = None
+    max_slowdown: float = 8.0
+    compute_seconds: float = 0.0
+    mean_session: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.availability not in {"fixed", "trace"}:
+            raise ValueError("availability must be fixed or trace")
+        if self.max_slowdown < 1.0:
+            raise ValueError("max_slowdown is relative to the fastest (>= 1)")
+        if self.compute_seconds < 0:
+            raise ValueError("compute_seconds must be non-negative")
+
+
+@dataclass(frozen=True)
+class FleetRoundCost:
+    """Modeled cost of one synchronized FedAvg round over a sample.
+
+    Directional: the model broadcast rides the *downlink* of every
+    sampled client (gated by the slowest), the update upload rides the
+    *uplink* of every survivor.  ``down_bytes`` / ``up_bytes`` follow
+    the same split, so Table-3-style per-direction footprints fall out
+    of the trace.
+    """
+
+    down_seconds: float
+    compute_seconds: float
+    up_seconds: float
+    down_bytes: int
+    up_bytes: int
+
+    @property
+    def total_seconds(self) -> float:
+        return self.down_seconds + self.compute_seconds + self.up_seconds
+
+    @property
+    def traffic_bytes(self) -> int:
+        return self.down_bytes + self.up_bytes
+
+
+class Fleet:
+    """A device population plus its availability model."""
+
+    def __init__(
+        self,
+        profiles: Mapping[int, DeviceProfile] | Sequence[DeviceProfile],
+        availability=None,
+        config: Optional[FleetConfig] = None,
+    ):
+        if isinstance(profiles, Mapping):
+            self.profiles = dict(profiles)
+        else:
+            self.profiles = {p.client_id: p for p in profiles}
+        if not self.profiles:
+            raise ValueError("a fleet needs at least one device")
+        self.availability = availability or AlwaysAvailable()
+        self.config = config or FleetConfig()
+
+    @classmethod
+    def build(
+        cls,
+        n_clients: int,
+        config: Optional[FleetConfig] = None,
+        *,
+        dropout_rate: float = 0.0,
+        horizon: int = 1,
+        seed: int = 0,
+    ) -> "Fleet":
+        """Population from a :class:`FleetConfig` (deterministic per seed)."""
+        config = config or FleetConfig()
+        profiles = heterogeneous_fleet(
+            n_clients,
+            zipf_a=config.zipf_a,
+            bandwidth_range=config.uplink_range,
+            max_slowdown=config.max_slowdown,
+            seed=seed,
+            downlink_range=config.downlink_range,
+        )
+        availability = build_availability(
+            config.availability,
+            n_clients=n_clients,
+            horizon=horizon,
+            dropout_rate=dropout_rate,
+            mean_session=config.mean_session,
+            seed=seed,
+        )
+        return cls(profiles, availability, config)
+
+    # -- population queries -------------------------------------------
+    @property
+    def n_clients(self) -> int:
+        return len(self.profiles)
+
+    def with_id_offset(self, offset: int) -> "Fleet":
+        """A view of this fleet addressed by shifted client ids.
+
+        Protocol layers may re-index clients — SecAgg shifts ids by +1
+        so Shamir evaluation points are non-zero — and a transport that
+        looks devices up by *protocol* id would otherwise price client
+        u's frames on device u+1's links.  The view keys the same
+        profiles (and shares the same availability model) under
+        ``client id + offset``.
+        """
+        if offset == 0:
+            return self
+        return Fleet(
+            {cid + offset: p for cid, p in self.profiles.items()},
+            self.availability,
+            self.config,
+        )
+
+    def device(self, client_id: int) -> DeviceProfile:
+        """The profile serving ``client_id`` (modular for oversampling)."""
+        profile = self.profiles.get(client_id)
+        if profile is not None:
+            return profile
+        keys = sorted(self.profiles)
+        return self.profiles[keys[client_id % len(keys)]]
+
+    def profiles_for(self, client_ids: Iterable[int]) -> dict[int, DeviceProfile]:
+        """``{client id: profile}`` for a sampled set (transport input)."""
+        return {u: self.device(u) for u in client_ids}
+
+    # -- availability -------------------------------------------------
+    def dropped(self, sampled: list[int], round_index: int) -> set[int]:
+        """Which of this round's sample the availability model silences."""
+        return self.availability.dropped(sampled, round_index)
+
+    # -- timing -------------------------------------------------------
+    def straggler_factor(self, sampled: Iterable[int]) -> float:
+        """Compute slowdown of the slowest sampled device."""
+        factors = [self.device(u).compute_factor for u in sampled]
+        if not factors:
+            raise ValueError("sampled set is empty")
+        return max(factors)
+
+    def broadcast_seconds(self, sampled: Iterable[int], nbytes: float) -> float:
+        """Synchronized server→clients broadcast: slowest downlink gates."""
+        times = [self.device(u).download_seconds(nbytes) for u in sampled]
+        if not times:
+            raise ValueError("sampled set is empty")
+        return max(times)
+
+    def upload_seconds(self, sampled: Iterable[int], nbytes: float) -> float:
+        """Synchronized clients→server upload: slowest uplink gates."""
+        times = [self.device(u).upload_seconds(nbytes) for u in sampled]
+        if not times:
+            raise ValueError("sampled set is empty")
+        return max(times)
+
+    def link_seconds(
+        self, client_id: int, down_nbytes: float, up_nbytes: float
+    ) -> float:
+        """One client's request/response exchange on its own links."""
+        return self.device(client_id).link_seconds(down_nbytes, up_nbytes)
+
+    def round_cost(
+        self,
+        sampled: list[int],
+        survivors: list[int],
+        update_nbytes: int,
+        compute_seconds: Optional[float] = None,
+    ) -> FleetRoundCost:
+        """Modeled FedAvg round: broadcast → local train → upload.
+
+        Every sampled client downloads the ``update_nbytes``-sized model
+        (dropouts happen *after* being sampled, §6.1, so they cost
+        downlink); only survivors upload.  Stage times are gated by the
+        slowest relevant link / the compute straggler.
+        """
+        if not sampled:
+            raise ValueError("sampled set is empty")
+        base = (
+            self.config.compute_seconds
+            if compute_seconds is None
+            else compute_seconds
+        )
+        return FleetRoundCost(
+            down_seconds=self.broadcast_seconds(sampled, update_nbytes),
+            compute_seconds=base * self.straggler_factor(sampled),
+            up_seconds=(
+                self.upload_seconds(survivors, update_nbytes)
+                if survivors
+                else 0.0
+            ),
+            down_bytes=update_nbytes * len(sampled),
+            up_bytes=update_nbytes * len(survivors),
+        )

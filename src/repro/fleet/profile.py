@@ -1,0 +1,143 @@
+"""Per-device hardware/network profiles with directional bandwidth.
+
+The paper's §6.1 testbed is heterogeneous in two independent ways: the
+end-to-end latency of the i-th slowest client follows an inverse Zipf
+profile, and client bandwidth is Zipf-distributed within [21, 210] Mbps.
+Its network costs are also *directionally asymmetric* — the client
+uplink is the WAN bottleneck for masked inputs and shares, the downlink
+for model broadcast — so a profile carries separate ``uplink_bps`` and
+``downlink_bps``.  A symmetric profile (``uplink == downlink``) behaves
+bit-identically to the legacy single-``bandwidth_bps`` device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.rng import derive_rng
+from repro.utils.zipf import zipf_between, zipf_weights
+
+#: §6.1 bandwidth throttle, in bytes/second: [21, 210] Mbps.
+DEFAULT_BANDWIDTH_RANGE = (21e6 / 8, 210e6 / 8)
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """One client's hardware/network profile.
+
+    ``compute_factor`` multiplies compute-stage durations (1.0 = the
+    fleet's fastest device); ``uplink_bps`` / ``downlink_bps`` are the
+    client→server and server→client link speeds in bytes per second.
+    """
+
+    client_id: int
+    compute_factor: float
+    uplink_bps: float
+    downlink_bps: float
+
+    def __post_init__(self) -> None:
+        if self.compute_factor < 1.0:
+            raise ValueError("compute_factor is relative to the fastest (>= 1)")
+        if self.uplink_bps <= 0 or self.downlink_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    @classmethod
+    def symmetric(
+        cls, client_id: int, compute_factor: float = 1.0,
+        bandwidth_bps: float = DEFAULT_BANDWIDTH_RANGE[1],
+    ) -> "DeviceProfile":
+        """A device whose uplink and downlink share one bandwidth."""
+        return cls(
+            client_id=client_id,
+            compute_factor=compute_factor,
+            uplink_bps=bandwidth_bps,
+            downlink_bps=bandwidth_bps,
+        )
+
+    @property
+    def is_symmetric(self) -> bool:
+        return self.uplink_bps == self.downlink_bps
+
+    @property
+    def bandwidth_bps(self) -> float:
+        """The uplink speed — the legacy symmetric accessor.
+
+        Pre-split call sites (straggler queries, upload gating) read one
+        ``bandwidth_bps``; they meant the uplink, which this returns.
+        Equals ``downlink_bps`` for symmetric profiles.
+        """
+        return self.uplink_bps
+
+    def upload_seconds(self, nbytes: float) -> float:
+        """Client→server transfer time of ``nbytes`` on the uplink."""
+        return nbytes / self.uplink_bps
+
+    def download_seconds(self, nbytes: float) -> float:
+        """Server→client transfer time of ``nbytes`` on the downlink."""
+        return nbytes / self.downlink_bps
+
+    def link_seconds(self, down_nbytes: float, up_nbytes: float) -> float:
+        """One request/response exchange: down on the downlink, up on
+        the uplink.
+
+        The symmetric case is computed as ``(down + up) / bandwidth`` —
+        one division, exactly the pre-split formula — so a symmetric
+        profile reproduces legacy latencies *bit-identically* rather
+        than merely approximately (two divisions would round
+        differently).
+        """
+        if self.uplink_bps == self.downlink_bps:
+            return (down_nbytes + up_nbytes) / self.uplink_bps
+        return (
+            down_nbytes / self.downlink_bps + up_nbytes / self.uplink_bps
+        )
+
+
+def heterogeneous_fleet(
+    n: int,
+    zipf_a: float = 1.2,
+    bandwidth_range: tuple[float, float] = DEFAULT_BANDWIDTH_RANGE,
+    max_slowdown: float = 8.0,
+    seed: int = 0,
+    downlink_range: tuple[float, float] | None = None,
+) -> list[DeviceProfile]:
+    """Build a fleet with §6.1's latency and bandwidth heterogeneity.
+
+    Compute factors follow the inverse Zipf profile (slowest =
+    ``max_slowdown``×); uplink bandwidths are an independently-shuffled
+    Zipf profile within ``bandwidth_range`` — the two resources are not
+    correlated, as in the paper's setup of two independent Zipf draws.
+
+    ``downlink_range=None`` (the default) produces symmetric devices
+    whose profiles — compute factors and bandwidths alike — are
+    bit-identical to the pre-split fleet for the same seed.  Passing a
+    range draws a third independent Zipf profile for the downlinks
+    (real WAN links are asymmetric: residential downlink is typically
+    several times the uplink), shuffled on its own rng stream so the
+    uplink/compute draws are untouched.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    weights = zipf_weights(n, zipf_a)
+    # Largest weight = slowest device (rank 1 in the paper's i^-a law).
+    slowdowns = 1.0 + (max_slowdown - 1.0) * (weights - weights.min()) / (
+        weights.max() - weights.min() + 1e-12
+    )
+    bandwidths = zipf_between(n, *bandwidth_range, a=zipf_a)
+    rng = derive_rng("fleet-shuffle", seed)
+    rng.shuffle(bandwidths)
+    order = rng.permutation(n)
+    if downlink_range is None:
+        downlinks = bandwidths
+    else:
+        downlinks = zipf_between(n, *downlink_range, a=zipf_a)
+        derive_rng("fleet-downlink-shuffle", seed).shuffle(downlinks)
+    return [
+        DeviceProfile(
+            client_id=i,
+            compute_factor=float(slowdowns[order[i]]),
+            uplink_bps=float(bandwidths[i]),
+            downlink_bps=float(downlinks[i]),
+        )
+        for i in range(n)
+    ]

@@ -18,11 +18,11 @@ reproductions use.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.pipeline.stages import DORDIS_STAGES, Resource, Stage
+from repro.pipeline.stages import DORDIS_STAGES, Stage
 from repro.utils.zipf import zipf_between
 
 

@@ -10,7 +10,7 @@ subpackage reproduces that environment analytically:
   protocol participants and answering straggler/timing queries.
 """
 
-from repro.sim.network import ClientDevice, heterogeneous_fleet
+from repro.sim.network import ClientDevice, DeviceProfile, heterogeneous_fleet
 from repro.sim.cluster import SimulatedCluster
 from repro.sim.timeline import (
     ExecutionTrace,
@@ -18,12 +18,14 @@ from repro.sim.timeline import (
     StageSpan,
     Timeline,
     TraceTimeline,
+    TrafficSplit,
     build_timelines,
     simulate_trace,
 )
 
 __all__ = [
     "ClientDevice",
+    "DeviceProfile",
     "heterogeneous_fleet",
     "SimulatedCluster",
     "ExecutionTrace",
@@ -31,6 +33,7 @@ __all__ = [
     "StageSpan",
     "Timeline",
     "TraceTimeline",
+    "TrafficSplit",
     "build_timelines",
     "simulate_trace",
 ]

@@ -5,20 +5,26 @@ queries the experiments need: who is the straggler of a sampled set, and
 how long its compute/upload takes.  Protocol *correctness* runs as real
 in-process message passing (:mod:`repro.secagg`, :mod:`repro.xnoise`);
 this class only models *time*, per DESIGN.md's substitution table.
+
+Devices are :class:`repro.fleet.DeviceProfile` objects, so uplink and
+downlink gate their own stages: uploads by the slowest *uplink* of the
+sample, broadcasts by the slowest *downlink*.  (For richer population
+queries — availability, per-round cost — use :class:`repro.fleet.Fleet`,
+which this class predates.)
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.sim.network import ClientDevice, heterogeneous_fleet
+from repro.fleet.profile import DeviceProfile, heterogeneous_fleet
 
 
 @dataclass
 class SimulatedCluster:
     """A population of heterogeneous devices plus one (fast) server."""
 
-    devices: list[ClientDevice]
+    devices: list[DeviceProfile]
 
     @classmethod
     def build(cls, n_clients: int, seed: int = 0, **fleet_kwargs) -> "SimulatedCluster":
@@ -28,10 +34,10 @@ class SimulatedCluster:
     def n_clients(self) -> int:
         return len(self.devices)
 
-    def device(self, client_id: int) -> ClientDevice:
+    def device(self, client_id: int) -> DeviceProfile:
         return self.devices[client_id % self.n_clients]
 
-    def straggler(self, sampled: list[int]) -> ClientDevice:
+    def straggler(self, sampled: list[int]) -> DeviceProfile:
         """The sampled client that gates synchronous stages."""
         if not sampled:
             raise ValueError("sampled set is empty")
@@ -41,14 +47,25 @@ class SimulatedCluster:
         )
 
     def slowest_bandwidth(self, sampled: list[int]) -> float:
+        """Least uplink bandwidth of the sample (upload gating)."""
         if not sampled:
             raise ValueError("sampled set is empty")
-        return min(self.device(u).bandwidth_bps for u in sampled)
+        return min(self.device(u).uplink_bps for u in sampled)
+
+    def slowest_downlink(self, sampled: list[int]) -> float:
+        """Least downlink bandwidth of the sample (broadcast gating)."""
+        if not sampled:
+            raise ValueError("sampled set is empty")
+        return min(self.device(u).downlink_bps for u in sampled)
 
     def stage_compute_seconds(self, sampled: list[int], base_seconds: float) -> float:
         """Wall time of a client-compute stage: base × straggler factor."""
         return base_seconds * self.straggler(sampled).compute_factor
 
     def stage_upload_seconds(self, sampled: list[int], nbytes: float) -> float:
-        """Wall time of a synchronized upload: gated by least bandwidth."""
+        """Wall time of a synchronized upload: gated by least uplink."""
         return nbytes / self.slowest_bandwidth(sampled)
+
+    def stage_download_seconds(self, sampled: list[int], nbytes: float) -> float:
+        """Wall time of a synchronized broadcast: gated by least downlink."""
+        return nbytes / self.slowest_downlink(sampled)

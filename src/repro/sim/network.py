@@ -1,72 +1,40 @@
-"""Heterogeneous client devices.
+"""Heterogeneous client devices — legacy import location.
 
-Each device carries a compute-speed factor and a bandwidth, drawn from
-the paper's §6.1 profiles: end-to-end latency of the i-th slowest client
-∝ i^−1.2, bandwidth Zipf within [21, 210] Mbps.
+The profile layer moved to :mod:`repro.fleet.profile`, where devices
+carry *directional* bandwidth (separate ``uplink_bps`` /
+``downlink_bps``).  This module re-exports it and keeps the historical
+:func:`ClientDevice` entry point, which builds a **symmetric** profile
+from one ``bandwidth_bps`` — bit-identical behaviour to the pre-split
+device class.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from repro.fleet.profile import (
+    DEFAULT_BANDWIDTH_RANGE,
+    DeviceProfile,
+    heterogeneous_fleet,
+)
 
-import numpy as np
 
-from repro.utils.rng import derive_rng
-from repro.utils.zipf import zipf_between, zipf_weights
+def ClientDevice(
+    client_id: int,
+    compute_factor: float = 1.0,
+    bandwidth_bps: float = DEFAULT_BANDWIDTH_RANGE[1],
+) -> DeviceProfile:
+    """A symmetric :class:`DeviceProfile` (legacy constructor).
 
-
-@dataclass(frozen=True)
-class ClientDevice:
-    """One client's hardware/network profile.
-
-    ``compute_factor`` multiplies compute-stage durations (1.0 = the
-    fleet's fastest device); ``bandwidth_bps`` is bytes per second.
+    ``bandwidth_bps`` sets both directions; use :class:`DeviceProfile`
+    directly for asymmetric links.
     """
-
-    client_id: int
-    compute_factor: float
-    bandwidth_bps: float
-
-    def __post_init__(self) -> None:
-        if self.compute_factor < 1.0:
-            raise ValueError("compute_factor is relative to the fastest (>= 1)")
-        if self.bandwidth_bps <= 0:
-            raise ValueError("bandwidth must be positive")
-
-    def upload_seconds(self, nbytes: float) -> float:
-        return nbytes / self.bandwidth_bps
-
-
-def heterogeneous_fleet(
-    n: int,
-    zipf_a: float = 1.2,
-    bandwidth_range: tuple[float, float] = (21e6 / 8, 210e6 / 8),
-    max_slowdown: float = 8.0,
-    seed: int = 0,
-) -> list[ClientDevice]:
-    """Build a fleet with §6.1's latency and bandwidth heterogeneity.
-
-    Compute factors follow the inverse Zipf profile (slowest =
-    ``max_slowdown``×); bandwidths are an independently-shuffled Zipf
-    profile within ``bandwidth_range`` — the two resources are not
-    correlated, as in the paper's setup of two independent Zipf draws.
-    """
-    if n < 1:
-        raise ValueError("n must be >= 1")
-    weights = zipf_weights(n, zipf_a)
-    # Largest weight = slowest device (rank 1 in the paper's i^-a law).
-    slowdowns = 1.0 + (max_slowdown - 1.0) * (weights - weights.min()) / (
-        weights.max() - weights.min() + 1e-12
+    return DeviceProfile.symmetric(
+        client_id, compute_factor=compute_factor, bandwidth_bps=bandwidth_bps
     )
-    bandwidths = zipf_between(n, *bandwidth_range, a=zipf_a)
-    rng = derive_rng("fleet-shuffle", seed)
-    rng.shuffle(bandwidths)
-    order = rng.permutation(n)
-    return [
-        ClientDevice(
-            client_id=i,
-            compute_factor=float(slowdowns[order[i]]),
-            bandwidth_bps=float(bandwidths[i]),
-        )
-        for i in range(n)
-    ]
+
+
+__all__ = [
+    "ClientDevice",
+    "DEFAULT_BANDWIDTH_RANGE",
+    "DeviceProfile",
+    "heterogeneous_fleet",
+]

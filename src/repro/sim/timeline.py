@@ -27,6 +27,7 @@ against.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 import numpy as np
 
@@ -65,6 +66,17 @@ class Timeline(_TimelineQueries):
         return self.round_seconds * np.arange(1, n + 1)
 
 
+class TrafficSplit(NamedTuple):
+    """Directional wire-byte count: server→client down, client→server up."""
+
+    down: int
+    up: int
+
+    @property
+    def total(self) -> int:
+        return self.down + self.up
+
+
 @dataclass(frozen=True)
 class StageSpan:
     """One stage execution interval for one chunk, in virtual seconds.
@@ -74,12 +86,17 @@ class StageSpan:
     number; chunked rounds report theirs as
     ``ChunkedRoundResult.trace_round``.
 
-    ``traffic_bytes`` is the stage's *measured* wire traffic: the sum of
-    framed request/response bytes every delivery of the stage's client
-    ops reported (see :class:`repro.engine.transport.Delivery`).  It is
-    0 for in-process execution, which never serializes, and exact — byte
-    for byte what was written to the socket — for the serializing and
-    stream transports.
+    Traffic is *measured and directional*: ``down_bytes`` is the framed
+    request bytes the server pushed to clients (model/state broadcast,
+    routed inboxes), ``up_bytes`` the framed response bytes clients sent
+    back (masked vectors, shares — see
+    :class:`repro.engine.transport.Delivery`).  Both are 0 for
+    in-process execution, which never serializes, and exact — byte for
+    byte what was written to the socket — for the serializing and
+    stream transports.  ``traffic_bytes`` is their sum; constructing a
+    span whose ``traffic_bytes`` disagrees with the split is an error
+    (the invariant ``up + down == total`` holds for every span, by
+    construction).
     """
 
     round_index: int
@@ -89,11 +106,30 @@ class StageSpan:
     resource: str
     begin: float
     finish: float
-    traffic_bytes: int = 0
+    up_bytes: int = 0
+    down_bytes: int = 0
+    traffic_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.up_bytes < 0 or self.down_bytes < 0:
+            raise ValueError("directional byte counts must be non-negative")
+        total = self.up_bytes + self.down_bytes
+        if self.traffic_bytes is None:
+            object.__setattr__(self, "traffic_bytes", total)
+        elif self.traffic_bytes != total:
+            raise ValueError(
+                f"traffic_bytes={self.traffic_bytes} must equal "
+                f"up_bytes + down_bytes = {total}; traffic is directional "
+                f"now — pass the split and let the sum derive"
+            )
 
     @property
     def duration(self) -> float:
         return self.finish - self.begin
+
+    @property
+    def traffic_split(self) -> TrafficSplit:
+        return TrafficSplit(down=self.down_bytes, up=self.up_bytes)
 
 
 @dataclass
@@ -171,6 +207,14 @@ class ExecutionTrace:
         """Measured wire bytes of one round (sum over its spans)."""
         return sum(s.traffic_bytes for s in self.round_spans(round_index))
 
+    def round_traffic_split(self, round_index: int) -> TrafficSplit:
+        """Directional wire bytes of one round: (down, up)."""
+        spans = self.round_spans(round_index)
+        return TrafficSplit(
+            down=sum(s.down_bytes for s in spans),
+            up=sum(s.up_bytes for s in spans),
+        )
+
     def stage_traffic(self, round_index: int = 0) -> dict:
         """``{stage label: measured bytes}`` for one round, in stage order.
 
@@ -181,10 +225,34 @@ class ExecutionTrace:
             out[s.label] = out.get(s.label, 0) + s.traffic_bytes
         return out
 
+    def stage_traffic_split(self, round_index: int = 0) -> dict:
+        """``{stage label: TrafficSplit}`` for one round, in stage order.
+
+        The directional counterpart of :meth:`stage_traffic`: chunked
+        rounds sum each stage's down/up bytes across chunks.
+        """
+        out: dict = {}
+        for s in sorted(self.round_spans(round_index), key=lambda s: s.stage):
+            prev = out.get(s.label, TrafficSplit(0, 0))
+            out[s.label] = TrafficSplit(
+                down=prev.down + s.down_bytes, up=prev.up + s.up_bytes
+            )
+        return out
+
     @property
     def total_traffic_bytes(self) -> int:
         """Measured wire bytes across every traced round."""
         return sum(s.traffic_bytes for s in self.spans)
+
+    @property
+    def total_down_bytes(self) -> int:
+        """Measured server→client wire bytes across every traced round."""
+        return sum(s.down_bytes for s in self.spans)
+
+    @property
+    def total_up_bytes(self) -> int:
+        """Measured client→server wire bytes across every traced round."""
+        return sum(s.up_bytes for s in self.spans)
 
 
 @dataclass(frozen=True)
@@ -223,11 +291,16 @@ class SimulatedRound:
     floor); ``round_index`` overrides the engine-style serial (default:
     position in the list passed to :func:`simulate_trace`).
 
-    ``traffic[stage][chunk]`` optionally carries the measured wire
-    bytes of each stage execution, so a replay of a round run over a
-    serializing/socket transport can equal the executed trace *exactly*
-    — including ``StageSpan.traffic_bytes``.  Omitted (``None``), every
-    replayed span reports 0 traffic, matching in-process execution.
+    ``down_traffic[stage][chunk]`` / ``up_traffic[stage][chunk]``
+    optionally carry the measured *directional* wire bytes of each stage
+    execution, so a replay of a round run over a serializing/socket
+    transport can equal the executed trace *exactly* — including every
+    span's ``down_bytes``/``up_bytes`` (and hence ``traffic_bytes``,
+    their sum).  Omitted (``None``), the direction contributes 0;
+    with both omitted every replayed span reports 0 traffic, matching
+    in-process execution.  ``traffic`` is the retired undirected field:
+    spans are directional now, so passing it raises with a migration
+    hint instead of silently mis-attributing the bytes.
     """
 
     resources: tuple
@@ -237,7 +310,17 @@ class SimulatedRound:
     serial: bool = False
     floor: float = 0.0
     round_index: int | None = None
+    down_traffic: tuple | None = None
+    up_traffic: tuple | None = None
     traffic: tuple | None = None
+
+    def __post_init__(self) -> None:
+        if self.traffic is not None:
+            raise ValueError(
+                "SimulatedRound.traffic was undirected and is retired: "
+                "pass down_traffic/up_traffic (spans now carry the "
+                "per-direction split, and traffic_bytes is their sum)"
+            )
 
 
 def simulate_trace(rounds, initial_clocks=None) -> ExecutionTrace:
@@ -273,10 +356,12 @@ def simulate_trace(rounds, initial_clocks=None) -> ExecutionTrace:
             raise ValueError("one durations row per stage required")
         if any(len(row) != spec.n_chunks for row in spec.durations):
             raise ValueError("one duration per (stage, chunk) required")
-        if spec.traffic is not None:
-            if len(spec.traffic) != len(spec.resources):
+        for grid in (spec.down_traffic, spec.up_traffic):
+            if grid is None:
+                continue
+            if len(grid) != len(spec.resources):
                 raise ValueError("one traffic row per stage required")
-            if any(len(row) != spec.n_chunks for row in spec.traffic):
+            if any(len(row) != spec.n_chunks for row in grid):
                 raise ValueError("one traffic entry per (stage, chunk) required")
         specs[serial_no] = spec
         arbiter.add_round(
@@ -294,8 +379,15 @@ def simulate_trace(rounds, initial_clocks=None) -> ExecutionTrace:
         spec = specs[node.round_serial]
         finish = node.begin + float(spec.durations[node.stage][node.chunk])
         labels = spec.labels
-        traffic = (
-            int(spec.traffic[node.stage][node.chunk]) if spec.traffic else 0
+        down = (
+            int(spec.down_traffic[node.stage][node.chunk])
+            if spec.down_traffic
+            else 0
+        )
+        up = (
+            int(spec.up_traffic[node.stage][node.chunk])
+            if spec.up_traffic
+            else 0
         )
         trace.add(
             StageSpan(
@@ -306,7 +398,8 @@ def simulate_trace(rounds, initial_clocks=None) -> ExecutionTrace:
                 resource=node.resource,
                 begin=node.begin,
                 finish=finish,
-                traffic_bytes=traffic,
+                up_bytes=up,
+                down_bytes=down,
             )
         )
         arbiter.complete(node, finish)

@@ -22,7 +22,7 @@ why removal costs seeds, not model-sized vectors (§3.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 import numpy as np
@@ -358,11 +358,13 @@ async def arun_xnoise_round(
     round_index: int = 0,
     client_factory: Optional[Callable[[int], XNoiseClient]] = None,
     engine: Optional[RoundEngine] = None,
+    timing=None,
 ) -> XNoiseResult:
     """Execute one XNoise+SecAgg round on the engine (async).
 
     Dropout middleware wraps the engine's own transport, preserving any
-    configured latency model.
+    configured latency model; ``timing`` overrides the engine's op cost
+    model for this round (e.g. a straggler-scaled wrapper).
     """
     server, clients = xnoise_round_components(
         config, inputs, pki, round_index, client_factory
@@ -373,6 +375,7 @@ async def arun_xnoise_round(
         clients,
         round_index=round_index,
         transport=with_dropout(engine.transport, dropout),
+        timing=timing,
     )
 
 

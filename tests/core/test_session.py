@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core import DordisConfig, DordisSession
-from repro.core.baselines import XNoiseStrategy
 
 
 def quick_config(**overrides):

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import DordisConfig, DordisSession
+from repro.fleet import FleetConfig
 
 
 def secagg_config(**overrides):
@@ -61,6 +62,144 @@ class TestChunkedSecAggSession:
         first.run()
         second.run()
         assert repr(first.engine.trace.spans) == repr(second.engine.trace.spans)
+
+
+class TestSessionFleet:
+    """The fleet layer drives dropout, link latency, and round timing."""
+
+    def test_default_fleet_records_round_seconds(self):
+        """round_seconds_history is meaningful out of the box: the
+        fast noise-algebra path records the fleet's modeled
+        broadcast → train → upload cost, with directional traffic."""
+        session = DordisSession(
+            DordisConfig(num_clients=10, sample_size=4, rounds=2,
+                         samples_per_client=10, seed=3)
+        )
+        result = session.run()
+        assert len(result.round_seconds_history) == 2
+        assert all(t > 0 for t in result.round_seconds_history)
+        trace = session.engine.trace
+        split = trace.round_traffic_split(0)
+        nbytes = 8 * session.model.n_params
+        assert split.down == 4 * nbytes          # every sampled client
+        assert split.up == 4 * nbytes            # no dropout: all survive
+        assert trace.stage_traffic_split(0)["upload"].down == 0
+        assert trace.stage_traffic_split(0)["broadcast"].up == 0
+
+    def test_fleet_none_is_the_documented_optout(self):
+        session = DordisSession(
+            DordisConfig(num_clients=10, sample_size=4, rounds=2,
+                         samples_per_client=10, seed=3, fleet=None)
+        )
+        result = session.run()
+        assert result.round_seconds_history == [0.0, 0.0]
+        assert session.engine.trace.spans == []
+
+    def test_secagg_round_seconds_from_fleet_links(self):
+        session = DordisSession(secagg_config())
+        result = session.run()
+        assert all(t > 0 for t in result.round_seconds_history)
+        # Measured, not modeled: the trace carries both directions.
+        assert session.engine.trace.total_down_bytes > 0
+        assert session.engine.trace.total_up_bytes > 0
+
+    def test_trace_availability_churns_dropout(self):
+        """availability='trace' derives per-round dropout from the
+        behaviour trace: the rate swings instead of sitting at the
+        configured constant."""
+        session = DordisSession(
+            DordisConfig(num_clients=40, sample_size=16, rounds=8,
+                         samples_per_client=10, seed=2,
+                         fleet=FleetConfig(availability="trace"))
+        )
+        result = session.run()
+        assert len(set(result.dropout_history)) > 1
+
+    def test_dropout_model_override_wins(self):
+        from repro.fleet import FixedRateDropout
+
+        session = DordisSession(
+            DordisConfig(num_clients=10, sample_size=4, rounds=1,
+                         samples_per_client=10,
+                         fleet=FleetConfig(availability="trace")),
+            dropout_model=FixedRateDropout(0.0),
+        )
+        assert session.run().dropout_history == [0.0]
+
+    def test_fixed_fleet_reproduces_legacy_dropout_history(self):
+        """The fleet's 'fixed' availability draws the exact same
+        dropouts the old hard-wired FixedRateDropout did."""
+        with_fleet = DordisSession(secagg_config()).run()
+        legacy = DordisSession(secagg_config(fleet=None)).run()
+        assert with_fleet.dropout_history == legacy.dropout_history
+        assert with_fleet.epsilon_history == legacy.epsilon_history
+
+    def test_bad_fleet_config_rejected(self):
+        with pytest.raises(ValueError, match="fleet"):
+            secagg_config(fleet="heterogeneous")
+
+    def test_secagg_transport_prices_shifted_ids_on_own_device(self):
+        """SecAgg shifts client ids by +1 (Shamir points); the session's
+        transport must still resolve protocol id u+1 to client u's
+        device — not its neighbour's."""
+        session = DordisSession(secagg_config())
+        transport_fleet = session.engine.transport.fleet
+        for u in range(session.config.num_clients):
+            assert transport_fleet.device(u + 1) is session.fleet.device(u)
+
+    def test_secagg_straggler_scales_engine_timing(self):
+        """The real-protocol path runs c-comp stages at the sampled
+        straggler's pace: with an engine op-cost model, every c-comp
+        span is the base duration × the round's straggler factor."""
+        from repro.engine import PerOpTiming, RoundEngine
+
+        times = {"masked_input": 1.0, "unmask": 2.0}
+
+        def spans_of(session):
+            session.run()
+            return [
+                s for s in session.engine.trace.spans
+                if s.label in times and s.resource == "c-comp"
+            ]
+
+        base_session = DordisSession(
+            secagg_config(rounds=1, fleet=None),
+            engine=RoundEngine(timing=PerOpTiming(times)),
+        )
+        fleet_session = DordisSession(
+            secagg_config(rounds=1),
+            engine=RoundEngine(timing=PerOpTiming(times)),
+        )
+        base = spans_of(base_session)
+        scaled = spans_of(fleet_session)
+        assert base and len(base) == len(scaled)
+        # Same dropout draws (fixed availability ≡ legacy), so spans
+        # pair up; each scaled duration is base × one common factor > 1.
+        ratios = {
+            round(s.duration / b.duration, 9)
+            for b, s in zip(base, scaled)
+        }
+        assert len(ratios) == 1
+        assert ratios.pop() > 1.0
+
+    def test_secagg_survives_below_threshold_round(self):
+        """A churn round that drops below the SecAgg threshold aborts
+        the *protocol* round, not the session: the update is skipped
+        (like an all-dropped round) and training continues."""
+
+        class HeavyThenClear:
+            def dropped(self, sampled, round_index):
+                return set(sampled[:-2]) if round_index == 0 else set()
+
+        session = DordisSession(
+            secagg_config(rounds=2), dropout_model=HeavyThenClear()
+        )
+        result = session.run()
+        # Round 0 aborted below threshold (3 of 5 dropped), round 1 ran.
+        assert len(result.dropout_history) == 2
+        assert result.dropout_history[0] == pytest.approx(3 / 5)
+        assert len(result.metric_history) == 1
+        assert result.rounds_completed == 2
 
 
 class TestSessionWireTransports:

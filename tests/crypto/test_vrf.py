@@ -1,6 +1,5 @@
 """VRF: correctness, uniqueness, unforgeability, output mapping."""
 
-import pytest
 
 from repro.crypto.dh import MODP_512
 from repro.crypto.vrf import (

@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-from scipy import stats
 
 from repro.dp.dgauss import (
     DGaussConfig,

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.dp.accountant import RdpAccountant
 from repro.dp.gaussian import DistributedGaussianMechanism
 from repro.dp.planner import plan_noise
 from repro.utils.rng import derive_rng

@@ -12,7 +12,6 @@ import asyncio
 import random
 
 import numpy as np
-import pytest
 
 from repro.api.protocol import ProtocolClient, ProtocolServer
 from repro.engine import (

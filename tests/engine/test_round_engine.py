@@ -7,7 +7,6 @@ import pytest
 
 from repro.api.protocol import ProtocolClient, ProtocolServer
 from repro.engine import (
-    ClientUnavailable,
     DropoutTransport,
     InProcessTransport,
     PerOpTiming,
@@ -449,6 +448,43 @@ class TestTiming:
         with pytest.raises(ValueError):
             StageTiming(server, perf, 10.0)
 
+    def test_symmetric_device_reproduces_pre_split_latency_exactly(self):
+        """up == down bandwidth must reduce to the pre-refactor formula
+        bit-identically: (request + response) / bandwidth, one division
+        — not two separately-rounded per-direction terms."""
+        from repro.engine import measured_nbytes
+
+        vectors = {0: np.ones(8)}
+        bandwidth = 3.0  # pathological divisor: rounding differences show
+        devices = {
+            0: ClientDevice(client_id=0, compute_factor=1.0,
+                            bandwidth_bps=bandwidth),
+        }
+        engine = RoundEngine(transport=SimulatedNetworkTransport(devices))
+        engine.run_round_sync(SumServer(), [SumClient(0, vectors[0])])
+        encode_span = engine.trace.round_spans(0)[0]
+        down = measured_nbytes(("encode", None))
+        up = measured_nbytes(vectors[0])
+        assert encode_span.duration == (down + up) / bandwidth
+        assert (encode_span.down_bytes, encode_span.up_bytes) == (down, up)
+
+    def test_asymmetric_device_charges_each_direction(self):
+        """Request bytes ride the downlink, response bytes the uplink."""
+        from repro.engine import measured_nbytes
+        from repro.sim.network import DeviceProfile
+
+        vectors = {0: np.ones(8)}
+        devices = {
+            0: DeviceProfile(client_id=0, compute_factor=1.0,
+                             uplink_bps=10.0, downlink_bps=1000.0),
+        }
+        engine = RoundEngine(transport=SimulatedNetworkTransport(devices))
+        engine.run_round_sync(SumServer(), [SumClient(0, vectors[0])])
+        encode_span = engine.trace.round_spans(0)[0]
+        down = measured_nbytes(("encode", None))
+        up = measured_nbytes(vectors[0])
+        assert encode_span.duration == down / 1000.0 + up / 10.0
+
     def test_simulated_network_latency_gates_stage(self):
         """The slowest device's link time bounds the comm duration.
 
@@ -477,6 +513,74 @@ class TestTiming:
         assert encode_span.duration >= devices[1].upload_seconds(exchange)
         # The stage's traffic is the measured exchange of both links.
         assert encode_span.traffic_bytes == 2 * exchange
+
+
+class TestSplitTrafficReplay:
+    def test_offline_replay_equals_executed_serialized_round(self):
+        """simulate_trace with per-direction traffic reproduces an
+        executed wire round span for span — including the split.
+
+        The replay's traffic comes from the codecs (an independent
+        oracle), not from the executed trace.
+        """
+        from repro.engine import (
+            InProcessTransport,
+            SerializingTransport,
+            measured_nbytes,
+            stage_groups,
+        )
+        from repro.sim.timeline import SimulatedRound, simulate_trace
+        from repro.wire.codecs import encode_payload
+        from repro.wire.frame import KIND_REQUEST, encode_frame
+
+        vectors = {u: np.arange(6, dtype=float) + u for u in range(3)}
+        engine = RoundEngine(
+            transport=SerializingTransport(InProcessTransport()),
+            timing=PerOpTiming(TIMES),
+        )
+        clients = [RoundTripClient(u, v) for u, v in vectors.items()]
+        server = RoundTripServer()
+        engine.run_round_sync(server, clients)
+
+        groups = stage_groups(server)
+        aggregate = sum(vectors.values())
+        # Codec-computed per-direction bytes per stage (what the wire
+        # carries: encode fans out to 3, dispatch/decode too; acks and
+        # vectors come back).
+        down = {
+            "encode": 3 * measured_nbytes(("encode", None)),
+            "aggregate": 0,
+            "dispatch": 3 * measured_nbytes(("dispatch", aggregate)),
+            "decode": 3 * measured_nbytes(("decode", True)),
+            "finalize": 0,
+        }
+        up = {
+            "encode": 3 * measured_nbytes(vectors[0]),
+            "aggregate": 0,
+            "dispatch": 3 * measured_nbytes(True),
+            "decode": 3 * measured_nbytes(True),
+            "finalize": 0,
+        }
+        # Sanity: measured_nbytes really is the framed request size.
+        frame = encode_frame(KIND_REQUEST, encode_payload(("encode", None)))
+        assert measured_nbytes(("encode", None)) == len(frame)
+
+        replay = simulate_trace([
+            SimulatedRound(
+                resources=tuple(g.resource.value for g, _ in groups),
+                durations=tuple(
+                    (sum(TIMES[op] for op in ops),) for _, ops in groups
+                ),
+                labels=tuple(g.name for g, _ in groups),
+                down_traffic=tuple(
+                    (sum(down[op] for op in ops),) for _, ops in groups
+                ),
+                up_traffic=tuple(
+                    (sum(up[op] for op in ops),) for _, ops in groups
+                ),
+            )
+        ])
+        assert replay.spans == engine.trace.spans
 
 
 class TestTraceTimeline:

@@ -92,6 +92,23 @@ class TestStreamRoundTrip:
             assert s.bytes_received == s.endpoint_sent_bytes
             assert s.handshake_sent > 0 and s.handshake_received > 0
 
+    def test_per_direction_accounting_from_both_ends(self):
+        """Each direction balances independently: the channel's request
+        (downlink) bytes equal what endpoints received as REQUEST
+        frames, its response (uplink) bytes equal what endpoints sent
+        as replies — and the traced per-round split is their sum."""
+        transport = StreamTransport()
+        engine, _ = self._run(transport)
+        stats = transport.closed_connection_stats
+        for s in stats:
+            assert s.down_bytes == s.request_bytes == s.endpoint_request_bytes
+            assert s.up_bytes == s.response_bytes == s.endpoint_response_bytes
+            assert s.down_bytes > 0 and s.up_bytes > 0
+        split = engine.trace.round_traffic_split(0)
+        assert split.down == sum(s.down_bytes for s in stats)
+        assert split.up == sum(s.up_bytes for s in stats)
+        assert split.total == engine.trace.round_traffic_bytes(0)
+
     def test_server_side_stages_carry_no_traffic(self):
         transport = StreamTransport()
         engine, _ = self._run(transport)
@@ -109,7 +126,8 @@ class TestStreamRoundTrip:
 
     def test_simulated_network_sizes_match_socket_sizes(self):
         """SimulatedNetworkTransport's measured sizes equal the framed
-        bytes the socket transport actually writes, stage for stage."""
+        bytes the socket transport actually writes, stage for stage —
+        per direction, not just in total."""
         from repro.engine import SimulatedNetworkTransport
         from repro.sim.network import ClientDevice
 
@@ -119,8 +137,10 @@ class TestStreamRoundTrip:
         }
         sock_engine, _ = self._run(StreamTransport())
         sim_engine, _ = self._run(SimulatedNetworkTransport(devices))
-        assert [s.traffic_bytes for s in sim_engine.trace.spans] == [
-            s.traffic_bytes for s in sock_engine.trace.spans
+        assert [
+            (s.down_bytes, s.up_bytes) for s in sim_engine.trace.spans
+        ] == [
+            (s.down_bytes, s.up_bytes) for s in sock_engine.trace.spans
         ]
 
     def test_client_exception_crosses_as_error_frame(self):
@@ -139,6 +159,104 @@ class TestStreamRoundTrip:
                 await channel.aclose()
 
         asyncio.run(scenario())
+
+
+@pytest.mark.timeout(300)
+class TestDropoutOverSockets:
+    """DropoutTransport wrapped around real framed TCP, at every SecAgg
+    stage boundary.
+
+    The schedules silence clients before each protocol stage in turn;
+    the socket path must reproduce the reference driver's participant
+    sets and aggregate, and its *measured* per-direction bytes must
+    equal the codec-computed sizes a SimulatedNetworkTransport derives
+    for the same round — span for span.
+    """
+
+    def _secagg_over(self, transport, schedule):
+        from repro.engine import run_sync
+        from repro.secagg.driver import arun_secagg_round
+        from repro.secagg.types import SecAggConfig
+
+        config = SecAggConfig(
+            threshold=3, bits=16, dimension=8, dh_group="modp512"
+        )
+        rng = np.random.default_rng(7)
+        inputs = {u: rng.integers(0, 1 << 16, size=8) for u in range(1, 6)}
+        engine = RoundEngine(transport=transport)
+        result = run_sync(
+            arun_secagg_round(config, dict(inputs), schedule, engine=engine)
+        )
+        return engine, result
+
+    @pytest.mark.parametrize(
+        "name,schedule",
+        [
+            ("advertise", 0), ("share-keys", 1), ("masked-input", 2),
+            ("consistency", 3), ("unmask", 4),
+        ],
+    )
+    def test_dropout_at_every_stage_boundary(self, name, schedule):
+        from repro.secagg.driver import (
+            DropoutSchedule,
+            run_secagg_round_reference,
+        )
+        from repro.secagg.types import SecAggConfig
+
+        sched = DropoutSchedule(at_stage={schedule: {2}})
+        engine, over_sockets = self._secagg_over(StreamTransport(), sched)
+        config = SecAggConfig(
+            threshold=3, bits=16, dimension=8, dh_group="modp512"
+        )
+        rng = np.random.default_rng(7)
+        inputs = {u: rng.integers(0, 1 << 16, size=8) for u in range(1, 6)}
+        reference = run_secagg_round_reference(config, dict(inputs), sched)
+        assert over_sockets.u3 == reference.u3
+        assert over_sockets.u5 == reference.u5
+        np.testing.assert_array_equal(
+            over_sockets.aggregate, reference.aggregate
+        )
+        # Dropped-by-then clients moved no bytes for later stages: the
+        # round still accounts exactly (traced == framed, per direction).
+        transport = engine.transport
+        stats = transport.closed_connection_stats
+        split = engine.trace.round_traffic_split(0)
+        assert split.down == sum(s.down_bytes for s in stats)
+        assert split.up == sum(s.up_bytes for s in stats)
+
+    @pytest.mark.parametrize(
+        "name,schedule",
+        [
+            ("none", None), ("before-upload", 2), ("mid-unmask", 4),
+        ],
+    )
+    def test_socket_split_equals_codec_computed_sizes(self, name, schedule):
+        """Per-direction socket-measured bytes == codec-computed sizes,
+        span for span (the simulated transport computes sizes through
+        the codecs without any socket)."""
+        from repro.engine import SimulatedNetworkTransport
+        from repro.secagg.driver import DropoutSchedule
+        from repro.sim.network import ClientDevice
+
+        sched = (
+            None if schedule is None
+            else DropoutSchedule(at_stage={schedule: {3}})
+        )
+        sock_engine, _ = self._secagg_over(StreamTransport(), sched)
+        devices = {
+            u: ClientDevice(client_id=u, compute_factor=1.0, bandwidth_bps=1e6)
+            for u in range(1, 6)
+        }
+        sim_engine, _ = self._secagg_over(
+            SimulatedNetworkTransport(devices), sched
+        )
+        assert [
+            (s.label, s.down_bytes, s.up_bytes)
+            for s in sock_engine.trace.spans
+        ] == [
+            (s.label, s.down_bytes, s.up_bytes)
+            for s in sim_engine.trace.spans
+        ]
 
 
 @pytest.mark.timeout(120)

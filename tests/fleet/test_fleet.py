@@ -1,0 +1,136 @@
+"""Fleet: availability derivation, directional round costs, config."""
+
+import pytest
+
+from repro.fleet import (
+    AlwaysAvailable,
+    DeviceProfile,
+    Fleet,
+    FleetConfig,
+    FixedRateDropout,
+    TraceDrivenDropout,
+    build_availability,
+)
+
+
+def toy_fleet(availability=None):
+    profiles = [
+        DeviceProfile(0, compute_factor=1.0, uplink_bps=100.0, downlink_bps=400.0),
+        DeviceProfile(1, compute_factor=4.0, uplink_bps=50.0, downlink_bps=200.0),
+        DeviceProfile(2, compute_factor=2.0, uplink_bps=25.0, downlink_bps=800.0),
+    ]
+    return Fleet(profiles, availability)
+
+
+class TestFleetQueries:
+    def test_modular_device_lookup(self):
+        fleet = toy_fleet()
+        assert fleet.device(1).uplink_bps == 50.0
+        # Unknown ids wrap onto the population (protocols shift ids).
+        assert fleet.device(4).client_id == 1
+        assert fleet.profiles_for([0, 5]) == {
+            0: fleet.device(0), 5: fleet.device(5)
+        }
+
+    def test_straggler_and_gating(self):
+        fleet = toy_fleet()
+        assert fleet.straggler_factor([0, 1, 2]) == 4.0
+        # Broadcast gated by slowest downlink (client 1: 200 B/s).
+        assert fleet.broadcast_seconds([0, 1, 2], 400) == pytest.approx(2.0)
+        # Upload gated by slowest uplink (client 2: 25 B/s).
+        assert fleet.upload_seconds([0, 1, 2], 100) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            fleet.straggler_factor([])
+
+    def test_link_seconds_uses_each_clients_own_links(self):
+        fleet = toy_fleet()
+        assert fleet.link_seconds(2, 800, 25) == pytest.approx(1.0 + 1.0)
+
+    def test_round_cost_directional(self):
+        fleet = toy_fleet()
+        cost = fleet.round_cost([0, 1, 2], [0, 2], update_nbytes=400,
+                                compute_seconds=1.5)
+        assert cost.down_seconds == pytest.approx(2.0)      # slowest downlink
+        assert cost.compute_seconds == pytest.approx(6.0)   # 1.5 × straggler 4
+        assert cost.up_seconds == pytest.approx(16.0)       # 400 / 25
+        assert cost.down_bytes == 3 * 400   # every sampled client downloads
+        assert cost.up_bytes == 2 * 400     # only survivors upload
+        assert cost.traffic_bytes == cost.down_bytes + cost.up_bytes
+        assert cost.total_seconds == pytest.approx(2.0 + 6.0 + 16.0)
+
+    def test_round_cost_no_survivors(self):
+        cost = toy_fleet().round_cost([0, 1], [], update_nbytes=100)
+        assert cost.up_seconds == 0.0 and cost.up_bytes == 0
+        assert cost.down_bytes == 200
+
+
+class TestAvailability:
+    def test_default_is_always_available(self):
+        fleet = toy_fleet()
+        assert isinstance(fleet.availability, AlwaysAvailable)
+        assert fleet.dropped([0, 1, 2], 0) == set()
+
+    def test_fixed_availability_matches_legacy_dropout(self):
+        """build_availability('fixed') must reproduce the session's old
+        hard-wired FixedRateDropout draws exactly."""
+        model = build_availability(
+            "fixed", n_clients=30, horizon=10, dropout_rate=0.3, seed=5
+        )
+        legacy = FixedRateDropout(0.3, seed=5)
+        sampled = list(range(12))
+        for r in range(10):
+            assert model.dropped(sampled, r) == legacy.dropped(sampled, r)
+
+    def test_zero_rate_degenerates_to_always_available(self):
+        model = build_availability("fixed", n_clients=5, horizon=3)
+        assert isinstance(model, AlwaysAvailable)
+
+    def test_trace_availability_churns(self):
+        model = build_availability("trace", n_clients=40, horizon=30, seed=3)
+        assert isinstance(model, TraceDrivenDropout)
+        sampled = list(range(16))
+        rates = [len(model.dropped(sampled, r)) / 16 for r in range(30)]
+        # Fig.-1a shape: the rate actually swings round to round.
+        assert len({round(r, 3) for r in rates}) > 3
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="availability"):
+            build_availability("weather", n_clients=4, horizon=2)
+
+
+class TestFleetBuild:
+    def test_build_is_deterministic(self):
+        a = Fleet.build(20, FleetConfig(), dropout_rate=0.2, seed=9)
+        b = Fleet.build(20, FleetConfig(), dropout_rate=0.2, seed=9)
+        assert [a.device(i).uplink_bps for i in range(20)] == [
+            b.device(i).uplink_bps for i in range(20)
+        ]
+        assert a.dropped(list(range(10)), 3) == b.dropped(list(range(10)), 3)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FleetConfig(availability="sometimes")
+        with pytest.raises(ValueError):
+            FleetConfig(max_slowdown=0.5)
+        with pytest.raises(ValueError):
+            FleetConfig(compute_seconds=-1.0)
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError):
+            Fleet([])
+
+
+class TestIdOffset:
+    def test_shifted_view_addresses_same_profiles(self):
+        """Protocols that re-index clients (SecAgg's +1 Shamir shift)
+        must keep pricing each client's frames on its own device."""
+        fleet = toy_fleet()
+        shifted = fleet.with_id_offset(1)
+        for u in (0, 1, 2):
+            assert shifted.device(u + 1) is fleet.device(u)
+        assert shifted.availability is fleet.availability
+        assert shifted.link_seconds(3, 100, 50) == fleet.link_seconds(2, 100, 50)
+
+    def test_zero_offset_is_identity(self):
+        fleet = toy_fleet()
+        assert fleet.with_id_offset(0) is fleet

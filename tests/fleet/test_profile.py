@@ -1,0 +1,67 @@
+"""Device profiles: directional bandwidth and fleet construction."""
+
+import pytest
+
+from repro.fleet import DeviceProfile, heterogeneous_fleet
+from repro.sim.network import ClientDevice
+
+
+class TestDeviceProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceProfile(0, compute_factor=0.5, uplink_bps=1e6, downlink_bps=1e6)
+        with pytest.raises(ValueError):
+            DeviceProfile(0, compute_factor=1.0, uplink_bps=0.0, downlink_bps=1e6)
+        with pytest.raises(ValueError):
+            DeviceProfile(0, compute_factor=1.0, uplink_bps=1e6, downlink_bps=-1.0)
+
+    def test_directional_transfer_times(self):
+        d = DeviceProfile(0, compute_factor=1.0, uplink_bps=1e6, downlink_bps=4e6)
+        assert d.upload_seconds(2e6) == pytest.approx(2.0)
+        assert d.download_seconds(2e6) == pytest.approx(0.5)
+        assert not d.is_symmetric
+
+    def test_symmetric_link_is_bit_identical_to_single_division(self):
+        """The pre-refactor formula was (req + resp) / bandwidth — one
+        division.  A symmetric profile must reproduce it exactly, not
+        via two separately-rounded divisions."""
+        d = DeviceProfile.symmetric(0, bandwidth_bps=3.0)
+        down, up = 1_000_003, 777_777
+        assert d.link_seconds(down, up) == (down + up) / 3.0
+        assert d.is_symmetric and d.bandwidth_bps == 3.0
+
+    def test_asymmetric_link_charges_each_direction(self):
+        d = DeviceProfile(0, compute_factor=1.0, uplink_bps=10.0, downlink_bps=40.0)
+        assert d.link_seconds(400, 100) == 400 / 40.0 + 100 / 10.0
+
+    def test_legacy_client_device_is_symmetric(self):
+        d = ClientDevice(3, compute_factor=2.0, bandwidth_bps=5e5)
+        assert isinstance(d, DeviceProfile)
+        assert d.uplink_bps == d.downlink_bps == 5e5
+        assert d.bandwidth_bps == 5e5
+        assert d.compute_factor == 2.0
+
+
+class TestHeterogeneousFleet:
+    def test_default_fleet_is_symmetric(self):
+        fleet = heterogeneous_fleet(30, seed=2)
+        assert all(d.is_symmetric for d in fleet)
+
+    def test_downlink_range_leaves_uplinks_and_compute_untouched(self):
+        """The asymmetric draw rides its own rng stream: uplink and
+        compute profiles are bit-identical to the symmetric fleet."""
+        base = heterogeneous_fleet(25, seed=7)
+        asym = heterogeneous_fleet(
+            25, seed=7, downlink_range=(100e6 / 8, 1000e6 / 8)
+        )
+        assert [d.uplink_bps for d in base] == [d.uplink_bps for d in asym]
+        assert [d.compute_factor for d in base] == [d.compute_factor for d in asym]
+        lo, hi = 100e6 / 8, 1000e6 / 8
+        assert all(lo <= d.downlink_bps <= hi for d in asym)
+        assert not all(d.is_symmetric for d in asym)
+
+    def test_asymmetric_fleet_deterministic(self):
+        kwargs = dict(seed=4, downlink_range=(1e6, 2e6))
+        a = heterogeneous_fleet(12, **kwargs)
+        b = heterogeneous_fleet(12, **kwargs)
+        assert [d.downlink_bps for d in a] == [d.downlink_bps for d in b]

@@ -4,11 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.pipeline.perf_model import (
-    StagePerfModel,
-    WorkflowPerfModel,
-    build_dordis_perf_model,
-)
+from repro.pipeline.perf_model import build_dordis_perf_model
 from repro.pipeline.scheduler import (
     build_schedule,
     completion_time,

@@ -2,10 +2,8 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.pipeline.perf_model import (
-    CostModelParams,
     StagePerfModel,
     WorkflowPerfModel,
     build_dordis_perf_model,
@@ -13,7 +11,6 @@ from repro.pipeline.perf_model import (
 )
 from repro.pipeline.stages import (
     DORDIS_STAGES,
-    Resource,
     TABLE1_STEPS,
     previous_same_resource,
     stages_alternate_resources,

@@ -174,9 +174,8 @@ class TestUnmaskingAttacks:
         }
         u3 = server.collect_masked(masked)
         sigs = {u: clients[u].consistency_check(u3) for u in clients}
-        # The server substitutes a signature over a *different* U3 —
-        # pretending a different survivor set was acknowledged.
-        forged_u3 = u3[:-1]
+        # The server substitutes a forged signature — pretending a
+        # different survivor set was acknowledged.
         sigs[2] = SchnorrSignature(e=12345, s=67890)
         u4, sig_set = server.collect_consistency(sigs)
         with pytest.raises(ProtocolAbort):

@@ -1,6 +1,5 @@
 """Asymptotic cost accounting: O(n) vs O(log n) clients, O(n²) server."""
 
-import math
 
 import pytest
 

@@ -35,6 +35,31 @@ class TestRunCommand:
         assert "epsilon consumed" in out
         assert "rounds completed : 3" in out
 
+    def test_trace_availability_and_fleet_report(self, capsys):
+        code = main([
+            "run", "--num-clients", "24", "--sample-size", "8",
+            "--rounds", "3", "--availability", "trace", "--asymmetric",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "dropout=trace" in out
+        assert "fleet-timed" in out
+        assert "down" in out and "up" in out
+
+    def test_no_fleet_opt_out(self, capsys):
+        code = main([
+            "run", "--num-clients", "16", "--sample-size", "6",
+            "--rounds", "2", "--no-fleet",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fleet-timed" not in out
+
+    def test_no_fleet_conflicts_with_fleet_flags(self, capsys):
+        assert main(["run", "--no-fleet", "--availability", "trace"]) == 2
+        assert "--no-fleet" in capsys.readouterr().err
+        assert main(["run", "--no-fleet", "--asymmetric"]) == 2
+
     def test_early_strategy_reports_stop(self, capsys):
         code = main([
             "run", "--strategy", "early", "--dropout-rate", "0.4",
@@ -54,7 +79,7 @@ class TestPlanCommand:
         assert code == 0
         assert "per-round sigma" in out
         # The plan lands on the budget.
-        eps_line = [l for l in out.splitlines() if "epsilon at" in l][0]
+        eps_line = [ln for ln in out.splitlines() if "epsilon at" in ln][0]
         assert "6.0" in eps_line or "5.9" in eps_line
 
 
@@ -76,7 +101,7 @@ class TestPipelineCommand:
         xn = capsys.readouterr().out
 
         def plain_minutes(text):
-            line = [l for l in text.splitlines() if l.startswith("plain")][0]
+            line = [ln for ln in text.splitlines() if ln.startswith("plain")][0]
             return float(line.split(":")[1].split("min")[0])
 
         assert plain_minutes(xn) > plain_minutes(base)

@@ -1,7 +1,6 @@
 """Targeted tests for paths the module-focused suites leave thin."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import DordisConfig, DordisSession
@@ -9,7 +8,6 @@ from repro.dp.planner import plan_noise
 from repro.secagg import SecAggConfig, run_secagg_round
 from repro.secagg.client import SecAggClient
 from repro.secagg.types import RoundResult, TrafficMeter
-from repro.utils.rng import derive_rng
 
 
 class TestSessionStrategyStrings:

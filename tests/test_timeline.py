@@ -50,8 +50,46 @@ class TestBuildTimelines:
         assert plain.metric_history == pipe.metric_history
 
 
+class TestStageSpanDirectionInvariant:
+    def _span(self, **kwargs):
+        from repro.sim.timeline import StageSpan
+
+        base = dict(
+            round_index=0, chunk=0, stage=0, label="encode",
+            resource="c-comp", begin=0.0, finish=1.0,
+        )
+        base.update(kwargs)
+        return StageSpan(**base)
+
+    def test_traffic_bytes_derives_from_split(self):
+        span = self._span(up_bytes=70, down_bytes=30)
+        assert span.traffic_bytes == 100
+        assert span.traffic_split == (30, 70)
+        assert span.traffic_split.total == 100
+
+    def test_explicit_consistent_total_accepted(self):
+        span = self._span(up_bytes=1, down_bytes=2, traffic_bytes=3)
+        assert span.traffic_bytes == 3
+
+    def test_inconsistent_total_rejected(self):
+        """The directional invariant up + down == traffic holds for
+        every constructible span."""
+        import pytest
+
+        with pytest.raises(ValueError, match="up_bytes \\+ down_bytes"):
+            self._span(up_bytes=1, down_bytes=2, traffic_bytes=100)
+        with pytest.raises(ValueError, match="up_bytes \\+ down_bytes"):
+            self._span(traffic_bytes=100)  # legacy undirected construction
+
+    def test_negative_directions_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="non-negative"):
+            self._span(up_bytes=-1)
+
+
 class TestSimulatedRoundTraffic:
-    def test_replayed_spans_carry_traffic(self):
+    def test_replayed_spans_carry_split_traffic(self):
         from repro.sim.timeline import SimulatedRound, simulate_trace
 
         trace = simulate_trace([
@@ -59,12 +97,37 @@ class TestSimulatedRoundTraffic:
                 resources=("c-comp", "s-comp"),
                 durations=((1.0, 1.0), (2.0, 2.0)),
                 n_chunks=2,
-                traffic=((100, 150), (0, 0)),
+                down_traffic=((30, 50), (0, 0)),
+                up_traffic=((70, 100), (0, 0)),
             )
         ])
-        by_key = {(s.stage, s.chunk): s.traffic_bytes for s in trace.spans}
-        assert by_key == {(0, 0): 100, (0, 1): 150, (1, 0): 0, (1, 1): 0}
+        by_key = {
+            (s.stage, s.chunk): (s.down_bytes, s.up_bytes)
+            for s in trace.spans
+        }
+        assert by_key == {
+            (0, 0): (30, 70), (0, 1): (50, 100),
+            (1, 0): (0, 0), (1, 1): (0, 0),
+        }
+        # The undirected view derives from the split.
+        assert all(
+            s.traffic_bytes == s.down_bytes + s.up_bytes for s in trace.spans
+        )
         assert trace.round_traffic_bytes(0) == 250
+        assert trace.round_traffic_split(0) == (80, 170)
+
+    def test_one_direction_alone_is_fine(self):
+        from repro.sim.timeline import SimulatedRound, simulate_trace
+
+        trace = simulate_trace([
+            SimulatedRound(
+                resources=("c-comp",),
+                durations=((1.0,),),
+                up_traffic=((42,),),
+            )
+        ])
+        (span,) = trace.spans
+        assert (span.down_bytes, span.up_bytes, span.traffic_bytes) == (0, 42, 42)
 
     def test_traffic_defaults_to_zero(self):
         from repro.sim.timeline import SimulatedRound, simulate_trace
@@ -73,6 +136,19 @@ class TestSimulatedRoundTraffic:
             SimulatedRound(resources=("c-comp",), durations=((1.0,),))
         ])
         assert all(s.traffic_bytes == 0 for s in trace.spans)
+        assert all(s.up_bytes == 0 and s.down_bytes == 0 for s in trace.spans)
+
+    def test_legacy_undirected_traffic_rejected(self):
+        import pytest
+
+        from repro.sim.timeline import SimulatedRound
+
+        with pytest.raises(ValueError, match="down_traffic/up_traffic"):
+            SimulatedRound(
+                resources=("c-comp",),
+                durations=((1.0,),),
+                traffic=((100,),),
+            )
 
     def test_mismatched_traffic_shape_rejected(self):
         import pytest
@@ -84,7 +160,7 @@ class TestSimulatedRoundTraffic:
                 SimulatedRound(
                     resources=("c-comp", "s-comp"),
                     durations=((1.0,), (2.0,)),
-                    traffic=((1,),),
+                    up_traffic=((1,),),
                 )
             ])
         with pytest.raises(ValueError, match="per \\(stage, chunk\\)"):
@@ -93,6 +169,6 @@ class TestSimulatedRoundTraffic:
                     resources=("c-comp",),
                     durations=((1.0, 1.0),),
                     n_chunks=2,
-                    traffic=((1,),),
+                    down_traffic=((1,),),
                 )
             ])

@@ -7,7 +7,6 @@ from repro.secagg import DropoutSchedule, ProtocolAbort, SecAggConfig
 from repro.secagg.types import STAGE_MASKED_INPUT, STAGE_UNMASK
 from repro.xnoise.protocol import (
     XNoiseConfig,
-    XNoiseServer,
     run_xnoise_round,
     seed_label,
     skellam_noise_from_seed,
