@@ -8,9 +8,10 @@ walks through:
   budget/horizon (§2.2);
 - ``pipeline`` — print plain-vs-pipelined round times and the optimal
   chunk count for a workload (§4);
-- ``sockets``  — run one secure-aggregation round over real framed TCP
-  (localhost) connections and report the *measured* per-stage traffic
-  and per-connection byte accounting.
+- ``sockets``  — run one secure-aggregation round over real localhost
+  connections — framed TCP or RFC 6455 WebSocket
+  (``--transport websocket``) — and report the *measured* per-stage
+  traffic and per-connection byte accounting.
 
 Examples::
 
@@ -19,6 +20,7 @@ Examples::
     python -m repro.cli plan --rounds 150 --epsilon 6 --delta 0.01
     python -m repro.cli pipeline --clients 100 --model-size 11000000
     python -m repro.cli sockets --clients 6 --dimension 64 --drop 1
+    python -m repro.cli sockets --clients 6 --transport websocket
 """
 
 from __future__ import annotations
@@ -57,6 +59,13 @@ def _add_run_parser(sub) -> None:
                    help="orig | early | conK | xnoise")
     p.add_argument("--mechanism", default="gaussian",
                    choices=["gaussian", "skellam"])
+    p.add_argument("--transport", default="inprocess",
+                   choices=["inprocess", "serialized", "sockets",
+                            "websocket"],
+                   help="engine transport for protocol rounds: direct "
+                        "dispatch, the in-process wire serialization "
+                        "boundary, real framed TCP, or real RFC 6455 "
+                        "WebSocket connections")
     p.add_argument("--seed", type=int, default=0)
 
 
@@ -83,7 +92,8 @@ def _add_pipeline_parser(sub) -> None:
 def _add_sockets_parser(sub) -> None:
     p = sub.add_parser(
         "sockets",
-        help="one secure-aggregation round over real framed TCP sockets",
+        help="one secure-aggregation round over real sockets "
+             "(framed TCP or WebSocket)",
     )
     p.add_argument("--clients", type=int, default=5)
     p.add_argument("--dimension", type=int, default=16)
@@ -92,6 +102,11 @@ def _add_sockets_parser(sub) -> None:
                    help="clients dropping before the masked upload")
     p.add_argument("--xnoise", action="store_true",
                    help="run the integrated XNoise+SecAgg protocol instead")
+    p.add_argument("--transport", default="sockets",
+                   choices=["sockets", "websocket"],
+                   help="wire carrier: framed TCP (default) or RFC 6455 "
+                        "WebSocket (byte counts then include the WS "
+                        "framing overhead)")
     p.add_argument("--seed", type=int, default=0)
 
 
@@ -143,6 +158,7 @@ def _cmd_run(args) -> int:
         dropout_rate=args.dropout_rate,
         strategy=args.strategy,
         mechanism=args.mechanism,
+        transport=args.transport,
         seed=args.seed,
         fleet=fleet,
     )
@@ -211,7 +227,7 @@ def _cmd_pipeline(args) -> int:
 def _cmd_sockets(args) -> int:
     import numpy as np
 
-    from repro.engine import RoundEngine, StreamTransport
+    from repro.engine import RoundEngine, StreamTransport, WebSocketTransport
     from repro.engine.core import run_sync
     from repro.secagg.driver import DropoutSchedule, arun_secagg_round
     from repro.secagg.types import SecAggConfig
@@ -244,7 +260,11 @@ def _cmd_sockets(args) -> int:
     }
     dropped = set(range(1, args.drop + 1))
     schedule = DropoutSchedule.before_upload(dropped)
-    transport = StreamTransport()
+    transport = (
+        WebSocketTransport()
+        if args.transport == "websocket"
+        else StreamTransport()
+    )
     engine = RoundEngine(transport=transport)
 
     if args.xnoise:
@@ -266,7 +286,11 @@ def _cmd_sockets(args) -> int:
         )
 
     protocol = "XNoise+SecAgg" if args.xnoise else "SecAgg"
-    print(f"protocol         : {protocol} over framed TCP (localhost)")
+    carrier = (
+        "RFC 6455 WebSocket" if args.transport == "websocket"
+        else "framed TCP"
+    )
+    print(f"protocol         : {protocol} over {carrier} (localhost)")
     print(f"sampled/survived : {n} sampled, {len(result.u3)} in U3 "
           f"({args.drop} dropped before upload)")
     if not args.xnoise:

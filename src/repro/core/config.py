@@ -80,7 +80,11 @@ class DordisConfig:
         serialization boundary in-process, so traced per-stage traffic
         is the measured framed byte count;
         "sockets" — each client behind a real localhost TCP connection
-        with framed messages and per-connection accounting.
+        with framed messages and per-connection accounting;
+        "websocket" — each client behind a real RFC 6455 WebSocket
+        (HTTP upgrade handshake, binary messages); accounting includes
+        the WebSocket framing overhead, so its traffic runs a few
+        bytes per message above the other wire backends.
         Ignored when the caller supplies its own engine.
     """
 
@@ -156,9 +160,12 @@ class DordisConfig:
             raise ValueError("secure_aggregation must be simulated or secagg")
         if self.pipeline_chunks < 1:
             raise ValueError("pipeline_chunks must be >= 1")
-        if self.transport not in {"inprocess", "serialized", "sockets"}:
+        if self.transport not in {
+            "inprocess", "serialized", "sockets", "websocket",
+        }:
             raise ValueError(
-                "transport must be inprocess, serialized, or sockets"
+                "transport must be inprocess, serialized, sockets, "
+                "or websocket"
             )
 
     @property

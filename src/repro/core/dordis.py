@@ -119,6 +119,7 @@ def build_transport(name: str, fleet: Fleet | None = None):
         InProcessTransport,
         SerializingTransport,
         StreamTransport,
+        WebSocketTransport,
     )
 
     if fleet is not None:
@@ -129,6 +130,8 @@ def build_transport(name: str, fleet: Fleet | None = None):
         return SerializingTransport(InProcessTransport())
     if name == "sockets":
         return StreamTransport()
+    if name == "websocket":
+        return WebSocketTransport()
     if name == "inprocess":
         return InProcessTransport()
     raise ValueError(f"unknown transport {name!r}")

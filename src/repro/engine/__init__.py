@@ -7,7 +7,8 @@ through one event-driven :class:`RoundEngine`:
 - **Transport-agnostic**: in-process direct dispatch, asyncio message
   queues, simulated per-link latency from §6.1 device profiles,
   wire-serializing middleware, real framed TCP sockets
-  (:class:`StreamTransport`), and dropout-injecting middleware are
+  (:class:`StreamTransport`), real RFC 6455 WebSockets
+  (:class:`WebSocketTransport`), and dropout-injecting middleware are
   interchangeable backends.
 - **Chunk-pipelined**: aggregation tasks split into m sub-tasks
   (:mod:`repro.pipeline.chunking`) executed as overlapping asyncio tasks
@@ -41,6 +42,7 @@ from repro.engine.timing import (
     stage_groups,
 )
 from repro.engine.stream import ConnectionStats, StreamTransport
+from repro.engine.websocket import WebSocketTransport, ws_envelope_overhead
 from repro.engine.transport import (
     Channel,
     ClientUnavailable,
@@ -81,6 +83,8 @@ __all__ = [
     "SimulatedNetworkTransport",
     "StreamTransport",
     "Transport",
+    "WebSocketTransport",
     "measured_nbytes",
     "payload_nbytes",
+    "ws_envelope_overhead",
 ]

@@ -24,7 +24,10 @@ frames of *completed* deliveries.  An ERROR exchange is counted in its
 connection's :class:`ConnectionStats` (the bytes really crossed the
 socket) but produces no delivery — the engine aborts the round on the
 re-raised exception — so ``traced == Σ frame_bytes`` holds exactly for
-every round that runs to completion, and only for those.
+every round that runs to completion, and only for those.  A connection
+whose *open* is cancelled or fails mid-flight still lands its partial
+:class:`ConnectionStats` (handshake bytes that really crossed) in
+``closed_connection_stats`` — an aborted round under-reports nothing.
 
 The engine never sees any of this: deliveries simply report the framed
 byte counts, and a round over sockets is bit-identical to one over
@@ -49,6 +52,7 @@ from repro.wire.frame import (
     KIND_WELCOME,
     WIRE_VERSION,
     FrameEOF,
+    encode_frame,
     read_frame,
     write_frame,
 )
@@ -71,6 +75,12 @@ class ConnectionStats:
     direction — the ground truth the channel-side counts must equal
     byte for byte (``endpoint_request_bytes``/``endpoint_response_bytes``
     exclude the handshake, like their channel-side counterparts).
+
+    For the websocket transport (:mod:`repro.engine.websocket`) the
+    same fields apply with ``handshake_*`` widened to *connection
+    overhead*: the HTTP upgrade plus every control frame
+    (close/ping/pong) — anything on the socket that is not a
+    stage-accounted request/response message.
     """
 
     client_id: int
@@ -132,6 +142,24 @@ class _ClientEndpoint:
         host, port = self._server.sockets[0].getsockname()[:2]
         return host, port
 
+    async def _send(
+        self, writer: asyncio.StreamWriter, kind: int, body: bytes,
+        *, response: bool,
+    ) -> None:
+        """Write one frame, counting it *before* the flush.
+
+        The channel may cancel a lingering handler the instant it has
+        read the reply (see :meth:`aclose`); counting after the drain
+        would let that cancellation land between the write and the
+        bookkeeping and silently unbalance the two ends.
+        """
+        frame = encode_frame(kind, body)
+        self.bytes_sent += len(frame)
+        if response:
+            self.response_bytes += len(frame)
+        writer.write(frame)
+        await writer.drain()
+
     async def _serve(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -159,25 +187,31 @@ class _ClientEndpoint:
                     # An ERROR reply crosses the uplink like any other
                     # response frame; count it there so both socket
                     # ends agree per direction even on aborted rounds.
-                    sent = await write_frame(
-                        writer, KIND_ERROR, wire_codecs.encode_error(exc)
+                    await self._send(
+                        writer, KIND_ERROR, wire_codecs.encode_error(exc),
+                        response=True,
                     )
-                    self.bytes_sent += sent
-                    self.response_bytes += sent
                 else:
-                    sent = await write_frame(
-                        writer, KIND_RESPONSE, wire_codecs.encode_payload(response)
+                    await self._send(
+                        writer, KIND_RESPONSE,
+                        wire_codecs.encode_payload(response),
+                        response=True,
                     )
-                    self.bytes_sent += sent
-                    self.response_bytes += sent
-        except (ConnectionError, asyncio.CancelledError):
+        except ConnectionError:
             raise
+        except asyncio.CancelledError:
+            # aclose() cancels a handler still parked on a read (e.g. a
+            # connection the round aborted mid-handshake); end quietly
+            # so asyncio's streams machinery does not log the
+            # cancellation as an unhandled error.
+            return
         except ValueError as exc:
             # A malformed frame kills the connection (fail loud, never
             # misparse); the channel side surfaces its own error.
             with contextlib.suppress(Exception):
-                self.bytes_sent += await write_frame(
-                    writer, KIND_ERROR, wire_codecs.encode_error(exc)
+                await self._send(
+                    writer, KIND_ERROR, wire_codecs.encode_error(exc),
+                    response=False,
                 )
         finally:
             writer.close()
@@ -195,8 +229,9 @@ class _ClientEndpoint:
                 f"bad HELLO {hello!r} for client {self.client.id} "
                 f"speaking wire version {WIRE_VERSION}"
             )
-        self.bytes_sent += await write_frame(
-            writer, KIND_WELCOME, wire_codecs.encode_payload(self.client.id)
+        await self._send(
+            writer, KIND_WELCOME, wire_codecs.encode_payload(self.client.id),
+            response=False,
         )
 
     async def aclose(self) -> None:
@@ -204,8 +239,12 @@ class _ClientEndpoint:
             self._server.close()
             await self._server.wait_closed()
         # The channel closed its end first, so handlers are draining
-        # toward EOF; await them so no task outlives the round.
+        # toward EOF — but one aborted mid-handshake (or mid-read) may
+        # be parked on a read that will never complete; cancel instead
+        # of waiting forever, then await so no task outlives the round.
         for task in list(self._handlers):
+            if not task.done():
+                task.cancel()
             with contextlib.suppress(asyncio.CancelledError, Exception):
                 await task
 
@@ -219,45 +258,90 @@ class _StreamConnection:
     lock: asyncio.Lock = field(default_factory=asyncio.Lock)
 
 
-class _StreamChannel(Channel):
+class _DialingChannel(Channel):
+    """Lazy per-client dialing shared by the socket-backed channels.
+
+    Each client's connection is opened by its own task on first use, so
+    a requester cancelled mid-dial (an aborted round) never strands the
+    half-open connection: :meth:`aclose` awaits every open — including
+    cancelled ones — and the concrete ``_open`` records *partial*
+    :class:`ConnectionStats` on any failure, so even a round aborted
+    mid-handshake accounts the bytes that really crossed.
+    """
+
     def __init__(
         self,
         clients: Mapping[int, "ProtocolClient"],
-        transport: "StreamTransport",
+        transport,
     ):
         self._clients = dict(clients)
         self._transport = transport
-        self._conns: dict[int, asyncio.Future] = {}
+        self._conns: dict[int, asyncio.Task] = {}
 
-    async def _connection(self, client_id: int) -> _StreamConnection:
-        future = self._conns.get(client_id)
-        if future is None:
-            future = asyncio.get_running_loop().create_future()
-            self._conns[client_id] = future
+    async def _open(self, client_id: int):
+        raise NotImplementedError
+
+    async def _dispose(self, conn) -> None:
+        raise NotImplementedError
+
+    @staticmethod
+    def _record_endpoint(stats: ConnectionStats, endpoint) -> None:
+        """Copy the endpoint's ground-truth counters into ``stats``.
+
+        Every socket-backed endpoint exposes the same four counters;
+        recording lives here so the carriers can never drift apart.
+        """
+        stats.endpoint_received_bytes = endpoint.bytes_received
+        stats.endpoint_sent_bytes = endpoint.bytes_sent
+        stats.endpoint_request_bytes = endpoint.request_bytes
+        stats.endpoint_response_bytes = endpoint.response_bytes
+
+    async def _connection(self, client_id: int):
+        task = self._conns.get(client_id)
+        if task is None:
+            task = asyncio.get_running_loop().create_task(
+                self._open(client_id)
+            )
+            self._conns[client_id] = task
+        try:
+            # Shielded: cancelling one requester must not kill a dial
+            # other requesters (or aclose's accounting) depend on.
+            return await asyncio.shield(task)
+        except BaseException:
+            # Drop the entry only when the *dial* failed (a later
+            # request may retry it).  A requester cancelled just as its
+            # dial succeeded must leave the healthy connection in place
+            # for aclose() to dispose and account.
+            if (
+                task.done()
+                and (task.cancelled() or task.exception() is not None)
+                and self._conns.get(client_id) is task
+            ):
+                self._conns.pop(client_id)
+            raise
+
+    async def aclose(self) -> None:
+        conns, self._conns = self._conns, {}
+        for task in conns.values():
+            if not task.done():
+                task.cancel()
             try:
-                conn = await self._open(client_id)
-            except BaseException as exc:
-                self._conns.pop(client_id, None)
-                if not future.done():
-                    if isinstance(exc, asyncio.CancelledError):
-                        future.cancel()
-                    else:
-                        future.set_exception(exc)
-                        # The failure propagates via the raise below; an
-                        # unawaited future must not warn about it.
-                        future.exception()
-                raise
-            future.set_result(conn)
-            return conn
-        return await asyncio.shield(future)
+                conn = await task
+            except BaseException:
+                # The open failed or was cancelled mid-flight; its
+                # cleanup path already recorded the partial stats.
+                continue
+            await self._dispose(conn)
 
+
+class _StreamChannel(_DialingChannel):
     async def _open(self, client_id: int) -> _StreamConnection:
         endpoint = _ClientEndpoint(self._clients[client_id])
-        host, port = await endpoint.start()
+        stats = ConnectionStats(client_id=client_id)
         writer = None
         try:
+            host, port = await endpoint.start()
             reader, writer = await asyncio.open_connection(host, port)
-            stats = ConnectionStats(client_id=client_id)
             stats.handshake_sent = await write_frame(
                 writer,
                 KIND_HELLO,
@@ -281,6 +365,11 @@ class _StreamChannel(Channel):
                 with contextlib.suppress(Exception):
                     await writer.wait_closed()
             await endpoint.aclose()
+            # Partial accounting: an aborted open still really moved
+            # its handshake bytes; record them so the round's books
+            # never silently drop a connection.
+            self._record_endpoint(stats, endpoint)
+            self._transport.closed_connection_stats.append(stats)
             raise
 
     async def request(self, client_id: int, op: str, payload: Any) -> Delivery:
@@ -289,12 +378,14 @@ class _StreamChannel(Channel):
         conn = await self._connection(client_id)
         body = wire_codecs.encode_payload((op, payload))
         # One in-flight exchange per connection: frames on a byte
-        # stream must not interleave.
+        # stream must not interleave.  Each direction is counted the
+        # moment its bytes are known, so a round cancelled mid-exchange
+        # still books the request frame that really crossed.
         async with conn.lock:
             sent = await write_frame(conn.writer, KIND_REQUEST, body)
+            conn.stats.request_bytes += sent
             kind, rbody, received = await read_frame(conn.reader)
-        conn.stats.request_bytes += sent
-        conn.stats.response_bytes += received
+            conn.stats.response_bytes += received
         conn.stats.requests += 1
         latency = 0.0
         if self._transport.latency_split_fn is not None:
@@ -314,24 +405,13 @@ class _StreamChannel(Channel):
             response_nbytes=received,
         )
 
-    async def aclose(self) -> None:
-        conns, self._conns = self._conns, {}
-        for future in conns.values():
-            if not future.done():
-                future.cancel()
-                continue
-            if future.exception() is not None:
-                continue
-            conn = future.result()
-            conn.writer.close()
-            with contextlib.suppress(Exception):
-                await conn.writer.wait_closed()
-            await conn.endpoint.aclose()
-            conn.stats.endpoint_received_bytes = conn.endpoint.bytes_received
-            conn.stats.endpoint_sent_bytes = conn.endpoint.bytes_sent
-            conn.stats.endpoint_request_bytes = conn.endpoint.request_bytes
-            conn.stats.endpoint_response_bytes = conn.endpoint.response_bytes
-            self._transport.closed_connection_stats.append(conn.stats)
+    async def _dispose(self, conn: _StreamConnection) -> None:
+        conn.writer.close()
+        with contextlib.suppress(Exception):
+            await conn.writer.wait_closed()
+        await conn.endpoint.aclose()
+        self._record_endpoint(conn.stats, conn.endpoint)
+        self._transport.closed_connection_stats.append(conn.stats)
 
 
 class StreamTransport(Transport):

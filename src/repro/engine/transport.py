@@ -24,6 +24,10 @@ timeline.  Implementations:
 - :class:`repro.engine.stream.StreamTransport` — each client behind a
   real asyncio TCP (localhost) connection with framed messages,
   handshake, and per-connection accounting.
+- :class:`repro.engine.websocket.WebSocketTransport` — each client
+  behind a real RFC 6455 WebSocket (localhost): HTTP upgrade handshake,
+  the same wire envelope as binary messages, accounting that includes
+  the WebSocket framing overhead.
 - :class:`DropoutTransport` — middleware that silences clients according
   to a :class:`repro.secagg.driver.DropoutSchedule`; this is the old
   ``SecAggDriver``'s dropout-injection role recast as a transport layer.
@@ -247,6 +251,11 @@ def payload_nbytes(payload: Any) -> int:
         return int(payload.nbytes)
     if isinstance(payload, (bytes, bytearray)):
         return len(payload)
+    if isinstance(payload, str):
+        # Content-length counted like bytes (UTF-8 on the wire) plus a
+        # small header — not the 8-byte scalar default, which would
+        # price a kilobyte label the same as an int.
+        return 8 + len(payload.encode("utf-8"))
     if isinstance(payload, (list, tuple, set, frozenset)):
         return 16 + sum(payload_nbytes(v) for v in payload)
     if isinstance(payload, dict):
@@ -294,6 +303,10 @@ class _SizedQueueChannel(_QueueChannel):
         # SerializingTransport/StreamTransport put on a real link.
         request_nbytes = size_fn((op, payload))
         response_nbytes = size_fn(delivery.response)
+        overhead_fn = self._transport.overhead_fn
+        if overhead_fn is not None:
+            request_nbytes += overhead_fn("down", request_nbytes)
+            response_nbytes += overhead_fn("up", response_nbytes)
         return Delivery(
             delivery.client_id,
             delivery.op,
@@ -327,16 +340,27 @@ class SimulatedNetworkTransport(QueueTransport):
     link — so simulated ``bytes / bandwidth`` latency and traced
     per-stage traffic both reflect what a deployment would send, not
     the old heuristic guess.
+
+    ``overhead_fn(direction, envelope_nbytes)`` optionally adds a
+    carrier's per-message framing bytes on top of the sized envelope
+    (``direction`` is ``"down"`` for requests, ``"up"`` for
+    responses).  With
+    :func:`repro.engine.websocket.ws_envelope_overhead` this transport
+    is the codec oracle for websocket rounds: span for span, its
+    traffic equals what :class:`repro.engine.websocket.WebSocketTransport`
+    measures on real connections.
     """
 
     def __init__(
         self,
         devices: Mapping[int, "DeviceProfile"],
         size_fn: Callable[[Any], int] = measured_nbytes,
+        overhead_fn: Optional[Callable[[str, int], int]] = None,
     ):
         super().__init__()
         self.devices = dict(devices)
         self.size_fn = size_fn
+        self.overhead_fn = overhead_fn
 
     def link_seconds(
         self, client_id: int, *, down_nbytes: int = 0, up_nbytes: int = 0

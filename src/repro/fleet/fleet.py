@@ -102,6 +102,12 @@ class Fleet:
             raise ValueError("a fleet needs at least one device")
         self.availability = availability or AlwaysAvailable()
         self.config = config or FleetConfig()
+        # Sorted once: the modular fallback in device() sits on the
+        # per-frame pricing path, and re-sorting the profile dict on
+        # every miss is an O(n log n) toll per exchange.  The profile
+        # dict is fixed after construction (views like with_id_offset
+        # build a new Fleet), so the order can never go stale.
+        self._sorted_ids: tuple[int, ...] = tuple(sorted(self.profiles))
 
     @classmethod
     def build(
@@ -161,7 +167,7 @@ class Fleet:
         profile = self.profiles.get(client_id)
         if profile is not None:
             return profile
-        keys = sorted(self.profiles)
+        keys = self._sorted_ids
         return self.profiles[keys[client_id % len(keys)]]
 
     def profiles_for(self, client_ids: Iterable[int]) -> dict[int, DeviceProfile]:

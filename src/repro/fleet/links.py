@@ -5,12 +5,14 @@ model: request frames are charged against each client's *downlink*,
 response frames against its *uplink*, using the exact measured frame
 sizes — so the same fleet produces the same virtual latencies whether a
 round runs in-process (sized via the codecs), behind the in-process
-serialization boundary, or over real framed TCP sockets.
+serialization boundary, or over real framed TCP sockets; real RFC 6455
+WebSocket connections ride the same links, pricing their additional
+framing overhead honestly.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 from repro.engine.transport import (
     QueueTransport,
@@ -28,13 +30,19 @@ class FleetNetworkTransport(SimulatedNetworkTransport):
     The fleet's modular :meth:`~Fleet.device` lookup serves any client
     id (protocol layers may shift or oversample ids), and each exchange
     pays ``request / downlink + response / uplink`` on the client's own
-    profile.
+    profile.  ``overhead_fn`` adds a carrier's per-message framing on
+    top of the sized envelope (e.g.
+    :func:`repro.engine.websocket.ws_envelope_overhead`, making this
+    the offline oracle for fleet-priced websocket rounds).
     """
 
     def __init__(
-        self, fleet: Fleet, size_fn: Callable[[Any], int] = measured_nbytes
+        self,
+        fleet: Fleet,
+        size_fn: Callable[[Any], int] = measured_nbytes,
+        overhead_fn: Optional[Callable[[str, int], int]] = None,
     ):
-        super().__init__({}, size_fn)
+        super().__init__({}, size_fn, overhead_fn)
         self.fleet = fleet
 
     def link_seconds(
@@ -56,10 +64,14 @@ def fleet_transport(name: str, fleet: Fleet) -> Transport:
       over a queue whose latency hook charges each framed direction
       against the client's own link;
     - ``"sockets"`` — real framed TCP with the fleet as the stream
-      transport's directional latency model.
+      transport's directional latency model;
+    - ``"websocket"`` — real RFC 6455 connections, same fleet links.
 
-    All three charge identical byte counts to identical links, so a
-    round's trace is transport-invariant (the parity suites pin this).
+    The first three charge identical byte counts to identical links, so
+    a round's trace is transport-invariant (the parity suites pin
+    this); the websocket carrier honestly charges its additional
+    RFC 6455 framing bytes to the same links — its offline oracle is
+    ``FleetNetworkTransport(fleet, overhead_fn=ws_envelope_overhead)``.
     """
     if name == "inprocess":
         return FleetNetworkTransport(fleet)
@@ -75,4 +87,8 @@ def fleet_transport(name: str, fleet: Fleet) -> Transport:
         from repro.engine.stream import StreamTransport
 
         return StreamTransport(latency_split_fn=fleet.link_seconds)
+    if name == "websocket":
+        from repro.engine.websocket import WebSocketTransport
+
+        return WebSocketTransport(latency_split_fn=fleet.link_seconds)
     raise ValueError(f"unknown transport {name!r}")

@@ -239,3 +239,25 @@ class TestSessionWireTransports:
         assert socket_session.engine.trace.total_traffic_bytes == sum(
             s.frame_bytes for s in transport.closed_connection_stats
         )
+
+    @pytest.mark.timeout(300)
+    def test_websocket_session_matches_inprocess_accounting(self):
+        """The fourth carrier at session level: same training behavior,
+        traced traffic balanced against the WebSocket connection books
+        (WS framing overhead included on both sides of the equation)."""
+        base = DordisSession(secagg_config(rounds=1)).run()
+        ws_session = DordisSession(
+            secagg_config(rounds=1, transport="websocket")
+        )
+        over_ws = ws_session.run()
+        assert over_ws.rounds_completed == base.rounds_completed
+        assert over_ws.epsilon_history == base.epsilon_history
+        transport = ws_session.engine.transport
+        stats = transport.closed_connection_stats
+        assert ws_session.engine.trace.total_traffic_bytes == sum(
+            s.frame_bytes for s in stats
+        )
+        # Both socket ends agree, HTTP upgrade and controls included.
+        for s in stats:
+            assert s.bytes_sent == s.endpoint_received_bytes
+            assert s.bytes_received == s.endpoint_sent_bytes

@@ -19,8 +19,11 @@ from repro.engine import (
     InProcessTransport,
     RoundEngine,
     SerializingTransport,
+    SimulatedNetworkTransport,
     StreamTransport,
+    WebSocketTransport,
     run_sync,
+    ws_envelope_overhead,
 )
 from repro.secagg.driver import (
     DropoutSchedule,
@@ -157,7 +160,15 @@ class TestXNoiseParity:
 def _make_transport(name):
     if name == "serialized":
         return SerializingTransport(InProcessTransport())
+    if name == "websocket":
+        return WebSocketTransport()
     return StreamTransport()
+
+
+#: Every wire-crossing backend: the in-process serialization boundary,
+#: real framed TCP, and real RFC 6455 WebSocket connections — with the
+#: in-process baseline they make four parity-tested carriers.
+WIRE_TRANSPORTS = ["serialized", "sockets", "websocket"]
 
 
 def _timing_spans(trace):
@@ -176,11 +187,12 @@ class TestWireTransportParity:
     Bit-identical aggregates, participant sets, metered traffic, and
     (timing-wise) traces — plus: the serializing and socket paths must
     *measure* identical framed traffic, since they write the same
-    frames to different carriers.
+    frames to different carriers, and the websocket path must measure
+    exactly those frames plus the documented RFC 6455 framing overhead.
     """
 
     @pytest.mark.parametrize("name,schedule", SCHEDULES)
-    @pytest.mark.parametrize("transport_name", ["serialized", "sockets"])
+    @pytest.mark.parametrize("transport_name", WIRE_TRANSPORTS)
     def test_secagg_round_identical(self, transport_name, name, schedule):
         inputs = _inputs()
         base_engine = RoundEngine(transport=InProcessTransport())
@@ -197,7 +209,7 @@ class TestWireTransportParity:
         dispatched = [s for s in wire_engine.trace.spans if s.resource == "c-comp"]
         assert dispatched and all(s.traffic_bytes > 0 for s in dispatched)
 
-    @pytest.mark.parametrize("transport_name", ["serialized", "sockets"])
+    @pytest.mark.parametrize("transport_name", WIRE_TRANSPORTS)
     def test_xnoise_round_identical(self, transport_name):
         xconfig = XNoiseConfig(
             secagg=CONFIG, n_sampled=5, tolerance=2, target_variance=4.0
@@ -250,6 +262,45 @@ class TestWireTransportParity:
             ]
         assert traffic["serialized"] == traffic["sockets"]
         assert sum(traffic["sockets"]) > 0
+
+    def test_websocket_traffic_is_oracle_plus_framing_overhead(self):
+        """The websocket carrier measures the same envelopes plus the
+        documented RFC 6455 framing: span for span its per-direction
+        bytes equal the codec oracle with ``ws_envelope_overhead``, and
+        the connection books balance from both socket ends."""
+        from repro.sim.network import ClientDevice
+
+        inputs = _inputs()
+        transport = WebSocketTransport()
+        ws_engine = RoundEngine(transport=transport)
+        run_sync(
+            arun_secagg_round(CONFIG, dict(inputs), None, engine=ws_engine)
+        )
+        devices = {
+            u: ClientDevice(client_id=u, compute_factor=1.0, bandwidth_bps=1e6)
+            for u in range(1, 7)
+        }
+        oracle_engine = RoundEngine(
+            transport=SimulatedNetworkTransport(
+                devices, overhead_fn=ws_envelope_overhead
+            )
+        )
+        run_sync(
+            arun_secagg_round(CONFIG, dict(inputs), None, engine=oracle_engine)
+        )
+        assert [
+            (s.label, s.down_bytes, s.up_bytes) for s in ws_engine.trace.spans
+        ] == [
+            (s.label, s.down_bytes, s.up_bytes)
+            for s in oracle_engine.trace.spans
+        ]
+        stats = transport.closed_connection_stats
+        for s in stats:
+            assert s.bytes_sent == s.endpoint_received_bytes
+            assert s.bytes_received == s.endpoint_sent_bytes
+        split = ws_engine.trace.round_traffic_split(0)
+        assert split.down == sum(s.down_bytes for s in stats)
+        assert split.up == sum(s.up_bytes for s in stats)
 
 
 class TestRuntimeParity:

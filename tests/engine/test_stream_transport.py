@@ -161,6 +161,83 @@ class TestStreamRoundTrip:
         asyncio.run(scenario())
 
 
+@pytest.mark.timeout(60)
+class TestAbortedConnectionAccounting:
+    """A round aborted mid-flight must not silently drop ConnectionStats.
+
+    Regression: ``aclose`` used to cancel still-opening connections and
+    walk away, so a round aborted during the handshake left those
+    connections' bytes out of ``closed_connection_stats`` and the CLI
+    accounting check could under-report.  Now every open — including
+    cancelled ones — is awaited and lands (partial) stats.
+    """
+
+    def test_abort_mid_handshake_records_partial_stats(self, monkeypatch):
+        from repro.engine import stream as stream_mod
+
+        async def scenario():
+            gate = asyncio.Event()
+            parked = 0
+            all_parked = asyncio.Event()
+
+            async def stalled(self, reader, writer):
+                nonlocal parked
+                kind, body, nbytes = await stream_mod.read_frame(reader)
+                self.bytes_received += nbytes
+                parked += 1
+                if parked == 3:
+                    all_parked.set()
+                await gate.wait()  # WELCOME never sent
+
+            monkeypatch.setattr(
+                stream_mod._ClientEndpoint, "_handshake", stalled
+            )
+            transport = StreamTransport()
+            engine = RoundEngine(transport=transport)
+            clients = [EchoClient(u, 10 * u) for u in (1, 2, 3)]
+            task = asyncio.ensure_future(
+                engine.run_round(EchoServer(), clients)
+            )
+            # All three dials have sent HELLO and are parked waiting for
+            # a WELCOME that will never come — abort the round there.
+            await asyncio.wait_for(all_parked.wait(), 30)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            return transport
+
+        transport = asyncio.run(scenario())
+        stats = transport.closed_connection_stats
+        assert len(stats) == 3
+        assert sorted(s.client_id for s in stats) == [1, 2, 3]
+        for s in stats:
+            # No exchange completed, but the HELLO really crossed — and
+            # the endpoint's own count of it survives too.
+            assert s.requests == 0 and s.frame_bytes == 0
+            assert s.handshake_sent > 0
+            assert s.endpoint_received_bytes == s.handshake_sent
+
+    def test_failed_handshake_records_partial_stats(self, monkeypatch):
+        from repro.engine import stream as stream_mod
+
+        async def refuse(self, reader, writer):
+            kind, body, nbytes = await stream_mod.read_frame(reader)
+            self.bytes_received += nbytes
+            raise ValueError("endpoint refuses the handshake")
+
+        monkeypatch.setattr(stream_mod._ClientEndpoint, "_handshake", refuse)
+        transport = StreamTransport()
+        engine = RoundEngine(transport=transport)
+        with pytest.raises(ValueError, match="refuses the handshake"):
+            engine.run_round_sync(EchoServer(), [EchoClient(1, 1)])
+        stats = transport.closed_connection_stats
+        assert len(stats) == 1
+        # Both the HELLO out and the ERROR back are on the books.
+        assert stats[0].handshake_sent > 0
+        assert stats[0].handshake_received > 0
+        assert stats[0].frame_bytes == 0
+
+
 @pytest.mark.timeout(300)
 class TestDropoutOverSockets:
     """DropoutTransport wrapped around real framed TCP, at every SecAgg

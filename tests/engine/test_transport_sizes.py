@@ -38,14 +38,28 @@ class TestPayloadNbytesPinned:
 
     def test_dataclass(self):
         point = _Point(x=np.zeros(4, dtype=np.int64), tag=b"abc", note="hi")
-        # 16 (container overhead) + 32 (ndarray) + 3 (bytes) + 8 (other).
-        assert payload_nbytes(point) == 16 + 32 + 3 + 8
+        # 16 (container overhead) + 32 (ndarray) + 3 (bytes) + 8+2 (str).
+        assert payload_nbytes(point) == 16 + 32 + 3 + 10
+
+    def test_str_counts_utf8_content(self):
+        """A str is content, not a scalar: UTF-8 length plus a small
+        header — a kilobyte label must not price like an int (the old
+        8-byte-default bug, while equal ``bytes`` were length-counted)."""
+        assert payload_nbytes("") == 8
+        assert payload_nbytes("abcde") == 8 + 5
+        # Non-ASCII costs its encoded length, like the wire would.
+        assert payload_nbytes("é") == 8 + 2
+        assert payload_nbytes("x" * 1024) == 8 + 1024
+        # str and bytes of the same content now differ only by the
+        # fixed header, never by orders of magnitude.
+        assert payload_nbytes("x" * 1024) - payload_nbytes(b"x" * 1024) == 8
 
     def test_containers_and_scalars(self):
         assert payload_nbytes(None) == 0
         assert payload_nbytes(7) == 8
         assert payload_nbytes([b"ab", b"cd"]) == 16 + 4
         assert payload_nbytes({1: b"abc"}) == 16 + 8 + 3
+        assert payload_nbytes({"op": b"abc"}) == 16 + (8 + 2) + 3
 
 
 class TestMeasuredNbytes:

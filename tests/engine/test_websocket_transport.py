@@ -1,0 +1,492 @@
+"""WebSocketTransport integration: real RFC 6455 connections, measured
+traffic.
+
+Acceptance bar for the fourth carrier: a round over WebSocket is
+bit-identical to in-process execution, and its traced per-direction
+traffic equals the codec oracle *plus the documented WS framing
+overhead* — verified span for span against a
+``SimulatedNetworkTransport`` oracle and byte for byte from both ends
+of every connection.  All tests carry the hard ``timeout`` marker so a
+hung connection fails fast in CI instead of stalling the suite.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.api.protocol import ProtocolClient, ProtocolServer
+from repro.engine import (
+    ClientUnavailable,
+    InProcessTransport,
+    RoundEngine,
+    SerializingTransport,
+    SimulatedNetworkTransport,
+    WebSocketTransport,
+    run_sync,
+    ws_envelope_overhead,
+)
+from repro.secagg.types import ProtocolAbort
+from repro.sim.network import ClientDevice
+from tests.engine.test_stream_transport import (
+    AbortingClient,
+    EchoClient,
+    EchoServer,
+)
+
+
+def _oracle_transport(client_ids):
+    """The codec oracle for websocket rounds: measured envelope sizes
+    plus the RFC 6455 framing overhead, no sockets involved."""
+    devices = {
+        u: ClientDevice(client_id=u, compute_factor=1.0, bandwidth_bps=1e6)
+        for u in client_ids
+    }
+    return SimulatedNetworkTransport(devices, overhead_fn=ws_envelope_overhead)
+
+
+@pytest.mark.timeout(60)
+class TestWebSocketRoundTrip:
+    def _run(self, transport):
+        engine = RoundEngine(transport=transport)
+        clients = [EchoClient(u, 10 * u) for u in (1, 2, 3)]
+        result = engine.run_round_sync(EchoServer(), clients)
+        return engine, result
+
+    def test_matches_in_process_execution(self):
+        _, over_ws = self._run(WebSocketTransport())
+        _, in_process = self._run(InProcessTransport())
+        assert over_ws == in_process
+        assert over_ws == {1: (60 + 1) * 2, 2: (60 + 2) * 2}
+
+    def test_traced_traffic_equals_socket_bytes(self):
+        """Per-stage traced traffic == WS-framed bytes on the wire,
+        from both ends of every connection."""
+        transport = WebSocketTransport()
+        engine, _ = self._run(transport)
+        stats = transport.closed_connection_stats
+        assert len(stats) == 3
+        traced = engine.trace.round_traffic_bytes(0)
+        assert traced == sum(s.frame_bytes for s in stats)
+        assert traced > 0
+        for s in stats:
+            # What the channel wrote is exactly what the endpoint read
+            # off its socket, and vice versa — HTTP upgrade, messages,
+            # and close handshake included.
+            assert s.bytes_sent == s.endpoint_received_bytes
+            assert s.bytes_received == s.endpoint_sent_bytes
+            assert s.handshake_sent > 0 and s.handshake_received > 0
+
+    def test_per_direction_accounting_from_both_ends(self):
+        transport = WebSocketTransport()
+        engine, _ = self._run(transport)
+        for s in transport.closed_connection_stats:
+            assert s.down_bytes == s.request_bytes == s.endpoint_request_bytes
+            assert s.up_bytes == s.response_bytes == s.endpoint_response_bytes
+            assert s.down_bytes > 0 and s.up_bytes > 0
+        split = engine.trace.round_traffic_split(0)
+        assert split.down == sum(
+            s.down_bytes for s in transport.closed_connection_stats
+        )
+        assert split.up == sum(
+            s.up_bytes for s in transport.closed_connection_stats
+        )
+
+    def test_traffic_equals_codec_oracle_plus_ws_overhead(self):
+        """Span for span: websocket-measured per-direction bytes equal
+        the codec-computed envelope sizes plus the documented RFC 6455
+        framing overhead (the oracle computes both without a socket)."""
+        ws_engine, _ = self._run(WebSocketTransport())
+        oracle_engine, _ = self._run(_oracle_transport((1, 2, 3)))
+        assert [
+            (s.label, s.down_bytes, s.up_bytes) for s in ws_engine.trace.spans
+        ] == [
+            (s.label, s.down_bytes, s.up_bytes)
+            for s in oracle_engine.trace.spans
+        ]
+
+    def test_ws_overhead_is_the_only_delta_to_the_tcp_framing(self):
+        """Against the serializing boundary (same envelope, no carrier
+        overhead) the websocket spans differ by a few bytes per message
+        — masked requests cost 6, unmasked responses 2 (short frames)."""
+        ws_engine, _ = self._run(WebSocketTransport())
+        ser_engine, _ = self._run(SerializingTransport(InProcessTransport()))
+        ws = [s for s in ws_engine.trace.spans if s.traffic_bytes]
+        ser = [s for s in ser_engine.trace.spans if s.traffic_bytes]
+        assert len(ws) == len(ser) == 2
+        for w, s in zip(ws, ser):
+            deliveries = 3 if w.label == "encode" else 2
+            assert w.down_bytes - s.down_bytes == deliveries * 6
+            assert w.up_bytes - s.up_bytes == deliveries * 2
+
+    def test_server_side_stages_carry_no_traffic(self):
+        transport = WebSocketTransport()
+        engine, _ = self._run(transport)
+        spans = engine.trace.round_spans(0)
+        assert [s.traffic_bytes > 0 for s in spans] == [True, False, True, False]
+
+    def test_fragmented_messages_round_trip(self):
+        """Outgoing fragmentation (continuation frames) changes the
+        framing, never the result — and both ends still balance."""
+        transport = WebSocketTransport(max_fragment=8)
+        engine, fragmented = self._run(transport)
+        _, in_process = self._run(InProcessTransport())
+        assert fragmented == in_process
+        for s in transport.closed_connection_stats:
+            assert s.bytes_sent == s.endpoint_received_bytes
+            assert s.bytes_received == s.endpoint_sent_bytes
+            assert s.down_bytes == s.endpoint_request_bytes
+            assert s.up_bytes == s.endpoint_response_bytes
+        # More frames per message than the unfragmented carrier → more
+        # framing bytes on the books.
+        plain = WebSocketTransport()
+        plain_engine, _ = self._run(plain)
+        assert engine.trace.round_traffic_bytes(
+            0
+        ) > plain_engine.trace.round_traffic_bytes(0)
+
+    def test_client_exception_crosses_as_error_message(self):
+        engine = RoundEngine(transport=WebSocketTransport())
+        clients = [EchoClient(1, 1), AbortingClient(2)]
+        with pytest.raises(ProtocolAbort, match="client 2 refuses"):
+            engine.run_round_sync(EchoServer(), clients)
+
+    def test_unknown_client_unavailable(self):
+        async def scenario():
+            channel = WebSocketTransport().connect({1: EchoClient(1, 1)})
+            try:
+                with pytest.raises(ClientUnavailable):
+                    await channel.request(9, "encode", None)
+            finally:
+                await channel.aclose()
+
+        asyncio.run(scenario())
+
+    def test_latency_split_fn_prices_ws_framed_bytes(self):
+        """The directional latency hook sees the WebSocket-framed
+        counts (what this carrier actually puts on the wire)."""
+        seen = []
+
+        def split(client_id, down, up):
+            seen.append((client_id, down, up))
+            return 0.0
+
+        transport = WebSocketTransport(latency_split_fn=split)
+        self._run(transport)
+        stats = {s.client_id: s for s in transport.closed_connection_stats}
+        for client_id, down, up in seen:
+            s = stats[client_id]
+            assert down <= s.down_bytes and up <= s.up_bytes
+        assert sum(d for _, d, _ in seen) == sum(
+            s.down_bytes for s in stats.values()
+        )
+        assert sum(u for _, _, u in seen) == sum(
+            s.up_bytes for s in stats.values()
+        )
+
+    def test_rejects_both_latency_hooks(self):
+        with pytest.raises(ValueError, match="not both"):
+            WebSocketTransport(
+                latency_fn=lambda c, n: 0.0,
+                latency_split_fn=lambda c, d, u: 0.0,
+            )
+        with pytest.raises(ValueError, match="max_fragment"):
+            WebSocketTransport(max_fragment=0)
+
+
+@pytest.mark.timeout(60)
+class TestAbortedWebSocketAccounting:
+    """The mid-handshake abort regression, on the websocket carrier."""
+
+    def test_abort_mid_wire_handshake_records_partial_stats(self, monkeypatch):
+        from repro.engine import websocket as ws_mod
+
+        async def scenario():
+            gate = asyncio.Event()
+            parked = 0
+            all_parked = asyncio.Event()
+
+            async def stalled(self, link, count_sent, count_received):
+                nonlocal parked
+                payload, n = await link.recv_message()
+                count_received(n)
+                parked += 1
+                if parked == 3:
+                    all_parked.set()
+                await gate.wait()  # WELCOME never sent
+
+            monkeypatch.setattr(
+                ws_mod._WSClientEndpoint, "_wire_handshake", stalled
+            )
+            transport = WebSocketTransport()
+            engine = RoundEngine(transport=transport)
+            clients = [EchoClient(u, 10 * u) for u in (1, 2, 3)]
+            task = asyncio.ensure_future(
+                engine.run_round(EchoServer(), clients)
+            )
+            await asyncio.wait_for(all_parked.wait(), 30)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            return transport
+
+        transport = asyncio.run(scenario())
+        stats = transport.closed_connection_stats
+        assert len(stats) == 3
+        for s in stats:
+            assert s.requests == 0 and s.frame_bytes == 0
+            # The HTTP upgrade and the HELLO message really crossed.
+            assert s.handshake_sent > 0 and s.handshake_received > 0
+            assert s.endpoint_received_bytes == s.handshake_sent
+
+
+@pytest.mark.timeout(300)
+class TestDropoutOverWebSocket:
+    """DropoutTransport semantics and oracle parity over real RFC 6455
+    connections, at every SecAgg stage boundary (mirrors
+    TestDropoutOverSockets)."""
+
+    def _secagg_over(self, transport, schedule):
+        from repro.secagg.driver import arun_secagg_round
+        from repro.secagg.types import SecAggConfig
+
+        config = SecAggConfig(
+            threshold=3, bits=16, dimension=8, dh_group="modp512"
+        )
+        rng = np.random.default_rng(7)
+        inputs = {u: rng.integers(0, 1 << 16, size=8) for u in range(1, 6)}
+        engine = RoundEngine(transport=transport)
+        result = run_sync(
+            arun_secagg_round(config, dict(inputs), schedule, engine=engine)
+        )
+        return engine, result
+
+    @pytest.mark.parametrize(
+        "name,stage",
+        [
+            ("advertise", 0), ("share-keys", 1), ("masked-input", 2),
+            ("consistency", 3), ("unmask", 4),
+        ],
+    )
+    def test_dropout_at_every_stage_boundary(self, name, stage):
+        from repro.secagg.driver import (
+            DropoutSchedule,
+            run_secagg_round_reference,
+        )
+        from repro.secagg.types import SecAggConfig
+
+        sched = DropoutSchedule(at_stage={stage: {2}})
+        engine, over_ws = self._secagg_over(WebSocketTransport(), sched)
+        config = SecAggConfig(
+            threshold=3, bits=16, dimension=8, dh_group="modp512"
+        )
+        rng = np.random.default_rng(7)
+        inputs = {u: rng.integers(0, 1 << 16, size=8) for u in range(1, 6)}
+        reference = run_secagg_round_reference(config, dict(inputs), sched)
+        assert over_ws.u3 == reference.u3
+        assert over_ws.u5 == reference.u5
+        np.testing.assert_array_equal(over_ws.aggregate, reference.aggregate)
+        # The round still accounts exactly: traced == WS-framed, per
+        # direction, from the connection books.
+        stats = engine.transport.closed_connection_stats
+        split = engine.trace.round_traffic_split(0)
+        assert split.down == sum(s.down_bytes for s in stats)
+        assert split.up == sum(s.up_bytes for s in stats)
+
+    @pytest.mark.parametrize(
+        "name,stage",
+        [("none", None), ("before-upload", 2), ("mid-unmask", 4)],
+    )
+    def test_ws_split_equals_codec_oracle_plus_overhead(self, name, stage):
+        """Per-direction websocket-measured bytes == codec-computed
+        envelope sizes + RFC 6455 framing, span for span."""
+        from repro.secagg.driver import DropoutSchedule
+
+        sched = (
+            None if stage is None else DropoutSchedule(at_stage={stage: {3}})
+        )
+        ws_engine, _ = self._secagg_over(WebSocketTransport(), sched)
+        oracle_engine, _ = self._secagg_over(
+            _oracle_transport(range(1, 6)), sched
+        )
+        assert [
+            (s.label, s.down_bytes, s.up_bytes)
+            for s in ws_engine.trace.spans
+        ] == [
+            (s.label, s.down_bytes, s.up_bytes)
+            for s in oracle_engine.trace.spans
+        ]
+
+
+@pytest.mark.timeout(60)
+class TestWebSocketProtocolExercise:
+    """Raw-socket conversations with a client endpoint: the RFC corners
+    the request/response fast path never touches."""
+
+    async def _upgraded(self, endpoint):
+        from repro.wire import ws
+
+        host, port = await endpoint.start()
+        reader, writer = await asyncio.open_connection(host, port)
+        key = ws.websocket_key()
+        writer.write(ws.handshake_request(host, port, key))
+        await writer.drain()
+        raw = await ws.read_handshake(reader)
+        ws.parse_handshake_response(raw, key)
+        return reader, writer
+
+    def test_ping_answered_and_close_handshake_completes(self):
+        from repro.engine.websocket import _WSClientEndpoint
+        from repro.wire import ws
+
+        async def scenario():
+            endpoint = _WSClientEndpoint(EchoClient(1, 5), None)
+            reader, writer = await self._upgraded(endpoint)
+            try:
+                # A ping ahead of any wire message is answered in place.
+                writer.write(ws.encode_ws_frame(ws.OP_PING, b"hb", mask=b"abcd"))
+                await writer.drain()
+                fin, opcode, payload, _ = await ws.read_ws_frame(
+                    reader, require_mask=False
+                )
+                assert (fin, opcode, payload) == (True, ws.OP_PONG, b"hb")
+                # A client-initiated close is echoed back.
+                writer.write(
+                    ws.encode_ws_frame(
+                        ws.OP_CLOSE, (1000).to_bytes(2, "big"), mask=b"abcd"
+                    )
+                )
+                await writer.drain()
+                _fin, opcode, payload, _ = await ws.read_ws_frame(
+                    reader, require_mask=False
+                )
+                assert opcode == ws.OP_CLOSE
+                assert payload[:2] == (1000).to_bytes(2, "big")
+            finally:
+                writer.close()
+                await endpoint.aclose()
+
+        asyncio.run(scenario())
+
+    def test_text_frame_kills_the_connection(self):
+        """The wire envelope is binary; a TEXT message is a protocol
+        violation and the endpoint fails loud instead of misparsing."""
+        from repro.engine.websocket import _WSClientEndpoint
+        from repro.wire import ws
+
+        async def scenario():
+            endpoint = _WSClientEndpoint(EchoClient(1, 5), None)
+            reader, writer = await self._upgraded(endpoint)
+            try:
+                writer.write(
+                    ws.encode_ws_frame(ws.OP_TEXT, b"hello", mask=b"abcd")
+                )
+                await writer.drain()
+                # The endpoint answers with an ERROR message (binary),
+                # then closes the connection.
+                from repro.wire import codecs as wire_codecs
+                from repro.wire.frame import KIND_ERROR, decode_frame
+
+                fin, opcode, payload, _ = await ws.read_ws_frame(
+                    reader, require_mask=False
+                )
+                assert opcode == ws.OP_BINARY
+                kind, body = decode_frame(payload)
+                assert kind == KIND_ERROR
+                with pytest.raises(ValueError, match="binary"):
+                    raise wire_codecs.decode_error(body)
+            finally:
+                writer.close()
+                await endpoint.aclose()
+
+        asyncio.run(scenario())
+
+    def test_unmasked_client_frame_kills_the_connection(self):
+        """RFC 6455 §5.1: the server must refuse unmasked client
+        frames — the endpoint drops the connection."""
+        from repro.engine.websocket import _WSClientEndpoint
+        from repro.wire import ws
+
+        async def scenario():
+            endpoint = _WSClientEndpoint(EchoClient(1, 5), None)
+            reader, writer = await self._upgraded(endpoint)
+            try:
+                writer.write(ws.encode_ws_frame(ws.OP_BINARY, b"naked"))
+                await writer.drain()
+                # Whatever comes back (an ERROR message or a straight
+                # close), the connection ends rather than processing
+                # the frame.
+                while True:
+                    try:
+                        await ws.read_ws_frame(reader, require_mask=False)
+                    except (ws.WSEOF, ValueError):
+                        break
+            finally:
+                writer.close()
+                await endpoint.aclose()
+
+        asyncio.run(scenario())
+
+    def test_bad_upgrade_request_rejected_before_websocket(self):
+        """A non-WebSocket HTTP request never reaches the frame layer."""
+        from repro.engine.websocket import _WSClientEndpoint
+
+        async def scenario():
+            endpoint = _WSClientEndpoint(EchoClient(1, 5), None)
+            host, port = await endpoint.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                writer.write(b"GET / HTTP/1.1\r\nHost: h\r\n\r\n")
+                await writer.drain()
+                # The endpoint closes without switching protocols.
+                assert await reader.read() == b""
+            finally:
+                writer.close()
+                await endpoint.aclose()
+
+        asyncio.run(scenario())
+
+
+@pytest.mark.timeout(120)
+class TestWebSocketChunkedRound:
+    def test_chunked_round_over_websockets(self):
+        """m chunk sub-rounds, each over its own set of connections,
+        concatenate to the in-process result with exact accounting."""
+
+        class SliceServer(ProtocolServer):
+            def set_graph_dict(self):
+                return {
+                    "encode": {"resource": "c-comp", "deps": []},
+                    "aggregate": {"resource": "s-comp", "deps": ["encode"]},
+                }
+
+            def aggregate(self, responses):
+                total = None
+                for v in responses.values():
+                    total = v if total is None else total + v
+                return total
+
+        class SliceClient(ProtocolClient):
+            def __init__(self, client_id, vector):
+                super().__init__(client_id)
+                self.vector = vector
+
+            def set_routine(self):
+                return {"encode": lambda _p: self.vector}
+
+        def factory(_j, chunk_inputs):
+            server = SliceServer()
+            clients = [SliceClient(u, v) for u, v in chunk_inputs.items()]
+            return server, clients
+
+        inputs = {u: np.arange(8, dtype=np.int64) + u for u in (1, 2, 3)}
+        transport = WebSocketTransport()
+        engine = RoundEngine(transport=transport)
+        chunked = run_sync(engine.run_chunked_round(factory, inputs, 2))
+        np.testing.assert_array_equal(chunked.result, sum(inputs.values()))
+        # 3 clients × 2 chunks = 6 connections, all accounted.
+        stats = transport.closed_connection_stats
+        assert len(stats) == 6
+        assert engine.trace.round_traffic_bytes(chunked.trace_round) == sum(
+            s.frame_bytes for s in stats
+        )

@@ -32,6 +32,39 @@ class TestFleetQueries:
             0: fleet.device(0), 5: fleet.device(5)
         }
 
+    def test_modular_lookup_uses_cached_sorted_ids(self):
+        """The fallback must not re-sort the profile dict per lookup —
+        it sits on the per-frame pricing path — and the cache must be
+        sort-equivalent regardless of construction order."""
+        profiles = [
+            DeviceProfile(
+                i,
+                compute_factor=1.0,
+                uplink_bps=10.0 * (i + 1),
+                downlink_bps=10.0 * (i + 1),
+            )
+            for i in (7, 0, 3)
+        ]
+        fleet = Fleet(profiles)
+        assert fleet._sorted_ids == (0, 3, 7)
+        # Modular wrap follows the sorted order, as before the cache.
+        assert [fleet.device(100 + k).client_id for k in range(3)] == [
+            (0, 3, 7)[(100 + k) % 3] for k in range(3)
+        ]
+
+    def test_id_offset_view_keeps_cache_consistent(self):
+        """with_id_offset builds a shifted view whose sorted-key cache
+        reflects the *shifted* ids, so its modular fallback agrees with
+        recomputing from the shifted profile dict."""
+        fleet = toy_fleet()
+        shifted = fleet.with_id_offset(1)
+        assert shifted._sorted_ids == tuple(sorted(shifted.profiles))
+        # An id miss on the view wraps over the shifted key space.
+        assert (
+            shifted.device(99).client_id
+            == shifted.profiles[shifted._sorted_ids[99 % 3]].client_id
+        )
+
     def test_straggler_and_gating(self):
         fleet = toy_fleet()
         assert fleet.straggler_factor([0, 1, 2]) == 4.0

@@ -56,7 +56,7 @@ class TestFleetNetworkTransport:
 class TestOneLinkModelThreeCarriers:
     def test_traces_identical_across_backends(self):
         """Same fleet, same round → identical spans (labels, begin,
-        finish, down, up) on all three transport backends."""
+        finish, down, up) on all three envelope-identical backends."""
         fleet = asymmetric_fleet()
         traces = {
             name: run_round(fleet_transport(name, fleet))
@@ -75,3 +75,39 @@ class TestOneLinkModelThreeCarriers:
         # And the round genuinely moved directional bytes.
         split = traces["sockets"].round_traffic_split(0)
         assert split.down > 0 and split.up > 0
+
+
+@pytest.mark.timeout(120)
+class TestWebSocketCarrier:
+    def test_ws_trace_equals_fleet_oracle_with_overhead(self):
+        """The fourth carrier prices its own (honestly larger) framed
+        bytes on the same fleet links: its trace — spans *and* virtual
+        latencies — equals the offline FleetNetworkTransport oracle
+        carrying the documented RFC 6455 framing overhead."""
+        from repro.engine import ws_envelope_overhead
+
+        fleet = asymmetric_fleet()
+        ws_trace = run_round(fleet_transport("websocket", fleet))
+        oracle_trace = run_round(
+            FleetNetworkTransport(fleet, overhead_fn=ws_envelope_overhead)
+        )
+        assert [
+            (s.label, s.resource, s.begin, s.finish, s.down_bytes, s.up_bytes)
+            for s in ws_trace.spans
+        ] == [
+            (s.label, s.resource, s.begin, s.finish, s.down_bytes, s.up_bytes)
+            for s in oracle_trace.spans
+        ]
+
+    def test_ws_carrier_charges_more_bytes_to_the_same_links(self):
+        """WS framing rides the same per-direction links, so the
+        carrier's comm stages take (slightly) longer than framed TCP —
+        more bytes over the same bandwidth, never fewer."""
+        fleet = asymmetric_fleet()
+        tcp = run_round(fleet_transport("sockets", fleet))
+        ws = run_round(fleet_transport("websocket", fleet))
+        tcp_split = tcp.round_traffic_split(0)
+        ws_split = ws.round_traffic_split(0)
+        assert ws_split.down > tcp_split.down
+        assert ws_split.up > tcp_split.up
+        assert ws.completion_time > tcp.completion_time

@@ -14,6 +14,20 @@ class TestParser:
         args = build_parser().parse_args(["run"])
         assert args.task == "cifar10-like"
         assert args.strategy == "xnoise"
+        assert args.transport == "inprocess"
+
+    def test_transport_choices(self):
+        args = build_parser().parse_args(["run", "--transport", "websocket"])
+        assert args.transport == "websocket"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--transport", "pigeon"])
+        args = build_parser().parse_args(
+            ["sockets", "--transport", "websocket"]
+        )
+        assert args.transport == "websocket"
+        with pytest.raises(SystemExit):
+            # The demo only has wire carriers to demonstrate.
+            build_parser().parse_args(["sockets", "--transport", "inprocess"])
 
     def test_plan_requires_core_args(self):
         with pytest.raises(SystemExit):
@@ -116,6 +130,18 @@ class TestSocketsCommand:
         out = capsys.readouterr().out
         assert code == 0
         assert "SecAgg over framed TCP" in out
+        assert "verified — ring sum over U3 matches" in out
+        assert "accounting check" in out and "✓" in out
+
+    @pytest.mark.timeout(120)
+    def test_secagg_round_over_websocket(self, capsys):
+        code = main([
+            "sockets", "--clients", "4", "--dimension", "8", "--drop", "1",
+            "--transport", "websocket",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SecAgg over RFC 6455 WebSocket" in out
         assert "verified — ring sum over U3 matches" in out
         assert "accounting check" in out and "✓" in out
 

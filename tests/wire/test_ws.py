@@ -1,0 +1,350 @@
+"""WebSocket wire layer: handshakes, frames, strictness, hostile input.
+
+Mirrors the frame layer's adversarial suite (``tests/wire/test_frame.py``)
+for RFC 6455: a handshake or frame either is exactly well-formed or it
+raises :class:`ValueError` — wrong ``Sec-WebSocket-Accept``, missing
+``Upgrade`` headers, unmasked client frames, oversized length prefixes,
+and truncation at every byte cut all fail loud, never misparse.
+"""
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.wire import ws
+
+
+class TestAcceptDerivation:
+    def test_rfc_worked_example(self):
+        """The RFC 6455 §1.3 vector pins the SHA-1 derivation."""
+        key = "dGhlIHNhbXBsZSBub25jZQ=="
+        assert ws.accept_for(key) == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+
+    def test_key_is_base64_of_16_bytes(self):
+        key = ws.websocket_key(entropy=bytes(range(16)))
+        assert len(key) == 24
+        assert ws.websocket_key() != ws.websocket_key() or True  # random ok
+        with pytest.raises(ValueError, match="exactly 16 bytes"):
+            ws.websocket_key(entropy=b"short")
+
+
+class TestHandshakeRoundTrip:
+    KEY = ws.websocket_key(entropy=b"0123456789abcdef")
+
+    def test_request_parses_back(self):
+        raw = ws.handshake_request("127.0.0.1", 8080, self.KEY)
+        assert ws.parse_handshake_request(raw) == self.KEY
+
+    def test_response_validates_against_key(self):
+        raw = ws.handshake_response(self.KEY)
+        ws.parse_handshake_response(raw, self.KEY)  # no raise
+
+
+class TestHandshakeAdversarial:
+    KEY = ws.websocket_key(entropy=b"0123456789abcdef")
+
+    def _request_without(self, header: str) -> bytes:
+        raw = ws.handshake_request("h", 1, self.KEY).decode("ascii")
+        lines = [
+            ln for ln in raw.split("\r\n")
+            if not ln.lower().startswith(header.lower() + ":")
+        ]
+        return "\r\n".join(lines).encode("ascii")
+
+    def test_wrong_accept_rejected(self):
+        """A server that did not really derive the accept is refused —
+        the defense against talking to a non-WebSocket peer."""
+        other = ws.websocket_key(entropy=b"fedcba9876543210")
+        raw = ws.handshake_response(other)
+        with pytest.raises(ValueError, match="bad Sec-WebSocket-Accept"):
+            ws.parse_handshake_response(raw, self.KEY)
+
+    def test_missing_upgrade_header_rejected(self):
+        with pytest.raises(ValueError, match="missing Upgrade header"):
+            ws.parse_handshake_request(self._request_without("Upgrade"))
+        response = ws.handshake_response(self.KEY).decode("ascii")
+        lines = [
+            ln for ln in response.split("\r\n")
+            if not ln.lower().startswith("upgrade:")
+        ]
+        with pytest.raises(ValueError, match="missing Upgrade header"):
+            ws.parse_handshake_response(
+                "\r\n".join(lines).encode("ascii"), self.KEY
+            )
+
+    def test_wrong_upgrade_value_rejected(self):
+        raw = ws.handshake_request("h", 1, self.KEY).replace(
+            b"Upgrade: websocket", b"Upgrade: h2c"
+        )
+        with pytest.raises(ValueError, match="not websocket"):
+            ws.parse_handshake_request(raw)
+
+    def test_connection_without_upgrade_token_rejected(self):
+        raw = ws.handshake_request("h", 1, self.KEY).replace(
+            b"Connection: Upgrade", b"Connection: keep-alive"
+        )
+        with pytest.raises(ValueError, match="lacks Upgrade"):
+            ws.parse_handshake_request(raw)
+
+    def test_missing_connection_header_rejected(self):
+        with pytest.raises(ValueError, match="missing Connection header"):
+            ws.parse_handshake_request(self._request_without("Connection"))
+
+    def test_unsupported_version_rejected(self):
+        raw = ws.handshake_request("h", 1, self.KEY).replace(
+            b"Sec-WebSocket-Version: 13", b"Sec-WebSocket-Version: 8"
+        )
+        with pytest.raises(ValueError, match="unsupported Sec-WebSocket-Version"):
+            ws.parse_handshake_request(raw)
+
+    def test_missing_or_malformed_key_rejected(self):
+        with pytest.raises(ValueError, match="missing Sec-WebSocket-Key"):
+            ws.parse_handshake_request(
+                self._request_without("Sec-WebSocket-Key")
+            )
+        raw = ws.handshake_request("h", 1, self.KEY).replace(
+            self.KEY.encode("ascii"), b"not!!base64"
+        )
+        with pytest.raises(ValueError, match="not base64"):
+            ws.parse_handshake_request(raw)
+        short = ws.handshake_request("h", 1, self.KEY).replace(
+            self.KEY.encode("ascii"), b"c2hvcnQ="  # base64 of 5 bytes
+        )
+        with pytest.raises(ValueError, match="does not encode 16 bytes"):
+            ws.parse_handshake_request(short)
+
+    def test_non_get_method_rejected(self):
+        raw = ws.handshake_request("h", 1, self.KEY).replace(b"GET", b"POST")
+        with pytest.raises(ValueError, match="bad request line"):
+            ws.parse_handshake_request(raw)
+
+    def test_non_101_status_rejected(self):
+        raw = ws.handshake_response(self.KEY).replace(
+            b"101 Switching Protocols", b"403 Forbidden"
+        )
+        with pytest.raises(ValueError, match="handshake refused"):
+            ws.parse_handshake_response(raw, self.KEY)
+
+    def test_unterminated_head_rejected(self):
+        with pytest.raises(ValueError, match="empty CRLF line"):
+            ws.parse_handshake_request(b"GET / HTTP/1.1\r\nHost: h\r\n")
+
+    def test_oversized_head_rejected(self):
+        bloated = (
+            b"GET / HTTP/1.1\r\nX-Pad: " + b"a" * ws.MAX_HANDSHAKE + b"\r\n\r\n"
+        )
+        with pytest.raises(ValueError, match="MAX_HANDSHAKE"):
+            ws.parse_handshake_request(bloated)
+
+
+class TestFrameRoundTrip:
+    @pytest.mark.parametrize(
+        "size,ext",
+        [(0, 0), (125, 0), (126, 2), (1000, 2), (65535, 2), (65536, 8), (70000, 8)],
+    )
+    def test_roundtrip_every_length_class(self, size, ext):
+        payload = bytes(i % 251 for i in range(size))
+        unmasked = ws.encode_ws_frame(ws.OP_BINARY, payload)
+        assert len(unmasked) == 2 + ext + size
+        assert ws.decode_ws_frame(unmasked, require_mask=False) == (
+            True, ws.OP_BINARY, payload,
+        )
+        masked = ws.encode_ws_frame(ws.OP_BINARY, payload, mask=b"\x01\x02\x03\x04")
+        assert len(masked) == 2 + ext + 4 + size
+        assert ws.decode_ws_frame(masked, require_mask=True) == (
+            True, ws.OP_BINARY, payload,
+        )
+
+    @pytest.mark.parametrize(
+        "size,masked,overhead",
+        [(0, True, 6), (125, True, 6), (126, True, 8), (65535, False, 4),
+         (65536, True, 14), (65536, False, 10), (100, False, 2)],
+    )
+    def test_overhead_function_pins_the_framing(self, size, masked, overhead):
+        assert ws.ws_frame_overhead(size, masked=masked) == overhead
+        mask = b"abcd" if masked else None
+        frame = ws.encode_ws_frame(ws.OP_BINARY, bytes(size), mask=mask)
+        assert len(frame) == size + overhead
+
+    def test_masking_is_an_involution(self):
+        payload = b"masked payload bytes!"
+        frame = ws.encode_ws_frame(ws.OP_BINARY, payload, mask=b"\xaa\xbb\xcc\xdd")
+        # The wire bytes differ from the payload (it really is masked)…
+        assert payload not in frame
+        # …and unmasking on decode restores it exactly.
+        assert ws.decode_ws_frame(frame, require_mask=True)[2] == payload
+
+    def test_control_frames_roundtrip(self):
+        for opcode in (ws.OP_CLOSE, ws.OP_PING, ws.OP_PONG):
+            frame = ws.encode_ws_frame(opcode, b"ctl", mask=b"abcd")
+            assert ws.decode_ws_frame(frame, require_mask=True) == (
+                True, opcode, b"ctl",
+            )
+
+    def test_encode_refuses_bad_frames(self):
+        with pytest.raises(ValueError, match="unknown websocket opcode"):
+            ws.encode_ws_frame(0x3, b"")
+        with pytest.raises(ValueError, match="must not be fragmented"):
+            ws.encode_ws_frame(ws.OP_PING, b"", fin=False)
+        with pytest.raises(ValueError, match="exceeds 125"):
+            ws.encode_ws_frame(ws.OP_PING, bytes(126))
+        with pytest.raises(ValueError, match="exactly 4 bytes"):
+            ws.encode_ws_frame(ws.OP_BINARY, b"x", mask=b"ab")
+
+
+class TestFrameAdversarial:
+    GOOD_MASKED = ws.encode_ws_frame(
+        ws.OP_BINARY, b"payload-bytes", mask=b"\x10\x20\x30\x40"
+    )
+    GOOD_UNMASKED = ws.encode_ws_frame(ws.OP_BINARY, b"payload-bytes")
+
+    def test_unmasked_client_frame_rejected(self):
+        """A server must refuse unmasked frames (RFC 6455 §5.1)."""
+        with pytest.raises(ValueError, match="unmasked client frame"):
+            ws.decode_ws_frame(self.GOOD_UNMASKED, require_mask=True)
+
+    def test_masked_server_frame_rejected(self):
+        with pytest.raises(ValueError, match="masked server frame"):
+            ws.decode_ws_frame(self.GOOD_MASKED, require_mask=False)
+
+    def test_every_truncation_rejected(self):
+        for frame, require_mask in (
+            (self.GOOD_MASKED, True),
+            (self.GOOD_UNMASKED, False),
+            # 16-bit extended length, so the cut walks the ext bytes too.
+            (
+                ws.encode_ws_frame(ws.OP_BINARY, bytes(300), mask=b"abcd"),
+                True,
+            ),
+        ):
+            for cut in range(len(frame)):
+                with pytest.raises(ValueError):
+                    ws.decode_ws_frame(frame[:cut], require_mask=require_mask)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ValueError, match="trailing garbage"):
+            ws.decode_ws_frame(self.GOOD_MASKED + b"x", require_mask=True)
+
+    def test_reserved_bits_rejected(self):
+        bad = bytes([self.GOOD_MASKED[0] | 0x40]) + self.GOOD_MASKED[1:]
+        with pytest.raises(ValueError, match="reserved frame bits"):
+            ws.decode_ws_frame(bad, require_mask=True)
+
+    def test_unknown_opcode_rejected(self):
+        bad = bytes([0x80 | 0x3]) + self.GOOD_MASKED[1:]
+        with pytest.raises(ValueError, match="unknown websocket opcode"):
+            ws.decode_ws_frame(bad, require_mask=True)
+
+    def test_fragmented_control_frame_rejected(self):
+        ping = ws.encode_ws_frame(ws.OP_PING, b"x", mask=b"abcd")
+        bad = bytes([ping[0] & 0x7F]) + ping[1:]  # clear FIN
+        with pytest.raises(ValueError, match="fragmented control frame"):
+            ws.decode_ws_frame(bad, require_mask=True)
+
+    def test_oversized_length_prefix_rejected(self):
+        """A hostile 64-bit length prefix must fail immediately — not
+        allocate, not wait for bytes that never come."""
+        bad = bytes([0x80 | ws.OP_BINARY, 0x80 | 127]) + (
+            ws.MAX_MESSAGE + 1
+        ).to_bytes(8, "big") + b"abcd"
+        with pytest.raises(ValueError, match="oversized frame"):
+            ws.decode_ws_frame(bad + b"tiny", require_mask=True)
+
+    def test_msb_set_64bit_length_rejected(self):
+        bad = bytes([0x80 | ws.OP_BINARY, 0x80 | 127]) + (
+            (1 << 63) | 16
+        ).to_bytes(8, "big") + b"abcd"
+        with pytest.raises(ValueError, match="most significant bit"):
+            ws.decode_ws_frame(bad, require_mask=True)
+
+    def test_non_minimal_lengths_rejected(self):
+        short_as_16 = (
+            bytes([0x80 | ws.OP_BINARY, 126]) + (5).to_bytes(2, "big") + bytes(5)
+        )
+        with pytest.raises(ValueError, match="non-minimal 16-bit"):
+            ws.decode_ws_frame(short_as_16, require_mask=False)
+        short_as_64 = (
+            bytes([0x80 | ws.OP_BINARY, 127]) + (5).to_bytes(8, "big") + bytes(5)
+        )
+        with pytest.raises(ValueError, match="non-minimal 64-bit"):
+            ws.decode_ws_frame(short_as_64, require_mask=False)
+
+    @given(data=st.binary(max_size=64))
+    @settings(max_examples=100)
+    def test_fuzz_never_misparses(self, data):
+        """Arbitrary bytes either are one valid unmasked frame — which
+        re-encodes to exactly the same bytes — or raise ValueError."""
+        try:
+            fin, opcode, payload = ws.decode_ws_frame(data, require_mask=False)
+        except ValueError:
+            return
+        assert ws.encode_ws_frame(opcode, payload, fin=fin) == data
+
+
+class TestStreamFraming:
+    @pytest.mark.timeout(30)
+    def test_read_write_over_stream(self):
+        async def scenario():
+            async def serve(reader, writer):
+                fin, opcode, payload, _ = await ws.read_ws_frame(
+                    reader, require_mask=True
+                )
+                writer.write(ws.encode_ws_frame(ws.OP_BINARY, payload[::-1]))
+                await writer.drain()
+                writer.close()
+
+            server = await asyncio.start_server(serve, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            reader, writer = await asyncio.open_connection(host, port)
+            frame = ws.encode_ws_frame(ws.OP_BINARY, b"abc", mask=b"wxyz")
+            writer.write(frame)
+            await writer.drain()
+            fin, opcode, payload, nbytes = await ws.read_ws_frame(
+                reader, require_mask=False
+            )
+            writer.close()
+            server.close()
+            await server.wait_closed()
+            return fin, opcode, payload, nbytes
+
+        fin, opcode, payload, nbytes = asyncio.run(scenario())
+        assert (fin, opcode, payload) == (True, ws.OP_BINARY, b"cba")
+        assert nbytes == 2 + 3
+
+    @pytest.mark.timeout(30)
+    def test_clean_eof_vs_mid_frame_close(self):
+        async def scenario():
+            async def serve(reader, writer):
+                # Half a header, then hang up: the peer died mid-send.
+                writer.write(bytes([0x80 | ws.OP_BINARY]))
+                await writer.drain()
+                writer.close()
+
+            server = await asyncio.start_server(serve, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            reader, writer = await asyncio.open_connection(host, port)
+            with pytest.raises(ValueError, match="closed inside a frame"):
+                await ws.read_ws_frame(reader, require_mask=False)
+            writer.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    @pytest.mark.timeout(30)
+    def test_eof_between_frames_is_wseof(self):
+        async def scenario():
+            async def serve(reader, writer):
+                writer.close()
+
+            server = await asyncio.start_server(serve, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            reader, writer = await asyncio.open_connection(host, port)
+            with pytest.raises(ws.WSEOF):
+                await ws.read_ws_frame(reader, require_mask=False)
+            writer.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
