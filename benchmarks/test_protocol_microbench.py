@@ -5,7 +5,15 @@ SecAgg / XNoise rounds of this repository (small scale, fast DH group) —
 useful for tracking implementation regressions and for sanity-checking
 the analytic model's qualitative claims (SecAgg+ cheaper per client at
 scale; XNoise's overhead bounded).
+
+Scale knobs (environment variables, default = the historical values):
+
+- ``REPRO_BENCH_DIM`` — model dimension per round (default 256);
+- ``REPRO_BENCH_CLIENTS`` — cohort size (default 10; the dropout case
+  benches two extra clients so its survivors match the others).
 """
+
+import os
 
 import numpy as np
 import pytest
@@ -19,6 +27,11 @@ from repro.secagg import (
 from repro.utils.rng import derive_rng
 from repro.xnoise.protocol import XNoiseConfig, run_xnoise_round
 
+BENCH_DIM = int(os.environ.get("REPRO_BENCH_DIM", "256"))
+BENCH_CLIENTS = int(os.environ.get("REPRO_BENCH_CLIENTS", "10"))
+
+_THRESHOLD = max(2, BENCH_CLIENTS // 2 + 1)
+
 
 def _inputs(n, dim, bits=16):
     rng = derive_rng("microbench", n, dim)
@@ -29,48 +42,59 @@ def _inputs(n, dim, bits=16):
 
 
 def test_secagg_round_small(benchmark):
-    config = SecAggConfig(threshold=6, bits=16, dimension=256, dh_group="modp512")
-    inputs = _inputs(10, 256)
+    config = SecAggConfig(
+        threshold=_THRESHOLD, bits=16, dimension=BENCH_DIM, dh_group="modp512"
+    )
+    inputs = _inputs(BENCH_CLIENTS, BENCH_DIM)
     result = benchmark.pedantic(
         run_secagg_round, args=(config, inputs), iterations=1, rounds=3
     )
-    assert len(result.u3) == 10
+    assert len(result.u3) == BENCH_CLIENTS
 
 
 def test_secagg_plus_round_small(benchmark):
     config = secagg_plus_config(
-        10, bits=16, dimension=256, degree=5, dh_group="modp512"
+        BENCH_CLIENTS,
+        bits=16,
+        dimension=BENCH_DIM,
+        degree=min(5, BENCH_CLIENTS - 1),
+        dh_group="modp512",
     )
-    inputs = _inputs(10, 256)
+    inputs = _inputs(BENCH_CLIENTS, BENCH_DIM)
     result = benchmark.pedantic(
         run_secagg_round, args=(config, inputs), iterations=1, rounds=3
     )
-    assert len(result.u3) == 10
+    assert len(result.u3) == BENCH_CLIENTS
 
 
 def test_secagg_round_with_dropout(benchmark):
-    config = SecAggConfig(threshold=6, bits=16, dimension=256, dh_group="modp512")
-    inputs = _inputs(12, 256)
-    schedule = DropoutSchedule.before_upload({3, 7})
+    n = BENCH_CLIENTS + 2
+    dropped = {3, 7}
+    config = SecAggConfig(
+        threshold=_THRESHOLD, bits=16, dimension=BENCH_DIM, dh_group="modp512"
+    )
+    inputs = _inputs(n, BENCH_DIM)
+    schedule = DropoutSchedule.before_upload(dropped)
     result = benchmark.pedantic(
         run_secagg_round, args=(config, inputs, schedule), iterations=1, rounds=3
     )
-    assert sorted(result.u3) == [u for u in range(1, 13) if u not in (3, 7)]
+    assert sorted(result.u3) == [u for u in range(1, n + 1) if u not in dropped]
 
 
 def test_xnoise_round_small(benchmark):
     config = XNoiseConfig(
         secagg=SecAggConfig(
-            threshold=6, bits=18, dimension=256, dh_group="modp512"
+            threshold=_THRESHOLD, bits=18, dimension=BENCH_DIM,
+            dh_group="modp512",
         ),
-        n_sampled=10,
-        tolerance=3,
+        n_sampled=BENCH_CLIENTS,
+        tolerance=min(3, max(1, BENCH_CLIENTS - _THRESHOLD)),
         target_variance=200.0,
     )
     rng = derive_rng("microbench-xnoise")
     inputs = {
-        u: rng.integers(-10, 11, size=256).astype(np.int64)
-        for u in range(1, 11)
+        u: rng.integers(-10, 11, size=BENCH_DIM).astype(np.int64)
+        for u in range(1, BENCH_CLIENTS + 1)
     }
     result = benchmark.pedantic(
         run_xnoise_round, args=(config, inputs), iterations=1, rounds=3

@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.crypto.ae import AuthenticatedEncryption
 from repro.crypto.dh import DHKeyPair, KeyAgreement, resolve_group
-from repro.crypto.prg import PRG
+from repro.crypto.prg import expand_uniform
 from repro.crypto.shamir import Share, ShamirSecretSharing
 from repro.dp.skellam import SkellamConfig, SkellamMechanism
 
@@ -146,7 +146,7 @@ class DefaultPGHandler(PGHandler):
     """SHA-256 counter-mode PRG (repro.crypto.prg)."""
 
     def expand(self, seed, length, modulus):
-        return PRG(seed).uniform_vector(length, modulus)
+        return expand_uniform(seed, length, modulus)
 
 
 class SSHandler:
@@ -162,8 +162,17 @@ class SSHandler:
 class DefaultSSHandler(SSHandler):
     """Shamir over GF(2**127 − 1) (repro.crypto.shamir)."""
 
+    def __init__(self):
+        self._schemes: dict[int, ShamirSecretSharing] = {}
+
+    def _scheme(self, threshold: int) -> ShamirSecretSharing:
+        scheme = self._schemes.get(threshold)
+        if scheme is None:
+            scheme = self._schemes[threshold] = ShamirSecretSharing(threshold)
+        return scheme
+
     def share(self, secret, threshold, ids):
-        return ShamirSecretSharing(threshold).share(secret, ids)
+        return self._scheme(threshold).share(secret, ids)
 
     def reconstruct(self, shares, threshold):
-        return ShamirSecretSharing(threshold).reconstruct(shares)
+        return self._scheme(threshold).reconstruct(shares)

@@ -1,0 +1,35 @@
+"""Benchmark harness behind ``repro.cli bench``.
+
+One entry point runs the hot-path microbenchmarks (every optimized path
+timed against its retained ``*_reference`` twin) plus measured protocol
+rounds over real sockets, and persists each topic as a machine-readable
+``BENCH_<topic>.json`` so successive runs form a diffable performance
+trajectory (``repro.cli bench --diff old new``).
+"""
+
+from repro.bench.hotpath import run_hotpath
+from repro.bench.rounds import run_round, run_traffic
+from repro.bench.schema import (
+    SCHEMA_VERSION,
+    bench_path,
+    diff_bench,
+    format_diff,
+    load_bench,
+    make_report,
+    validate_report,
+    write_bench,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "bench_path",
+    "diff_bench",
+    "format_diff",
+    "load_bench",
+    "make_report",
+    "run_hotpath",
+    "run_round",
+    "run_traffic",
+    "validate_report",
+    "write_bench",
+]

@@ -1,0 +1,142 @@
+"""Hot-path microbenchmarks: every fast path against its retained twin.
+
+Each metric pair times the optimized implementation and the
+``*_reference`` executable specification it is parity-pinned against
+(PRG mask expansion, Shamir share evaluation and reconstruction, codec
+encode, mask accumulation), so the recorded speedups are measured on the
+same machine, same inputs, same run — the trajectory point the paper's
+Fig.-2-style overhead claims rest on.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.bench.schema import make_report, metric
+from repro.crypto.prg import PRG, PRGReference
+from repro.crypto.shamir import ShamirSecretSharing
+from repro.secagg.masking import MaskAccumulator, accumulate_masks_reference
+from repro.utils.rng import derive_rng
+from repro.wire import codecs as wire_codecs
+
+TOPIC = "hotpath"
+
+
+def _best_of(fn: Callable[[], Any], repeats: int) -> float:
+    """Minimum wall time of ``repeats`` calls (the classic noise filter)."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _speedup_triplet(
+    metrics: dict[str, Any], name: str, ref_s: float, fast_s: float
+) -> None:
+    metrics[f"{name}_reference_s"] = metric(ref_s, "s")
+    metrics[f"{name}_fast_s"] = metric(fast_s, "s")
+    if fast_s > 0:
+        metrics[f"{name}_speedup"] = metric(ref_s / fast_s, "x")
+
+
+def run_hotpath(
+    dims: list[int],
+    *,
+    clients: int = 4,
+    repeats: int = 3,
+    bits: int = 20,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """Benchmark the crypto/codec hot paths; returns a schema report."""
+    modulus = 1 << bits
+    rng = derive_rng("bench-hotpath", seed)
+    prg_seed = bytes(rng.integers(0, 256, size=32, dtype=np.uint8))
+    metrics: dict[str, Any] = {}
+
+    # PRG mask expansion, per dimension.
+    for d in dims:
+        ref_s = _best_of(
+            lambda: PRGReference(prg_seed).uniform_vector(d, modulus), repeats
+        )
+        fast_s = _best_of(
+            lambda: PRG(prg_seed).uniform_vector(d, modulus), repeats
+        )
+        _speedup_triplet(metrics, f"prg_expand_d{d}", ref_s, fast_s)
+
+    # Shamir: the deterministic evaluation step on identical polynomials
+    # (share() itself samples fresh randomness, so the fair comparison
+    # is _evaluate_shares vs its retained twin), then reconstruction on
+    # identical shares.  Floor of 16 participants: the protocol shares
+    # keys across whole cohorts, not the 3–4 clients of a smoke run.
+    n = max(16, clients)
+    threshold = max(2, n // 2 + 1)
+    scheme = ShamirSecretSharing(threshold)
+    ids = list(range(1, n + 1))
+    secret = bytes(rng.integers(0, 256, size=32, dtype=np.uint8))
+    polys = scheme._sample_polynomials(secret)
+    ref_s = _best_of(
+        lambda: scheme._evaluate_shares_reference(polys, ids, len(secret)),
+        repeats,
+    )
+    fast_s = _best_of(
+        lambda: scheme._evaluate_shares(polys, ids, len(secret)), repeats
+    )
+    _speedup_triplet(metrics, "shamir_share", ref_s, fast_s)
+
+    shares = list(scheme.share(secret, ids).values())
+    ref_s = _best_of(lambda: scheme.reconstruct_reference(shares), repeats)
+    fast_s = _best_of(lambda: scheme.reconstruct(shares), repeats)
+    _speedup_triplet(metrics, "shamir_reconstruct", ref_s, fast_s)
+
+    # Codec: a masked-upload-shaped payload at the largest dimension.
+    d = max(dims)
+    vector = rng.integers(0, modulus, size=d).astype(np.int64)
+    payload = {"sender": 1, "round": 0, "masked_vector": vector}
+    ref_s = _best_of(
+        lambda: wire_codecs.encode_payload_reference(payload), repeats
+    )
+    fast_s = _best_of(lambda: wire_codecs.encode_payload(payload), repeats)
+    _speedup_triplet(metrics, f"codec_encode_d{d}", ref_s, fast_s)
+    encoded = wire_codecs.encode_payload(payload)
+    metrics[f"codec_encoded_d{d}_bytes"] = metric(len(encoded), "bytes")
+    metrics[f"codec_decode_d{d}_s"] = metric(
+        _best_of(lambda: wire_codecs.decode_payload(encoded), repeats), "s"
+    )
+
+    # Mask accumulation: base + one mask per live neighbor.
+    masks = [
+        rng.integers(0, modulus, size=d).astype(np.int64)
+        for _ in range(max(2, clients))
+    ]
+    base = rng.integers(0, modulus, size=d).astype(np.int64)
+
+    def _fast_accumulate() -> np.ndarray:
+        acc = MaskAccumulator(base, modulus, n_terms=1 + len(masks))
+        for m in masks:
+            acc.add(m)
+        return acc.finish()
+
+    ref_s = _best_of(
+        lambda: accumulate_masks_reference(base, masks, modulus), repeats
+    )
+    fast_s = _best_of(_fast_accumulate, repeats)
+    _speedup_triplet(metrics, f"mask_accumulate_d{d}", ref_s, fast_s)
+
+    config = {
+        "dims": list(dims),
+        "clients": clients,
+        "repeats": repeats,
+        "bits": bits,
+        "seed": seed,
+        "shamir_threshold": threshold,
+        "shamir_participants": n,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+    return make_report(TOPIC, config, metrics)

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands mirror the workflow a user of the original system
+Five subcommands mirror the workflow a user of the original system
 walks through:
 
 - ``run``      — train one Dordis session and report utility + ε;
@@ -11,7 +11,12 @@ walks through:
 - ``sockets``  — run one secure-aggregation round over real localhost
   connections — framed TCP or RFC 6455 WebSocket
   (``--transport websocket``) — and report the *measured* per-stage
-  traffic and per-connection byte accounting.
+  traffic and per-connection byte accounting;
+- ``bench``    — run the hot-path microbenchmarks (each optimized
+  crypto/codec path against its retained ``*_reference`` twin) and
+  measured end-to-end rounds, writing one machine-readable
+  ``BENCH_<topic>.json`` per topic; ``--diff old new`` compares two
+  persisted reports metric by metric.
 
 Examples::
 
@@ -21,6 +26,8 @@ Examples::
     python -m repro.cli pipeline --clients 100 --model-size 11000000
     python -m repro.cli sockets --clients 6 --dimension 64 --drop 1
     python -m repro.cli sockets --clients 6 --transport websocket
+    python -m repro.cli bench --out .
+    python -m repro.cli bench --diff BENCH_hotpath.old.json BENCH_hotpath.json
 """
 
 from __future__ import annotations
@@ -110,6 +117,37 @@ def _add_sockets_parser(sub) -> None:
     p.add_argument("--seed", type=int, default=0)
 
 
+def _add_bench_parser(sub) -> None:
+    p = sub.add_parser(
+        "bench",
+        help="hot-path microbenchmarks + measured rounds → BENCH_*.json",
+    )
+    p.add_argument("--dims", type=int, nargs="+",
+                   default=[2 ** 14, 2 ** 17, 2 ** 20],
+                   help="model dimensions for the PRG/round sweeps")
+    p.add_argument("--clients", type=int, default=4,
+                   help="clients per measured round (and Shamir cohort)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="best-of repetitions per microbenchmark")
+    p.add_argument("--bits", type=int, default=20,
+                   help="ring bit-width b (modulus 2**b)")
+    p.add_argument("--traffic-dimension", type=int, default=1024,
+                   help="dimension for the per-stage traffic round")
+    p.add_argument("--topics", nargs="+", default=["hotpath", "traffic",
+                                                   "round"],
+                   choices=["hotpath", "traffic", "round"],
+                   help="which reports to produce")
+    p.add_argument("--out", default=".",
+                   help="directory BENCH_<topic>.json files are written to")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--suite", action="store_true",
+                   help="also run the figure/table benchmark suite "
+                        "(pytest benchmarks/) before the micro topics")
+    p.add_argument("--diff", nargs=2, metavar=("OLD", "NEW"), default=None,
+                   help="compare two persisted BENCH_*.json reports and "
+                        "exit (no benchmarks run)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Dordis reproduction CLI"
@@ -119,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_plan_parser(sub)
     _add_pipeline_parser(sub)
     _add_sockets_parser(sub)
+    _add_bench_parser(sub)
     return parser
 
 
@@ -331,6 +370,68 @@ def _cmd_sockets(args) -> int:
     return 0 if balanced else 1
 
 
+def _cmd_bench(args) -> int:
+    from repro import bench
+
+    if args.diff:
+        old, new = args.diff
+        print(bench.format_diff(bench.diff_bench(old, new)))
+        return 0
+
+    if args.suite:
+        import subprocess
+
+        print("running figure/table suite (pytest benchmarks/) ...")
+        rc = subprocess.call(
+            [sys.executable, "-m", "pytest", "benchmarks", "-q"]
+        )
+        if rc != 0:
+            print("figure/table suite failed", file=sys.stderr)
+            return rc
+
+    written = []
+    if "hotpath" in args.topics:
+        report = bench.run_hotpath(
+            args.dims,
+            clients=args.clients,
+            repeats=args.repeats,
+            bits=args.bits,
+            seed=args.seed,
+        )
+        written.append(bench.write_bench(report, args.out))
+        d = max(args.dims)
+        m = report["metrics"]
+        speedup = m.get(f"prg_expand_d{d}_speedup")
+        if speedup:
+            print(f"PRG expand d={d}: "
+                  f"{m[f'prg_expand_d{d}_reference_s']['value']:.4f}s ref → "
+                  f"{m[f'prg_expand_d{d}_fast_s']['value']:.4f}s fast "
+                  f"({speedup['value']:.2f}x)")
+    if "traffic" in args.topics:
+        report = bench.run_traffic(
+            clients=args.clients,
+            dimension=args.traffic_dimension,
+            bits=args.bits,
+            seed=args.seed,
+        )
+        written.append(bench.write_bench(report, args.out))
+        m = report["metrics"]
+        print(f"traffic round d={args.traffic_dimension}: "
+              f"{int(m['total_bytes']['value']):,d} B framed in "
+              f"{m['round_wall_s']['value']:.3f}s")
+    if "round" in args.topics:
+        report = bench.run_round(
+            args.dims, clients=args.clients, bits=args.bits, seed=args.seed
+        )
+        written.append(bench.write_bench(report, args.out))
+        for d in args.dims:
+            v = report["metrics"][f"round_d{d}_wall_s"]["value"]
+            print(f"measured round d={d}: {v:.3f}s")
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -338,6 +439,7 @@ def main(argv: list[str] | None = None) -> int:
         "plan": _cmd_plan,
         "pipeline": _cmd_pipeline,
         "sockets": _cmd_sockets,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

@@ -21,7 +21,7 @@ failure), but they have not been audited for production deployment.
 """
 
 from repro.crypto.field import PrimeField, FIELD
-from repro.crypto.prg import PRG
+from repro.crypto.prg import PRG, PRGReference, expand_uniform
 from repro.crypto.shamir import ShamirSecretSharing, Share
 from repro.crypto.dh import DHKeyPair, KeyAgreement, MODP_2048
 from repro.crypto.ae import AuthenticatedEncryption, AEError
@@ -32,6 +32,8 @@ __all__ = [
     "PrimeField",
     "FIELD",
     "PRG",
+    "PRGReference",
+    "expand_uniform",
     "ShamirSecretSharing",
     "Share",
     "DHKeyPair",

@@ -9,23 +9,37 @@ The construction is the standard counter-mode PRF: block *i* of the stream
 is ``SHA256(seed || i)``.  Identical seeds always produce identical
 streams, which is what lets XNoise ship 32-byte seeds instead of
 model-sized noise vectors.
+
+Two implementations live here, bit-identical by construction and pinned
+bit-identical by test (``tests/crypto/test_hotpath_parity.py``):
+
+- :class:`PRG` — the hot path.  The SHA-256 midstate over the seed is
+  computed once and ``.copy()``-ed per counter block (the seed bytes are
+  never re-absorbed), counter blocks land in one preallocated buffer,
+  and :meth:`PRG.uniform_vector` reduces through a zero-copy
+  ``np.frombuffer`` view of that buffer (in-place byteswap + in-place
+  modulo + ``int64`` reinterpretation — no ``.astype`` round trips).
+- :class:`PRGReference` — the retained executable specification: one
+  ``hashlib.sha256(seed + counter)`` call per 32-byte block, exactly as
+  the deployed protocol describes it.  Every optimization above must
+  reproduce this stream byte for byte.
 """
 
 from __future__ import annotations
 
 import hashlib
+import sys
 
 import numpy as np
 
 _BLOCK = hashlib.sha256().digest_size  # 32 bytes
 
 
-class PRG:
-    """Deterministic byte/vector stream expanded from a seed.
+class PRGReference:
+    """The retained scalar reference: ``SHA256(seed ∥ counter)`` per block.
 
-    Each call advances an internal counter, so successive calls return
-    disjoint stream segments; two PRGs built from the same seed produce
-    the same sequence of outputs for the same sequence of calls.
+    This is the executable specification :class:`PRG` is parity-pinned
+    against — slow on purpose, never used on the hot path.
     """
 
     def __init__(self, seed: bytes):
@@ -54,14 +68,7 @@ class PRG:
         return b"".join(blocks)
 
     def uniform_vector(self, length: int, modulus: int) -> np.ndarray:
-        """Return ``length`` integers uniform in ``[0, modulus)`` as int64.
-
-        Used for SecAgg masks over the ring Z_R.  Rejection-free: we read
-        64-bit words and reduce mod ``modulus``; with ``modulus`` ≤ 2**40
-        (the paper uses bit-width b = 20) the modulo bias is < 2**-24 and
-        irrelevant for masking (any fixed bias cancels in the pairwise
-        mask sum p_{u,v} + p_{v,u} = 0).
-        """
+        """Return ``length`` integers uniform in ``[0, modulus)`` as int64."""
         if modulus <= 0:
             raise ValueError("modulus must be positive")
         if length < 0:
@@ -69,6 +76,100 @@ class PRG:
         raw = self.read(8 * length)
         words = np.frombuffer(raw, dtype=">u8").astype(np.uint64)
         return (words % np.uint64(modulus)).astype(np.int64)
+
+    def numpy_generator(self) -> np.random.Generator:
+        key = self.read(16)
+        return np.random.default_rng(int.from_bytes(key, "big"))
+
+
+class PRG:
+    """Deterministic byte/vector stream expanded from a seed.
+
+    Each call advances an internal counter, so successive calls return
+    disjoint stream segments; two PRGs built from the same seed produce
+    the same sequence of outputs for the same sequence of calls.  The
+    stream is bit-identical to :class:`PRGReference` for any sequence of
+    calls (pinned by test); only the per-block bookkeeping differs.
+    """
+
+    def __init__(self, seed: bytes):
+        if not isinstance(seed, (bytes, bytearray)):
+            raise TypeError("seed must be bytes")
+        self._seed = bytes(seed)
+        self._counter = 0
+        # Midstate: the seed is absorbed exactly once; each block copies
+        # this state and appends only its 8 counter bytes.  hashlib's
+        # copy() preserves buffered input, so SHA256(seed ∥ ctr) ==
+        # copy().update(ctr).digest() for any seed length.
+        self._midstate = hashlib.sha256(self._seed)
+
+    @property
+    def seed(self) -> bytes:
+        return self._seed
+
+    def _block_digests(self, nblocks: int) -> list[bytes]:
+        """The next ``nblocks`` whole counter blocks, one digest each."""
+        copy = self._midstate.copy
+        out: list[bytes] = []
+        append = out.append
+        for ctr in range(self._counter, self._counter + nblocks):
+            h = copy()
+            h.update(ctr.to_bytes(8, "big"))
+            append(h.digest())
+        self._counter += nblocks
+        return out
+
+    def read(self, n: int) -> bytes:
+        """Return the next ``n`` pseudorandom bytes."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        if n == 0:
+            return b""
+        nblocks = -(-n // _BLOCK)
+        blocks = self._block_digests(nblocks)
+        # The final partial block is sliced exactly once (the reference
+        # discards the tail of its last block the same way).
+        rem = n - (nblocks - 1) * _BLOCK
+        if rem != _BLOCK:
+            blocks[-1] = blocks[-1][:rem]
+        return b"".join(blocks)
+
+    def uniform_vector(self, length: int, modulus: int) -> np.ndarray:
+        """Return ``length`` integers uniform in ``[0, modulus)`` as int64.
+
+        Used for SecAgg masks over the ring Z_R.  Rejection-free: we read
+        64-bit words and reduce mod ``modulus``; with ``modulus`` ≤ 2**40
+        (the paper uses bit-width b = 20) the modulo bias is < 2**-24 and
+        irrelevant for masking (any fixed bias cancels in the pairwise
+        mask sum p_{u,v} + p_{v,u} = 0).
+
+        Zero-copy reduction: the counter blocks land in one writable
+        buffer, viewed as native ``uint64`` (in-place byteswap on
+        little-endian hosts recovers the stream's big-endian word
+        order), reduced with an in-place modulo, and reinterpreted as
+        ``int64`` — every value is < ``modulus`` ≤ 2**63, so the
+        reinterpretation is value-preserving and copies nothing.
+        """
+        if modulus <= 0:
+            raise ValueError("modulus must be positive")
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        if length == 0:
+            self.read(0)
+            return np.zeros(0, dtype=np.int64)
+        if modulus > 1 << 63:
+            # int64 reinterpretation would be lossy; take the reference
+            # reduction (protocol moduli are 2**bits with bits ≤ 62).
+            raw = self.read(8 * length)
+            words = np.frombuffer(raw, dtype=">u8").astype(np.uint64)
+            return (words % np.uint64(modulus)).astype(np.int64)
+        nbytes = 8 * length
+        buf = bytearray(b"".join(self._block_digests(-(-nbytes // _BLOCK))))
+        words = np.frombuffer(buf, dtype=np.uint64, count=length)
+        if sys.byteorder == "little":
+            words.byteswap(inplace=True)
+        words %= np.uint64(modulus)
+        return words.view(np.int64)
 
     def numpy_generator(self) -> np.random.Generator:
         """A NumPy generator keyed by the next stream block.
@@ -79,3 +180,14 @@ class PRG:
         """
         key = self.read(16)
         return np.random.default_rng(int.from_bytes(key, "big"))
+
+
+def expand_uniform(seed: bytes, length: int, modulus: int) -> np.ndarray:
+    """Expand ``seed`` into ``length`` uniform ring elements (fresh PRG).
+
+    The one shared mask-expansion entry point: SecAgg masking
+    (:mod:`repro.secagg.masking`) and the API layer's PG handler both
+    call this, so there is exactly one hot-path implementation and one
+    parity surface.
+    """
+    return PRG(seed).uniform_vector(length, modulus)

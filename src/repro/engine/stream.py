@@ -146,14 +146,20 @@ class _ClientEndpoint:
         self, writer: asyncio.StreamWriter, kind: int, body: bytes,
         *, response: bool,
     ) -> None:
-        """Write one frame, counting it *before* the flush.
+        """Write one frame from a prebuilt body (handshake/error path)."""
+        await self._send_frame(writer, encode_frame(kind, body), response=response)
+
+    async def _send_frame(
+        self, writer: asyncio.StreamWriter, frame: bytes | bytearray,
+        *, response: bool,
+    ) -> None:
+        """Write one already-framed buffer, counting it *before* the flush.
 
         The channel may cancel a lingering handler the instant it has
         read the reply (see :meth:`aclose`); counting after the drain
         would let that cancellation land between the write and the
         bookkeeping and silently unbalance the two ends.
         """
-        frame = encode_frame(kind, body)
         self.bytes_sent += len(frame)
         if response:
             self.response_bytes += len(frame)
@@ -192,9 +198,13 @@ class _ClientEndpoint:
                         response=True,
                     )
                 else:
-                    await self._send(
-                        writer, KIND_RESPONSE,
-                        wire_codecs.encode_payload(response),
+                    # Single-buffer encode: the response payload is
+                    # framed without re-copying its body.
+                    await self._send_frame(
+                        writer,
+                        wire_codecs.encode_payload_frame(
+                            KIND_RESPONSE, response
+                        ),
                         response=True,
                     )
         except ConnectionError:
@@ -376,13 +386,15 @@ class _StreamChannel(_DialingChannel):
         if client_id not in self._clients:
             raise ClientUnavailable(client_id, op)
         conn = await self._connection(client_id)
-        body = wire_codecs.encode_payload((op, payload))
+        frame = wire_codecs.encode_payload_frame(KIND_REQUEST, (op, payload))
         # One in-flight exchange per connection: frames on a byte
         # stream must not interleave.  Each direction is counted the
         # moment its bytes are known, so a round cancelled mid-exchange
         # still books the request frame that really crossed.
         async with conn.lock:
-            sent = await write_frame(conn.writer, KIND_REQUEST, body)
+            sent = len(frame)
+            conn.writer.write(frame)
+            await conn.writer.drain()
             conn.stats.request_bytes += sent
             kind, rbody, received = await read_frame(conn.reader)
             conn.stats.response_bytes += received

@@ -409,7 +409,7 @@ class _WireEndpoint:
             response = self.inner.handle(op, payload)
         except Exception as exc:
             return encode_frame(KIND_ERROR, wire_codecs.encode_error(exc))
-        return encode_frame(KIND_RESPONSE, wire_codecs.encode_payload(response))
+        return bytes(wire_codecs.encode_payload_frame(KIND_RESPONSE, response))
 
 
 class _SerializingChannel(Channel):
@@ -417,8 +417,8 @@ class _SerializingChannel(Channel):
         self._inner = inner
 
     async def request(self, client_id: int, op: str, payload: Any) -> Delivery:
-        frame = encode_frame(
-            KIND_REQUEST, wire_codecs.encode_payload((op, payload))
+        frame = bytes(
+            wire_codecs.encode_payload_frame(KIND_REQUEST, (op, payload))
         )
         delivery = await self._inner.request(client_id, op, frame)
         kind, body = decode_frame(delivery.response)

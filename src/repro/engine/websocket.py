@@ -67,6 +67,7 @@ from repro.wire.ws import (
     WSClosed,
     WSEOF,
     encode_ws_frame,
+    encode_ws_frame_parts,
     handshake_request,
     handshake_response,
     parse_handshake_request,
@@ -128,14 +129,23 @@ class _WSLink:
     def _mask(self) -> Optional[bytes]:
         return os.urandom(4) if self._masked else None
 
-    def _build_message(self, payload: bytes) -> bytes:
+    def _build_parts(
+        self, payload: bytes | bytearray
+    ) -> tuple[bytes, bytes | bytearray | memoryview]:
+        """One message as write-ready parts (head, wire payload).
+
+        Unfragmented — the default — the payload buffer passes through
+        untouched on the unmasked side (see
+        :func:`repro.wire.ws.encode_ws_frame_parts`); fragmentation
+        joins its pieces into the head part, payload part empty.
+        """
         if self._max_fragment is None or len(payload) <= self._max_fragment:
-            return encode_ws_frame(OP_BINARY, payload, mask=self._mask())
+            return encode_ws_frame_parts(OP_BINARY, payload, mask=self._mask())
         pieces = [
             payload[i : i + self._max_fragment]
             for i in range(0, len(payload), self._max_fragment)
         ]
-        return b"".join(
+        blob = b"".join(
             encode_ws_frame(
                 OP_BINARY if i == 0 else OP_CONT,
                 piece,
@@ -144,6 +154,7 @@ class _WSLink:
             )
             for i, piece in enumerate(pieces)
         )
+        return blob, b""
 
     async def _write(
         self, blob: bytes, count: Optional[Callable[[int], None]] = None
@@ -155,17 +166,25 @@ class _WSLink:
 
     async def send_message(
         self,
-        payload: bytes,
+        payload: bytes | bytearray,
         count: Optional[Callable[[int], None]] = None,
     ) -> int:
         """One binary data message; returns its WS-framed byte count.
 
         ``count`` (if given) observes that count before the flush — the
         cancellation-safe way to attribute the bytes to a direction.
+        The head and payload go onto the writer back to back, so the
+        payload buffer is never concatenated into a new blob.
         """
-        blob = self._build_message(payload)
-        await self._write(blob, count)
-        return len(blob)
+        head, body = self._build_parts(payload)
+        n = len(head) + len(body)
+        if count is not None:
+            count(n)
+        self._writer.write(head)
+        if len(body):
+            self._writer.write(body)
+        await self._writer.drain()
+        return n
 
     async def _send_control(self, opcode: int, payload: bytes = b"") -> None:
         frame = encode_ws_frame(opcode, payload, mask=self._mask())
@@ -336,12 +355,14 @@ class _WSClientEndpoint:
                     # An ERROR reply crosses the uplink like any other
                     # response message; count it there so both socket
                     # ends agree per direction even on aborted rounds.
-                    reply = encode_frame(
+                    reply: bytes | bytearray = encode_frame(
                         KIND_ERROR, wire_codecs.encode_error(exc)
                     )
                 else:
-                    reply = encode_frame(
-                        KIND_RESPONSE, wire_codecs.encode_payload(response)
+                    # Single-buffer wire envelope; the unmasked uplink
+                    # then carries this buffer to the socket as-is.
+                    reply = wire_codecs.encode_payload_frame(
+                        KIND_RESPONSE, response
                     )
                 await link.send_message(reply, count=count_response)
         except (WSEOF, WSClosed):
@@ -461,9 +482,7 @@ class _WSChannel(_DialingChannel):
         if client_id not in self._clients:
             raise ClientUnavailable(client_id, op)
         conn = await self._connection(client_id)
-        body = encode_frame(
-            KIND_REQUEST, wire_codecs.encode_payload((op, payload))
-        )
+        body = wire_codecs.encode_payload_frame(KIND_REQUEST, (op, payload))
         # One in-flight exchange per connection: a request/response pair
         # must not interleave with another on the same message stream.
         # Each direction is counted the moment its bytes are known, so

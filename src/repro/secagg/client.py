@@ -31,7 +31,7 @@ from repro.crypto.pki import PublicKeyInfrastructure
 from repro.crypto.shamir import Share, ShamirSecretSharing, random_seed
 from repro.crypto.signature import SchnorrSigner
 from repro.secagg import wire
-from repro.secagg.masking import pairwise_mask, self_mask
+from repro.secagg.masking import MaskAccumulator, pairwise_mask, self_mask
 from repro.secagg.types import (
     AdvertiseKeysMsg,
     MaskedInputMsg,
@@ -199,13 +199,17 @@ class SecAggClient:
             )
 
         modulus = self.config.modulus
-        masked = update_ring % modulus
-        masked = (masked + self_mask(self._b_seed, self.config.dimension, modulus)) % modulus
-        for peer in sorted(self._neighbors & self._u2):
+        peers = sorted(self._neighbors & self._u2)
+        # Input + self mask + one pairwise mask per live neighbor, summed
+        # with one deferred reduction (int64 headroom guard inside).
+        acc = MaskAccumulator(update_ring, modulus, n_terms=2 + len(peers))
+        acc.add(self_mask(self._b_seed, self.config.dimension, modulus))
+        for peer in peers:
             seed = self._ka.agree(self._s_pair, self._roster[peer].s_public)
-            mask = pairwise_mask(seed, self.id, peer, self.config.dimension, modulus)
-            masked = (masked + mask) % modulus
-        return MaskedInputMsg(sender=self.id, masked_vector=masked)
+            acc.add(
+                pairwise_mask(seed, self.id, peer, self.config.dimension, modulus)
+            )
+        return MaskedInputMsg(sender=self.id, masked_vector=acc.finish())
 
     # ------------------------------------------------------------------
     # Stage 3 — ConsistencyCheck (malicious mode only)

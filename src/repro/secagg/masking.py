@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.crypto.prg import PRG
+from repro.crypto.prg import expand_uniform
 
 
 def pairwise_mask(
@@ -32,7 +32,7 @@ def pairwise_mask(
     """
     if u == v:
         return np.zeros(dimension, dtype=np.int64)
-    base = PRG(shared_seed).uniform_vector(dimension, modulus)
+    base = expand_uniform(shared_seed, dimension, modulus)
     if u > v:
         return base
     return (-base) % modulus
@@ -40,7 +40,61 @@ def pairwise_mask(
 
 def self_mask(seed: bytes, dimension: int, modulus: int) -> np.ndarray:
     """The self mask p_u = PRG(b_u)."""
-    return PRG(seed).uniform_vector(dimension, modulus)
+    return expand_uniform(seed, dimension, modulus)
+
+
+class MaskAccumulator:
+    """Sum of a base vector and ``n`` masks mod R with deferred reduction.
+
+    MaskedInputCollection adds the self mask plus one pairwise mask per
+    live neighbor to the encoded input.  Reducing after *every* add
+    walks the full vector k + 1 extra times; instead the masks are
+    summed raw in int64 and reduced once at :meth:`finish`.
+
+    Headroom proof: each term is in ``[0, modulus)``, so the running sum
+    of ``n_terms`` terms is at most ``n_terms · (modulus − 1)``; with
+    the paper's ring bit-width b ≤ 24 and any realistic cohort,
+    ``n_terms · modulus < 2**63`` and int64 never overflows.  An
+    explicit guard checks exactly that and falls back to per-add
+    reduction otherwise — the two paths are bit-identical (pinned by
+    test) because ``(Σ xᵢ) mod R`` equals the left-fold of
+    ``(· + xᵢ) mod R``.
+    """
+
+    def __init__(self, base: np.ndarray, modulus: int, n_terms: int):
+        if n_terms < 1:
+            raise ValueError("n_terms counts the base vector: must be >= 1")
+        self._modulus = modulus
+        self._deferred = n_terms * (modulus - 1) < 2**63
+        self._acc = np.asarray(base, dtype=np.int64) % modulus
+        self._remaining = n_terms - 1
+
+    def add(self, mask: np.ndarray) -> None:
+        """Fold one mask vector (values in ``[0, modulus)``) into the sum."""
+        if self._remaining <= 0:
+            raise ValueError("more masks added than n_terms declared")
+        self._remaining -= 1
+        if self._deferred:
+            self._acc += mask
+        else:
+            self._acc = (self._acc + mask) % self._modulus
+
+    def finish(self) -> np.ndarray:
+        """The accumulated sum, reduced into ``[0, modulus)``."""
+        if self._deferred:
+            self._acc %= self._modulus
+        return self._acc
+
+
+def accumulate_masks_reference(
+    base: np.ndarray, masks: list[np.ndarray], modulus: int
+) -> np.ndarray:
+    """Retained reference for :class:`MaskAccumulator`: reduce after
+    every addition, exactly as MaskedInputCollection originally did."""
+    total = np.asarray(base, dtype=np.int64) % modulus
+    for mask in masks:
+        total = (total + mask) % modulus
+    return total
 
 
 def add_mod(a: np.ndarray, b: np.ndarray, modulus: int) -> np.ndarray:

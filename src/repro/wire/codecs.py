@@ -40,7 +40,7 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.wire.frame import FRAME_OVERHEAD
+from repro.wire.frame import FRAME_OVERHEAD, fill_frame_header
 
 PAYLOAD_VERSION = 1
 
@@ -186,7 +186,104 @@ def _encode_int(value: int) -> bytes:
 
 
 def encode_value(obj: Any) -> bytes:
-    """Tagged canonical encoding of one payload value."""
+    """Tagged canonical encoding of one payload value.
+
+    Byte-identical to :func:`encode_value_reference` (pinned by test);
+    built through the single-buffer :func:`encode_value_into` path.
+    """
+    out = bytearray()
+    encode_value_into(obj, out)
+    return bytes(out)
+
+
+def encode_value_into(obj: Any, out: bytearray) -> None:
+    """Append the tagged canonical encoding of ``obj`` to ``out``.
+
+    The zero-copy write path: one buffer grows in place, and a
+    contiguous ndarray's data lands in it through a single
+    ``memoryview`` copy — never a ``tobytes()`` round trip, never a
+    per-node chain of intermediate ``bytes`` concatenations.  Container
+    canonicalization (sets/dicts sort by encoded bytes) still encodes
+    each element separately, as the format requires.
+    """
+    _ensure_defaults()
+    if obj is None:
+        out.append(_TAG_NONE)
+        return
+    if isinstance(obj, (bool, np.bool_)):
+        out.append(_TAG_TRUE if obj else _TAG_FALSE)
+        return
+    if isinstance(obj, (int, np.integer)):
+        body = _encode_int(int(obj))
+        out.append(_TAG_INT)
+        out += len(body).to_bytes(4, "big")
+        out += body
+        return
+    if isinstance(obj, (float, np.floating)):
+        out.append(_TAG_FLOAT)
+        out += struct.pack(">d", float(obj))
+        return
+    if isinstance(obj, str):
+        body = obj.encode("utf-8")
+        out.append(_TAG_STR)
+        out += len(body).to_bytes(4, "big")
+        out += body
+        return
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        if isinstance(obj, memoryview) and not obj.c_contiguous:
+            obj = bytes(obj)
+        out.append(_TAG_BYTES)
+        out += len(obj).to_bytes(4, "big")
+        out += obj
+        return
+    if isinstance(obj, np.ndarray):
+        out.append(_TAG_NDARRAY)
+        _encode_ndarray_into(obj, out)
+        return
+    if isinstance(obj, (list, tuple)):
+        out.append(_TAG_LIST if isinstance(obj, list) else _TAG_TUPLE)
+        out += len(obj).to_bytes(4, "big")
+        for item in obj:
+            encode_value_into(item, out)
+        return
+    if isinstance(obj, (set, frozenset)):
+        encoded = sorted(encode_value(item) for item in obj)
+        out.append(_TAG_SET if isinstance(obj, set) else _TAG_FROZENSET)
+        out += len(encoded).to_bytes(4, "big")
+        for item in encoded:
+            out += item
+        return
+    if isinstance(obj, dict):
+        pairs = sorted(
+            (encode_value(k), encode_value(v)) for k, v in obj.items()
+        )
+        out.append(_TAG_DICT)
+        out += len(pairs).to_bytes(4, "big")
+        for k, v in pairs:
+            out += k
+            out += v
+        return
+    for cls in type(obj).__mro__:
+        entry = _by_type.get(cls)
+        if entry is not None:
+            tag, encode_body = entry
+            body = encode_body(obj)
+            out.append(tag)
+            out += len(body).to_bytes(4, "big")
+            out += body
+            return
+    raise CodecError(
+        f"no codec registered for payload type {type(obj).__name__}"
+    )
+
+
+def encode_value_reference(obj: Any) -> bytes:
+    """Retained concatenating encoder: the executable byte-format spec.
+
+    Every fast path (:func:`encode_value_into`, :func:`encode_payload`,
+    :func:`encode_payload_frame`) is parity-pinned against this
+    implementation byte for byte.
+    """
     _ensure_defaults()
     if obj is None:
         return bytes((_TAG_NONE,))
@@ -207,11 +304,11 @@ def encode_value(obj: Any) -> bytes:
         out = bytearray((tag,))
         out += len(obj).to_bytes(4, "big")
         for item in obj:
-            out += encode_value(item)
+            out += encode_value_reference(item)
         return bytes(out)
     if isinstance(obj, (set, frozenset)):
         tag = _TAG_SET if isinstance(obj, set) else _TAG_FROZENSET
-        encoded = sorted(encode_value(item) for item in obj)
+        encoded = sorted(encode_value_reference(item) for item in obj)
         out = bytearray((tag,))
         out += len(encoded).to_bytes(4, "big")
         for item in encoded:
@@ -219,7 +316,8 @@ def encode_value(obj: Any) -> bytes:
         return bytes(out)
     if isinstance(obj, dict):
         pairs = sorted(
-            (encode_value(k), encode_value(v)) for k, v in obj.items()
+            (encode_value_reference(k), encode_value_reference(v))
+            for k, v in obj.items()
         )
         out = bytearray((_TAG_DICT,))
         out += len(pairs).to_bytes(4, "big")
@@ -237,16 +335,25 @@ def encode_value(obj: Any) -> bytes:
     )
 
 
-def _encode_ndarray(arr: np.ndarray) -> bytes:
+def _encode_ndarray_into(arr: np.ndarray, out: bytearray) -> None:
+    """Append an ndarray body: dtype, shape, then the raw buffer via a
+    single ``memoryview`` copy into ``out`` (no ``tobytes()`` copy)."""
     if arr.dtype.hasobject:
         raise CodecError("object-dtype ndarrays have no wire encoding")
     a = np.ascontiguousarray(arr)
-    out = bytearray()
-    out += _lp(a.dtype.str.encode("ascii"))
+    dtype_str = a.dtype.str.encode("ascii")
+    out += len(dtype_str).to_bytes(4, "big")
+    out += dtype_str
     out += len(a.shape).to_bytes(4, "big")
     for dim in a.shape:
         out += int(dim).to_bytes(4, "big")
-    out += _lp(a.tobytes())
+    out += a.nbytes.to_bytes(4, "big")
+    out += a.data
+
+
+def _encode_ndarray(arr: np.ndarray) -> bytes:
+    out = bytearray()
+    _encode_ndarray_into(arr, out)
     return bytes(out)
 
 
@@ -384,7 +491,36 @@ def _decode_ndarray(data: bytes, offset: int) -> tuple[np.ndarray, int]:
 
 def encode_payload(obj: Any) -> bytes:
     """Versioned canonical bytes for one payload value."""
-    return bytes((PAYLOAD_VERSION,)) + encode_value(obj)
+    out = bytearray((PAYLOAD_VERSION,))
+    encode_value_into(obj, out)
+    return bytes(out)
+
+
+def encode_payload_reference(obj: Any) -> bytes:
+    """Retained concatenating twin of :func:`encode_payload`."""
+    return bytes((PAYLOAD_VERSION,)) + encode_value_reference(obj)
+
+
+def encode_payload_into(obj: Any, out: bytearray) -> None:
+    """Append the versioned payload envelope for ``obj`` to ``out``."""
+    out.append(PAYLOAD_VERSION)
+    encode_value_into(obj, out)
+
+
+def encode_payload_frame(kind: int, obj: Any) -> bytearray:
+    """One complete wire frame carrying ``encode_payload(obj)``.
+
+    The transports' zero-copy write path: header, payload version, and
+    the value encoding are emitted into a single buffer (header filled
+    in after the body length is known), so framing a payload never
+    re-copies its body.  Byte-identical to
+    ``encode_frame(kind, encode_payload(obj))`` — pinned by test — and
+    suitable for ``StreamWriter.write`` as-is.
+    """
+    buf = bytearray(FRAME_OVERHEAD)
+    encode_payload_into(obj, buf)
+    fill_frame_header(buf, kind)
+    return buf
 
 
 def decode_payload(data: bytes) -> Any:

@@ -64,6 +64,30 @@ def encode_frame(kind: int, body: bytes) -> bytes:
     )
 
 
+def fill_frame_header(buf: bytearray, kind: int) -> None:
+    """Stamp the 8-byte header into a preallocated single-buffer frame.
+
+    ``buf`` must start with :data:`FRAME_OVERHEAD` reserved bytes
+    followed by the already-written body — the zero-copy counterpart of
+    :func:`encode_frame` (see
+    :func:`repro.wire.codecs.encode_payload_frame`), validating the
+    same kind/size invariants.
+    """
+    if kind not in _KNOWN_KINDS:
+        raise ValueError(f"unknown frame kind {kind:#x}")
+    length = len(buf) - FRAME_OVERHEAD
+    if length < 0:
+        raise ValueError("buffer smaller than the frame header")
+    if length > MAX_BODY:
+        raise ValueError(
+            f"frame body of {length} bytes exceeds MAX_BODY={MAX_BODY}"
+        )
+    buf[:2] = MAGIC
+    buf[2] = WIRE_VERSION
+    buf[3] = kind
+    buf[4:8] = length.to_bytes(4, "big")
+
+
 def _check_header(header: bytes) -> tuple[int, int]:
     """Validate an 8-byte frame header; returns (kind, body length)."""
     if header[:2] != MAGIC:

@@ -276,17 +276,22 @@ def _apply_mask(data: bytes, mask: bytes) -> bytes:
     ).to_bytes(len(data), "little")
 
 
-def encode_ws_frame(
+def encode_ws_frame_parts(
     opcode: int,
-    payload: bytes,
+    payload: bytes | bytearray | memoryview,
     *,
     fin: bool = True,
     mask: bytes | None = None,
-) -> bytes:
-    """One WebSocket frame; ``len()`` of the result is the wire size.
+) -> tuple[bytes, bytes | bytearray | memoryview]:
+    """One WebSocket frame as ``(head, wire payload)``.
 
-    ``mask`` of 4 bytes marks (and masks) a client→server frame;
-    ``None`` builds an unmasked server→client frame.
+    The zero-copy writer path: a sender can put the two parts on the
+    socket back to back without concatenating them first, and an
+    *unmasked* payload (a server→client response carrying a model-sized
+    vector) is returned as the very buffer that came in — no copy at
+    all (masking inherently copies: the XOR produces new bytes).
+    ``head + bytes(payload part)`` equals :func:`encode_ws_frame` byte
+    for byte (pinned by test).
     """
     if opcode not in _KNOWN_OPCODES:
         raise ValueError(f"unknown websocket opcode {opcode:#x}")
@@ -315,8 +320,30 @@ def encode_ws_frame(
         if len(mask) != 4:
             raise ValueError("a masking key is exactly 4 bytes")
         head += mask
-        payload = _apply_mask(payload, mask)
-    return bytes(head) + payload
+        wire_payload: bytes | bytearray | memoryview = _apply_mask(
+            bytes(payload), mask
+        )
+    else:
+        wire_payload = payload
+    return bytes(head), wire_payload
+
+
+def encode_ws_frame(
+    opcode: int,
+    payload: bytes,
+    *,
+    fin: bool = True,
+    mask: bytes | None = None,
+) -> bytes:
+    """One WebSocket frame; ``len()`` of the result is the wire size.
+
+    ``mask`` of 4 bytes marks (and masks) a client→server frame;
+    ``None`` builds an unmasked server→client frame.
+    """
+    head, wire_payload = encode_ws_frame_parts(
+        opcode, payload, fin=fin, mask=mask
+    )
+    return head + bytes(wire_payload)
 
 
 def _check_first_two(b0: int, b1: int, *, require_mask: bool) -> tuple[bool, int, bool, int]:

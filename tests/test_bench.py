@@ -1,0 +1,118 @@
+"""Tier-1 smoke for the ``repro.cli bench`` entry point.
+
+Runs the full bench pipeline at tiny dimensions and asserts the
+contract CI's scheduled benchmark job relies on: three schema-valid
+``BENCH_<topic>.json`` reports on disk and a working ``--diff``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import bench
+from repro.cli import main
+
+pytestmark = pytest.mark.timeout(120)
+
+TOPICS = ("hotpath", "traffic", "round")
+
+
+@pytest.fixture(scope="module")
+def bench_run(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench")
+    rc = main(
+        [
+            "bench",
+            "--dims", "32", "64",
+            "--clients", "4",
+            "--repeats", "1",
+            "--traffic-dimension", "32",
+            "--out", str(out),
+        ]
+    )
+    assert rc == 0
+    return out
+
+
+class TestBenchEntrypoint:
+    def test_writes_every_topic(self, bench_run):
+        for topic in TOPICS:
+            assert bench.bench_path(bench_run, topic).exists()
+
+    @pytest.mark.parametrize("topic", TOPICS)
+    def test_reports_are_schema_valid(self, bench_run, topic):
+        report = bench.load_bench(bench.bench_path(bench_run, topic))
+        assert report["topic"] == topic
+        assert report["metrics"]
+
+    def test_hotpath_records_speedup_pairs(self, bench_run):
+        m = bench.load_bench(bench.bench_path(bench_run, "hotpath"))["metrics"]
+        for name in (
+            "prg_expand_d64",
+            "shamir_share",
+            "shamir_reconstruct",
+            "codec_encode_d64",
+            "mask_accumulate_d64",
+        ):
+            assert f"{name}_reference_s" in m
+            assert f"{name}_fast_s" in m
+
+    def test_round_report_covers_requested_dims(self, bench_run):
+        m = bench.load_bench(bench.bench_path(bench_run, "round"))["metrics"]
+        for d in (32, 64):
+            assert m[f"round_d{d}_wall_s"]["unit"] == "s"
+            assert m[f"round_d{d}_aggregate_ok"]["value"] == 1
+
+    def test_traffic_report_balances(self, bench_run):
+        m = bench.load_bench(bench.bench_path(bench_run, "traffic"))["metrics"]
+        assert m["aggregate_ok"]["value"] == 1
+        assert (
+            m["total_down_bytes"]["value"] + m["total_up_bytes"]["value"]
+            == m["total_bytes"]["value"]
+        )
+
+    def test_diff_reports_per_metric_deltas(self, bench_run, capsys):
+        path = str(bench.bench_path(bench_run, "round"))
+        rc = main(["bench", "--diff", path, path])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "round_d32_wall_s" in out
+        assert "b/a" in out
+
+    def test_diff_bench_rows(self, bench_run):
+        path = bench.bench_path(bench_run, "round")
+        rows = bench.diff_bench(path, path)
+        assert rows
+        for row in rows:
+            assert row["delta"] == 0
+            assert row["ratio"] == 1
+
+
+class TestBenchSchema:
+    def test_validate_rejects_missing_metrics(self):
+        with pytest.raises(ValueError):
+            bench.validate_report(
+                {
+                    "schema_version": bench.SCHEMA_VERSION,
+                    "topic": "x",
+                    "created_unix": 0,
+                    "config": {},
+                    "metrics": {},
+                }
+            )
+
+    def test_validate_rejects_unknown_unit(self):
+        report = bench.make_report("x", {}, {"m": {"value": 1.0, "unit": "s"}})
+        report["metrics"]["m"]["unit"] = "furlongs"
+        with pytest.raises(ValueError):
+            bench.validate_report(report)
+
+    def test_validate_rejects_wrong_schema_version(self, tmp_path):
+        report = bench.make_report("x", {}, {"m": {"value": 1.0, "unit": "s"}})
+        report["schema_version"] = 999
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps(report))
+        with pytest.raises(ValueError):
+            bench.load_bench(path)

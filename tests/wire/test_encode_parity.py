@@ -1,0 +1,165 @@
+"""Parity pins for the zero-copy wire write paths.
+
+The single-buffer encoders (``encode_value_into`` /
+``encode_payload_frame``) and the two-part WebSocket writer
+(``encode_ws_frame_parts``) must be byte-identical to their retained
+concatenating twins on every payload shape the protocol ships — nested
+containers, ndarrays, Shares, registered message types.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.crypto.shamir import ShamirSecretSharing
+from repro.secagg.types import MaskedInputMsg
+from repro.wire import codecs as wire_codecs
+from repro.wire.frame import (
+    FRAME_OVERHEAD,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    MAX_BODY,
+    decode_frame,
+    encode_frame,
+    fill_frame_header,
+)
+from repro.wire.ws import OP_BINARY, OP_PING, encode_ws_frame, encode_ws_frame_parts
+
+
+def _random_value(rng: random.Random, depth: int = 0):
+    """A random payload value drawing from every encodable shape."""
+    leaf_makers = [
+        lambda: None,
+        lambda: rng.random() < 0.5,
+        lambda: rng.randint(-(1 << 80), 1 << 80),
+        lambda: rng.random() * 1e6 - 5e5,
+        lambda: "str-" + "".join(rng.choices("abcxyzé∅", k=rng.randint(0, 8))),
+        lambda: rng.randbytes(rng.randint(0, 40)),
+        lambda: bytearray(rng.randbytes(rng.randint(0, 16))),
+        lambda: np.asarray(
+            [rng.randint(0, 1 << 40) for _ in range(rng.randint(0, 12))],
+            dtype=np.int64,
+        ),
+        lambda: np.asarray(
+            [[rng.random() for _ in range(3)] for _ in range(2)]
+        ),
+    ]
+    if depth < 3 and rng.random() < 0.6:
+        kind = rng.choice(["list", "tuple", "set", "dict"])
+        n = rng.randint(0, 4)
+        if kind == "list":
+            return [_random_value(rng, depth + 1) for _ in range(n)]
+        if kind == "tuple":
+            return tuple(_random_value(rng, depth + 1) for _ in range(n))
+        if kind == "set":
+            return {rng.randint(0, 1 << 32) for _ in range(n)}
+        return {
+            rng.randint(0, 1 << 16): _random_value(rng, depth + 1)
+            for _ in range(n)
+        }
+    return rng.choice(leaf_makers)()
+
+
+def _protocol_payloads():
+    scheme = ShamirSecretSharing(2)
+    shares = scheme.share(b"a seed worth sharing", [1, 2, 3])
+    vector = np.arange(64, dtype=np.int64) % (1 << 20)
+    return [
+        shares[1],
+        {u: s for u, s in shares.items()},
+        MaskedInputMsg(sender=3, masked_vector=vector),
+        ("masked_input", MaskedInputMsg(sender=1, masked_vector=vector)),
+        {"roster": {1: b"pk1", 2: b"pk2"}, "u2": {1, 2}, "round": 0},
+    ]
+
+
+class TestCodecEncodeParity:
+    def test_fuzz_encode_payload_matches_reference(self):
+        rng = random.Random(0xFEED)
+        for trial in range(150):
+            value = _random_value(rng)
+            assert wire_codecs.encode_payload(
+                value
+            ) == wire_codecs.encode_payload_reference(value), trial
+
+    @pytest.mark.parametrize("payload", _protocol_payloads())
+    def test_protocol_payloads_match_reference(self, payload):
+        fast = wire_codecs.encode_payload(payload)
+        ref = wire_codecs.encode_payload_reference(payload)
+        assert fast == ref
+        # The fast bytes stay decodable and size-predicted.
+        wire_codecs.decode_payload(fast)
+        assert len(fast) == 1 + wire_codecs.encoded_value_nbytes(payload)
+
+    def test_noncontiguous_memoryview_and_ndarray(self):
+        arr = np.arange(32, dtype=np.int64)[::2]
+        view = memoryview(bytes(range(32)))[::2]
+        for obj in ([arr, view], {"a": view}, (arr,)):
+            assert wire_codecs.encode_payload(
+                obj
+            ) == wire_codecs.encode_payload_reference(obj)
+
+    def test_unencodable_type_raises_on_both_paths(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(wire_codecs.CodecError):
+            wire_codecs.encode_payload(Opaque())
+        with pytest.raises(wire_codecs.CodecError):
+            wire_codecs.encode_payload_reference(Opaque())
+
+
+class TestPayloadFrameParity:
+    @pytest.mark.parametrize("payload", _protocol_payloads())
+    def test_single_buffer_frame_matches_two_step(self, payload):
+        for kind in (KIND_REQUEST, KIND_RESPONSE):
+            framed = wire_codecs.encode_payload_frame(kind, payload)
+            assert bytes(framed) == encode_frame(
+                kind, wire_codecs.encode_payload_reference(payload)
+            )
+            got_kind, body = decode_frame(bytes(framed))
+            assert got_kind == kind
+            assert wire_codecs.decode_payload(body) is not None
+
+    def test_fill_frame_header_validates(self):
+        with pytest.raises(ValueError):
+            fill_frame_header(bytearray(FRAME_OVERHEAD), 0x7F)
+        with pytest.raises(ValueError):
+            fill_frame_header(bytearray(3), KIND_REQUEST)
+
+    def test_fill_frame_header_rejects_oversized_body(self):
+        class _Huge(bytearray):
+            def __len__(self):
+                return MAX_BODY + FRAME_OVERHEAD + 1
+
+        with pytest.raises(ValueError):
+            fill_frame_header(_Huge(), KIND_REQUEST)
+
+
+class TestWSFrameParts:
+    @pytest.mark.parametrize("nbytes", [0, 1, 125, 126, 65535, 65536])
+    @pytest.mark.parametrize("mask", [None, b"\x01\x02\x03\x04"])
+    def test_parts_join_equals_whole_frame(self, nbytes, mask):
+        payload = bytes(i & 0xFF for i in range(nbytes))
+        head, wire_payload = encode_ws_frame_parts(
+            OP_BINARY, payload, mask=mask
+        )
+        assert head + bytes(wire_payload) == encode_ws_frame(
+            OP_BINARY, payload, mask=mask
+        )
+
+    def test_unmasked_payload_is_not_copied(self):
+        payload = bytearray(b"zero-copy body")
+        _, wire_payload = encode_ws_frame_parts(OP_BINARY, payload)
+        assert wire_payload is payload
+
+    def test_parts_validation_matches_whole(self):
+        with pytest.raises(ValueError):
+            encode_ws_frame_parts(OP_PING, b"x" * 126)
+        with pytest.raises(ValueError):
+            encode_ws_frame_parts(OP_BINARY, b"x", mask=b"\x00")
+        with pytest.raises(ValueError):
+            encode_ws_frame_parts(0x3, b"")
