@@ -8,6 +8,7 @@ trajectory (``repro.cli bench --diff old new``).
 """
 
 from repro.bench.hotpath import run_hotpath
+from repro.bench.listener import run_listener
 from repro.bench.rounds import run_round, run_traffic
 from repro.bench.schema import (
     SCHEMA_VERSION,
@@ -28,6 +29,7 @@ __all__ = [
     "load_bench",
     "make_report",
     "run_hotpath",
+    "run_listener",
     "run_round",
     "run_traffic",
     "validate_report",

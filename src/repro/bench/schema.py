@@ -16,7 +16,7 @@ schema is deliberately flat so two runs diff metric-by-metric::
     }
 
 Units are plain strings: ``s`` (seconds), ``bytes``, ``x`` (speedup
-ratio), ``count``, ``flag`` (0/1).  :func:`validate_report` is the
+ratio), ``count``, ``flag`` (0/1), ``per_s`` (events per second).  :func:`validate_report` is the
 contract the tier-1 smoke test enforces; :func:`diff_bench` compares two
 persisted reports per metric.
 """
@@ -31,7 +31,7 @@ from typing import Any
 SCHEMA_VERSION = 1
 
 #: Units a metric may carry; anything else fails validation.
-KNOWN_UNITS = frozenset({"s", "bytes", "x", "count", "flag"})
+KNOWN_UNITS = frozenset({"s", "bytes", "x", "count", "flag", "per_s"})
 
 
 def metric(value: float, unit: str) -> dict[str, Any]:

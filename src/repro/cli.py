@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands mirror the workflow a user of the original system
+Seven subcommands mirror the workflow a user of the original system
 walks through:
 
 - ``run``      — train one Dordis session and report utility + ε;
@@ -12,11 +12,21 @@ walks through:
   connections — framed TCP or RFC 6455 WebSocket
   (``--transport websocket``) — and report the *measured* per-stage
   traffic and per-connection byte accounting;
+- ``serve``    — the cross-process coordinator: bind ONE listening
+  port, wait for every ``join`` process to dial in, run one
+  secure-aggregation round across them, and report (or ``--json``-emit)
+  the measured traffic — the production topology, one process per
+  party;
+- ``join``     — one dialing device: connect to a ``serve``
+  coordinator, answer its requests with the deterministic demo inputs
+  for ``--client-id``, and print this end's byte counters as JSON
+  (``--die-after K`` vanishes after K answers — dropout injection);
 - ``bench``    — run the hot-path microbenchmarks (each optimized
-  crypto/codec path against its retained ``*_reference`` twin) and
-  measured end-to-end rounds, writing one machine-readable
-  ``BENCH_<topic>.json`` per topic; ``--diff old new`` compares two
-  persisted reports metric by metric.
+  crypto/codec path against its retained ``*_reference`` twin),
+  measured end-to-end rounds, and the listener stress topic (1000
+  concurrent dialing clients against one coordinator port by default),
+  writing one machine-readable ``BENCH_<topic>.json`` per topic;
+  ``--diff old new`` compares two persisted reports metric by metric.
 
 Examples::
 
@@ -26,6 +36,8 @@ Examples::
     python -m repro.cli pipeline --clients 100 --model-size 11000000
     python -m repro.cli sockets --clients 6 --dimension 64 --drop 1
     python -m repro.cli sockets --clients 6 --transport websocket
+    python -m repro.cli serve --clients 3 --port 7001   # terminal 1
+    python -m repro.cli join --client-id 1 --clients 3 --port 7001  # 2..4
     python -m repro.cli bench --out .
     python -m repro.cli bench --diff BENCH_hotpath.old.json BENCH_hotpath.json
 """
@@ -117,6 +129,66 @@ def _add_sockets_parser(sub) -> None:
     p.add_argument("--seed", type=int, default=0)
 
 
+def _add_serve_parser(sub) -> None:
+    p = sub.add_parser(
+        "serve",
+        help="cross-process coordinator: one listening port, one "
+             "secure-aggregation round over dialing `join` processes",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="listening port (0 picks an ephemeral one; the "
+                        "first output line is always "
+                        "`listening <host> <port>`)")
+    p.add_argument("--clients", type=int, default=5,
+                   help="cohort size — expects exactly these client ids "
+                        "(1..N) to dial in")
+    p.add_argument("--dimension", type=int, default=16)
+    p.add_argument("--bits", type=int, default=16)
+    p.add_argument("--transport", default="sockets",
+                   choices=["sockets", "websocket"],
+                   help="wire carrier: framed TCP (default) or RFC 6455 "
+                        "WebSocket")
+    p.add_argument("--auth-token", default="",
+                   help="shared secret demanded from every HELLO "
+                        "(empty: unauthenticated)")
+    p.add_argument("--join-timeout", type=float, default=30.0,
+                   help="seconds to wait for a client to dial in before "
+                        "treating it as a dropout")
+    p.add_argument("--json", action="store_true",
+                   help="emit one JSON document (aggregate, participant "
+                        "sets, per-span traffic) instead of the table — "
+                        "the machine-readable parity contract")
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _add_join_parser(sub) -> None:
+    p = sub.add_parser(
+        "join",
+        help="one dialing device for a `serve` coordinator",
+    )
+    p.add_argument("--client-id", type=int, required=True,
+                   help="this device's id (1..--clients)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True,
+                   help="the coordinator's listening port")
+    p.add_argument("--clients", type=int, default=5,
+                   help="cohort size — must match the serve side so the "
+                        "deterministic demo inputs line up")
+    p.add_argument("--dimension", type=int, default=16)
+    p.add_argument("--bits", type=int, default=16)
+    p.add_argument("--transport", default="sockets",
+                   choices=["sockets", "websocket"],
+                   help="wire carrier — must match the serve side")
+    p.add_argument("--auth-token", default="",
+                   help="shared secret presented in the HELLO")
+    p.add_argument("--die-after", type=int, default=None,
+                   help="answer this many requests, then vanish without "
+                        "a goodbye (dropout injection)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="must match the serve side")
+
+
 def _add_bench_parser(sub) -> None:
     p = sub.add_parser(
         "bench",
@@ -134,9 +206,12 @@ def _add_bench_parser(sub) -> None:
     p.add_argument("--traffic-dimension", type=int, default=1024,
                    help="dimension for the per-stage traffic round")
     p.add_argument("--topics", nargs="+", default=["hotpath", "traffic",
-                                                   "round"],
-                   choices=["hotpath", "traffic", "round"],
+                                                   "round", "listener"],
+                   choices=["hotpath", "traffic", "round", "listener"],
                    help="which reports to produce")
+    p.add_argument("--connections", type=int, default=1000,
+                   help="concurrent dialing clients for the listener "
+                        "stress topic")
     p.add_argument("--out", default=".",
                    help="directory BENCH_<topic>.json files are written to")
     p.add_argument("--seed", type=int, default=0)
@@ -157,8 +232,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_plan_parser(sub)
     _add_pipeline_parser(sub)
     _add_sockets_parser(sub)
+    _add_serve_parser(sub)
+    _add_join_parser(sub)
     _add_bench_parser(sub)
     return parser
+
+
+def _demo_round_setup(n: int, dimension: int, bits: int, seed: int):
+    """The deterministic demo cohort shared by ``sockets``, ``serve``,
+    and ``join``: every process deriving from the same seed sees the
+    same config and the same per-client ring vectors, so a
+    cross-process round is bit-comparable to an in-process one."""
+    from repro.secagg.types import SecAggConfig
+    from repro.utils.rng import derive_rng
+
+    config = SecAggConfig(
+        threshold=max(2, n // 2 + 1),
+        bits=bits,
+        dimension=dimension,
+        dh_group="modp512",
+    )
+    rng = derive_rng("sockets-demo", seed)
+    inputs = {
+        u: rng.integers(0, config.modulus, size=dimension)
+        for u in range(1, n + 1)
+    }
+    return config, inputs
 
 
 def _cmd_run(args) -> int:
@@ -269,15 +368,14 @@ def _cmd_sockets(args) -> int:
     from repro.engine import RoundEngine, StreamTransport, WebSocketTransport
     from repro.engine.core import run_sync
     from repro.secagg.driver import DropoutSchedule, arun_secagg_round
-    from repro.secagg.types import SecAggConfig
-    from repro.utils.rng import derive_rng
     from repro.xnoise.protocol import XNoiseConfig, arun_xnoise_round
 
     n = args.clients
     if n < 3:
         print("need at least 3 clients", file=sys.stderr)
         return 2
-    threshold = max(2, n // 2 + 1)
+    config, inputs = _demo_round_setup(n, args.dimension, args.bits, args.seed)
+    threshold = config.threshold
     if not 0 <= args.drop <= n - threshold:
         print(
             f"--drop must be in [0, {n - threshold}]: with {n} clients the "
@@ -286,17 +384,6 @@ def _cmd_sockets(args) -> int:
             file=sys.stderr,
         )
         return 2
-    config = SecAggConfig(
-        threshold=threshold,
-        bits=args.bits,
-        dimension=args.dimension,
-        dh_group="modp512",
-    )
-    rng = derive_rng("sockets-demo", args.seed)
-    inputs = {
-        u: rng.integers(0, config.modulus, size=args.dimension)
-        for u in range(1, n + 1)
-    }
     dropped = set(range(1, args.drop + 1))
     schedule = DropoutSchedule.before_upload(dropped)
     transport = (
@@ -370,6 +457,166 @@ def _cmd_sockets(args) -> int:
     return 0 if balanced else 1
 
 
+def _cmd_serve(args) -> int:
+    import json
+
+    import numpy as np
+
+    from repro.engine import CoordinatorListener, ListenerTransport, RoundEngine
+    from repro.engine.core import run_sync
+    from repro.secagg.driver import secagg_round_components
+
+    n = args.clients
+    if n < 3:
+        print("need at least 3 clients", file=sys.stderr)
+        return 2
+    if not 0 <= args.port <= 65535:
+        print(f"--port must be in [0, 65535], not {args.port}",
+              file=sys.stderr)
+        return 2
+    if args.join_timeout <= 0:
+        print("--join-timeout must be positive", file=sys.stderr)
+        return 2
+    config, inputs = _demo_round_setup(n, args.dimension, args.bits, args.seed)
+    # The local workflow clients are inert id-carriers: every state
+    # machine lives behind a socket, in a `join` process.
+    server, clients = secagg_round_components(config, dict(inputs))
+
+    async def run():
+        listener = CoordinatorListener(
+            args.host,
+            args.port,
+            carrier=args.transport,
+            expected_ids=set(inputs),
+            auth_token=args.auth_token.encode(),
+            join_timeout=args.join_timeout,
+        )
+        host, port = await listener.start()
+        # The contract line a supervising process (or a human in a
+        # second terminal) parses to learn the ephemeral port.
+        print(f"listening {host} {port}", flush=True)
+        engine = RoundEngine(transport=ListenerTransport(listener))
+        try:
+            result = await engine.run_round(server, clients)
+        finally:
+            await listener.aclose()
+        return listener, engine, result
+
+    listener, engine, result = run_sync(run())
+
+    expected = np.zeros(config.dimension, dtype=np.int64)
+    for u in result.u3:
+        expected = (expected + inputs[u]) % config.modulus
+    ok = np.array_equal(result.aggregate, expected)
+    total = engine.trace.round_traffic_bytes(0)
+    split = engine.trace.round_traffic_split(0)
+    stats = listener.closed_connection_stats
+    balanced = (
+        total == sum(s.frame_bytes for s in stats)
+        and split.down == sum(s.down_bytes for s in stats)
+        and split.up == sum(s.up_bytes for s in stats)
+    )
+
+    if args.json:
+        print(json.dumps({
+            "protocol": "secagg",
+            "transport": args.transport,
+            "clients": n,
+            "u3": sorted(result.u3),
+            "u5": sorted(result.u5),
+            "aggregate": [int(x) for x in result.aggregate],
+            "aggregate_ok": bool(ok),
+            "spans": [
+                {"label": s.label, "begin": s.begin, "finish": s.finish,
+                 "down": s.down_bytes, "up": s.up_bytes}
+                for s in engine.trace.spans
+            ],
+            "traffic": {"down": split.down, "up": split.up, "total": total},
+            "connections": len(stats),
+            "accepted": listener.accepted,
+            "rejected": listener.rejected,
+            "balanced": balanced,
+        }))
+        return 0 if ok else 1
+
+    carrier = (
+        "RFC 6455 WebSocket" if args.transport == "websocket"
+        else "framed TCP"
+    )
+    print(f"protocol         : SecAgg over {carrier} (cross-process)")
+    print(f"cohort/survived  : {n} expected, {listener.accepted} joined, "
+          f"{len(result.u3)} in U3")
+    print(f"aggregate        : "
+          f"{'verified — ring sum over U3 matches' if ok else 'MISMATCH'}")
+    print()
+    print("measured per-stage traffic (framed bytes on the socket):")
+    print(f"  {'stage':20s} {'down':>10s} {'up':>10s} {'total':>10s}")
+    for label, stage in engine.trace.stage_traffic_split(0).items():
+        if stage.total:
+            print(f"  {label:20s} {stage.down:>10,d} {stage.up:>10,d} "
+                  f"{stage.total:>10,d}")
+    print(f"  {'total':20s} {split.down:>10,d} {split.up:>10,d} "
+          f"{total:>10,d}")
+    print(f"accounting check : "
+          f"{'✓' if balanced else '✗ (clients died mid-round?)'}")
+    return 0 if ok else 1
+
+
+def _cmd_join(args) -> int:
+    import json
+
+    from repro.engine import DialingClient
+    from repro.engine.core import run_sync
+    from repro.secagg.driver import secagg_round_components
+
+    n = args.clients
+    if n < 3:
+        print("need at least 3 clients", file=sys.stderr)
+        return 2
+    if not 1 <= args.port <= 65535:
+        print(f"--port must be in [1, 65535], not {args.port}",
+              file=sys.stderr)
+        return 2
+    if not 1 <= args.client_id <= n:
+        print(f"--client-id must be in [1, {n}] for a {n}-client cohort",
+              file=sys.stderr)
+        return 2
+    if args.die_after is not None and args.die_after < 1:
+        print("--die-after must be at least 1", file=sys.stderr)
+        return 2
+    config, inputs = _demo_round_setup(n, args.dimension, args.bits, args.seed)
+    # Identical construction to the in-process round — only this
+    # client's workflow actually serves; the rest are garbage-collected.
+    _server, clients = secagg_round_components(config, dict(inputs))
+    workflow = next(c for c in clients if c.id == args.client_id)
+    dialer = DialingClient(
+        workflow,
+        args.host,
+        args.port,
+        carrier=args.transport,
+        auth_token=args.auth_token.encode(),
+        max_requests=args.die_after,
+    )
+    try:
+        run_sync(dialer.run())
+    except (ValueError, ConnectionError) as exc:
+        print(f"join failed: {exc}", file=sys.stderr)
+        return 1
+    # This end's ground-truth byte counters — the cross-process twin of
+    # ConnectionStats.endpoint_*, reported on stdout instead.
+    print(json.dumps({
+        "client_id": args.client_id,
+        "bytes_sent": dialer.bytes_sent,
+        "bytes_received": dialer.bytes_received,
+        "request_bytes": dialer.request_bytes,
+        "response_bytes": dialer.response_bytes,
+        "requests": dialer.requests,
+        "handshake_sent": dialer.handshake_sent,
+        "handshake_received": dialer.handshake_received,
+    }))
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from repro import bench
 
@@ -427,6 +674,22 @@ def _cmd_bench(args) -> int:
         for d in args.dims:
             v = report["metrics"][f"round_d{d}_wall_s"]["value"]
             print(f"measured round d={d}: {v:.3f}s")
+    if "listener" in args.topics:
+        if args.connections < 1:
+            print("--connections must be positive", file=sys.stderr)
+            return 2
+        report = bench.run_listener(connections=args.connections)
+        written.append(bench.write_bench(report, args.out))
+        m = report["metrics"]
+        print(f"listener stress n={args.connections}: accepted in "
+              f"{m['accept_wall_s']['value']:.3f}s "
+              f"({m['accept_rate_per_s']['value']:,.0f}/s), echo round "
+              f"{m['round_wall_s']['value']:.3f}s, "
+              f"{int(m['total_bytes']['value']):,d} B on the wire")
+        if not m["all_answered_ok"]["value"]:
+            print("listener stress: not every exchange answered",
+                  file=sys.stderr)
+            return 1
     for path in written:
         print(f"wrote {path}")
     return 0
@@ -439,6 +702,8 @@ def main(argv: list[str] | None = None) -> int:
         "plan": _cmd_plan,
         "pipeline": _cmd_pipeline,
         "sockets": _cmd_sockets,
+        "serve": _cmd_serve,
+        "join": _cmd_join,
         "bench": _cmd_bench,
     }
     return handlers[args.command](args)

@@ -41,7 +41,13 @@ from repro.engine.timing import (
     ZeroTiming,
     stage_groups,
 )
-from repro.engine.stream import ConnectionStats, StreamTransport
+from repro.engine.listener import (
+    ConnectionStats,
+    CoordinatorListener,
+    DialingClient,
+    ListenerTransport,
+)
+from repro.engine.stream import StreamTransport
 from repro.engine.websocket import WebSocketTransport, ws_envelope_overhead
 from repro.engine.transport import (
     Channel,
@@ -75,9 +81,12 @@ __all__ = [
     "Channel",
     "ClientUnavailable",
     "ConnectionStats",
+    "CoordinatorListener",
     "Delivery",
+    "DialingClient",
     "DropoutTransport",
     "InProcessTransport",
+    "ListenerTransport",
     "QueueTransport",
     "SerializingTransport",
     "SimulatedNetworkTransport",

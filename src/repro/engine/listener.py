@@ -1,0 +1,1223 @@
+"""Single-listener server core: one listening coordinator, N dialing clients.
+
+This module is the production-topology heart of the socket stack.  One
+:class:`CoordinatorListener` owns **one** ``asyncio.start_server`` port
+(plain framed TCP, or its RFC 6455 upgrade twin) and accepts every
+client connection on it; devices are :class:`DialingClient` workers that
+dial *in* — the inverse of the original harness, where each protocol
+client hid behind its own localhost server and the coordinator dialed
+out.  Both socket carriers (:class:`~repro.engine.stream.StreamTransport`
+and :class:`~repro.engine.websocket.WebSocketTransport`) and the
+cross-process ``repro.cli serve``/``join`` entry points are thin shells
+over this core.
+
+Per accepted connection the listener runs:
+
+1. the carrier accept — for the websocket carrier an HTTP/1.1 Upgrade
+   handshake, for framed TCP nothing — counted as connection overhead;
+2. the wire handshake — the dialer opens with a ``HELLO`` frame carrying
+   the explicit :class:`repro.wire.frame.Hello` schema (client id, wire
+   version, optional auth token); the listener validates version, token,
+   membership, and uniqueness, answering ``WELCOME`` or a descriptive
+   ``ERROR`` frame before hanging up;
+3. a dedicated **reader task** (the accept task itself) that receives
+   response frames and resolves in-flight exchanges in FIFO order, and a
+   dedicated **writer task** draining a *bounded* send queue — the
+   backpressure seam: a coordinator fanning requests to thousands of
+   connections blocks on a full queue instead of buffering unboundedly.
+
+A connection that drops mid-round — process killed, socket reset, clean
+close — is *retired*: every in-flight exchange and every later request
+for that client raises
+:class:`~repro.engine.transport.ClientUnavailable`, which the engine
+folds into the existing dropout machinery (the client simply stops
+responding, exactly like :class:`~repro.engine.transport.DropoutTransport`
+dropping it).  A dead connection never crashes the round.
+
+Byte accounting is measured from both socket ends, as everywhere in the
+repo: the listener books its view into :class:`ConnectionStats` (every
+accepted socket lands in ``closed_connection_stats`` when it dies, even
+one rejected or aborted mid-handshake), and in-process
+:class:`DialingClient` workers keep the ground-truth counters for the
+device end of the same socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+from repro.engine.transport import Channel, ClientUnavailable, Delivery, Transport
+from repro.wire import codecs as wire_codecs
+from repro.wire.frame import (
+    KIND_ERROR,
+    KIND_HELLO,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    KIND_WELCOME,
+    WIRE_VERSION,
+    FrameEOF,
+    Hello,
+    decode_frame,
+    decode_hello,
+    encode_frame,
+    encode_hello,
+    read_frame,
+)
+from repro.wire.ws import (
+    CONTROL_OPCODES,
+    MAX_MESSAGE,
+    OP_BINARY,
+    OP_CLOSE,
+    OP_CONT,
+    OP_PING,
+    OP_PONG,
+    WSClosed,
+    WSEOF,
+    encode_ws_frame,
+    encode_ws_frame_parts,
+    handshake_request,
+    handshake_response,
+    parse_handshake_request,
+    parse_handshake_response,
+    read_handshake,
+    read_ws_frame,
+    websocket_key,
+    ws_frame_overhead,
+)
+
+if TYPE_CHECKING:
+    from repro.api.protocol import ProtocolClient
+
+#: Carrier names the listener and dialers speak.
+CARRIERS = ("sockets", "websocket")
+
+#: Listen backlog: a 1k-connection stress burst must not see refusals.
+LISTEN_BACKLOG = 2048
+
+#: Per-connection bounded send queue (frames) — the backpressure seam.
+SEND_QUEUE_SIZE = 32
+
+
+@dataclass
+class ConnectionStats:
+    """Byte accounting for one client connection, from both socket ends.
+
+    Listener-side counters split handshake traffic from request/response
+    frames (so per-stage sums exclude the one-off connection setup) and
+    are *directional*: ``request_bytes`` is the downlink (frames the
+    coordinator wrote toward the client), ``response_bytes`` the uplink
+    (frames it read back) — ``down_bytes``/``up_bytes`` name that
+    explicitly.  ``handshake_received`` covers what the dialing client
+    sent to set the connection up (for the websocket carrier the HTTP
+    upgrade request, then the ``HELLO`` frame), ``handshake_sent`` the
+    listener's answers (``101``/``WELCOME``) plus any control frames —
+    anything on the socket that is not stage-accounted traffic.
+
+    The ``endpoint_*`` counters are what the *dialing client* (the
+    device end) independently observed on its side of the same socket,
+    per direction — the ground truth the listener-side counts must equal
+    byte for byte.  They are filled for in-process dialers; a remote
+    ``repro.cli join`` process reports the same counters on its own
+    stdout instead.  ``client_id`` is ``-1`` until a connection's HELLO
+    has been parsed (a rejected or aborted socket may never get further).
+    """
+
+    client_id: int
+    handshake_sent: int = 0
+    handshake_received: int = 0
+    request_bytes: int = 0
+    response_bytes: int = 0
+    requests: int = 0
+    endpoint_received_bytes: int = 0
+    endpoint_sent_bytes: int = 0
+    endpoint_request_bytes: int = 0
+    endpoint_response_bytes: int = 0
+
+    @property
+    def down_bytes(self) -> int:
+        """Coordinator→client frame bytes (the downlink share of the
+        stage accounting)."""
+        return self.request_bytes
+
+    @property
+    def up_bytes(self) -> int:
+        """Client→coordinator frame bytes (the uplink share of the
+        stage accounting)."""
+        return self.response_bytes
+
+    @property
+    def bytes_sent(self) -> int:
+        """Everything the listener wrote to this socket."""
+        return self.handshake_sent + self.request_bytes
+
+    @property
+    def bytes_received(self) -> int:
+        """Everything the listener read from this socket."""
+        return self.handshake_received + self.response_bytes
+
+    @property
+    def frame_bytes(self) -> int:
+        """Request + response frames (the per-stage-accounted traffic)."""
+        return self.request_bytes + self.response_bytes
+
+
+class LinkClosed(Exception):
+    """The peer ended the connection cleanly (EOF / close handshake)."""
+
+
+class _TCPLink:
+    """Framed TCP as a carrier link: frames pass through unchanged."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+
+    #: Framed TCP has no control frames; the counters exist so both
+    #: carriers finalize identically.
+    control_sent = 0
+    control_received = 0
+
+    async def recv(self) -> tuple[int, bytes, int]:
+        try:
+            return await read_frame(self._reader)
+        except FrameEOF as exc:
+            raise LinkClosed from exc
+
+    async def send(
+        self,
+        frame: bytes | bytearray,
+        count: Optional[Callable[[int], None]] = None,
+    ) -> int:
+        n = len(frame)
+        # Counted *before* the flush: a cancellation landing in the
+        # drain can never lose already-written bytes from the books.
+        if count is not None:
+            count(n)
+        self._writer.write(frame)
+        await self._writer.drain()
+        return n
+
+    def framed_size(self, frame_nbytes: int) -> int:
+        """Wire bytes for one frame of that size — TCP adds nothing."""
+        return frame_nbytes
+
+    async def start_close(self) -> None:
+        """Begin a graceful goodbye: plain TCP just closes the socket
+        (the peer reads a clean EOF between frames)."""
+        self._writer.close()
+
+    async def shutdown(self) -> None:
+        self._writer.close()
+        with contextlib.suppress(Exception):
+            await self._writer.wait_closed()
+
+
+class _WSLink:
+    """One end of an upgraded connection: messages over RFC 6455 frames.
+
+    Handles fragmentation (outgoing when ``max_fragment`` is set,
+    incoming always), answers pings, runs the close handshake, and
+    counts every frame byte — data message bytes are returned per call
+    for stage attribution, control bytes accumulate in
+    ``control_sent``/``control_received`` (connection overhead).
+    Counters update *before* each flush, so a cancellation landing in a
+    drain can never lose already-written bytes from the accounting.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        masked: bool,
+        max_fragment: Optional[int] = None,
+    ):
+        self._reader = reader
+        self._writer = writer
+        self.masked = masked
+        self.max_fragment = max_fragment
+        self._close_sent = False
+        self.control_sent = 0
+        self.control_received = 0
+
+    def _mask(self) -> Optional[bytes]:
+        return os.urandom(4) if self.masked else None
+
+    def _build_parts(
+        self, payload: bytes | bytearray
+    ) -> tuple[bytes, bytes | bytearray | memoryview]:
+        """One message as write-ready parts (head, wire payload).
+
+        Unfragmented — the default — the payload buffer passes through
+        untouched on the unmasked side (see
+        :func:`repro.wire.ws.encode_ws_frame_parts`); fragmentation
+        joins its pieces into the head part, payload part empty.
+        """
+        if self.max_fragment is None or len(payload) <= self.max_fragment:
+            return encode_ws_frame_parts(OP_BINARY, payload, mask=self._mask())
+        pieces = [
+            payload[i : i + self.max_fragment]
+            for i in range(0, len(payload), self.max_fragment)
+        ]
+        blob = b"".join(
+            encode_ws_frame(
+                OP_BINARY if i == 0 else OP_CONT,
+                piece,
+                fin=(i == len(pieces) - 1),
+                mask=self._mask(),
+            )
+            for i, piece in enumerate(pieces)
+        )
+        return blob, b""
+
+    async def _write(
+        self, blob: bytes, count: Optional[Callable[[int], None]] = None
+    ) -> None:
+        if count is not None:
+            count(len(blob))
+        self._writer.write(blob)
+        await self._writer.drain()
+
+    async def send_message(
+        self,
+        payload: bytes | bytearray,
+        count: Optional[Callable[[int], None]] = None,
+    ) -> int:
+        """One binary data message; returns its WS-framed byte count.
+
+        ``count`` (if given) observes that count before the flush — the
+        cancellation-safe way to attribute the bytes to a direction.
+        The head and payload go onto the writer back to back, so the
+        payload buffer is never concatenated into a new blob.
+        """
+        head, body = self._build_parts(payload)
+        n = len(head) + len(body)
+        if count is not None:
+            count(n)
+        self._writer.write(head)
+        if len(body):
+            self._writer.write(body)
+        await self._writer.drain()
+        return n
+
+    async def _send_control(self, opcode: int, payload: bytes = b"") -> None:
+        frame = encode_ws_frame(opcode, payload, mask=self._mask())
+        self.control_sent += len(frame)
+        await self._write(frame)
+
+    async def recv_message(self) -> tuple[bytes, int]:
+        """One binary data message: ``(payload, WS-framed byte count)``.
+
+        Interleaved control frames are handled inline — pings answered,
+        pongs absorbed, a peer CLOSE echoed then raised as
+        :class:`WSClosed` — and counted as connection overhead.  Raises
+        :class:`WSEOF` on a clean TCP close between frames.
+        """
+        assembled = bytearray()
+        nbytes = 0
+        expecting_cont = False
+        while True:
+            fin, opcode, body, n = await read_ws_frame(
+                self._reader, require_mask=not self.masked
+            )
+            if opcode in CONTROL_OPCODES:
+                self.control_received += n
+                if opcode == OP_PING:
+                    await self._send_control(OP_PONG, body)
+                elif opcode == OP_CLOSE:
+                    code = (
+                        int.from_bytes(body[:2], "big") if len(body) >= 2 else 1000
+                    )
+                    if not self._close_sent:
+                        self._close_sent = True
+                        with contextlib.suppress(ConnectionError):
+                            await self._send_control(OP_CLOSE, body[:2])
+                    raise WSClosed(code, bytes(body[2:]))
+                continue  # pong: keepalive noise, nothing to do
+            if expecting_cont != (opcode == OP_CONT):
+                raise ValueError(
+                    "continuation frame without a message to continue"
+                    if opcode == OP_CONT
+                    else "data frame interleaved into a fragmented message"
+                )
+            if not expecting_cont and opcode != OP_BINARY:
+                raise ValueError("wire messages must be binary frames")
+            assembled += body
+            nbytes += n
+            if len(assembled) > MAX_MESSAGE:
+                raise ValueError(
+                    f"assembled message exceeds MAX_MESSAGE={MAX_MESSAGE}"
+                )
+            if fin:
+                return bytes(assembled), nbytes
+            expecting_cont = True
+
+    async def send_close(self, code: int = 1000) -> None:
+        """Send the CLOSE control frame (without reading the echo — the
+        connection's reader consumes it as :class:`WSClosed`)."""
+        if not self._close_sent:
+            self._close_sent = True
+            await self._send_control(OP_CLOSE, code.to_bytes(2, "big"))
+
+    async def close(self, code: int = 1000) -> None:
+        """Initiate (or finish) the close handshake from this end.
+
+        Only safe when no other task is reading this link — the hosted
+        connections run a dedicated reader and use :meth:`send_close`.
+        """
+        await self.send_close(code)
+        while True:
+            try:
+                _fin, opcode, _body, n = await read_ws_frame(
+                    self._reader, require_mask=not self.masked
+                )
+            except (WSEOF, ValueError, ConnectionError):
+                return
+            # Anything read while closing is teardown overhead.
+            self.control_received += n
+            if opcode == OP_CLOSE:
+                return
+
+
+class _WSFrameLink:
+    """A :class:`_WSLink` speaking wire frames as binary messages."""
+
+    def __init__(self, ws: _WSLink, writer: asyncio.StreamWriter):
+        self.ws = ws
+        self._writer = writer
+
+    @property
+    def control_sent(self) -> int:
+        return self.ws.control_sent
+
+    @property
+    def control_received(self) -> int:
+        return self.ws.control_received
+
+    async def recv(self) -> tuple[int, bytes, int]:
+        try:
+            payload, n = await self.ws.recv_message()
+        except (WSEOF, WSClosed) as exc:
+            raise LinkClosed from exc
+        kind, body = decode_frame(payload)
+        return kind, body, n
+
+    async def send(
+        self,
+        frame: bytes | bytearray,
+        count: Optional[Callable[[int], None]] = None,
+    ) -> int:
+        return await self.ws.send_message(frame, count=count)
+
+    def framed_size(self, frame_nbytes: int) -> int:
+        """Deterministic wire bytes for one frame of that envelope size
+        (fragmentation included) — what :meth:`send` will measure."""
+        frag = self.ws.max_fragment
+        if frag is None or frame_nbytes <= frag:
+            return frame_nbytes + ws_frame_overhead(
+                frame_nbytes, masked=self.ws.masked
+            )
+        total = 0
+        for start in range(0, frame_nbytes, frag):
+            piece = min(frag, frame_nbytes - start)
+            total += piece + ws_frame_overhead(piece, masked=self.ws.masked)
+        return total
+
+    async def start_close(self) -> None:
+        """Begin a graceful goodbye: send CLOSE; the reader task will
+        consume the peer's echo and retire the connection."""
+        await self.ws.send_close()
+
+    async def shutdown(self) -> None:
+        self._writer.close()
+        with contextlib.suppress(Exception):
+            await self._writer.wait_closed()
+
+
+class _ClientConnection:
+    """One accepted, welcomed client on the listener.
+
+    Exchanges are correlated FIFO: the device end handles requests
+    strictly in arrival order over one socket, so the k-th response
+    frame answers the k-th outstanding request.  A requester cancelled
+    before its frame was queued removes its slot; one cancelled after
+    leaves the slot in place (the response still arrives and its bytes
+    are still booked) — the reader simply discards the result.
+    """
+
+    def __init__(
+        self, client_id: int, link, stats: ConnectionStats, queue_size: int
+    ):
+        self.client_id = client_id
+        self.link = link
+        self.stats = stats
+        self.pending: deque[tuple[str, asyncio.Future]] = deque()
+        self.send_queue: asyncio.Queue = asyncio.Queue(queue_size)
+        self.writer_task: Optional[asyncio.Task] = None
+        self.task: Optional[asyncio.Task] = None
+        self.dead = False
+
+    def _count_request(self, n: int) -> None:
+        self.stats.request_bytes += n
+
+    async def exchange(
+        self, op: str, frame: bytes | bytearray
+    ) -> tuple[int, bytes, int, int]:
+        """One request/response over this connection.
+
+        Returns ``(kind, body, sent, received)`` where ``sent`` is the
+        deterministic carrier-framed size of ``frame`` (equal to what
+        the writer task measures) and ``received`` the framed size of
+        the answering frame.  Raises
+        :class:`~repro.engine.transport.ClientUnavailable` if the
+        connection is (or dies while) in flight.
+        """
+        if self.dead:
+            raise ClientUnavailable(self.client_id, op)
+        loop = asyncio.get_running_loop()
+        fut: asyncio.Future = loop.create_future()
+        entry = (op, fut)
+        # Enlist before enqueueing: the writer/reader pair may complete
+        # the whole round trip between the put and any later append.
+        self.pending.append(entry)
+        putter = loop.create_task(self.send_queue.put(frame))
+        try:
+            # Race the (possibly backpressured) put against the reply
+            # future: a connection retired while this sender is parked
+            # on a full queue fails the future, and waiting on the put
+            # alone would hang forever.
+            await asyncio.wait(
+                {putter, fut}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if not putter.done():
+                putter.cancel()
+            kind, body, received = await fut
+        except BaseException:
+            if not putter.done():
+                putter.cancel()
+                # Never sent: withdraw the slot so FIFO correlation of
+                # the frames that *were* sent stays aligned.
+                with contextlib.suppress(ValueError):
+                    self.pending.remove(entry)
+            raise
+        finally:
+            with contextlib.suppress(asyncio.CancelledError):
+                await putter
+        self.stats.requests += 1
+        return kind, body, self.link.framed_size(len(frame)), received
+
+    def retire(self, exc: Optional[BaseException] = None) -> None:
+        """Mark dead and fail everything in flight.
+
+        The first pending exchange gets ``exc`` when the death was a
+        loud protocol error (malformed frame — the round should abort,
+        not quietly drop the client); everything else folds into
+        dropout as :class:`ClientUnavailable`.
+        """
+        self.dead = True
+        first = True
+        while self.pending:
+            op, fut = self.pending.popleft()
+            if not fut.done():
+                if first and exc is not None:
+                    fut.set_exception(exc)
+                else:
+                    fut.set_exception(ClientUnavailable(self.client_id, op))
+            first = False
+
+
+class CoordinatorListener:
+    """One listening port multiplexing every dialing client.
+
+    The production topology: ``await start()`` binds a single
+    ``asyncio.start_server`` (``LISTEN_BACKLOG`` deep), and every
+    protocol client — in-process :class:`DialingClient` task or remote
+    ``repro.cli join`` process — dials into it.  ``expected_ids``
+    (optional) closes membership: a HELLO from any other id is rejected.
+    ``auth_token`` (optional) is demanded verbatim from every HELLO.
+
+    ``connection(client_id)`` waits up to ``join_timeout`` seconds for
+    that client to dial in and hand-shake; a client that never shows up
+    — or already died — surfaces as
+    :class:`~repro.engine.transport.ClientUnavailable`, i.e. exactly a
+    dropout.  Every accepted socket's :class:`ConnectionStats` lands in
+    ``closed_connection_stats`` when the socket dies (rejected and
+    mid-handshake-aborted ones included, with whatever bytes really
+    crossed).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        carrier: str = "sockets",
+        expected_ids: Optional[Iterable[int]] = None,
+        auth_token: bytes = b"",
+        join_timeout: float = 30.0,
+        send_queue_size: int = SEND_QUEUE_SIZE,
+        max_fragment: Optional[int] = None,
+    ):
+        if carrier not in CARRIERS:
+            raise ValueError(f"carrier must be one of {CARRIERS}, not {carrier!r}")
+        self.host = host
+        self.port = port
+        self.carrier = carrier
+        self.expected_ids = None if expected_ids is None else set(expected_ids)
+        self.auth_token = bytes(auth_token)
+        self.join_timeout = join_timeout
+        self.send_queue_size = send_queue_size
+        self.max_fragment = max_fragment
+        self.accepted = 0
+        self.rejected = 0
+        self.closed_connection_stats: list[ConnectionStats] = []
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: dict[int, _ClientConnection] = {}
+        self._dead_ids: set[int] = set()
+        self._events: dict[int, asyncio.Event] = {}
+        self._accept_tasks: set[asyncio.Task] = set()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — valid after :meth:`start`."""
+        return self.host, self.port
+
+    async def start(self) -> tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._accept, self.host, self.port, backlog=LISTEN_BACKLOG
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        return self.host, self.port
+
+    # -- accept path -----------------------------------------------------
+
+    async def _accept_link(self, reader, writer, stats: ConnectionStats):
+        """Carrier setup for one accepted socket; counts its bytes."""
+        if self.carrier == "websocket":
+            raw = await read_handshake(reader)
+            stats.handshake_received += len(raw)
+            key = parse_handshake_request(raw)
+            response = handshake_response(key)
+            stats.handshake_sent += len(response)
+            writer.write(response)
+            await writer.drain()
+            return _WSFrameLink(
+                _WSLink(
+                    reader, writer, masked=False, max_fragment=self.max_fragment
+                ),
+                writer,
+            )
+        return _TCPLink(reader, writer)
+
+    async def _check_hello(self, hello: Hello) -> None:
+        """Admission control — every rejection names its reason.
+
+        Runs after the HELLO is parsed (so the connection's stats
+        already carry the claimed client id) and before WELCOME.
+        """
+        if hello.wire_version != WIRE_VERSION:
+            raise ValueError(
+                f"client {hello.client_id} speaks wire version "
+                f"{hello.wire_version}, listener speaks {WIRE_VERSION}"
+            )
+        if self.auth_token and hello.auth_token != self.auth_token:
+            raise ValueError(
+                f"client {hello.client_id} presented a bad auth token"
+            )
+        if (
+            self.expected_ids is not None
+            and hello.client_id not in self.expected_ids
+        ):
+            raise ValueError(f"unknown client id {hello.client_id}")
+        live = self._connections.get(hello.client_id)
+        if live is not None and not live.dead:
+            raise ValueError(
+                f"duplicate connection for client id {hello.client_id}"
+            )
+
+    async def _handshake(self, link, stats: ConnectionStats) -> Hello:
+        kind, body, n = await link.recv()
+        stats.handshake_received += n
+        if kind != KIND_HELLO:
+            raise ValueError(f"handshake must open with HELLO, got {kind:#x}")
+        hello = decode_hello(body)
+        # The claimed identity is recorded the moment it is known, so
+        # even a connection rejected (or stalled) right here is
+        # attributable in the closed stats.
+        stats.client_id = hello.client_id
+        await self._check_hello(hello)
+        return hello
+
+    def _signal(self, client_id: int) -> None:
+        event = self._events.get(client_id)
+        if event is not None:
+            event.set()
+
+    async def _accept(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._accept_tasks.add(task)
+            task.add_done_callback(self._accept_tasks.discard)
+        stats = ConnectionStats(client_id=-1)
+        link = None
+        conn: Optional[_ClientConnection] = None
+
+        def count_handshake_sent(n: int) -> None:
+            stats.handshake_sent += n
+
+        try:
+            link = await self._accept_link(reader, writer, stats)
+            try:
+                hello = await self._handshake(link, stats)
+            except LinkClosed:
+                return  # dialer hung up before completing its HELLO
+            except ValueError as exc:
+                # Admission refused: say why on the wire, then hang up.
+                self.rejected += 1
+                with contextlib.suppress(Exception):
+                    await link.send(
+                        encode_frame(KIND_ERROR, wire_codecs.encode_error(exc)),
+                        count=count_handshake_sent,
+                    )
+                return
+            # No awaits between admission check and registration, so
+            # two racing HELLOs for one id cannot both pass.
+            conn = _ClientConnection(
+                hello.client_id, link, stats, self.send_queue_size
+            )
+            conn.task = task
+            self._connections[hello.client_id] = conn
+            # A returning client (died earlier, dialed back in) is live
+            # again — an old death must not shadow the new connection.
+            self._dead_ids.discard(hello.client_id)
+            await link.send(
+                encode_frame(
+                    KIND_WELCOME, wire_codecs.encode_payload(hello.client_id)
+                ),
+                count=count_handshake_sent,
+            )
+            self.accepted += 1
+            conn.writer_task = asyncio.get_running_loop().create_task(
+                self._drain_writer(conn)
+            )
+            self._signal(hello.client_id)
+            await self._read_loop(conn)
+        except asyncio.CancelledError:
+            # aclose() cancels accepts parked mid-handshake; end quietly
+            # (the finally below still books the partial stats).
+            return
+        except (ConnectionError, ValueError):
+            # Carrier-level failure (bad upgrade, reset socket): the
+            # socket dies, its partial stats are still recorded.
+            return
+        finally:
+            if conn is not None:
+                conn.retire()
+                # Mark the id dead only while this connection is still
+                # the registered one — a replacement that dialed back in
+                # meanwhile stays live.
+                if self._connections.get(conn.client_id) is conn:
+                    self._dead_ids.add(conn.client_id)
+                self._signal(conn.client_id)
+                if conn.writer_task is not None and not conn.writer_task.done():
+                    conn.writer_task.cancel()
+                    with contextlib.suppress(
+                        asyncio.CancelledError, Exception
+                    ):
+                        await conn.writer_task
+            if link is not None:
+                # Control frames (close handshake, pings) are connection
+                # overhead, folded in at the end of life.
+                stats.handshake_sent += link.control_sent
+                stats.handshake_received += link.control_received
+            self.closed_connection_stats.append(stats)
+            writer.close()
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await writer.wait_closed()
+
+    async def _drain_writer(self, conn: _ClientConnection) -> None:
+        """The connection's writer: one frame at a time off the bounded
+        queue, request bytes booked before each flush."""
+        try:
+            while True:
+                frame = await conn.send_queue.get()
+                await conn.link.send(frame, count=conn._count_request)
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            # A dead socket: the reader loop (or aclose) retires the
+            # connection; in-flight exchanges fold into dropout there.
+            conn.retire()
+
+    async def _read_loop(self, conn: _ClientConnection) -> None:
+        """Resolve responses FIFO until the connection dies."""
+        while True:
+            try:
+                kind, body, n = await conn.link.recv()
+            except (LinkClosed, ConnectionError):
+                conn.retire()
+                return
+            except ValueError as exc:
+                # Malformed frame: fail loud into the in-flight
+                # exchange (never misparse, never silently drop).
+                conn.retire(exc)
+                return
+            conn.stats.response_bytes += n
+            if not conn.pending:
+                conn.retire(
+                    ValueError(
+                        f"client {conn.client_id} sent an unsolicited "
+                        f"frame of kind {kind:#x}"
+                    )
+                )
+                return
+            _op, fut = conn.pending.popleft()
+            if not fut.done():
+                fut.set_result((kind, body, n))
+
+    # -- round-facing API ------------------------------------------------
+
+    async def connection(
+        self,
+        client_id: int,
+        op: str = "connect",
+        timeout: Optional[float] = None,
+    ) -> _ClientConnection:
+        """The live connection for ``client_id``, waiting for it to dial
+        in if it has not yet; a dead or never-arriving client raises
+        :class:`ClientUnavailable` (the dropout fold)."""
+        conn = self._connections.get(client_id)
+        if conn is not None and not conn.dead:
+            return conn
+        if client_id in self._dead_ids:
+            raise ClientUnavailable(client_id, op)
+        event = self._events.setdefault(client_id, asyncio.Event())
+        try:
+            await asyncio.wait_for(
+                event.wait(),
+                self.join_timeout if timeout is None else timeout,
+            )
+        except asyncio.TimeoutError:
+            raise ClientUnavailable(client_id, op) from None
+        conn = self._connections.get(client_id)
+        if conn is None or conn.dead:
+            raise ClientUnavailable(client_id, op)
+        return conn
+
+    async def aclose(self) -> None:
+        """Stop listening, say goodbye to every live connection, and
+        drain the per-connection tasks (booking partial stats for any
+        socket still mid-handshake)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for conn in list(self._connections.values()):
+            if not conn.dead:
+                with contextlib.suppress(Exception):
+                    await conn.link.start_close()
+        # Welcomed connections get a grace period to retire cleanly off
+        # the goodbye above; sockets still mid-handshake have no peer
+        # loop to drain — cancel them outright (their accept task still
+        # books the partial stats on the way out).
+        welcomed = {
+            conn.task for conn in self._connections.values() if conn.task
+        }
+        stragglers = [
+            t for t in self._accept_tasks if not t.done() and t not in welcomed
+        ]
+        tasks = [t for t in self._accept_tasks if not t.done() and t in welcomed]
+        if tasks:
+            _done, timed_out = await asyncio.wait(tasks, timeout=5)
+            stragglers.extend(timed_out)
+        for t in stragglers:
+            t.cancel()
+        for t in stragglers:
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await t
+
+
+class DialingClient:
+    """The device end: one protocol client dialing into the listener.
+
+    Runs the client's state machine behind a single dialed connection —
+    carrier setup, ``HELLO``/``WELCOME``, then a serve loop answering
+    each ``REQUEST`` frame with one ``RESPONSE`` (or ``ERROR``) frame.
+    Used in-process as one task per client by the socket transports,
+    and by ``repro.cli join`` as a whole OS process.
+
+    ``max_requests`` makes the worker vanish (abrupt socket close, as a
+    killed process would) after answering that many requests — the
+    dropout-mid-round test hook and ``join --die-after``.  The public
+    counters mirror the old per-client endpoint's, so they remain the
+    ground truth for :class:`ConnectionStats` ``endpoint_*`` fields.
+    """
+
+    def __init__(
+        self,
+        client: "ProtocolClient",
+        host: str,
+        port: int,
+        *,
+        carrier: str = "sockets",
+        auth_token: bytes = b"",
+        client_id: Optional[int] = None,
+        wire_version: int = WIRE_VERSION,
+        max_fragment: Optional[int] = None,
+        max_requests: Optional[int] = None,
+        dial_timeout: float = 5.0,
+    ):
+        if carrier not in CARRIERS:
+            raise ValueError(f"carrier must be one of {CARRIERS}, not {carrier!r}")
+        self.client = client
+        self.client_id = client.id if client_id is None else client_id
+        self.host = host
+        self.port = port
+        self.carrier = carrier
+        self.auth_token = bytes(auth_token)
+        self.wire_version = wire_version
+        self.max_fragment = max_fragment
+        self.max_requests = max_requests
+        self.dial_timeout = dial_timeout
+        self.bytes_received = 0
+        self.bytes_sent = 0
+        # Per-direction frame counters (handshake/control excluded):
+        # what this end of the socket saw of the stage-accounted
+        # traffic.  Requests arrive here (the downlink's far end).
+        self.request_bytes = 0
+        self.response_bytes = 0
+        self.requests = 0
+        self.handshake_sent = 0
+        self.handshake_received = 0
+
+    def _count_handshake(self, n: int) -> None:
+        self.bytes_sent += n
+        self.handshake_sent += n
+
+    def _count_response(self, n: int) -> None:
+        self.bytes_sent += n
+        self.response_bytes += n
+
+    async def _dial(self) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        """Dial the listener, retrying brief refusals — a ``join``
+        process may race the coordinator to the port."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.dial_timeout
+        while True:
+            try:
+                return await asyncio.open_connection(self.host, self.port)
+            except (ConnectionRefusedError, ConnectionResetError):
+                if loop.time() >= deadline:
+                    raise
+                await asyncio.sleep(0.05)
+
+    async def _upgrade(self, reader, writer):
+        """Carrier setup from the dialing side (the WS *client* masks)."""
+        if self.carrier == "websocket":
+            key = websocket_key()
+            upgrade = handshake_request(self.host, self.port, key)
+            self._count_handshake(len(upgrade))
+            writer.write(upgrade)
+            await writer.drain()
+            raw = await read_handshake(reader)
+            self.bytes_received += len(raw)
+            self.handshake_received += len(raw)
+            parse_handshake_response(raw, key)
+            return _WSFrameLink(
+                _WSLink(
+                    reader, writer, masked=True, max_fragment=self.max_fragment
+                ),
+                writer,
+            )
+        return _TCPLink(reader, writer)
+
+    async def _hello(self, link) -> None:
+        await link.send(
+            encode_frame(
+                KIND_HELLO,
+                encode_hello(
+                    Hello(self.client_id, self.wire_version, self.auth_token)
+                ),
+            ),
+            count=self._count_handshake,
+        )
+        kind, body, n = await link.recv()
+        self.bytes_received += n
+        self.handshake_received += n
+        if kind == KIND_ERROR:
+            raise wire_codecs.decode_error(body)
+        if kind != KIND_WELCOME:
+            raise ValueError(f"handshake expected WELCOME, got {kind:#x}")
+        welcomed = wire_codecs.decode_payload(body)
+        if welcomed != self.client_id:
+            raise ValueError(
+                f"listener welcomed client {welcomed!r}, "
+                f"expected {self.client_id}"
+            )
+
+    async def run(self) -> None:
+        """Dial, handshake, serve until the coordinator hangs up (or
+        ``max_requests`` answers have been given)."""
+        reader, writer = await self._dial()
+        link = None
+        try:
+            link = await self._upgrade(reader, writer)
+            await self._hello(link)
+            served = 0
+            while True:
+                try:
+                    kind, body, n = await link.recv()
+                except (LinkClosed, ConnectionError):
+                    return
+                self.bytes_received += n
+                if kind != KIND_REQUEST:
+                    raise ValueError(
+                        f"dialing client expected REQUEST, got {kind:#x}"
+                    )
+                self.request_bytes += n
+                op, payload = wire_codecs.decode_payload(body)
+                try:
+                    response = self.client.handle(op, payload)
+                except Exception as exc:
+                    # An ERROR reply crosses the uplink like any other
+                    # response frame; count it there so both socket
+                    # ends agree per direction even on aborted rounds.
+                    reply: bytes | bytearray = encode_frame(
+                        KIND_ERROR, wire_codecs.encode_error(exc)
+                    )
+                else:
+                    # Single-buffer wire envelope, framed without
+                    # re-copying its body.
+                    reply = wire_codecs.encode_payload_frame(
+                        KIND_RESPONSE, response
+                    )
+                await link.send(reply, count=self._count_response)
+                served += 1
+                self.requests += 1
+                if self.max_requests is not None and served >= self.max_requests:
+                    return  # vanish abruptly, like a killed process
+        finally:
+            if link is not None:
+                self.bytes_sent += link.control_sent
+                self.bytes_received += link.control_received
+                self.handshake_sent += link.control_sent
+                self.handshake_received += link.control_received
+            writer.close()
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await writer.wait_closed()
+
+
+def record_endpoint(stats: ConnectionStats, dialer) -> None:
+    """Copy a dialing end's ground-truth counters into ``stats``.
+
+    Every dialing worker exposes the same four counters; recording
+    lives here so the carriers can never drift apart.
+    """
+    stats.endpoint_received_bytes = dialer.bytes_received
+    stats.endpoint_sent_bytes = dialer.bytes_sent
+    stats.endpoint_request_bytes = dialer.request_bytes
+    stats.endpoint_response_bytes = dialer.response_bytes
+
+
+def _delivery_latency(transport, client_id: int, sent: int, received: int) -> float:
+    if transport.latency_split_fn is not None:
+        return transport.latency_split_fn(client_id, sent, received)
+    if transport.latency_fn is not None:
+        return transport.latency_fn(client_id, sent + received)
+    return 0.0
+
+
+async def _request_over(
+    conn: _ClientConnection, transport, client_id: int, op: str, payload: Any
+) -> Delivery:
+    """One engine request as an exchange on a listener connection."""
+    frame = wire_codecs.encode_payload_frame(KIND_REQUEST, (op, payload))
+    kind, rbody, sent, received = await conn.exchange(op, frame)
+    latency = _delivery_latency(transport, client_id, sent, received)
+    if kind == KIND_ERROR:
+        raise wire_codecs.decode_error(rbody)
+    if kind != KIND_RESPONSE:
+        raise ValueError(f"unexpected frame kind {kind:#x} in response")
+    return Delivery(
+        client_id,
+        op,
+        wire_codecs.decode_payload(rbody),
+        latency=latency,
+        request_nbytes=sent,
+        response_nbytes=received,
+    )
+
+
+class _HostedChannel(Channel):
+    """One round's in-process ensemble: a private listener plus one
+    dialing worker task per requested client.
+
+    Lazy like the old per-client dialing: the listener starts on first
+    use, and each client's worker is spawned on the first request to
+    it.  ``aclose`` says goodbye to every connection, drains workers,
+    copies their ground-truth counters into the matching
+    :class:`ConnectionStats`, and lands everything in the owning
+    transport's ``closed_connection_stats``.
+    """
+
+    #: In-process workers dial immediately; a client not connected well
+    #: before this is a bug, not a slow join.
+    JOIN_TIMEOUT = 10.0
+
+    def __init__(self, clients, transport, carrier: str, max_fragment=None):
+        self._clients = dict(clients)
+        self._transport = transport
+        self._carrier = carrier
+        self._max_fragment = max_fragment
+        self._listener: Optional[CoordinatorListener] = None
+        self._start_task: Optional[asyncio.Task] = None
+        self._workers: dict[int, tuple[DialingClient, asyncio.Task]] = {}
+
+    async def _start(self) -> None:
+        listener = CoordinatorListener(
+            carrier=self._carrier,
+            expected_ids=set(self._clients),
+            join_timeout=self.JOIN_TIMEOUT,
+            max_fragment=self._max_fragment,
+        )
+        await listener.start()
+        self._listener = listener
+
+    async def _connection(self, client_id: int, op: str) -> _ClientConnection:
+        if self._start_task is None:
+            self._start_task = asyncio.get_running_loop().create_task(
+                self._start()
+            )
+        # Shielded: cancelling one requester must not kill the listener
+        # start other requesters depend on.
+        await asyncio.shield(self._start_task)
+        assert self._listener is not None
+        if client_id not in self._workers:
+            dialer = DialingClient(
+                self._clients[client_id],
+                *self._listener.address,
+                carrier=self._carrier,
+                max_fragment=self._max_fragment,
+            )
+            task = asyncio.get_running_loop().create_task(dialer.run())
+            self._workers[client_id] = (dialer, task)
+        worker = self._workers[client_id][1]
+        waiter = asyncio.ensure_future(
+            self._listener.connection(client_id, op)
+        )
+        try:
+            # Race the join against the worker: a dialer refused at the
+            # handshake (bad version, bad token) dies with the decoded
+            # rejection, which must surface loud — not as a join
+            # timeout folded into dropout.
+            await asyncio.wait(
+                {waiter, worker}, return_when=asyncio.FIRST_COMPLETED
+            )
+        except BaseException:
+            waiter.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await waiter
+            raise
+        if not waiter.done() and worker.done() and not worker.cancelled():
+            exc = worker.exception()
+            if exc is not None:
+                waiter.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await waiter
+                raise exc
+        return await waiter
+
+    async def request(self, client_id: int, op: str, payload: Any) -> Delivery:
+        if client_id not in self._clients:
+            raise ClientUnavailable(client_id, op)
+        conn = await self._connection(client_id, op)
+        return await _request_over(
+            conn, self._transport, client_id, op, payload
+        )
+
+    async def aclose(self) -> None:
+        if self._start_task is not None:
+            with contextlib.suppress(Exception):
+                await asyncio.shield(self._start_task)
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            await listener.aclose()
+        for _dialer, task in self._workers.values():
+            if not task.done():
+                try:
+                    await asyncio.wait_for(asyncio.shield(task), 5)
+                except Exception:
+                    if not task.done():
+                        task.cancel()
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await task
+        if listener is not None:
+            for stats in listener.closed_connection_stats:
+                entry = self._workers.get(stats.client_id)
+                if entry is not None:
+                    record_endpoint(stats, entry[0])
+            self._transport.closed_connection_stats.extend(
+                listener.closed_connection_stats
+            )
+
+
+class _ListenerChannel(Channel):
+    """A round routed over an externally-owned, already-started
+    listener — the cross-process ``serve`` path.  The listener outlives
+    the channel: ``aclose`` is deliberately a no-op (its owner closes
+    it and then reads the stats)."""
+
+    def __init__(self, ids, transport: "ListenerTransport"):
+        self._ids = set(ids)
+        self._transport = transport
+
+    async def request(self, client_id: int, op: str, payload: Any) -> Delivery:
+        if client_id not in self._ids:
+            raise ClientUnavailable(client_id, op)
+        conn = await self._transport.listener.connection(client_id, op)
+        return await _request_over(
+            conn, self._transport, client_id, op, payload
+        )
+
+    async def aclose(self) -> None:
+        pass
+
+
+class ListenerTransport(Transport):
+    """A :class:`~repro.engine.transport.Transport` over one started
+    :class:`CoordinatorListener` whose clients are *elsewhere* — other
+    processes (``repro.cli join``) or independently-managed dialing
+    tasks.  ``connect``'s mapping contributes only its id set; the
+    state machines live behind the sockets.
+
+    The optional ``latency_fn(client_id, frame_bytes)`` /
+    ``latency_split_fn(client_id, down_nbytes, up_nbytes)`` hooks price
+    measured frame sizes into virtual link seconds exactly as on the
+    in-process socket transports.
+    """
+
+    def __init__(
+        self,
+        listener: CoordinatorListener,
+        latency_fn: Optional[Callable[[int, int], float]] = None,
+        latency_split_fn: Optional[Callable[[int, int, int], float]] = None,
+    ):
+        if latency_fn is not None and latency_split_fn is not None:
+            raise ValueError("pass latency_fn or latency_split_fn, not both")
+        self.listener = listener
+        self.latency_fn = latency_fn
+        self.latency_split_fn = latency_split_fn
+
+    @property
+    def closed_connection_stats(self) -> list[ConnectionStats]:
+        return self.listener.closed_connection_stats
+
+    def connect(self, clients) -> Channel:
+        return _ListenerChannel(set(clients), self)

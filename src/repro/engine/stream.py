@@ -1,19 +1,23 @@
-"""Framed TCP transport: every client behind a real socket.
+"""Framed TCP transport: N dialing clients behind one listening port.
 
-:class:`StreamTransport` runs each protocol client as a *client
-endpoint* — a localhost asyncio TCP server hosting the client's state
-machine — and connects the engine-side channel to it over a genuine
-socket.  Every request/response pair crosses the serialization
-boundary as :mod:`repro.wire` frames:
+:class:`StreamTransport` runs each round over the single-listener core
+(:mod:`repro.engine.listener`): the channel hosts one
+:class:`~repro.engine.listener.CoordinatorListener` — one listening
+port for the whole round, the production topology — and each protocol
+client runs as a :class:`~repro.engine.listener.DialingClient` task
+that dials *in* over a genuine localhost socket.  Every
+request/response pair crosses the serialization boundary as
+:mod:`repro.wire` frames:
 
-1. on first use the channel dials the endpoint and performs the
-   ``HELLO``/``WELCOME`` handshake (wire version + client id — a
-   misdialed or version-skewed connection fails before any protocol
-   bytes flow);
+1. on first use the client's worker dials the listener and performs
+   the ``HELLO``/``WELCOME`` handshake (the explicit
+   :class:`repro.wire.frame.Hello` schema: client id, wire version,
+   optional auth token — a misdialed or version-skewed connection
+   fails before any protocol bytes flow);
 2. each engine request becomes one ``REQUEST`` frame carrying the
-   codec-encoded ``(op, payload)``; the endpoint decodes, drives
+   codec-encoded ``(op, payload)``; the dialing client decodes, drives
    ``ProtocolClient.handle``, and answers with one ``RESPONSE`` frame
-   (or an ``ERROR`` frame re-raised server-side as the registered
+   (or an ``ERROR`` frame re-raised coordinator-side as the registered
    exception type — how abort notices travel);
 3. every byte is accounted per connection (:class:`ConnectionStats`),
    from both ends of the socket, so tests can assert byte-for-byte
@@ -25,417 +29,45 @@ connection's :class:`ConnectionStats` (the bytes really crossed the
 socket) but produces no delivery — the engine aborts the round on the
 re-raised exception — so ``traced == Σ frame_bytes`` holds exactly for
 every round that runs to completion, and only for those.  A connection
-whose *open* is cancelled or fails mid-flight still lands its partial
-:class:`ConnectionStats` (handshake bytes that really crossed) in
-``closed_connection_stats`` — an aborted round under-reports nothing.
+aborted mid-handshake still lands its partial :class:`ConnectionStats`
+(the bytes that really crossed) in ``closed_connection_stats`` — an
+aborted round under-reports nothing.
 
-The engine never sees any of this: deliveries simply report the framed
-byte counts, and a round over sockets is bit-identical to one over
+A client whose connection drops mid-round folds into the dropout
+machinery (:class:`~repro.engine.transport.ClientUnavailable`) instead
+of crashing the round; the engine never sees any of this otherwise,
+and a round over sockets is bit-identical to one over
 :class:`~repro.engine.transport.InProcessTransport` (the parity suite
 pins that).
 """
 
 from __future__ import annotations
 
-import asyncio
-import contextlib
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional
+from typing import TYPE_CHECKING, Callable, Mapping, Optional
 
-from repro.engine.transport import Channel, ClientUnavailable, Delivery, Transport
-from repro.wire import codecs as wire_codecs
-from repro.wire.frame import (
-    KIND_ERROR,
-    KIND_HELLO,
-    KIND_REQUEST,
-    KIND_RESPONSE,
-    KIND_WELCOME,
-    WIRE_VERSION,
-    FrameEOF,
-    encode_frame,
-    read_frame,
-    write_frame,
+from repro.engine.listener import (
+    ConnectionStats,
+    _HostedChannel,
 )
+from repro.engine.transport import Channel, Transport
 
 if TYPE_CHECKING:
     from repro.api.protocol import ProtocolClient
 
-
-@dataclass
-class ConnectionStats:
-    """Byte accounting for one client connection, from both socket ends.
-
-    Channel-side counters split handshake traffic from request/response
-    frames (so per-stage sums exclude the one-off connection setup) and
-    are *directional*: ``request_bytes`` is the downlink (server→client
-    frames the channel wrote), ``response_bytes`` the uplink
-    (client→server frames it read) — ``down_bytes``/``up_bytes`` name
-    that explicitly.  The ``endpoint_*`` counters are what the client
-    endpoint independently observed on its end of the socket, per
-    direction — the ground truth the channel-side counts must equal
-    byte for byte (``endpoint_request_bytes``/``endpoint_response_bytes``
-    exclude the handshake, like their channel-side counterparts).
-
-    For the websocket transport (:mod:`repro.engine.websocket`) the
-    same fields apply with ``handshake_*`` widened to *connection
-    overhead*: the HTTP upgrade plus every control frame
-    (close/ping/pong) — anything on the socket that is not a
-    stage-accounted request/response message.
-    """
-
-    client_id: int
-    handshake_sent: int = 0
-    handshake_received: int = 0
-    request_bytes: int = 0
-    response_bytes: int = 0
-    requests: int = 0
-    endpoint_received_bytes: int = 0
-    endpoint_sent_bytes: int = 0
-    endpoint_request_bytes: int = 0
-    endpoint_response_bytes: int = 0
-
-    @property
-    def down_bytes(self) -> int:
-        """Server→client frame bytes (the downlink share of the stage
-        accounting)."""
-        return self.request_bytes
-
-    @property
-    def up_bytes(self) -> int:
-        """Client→server frame bytes (the uplink share of the stage
-        accounting)."""
-        return self.response_bytes
-
-    @property
-    def bytes_sent(self) -> int:
-        """Everything the channel wrote to this socket."""
-        return self.handshake_sent + self.request_bytes
-
-    @property
-    def bytes_received(self) -> int:
-        """Everything the channel read from this socket."""
-        return self.handshake_received + self.response_bytes
-
-    @property
-    def frame_bytes(self) -> int:
-        """Request + response frames (the per-stage-accounted traffic)."""
-        return self.request_bytes + self.response_bytes
-
-
-class _ClientEndpoint:
-    """One client's 'process': a localhost TCP server around its state
-    machine, speaking the framed request/response protocol."""
-
-    def __init__(self, client: "ProtocolClient"):
-        self.client = client
-        self.bytes_received = 0
-        self.bytes_sent = 0
-        # Per-direction frame counters (handshake excluded): what this
-        # end of the socket saw of the stage-accounted traffic.
-        self.request_bytes = 0
-        self.response_bytes = 0
-        self._server: Optional[asyncio.base_events.Server] = None
-        self._handlers: set[asyncio.Task] = set()
-
-    async def start(self) -> tuple[str, int]:
-        self._server = await asyncio.start_server(self._serve, "127.0.0.1", 0)
-        host, port = self._server.sockets[0].getsockname()[:2]
-        return host, port
-
-    async def _send(
-        self, writer: asyncio.StreamWriter, kind: int, body: bytes,
-        *, response: bool,
-    ) -> None:
-        """Write one frame from a prebuilt body (handshake/error path)."""
-        await self._send_frame(writer, encode_frame(kind, body), response=response)
-
-    async def _send_frame(
-        self, writer: asyncio.StreamWriter, frame: bytes | bytearray,
-        *, response: bool,
-    ) -> None:
-        """Write one already-framed buffer, counting it *before* the flush.
-
-        The channel may cancel a lingering handler the instant it has
-        read the reply (see :meth:`aclose`); counting after the drain
-        would let that cancellation land between the write and the
-        bookkeeping and silently unbalance the two ends.
-        """
-        self.bytes_sent += len(frame)
-        if response:
-            self.response_bytes += len(frame)
-        writer.write(frame)
-        await writer.drain()
-
-    async def _serve(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        task = asyncio.current_task()
-        if task is not None:
-            self._handlers.add(task)
-            task.add_done_callback(self._handlers.discard)
-        try:
-            await self._handshake(reader, writer)
-            while True:
-                try:
-                    kind, body, nbytes = await read_frame(reader)
-                except FrameEOF:
-                    return
-                self.bytes_received += nbytes
-                if kind != KIND_REQUEST:
-                    raise ValueError(
-                        f"client endpoint expected REQUEST, got {kind:#x}"
-                    )
-                self.request_bytes += nbytes
-                op, payload = wire_codecs.decode_payload(body)
-                try:
-                    response = self.client.handle(op, payload)
-                except Exception as exc:
-                    # An ERROR reply crosses the uplink like any other
-                    # response frame; count it there so both socket
-                    # ends agree per direction even on aborted rounds.
-                    await self._send(
-                        writer, KIND_ERROR, wire_codecs.encode_error(exc),
-                        response=True,
-                    )
-                else:
-                    # Single-buffer encode: the response payload is
-                    # framed without re-copying its body.
-                    await self._send_frame(
-                        writer,
-                        wire_codecs.encode_payload_frame(
-                            KIND_RESPONSE, response
-                        ),
-                        response=True,
-                    )
-        except ConnectionError:
-            raise
-        except asyncio.CancelledError:
-            # aclose() cancels a handler still parked on a read (e.g. a
-            # connection the round aborted mid-handshake); end quietly
-            # so asyncio's streams machinery does not log the
-            # cancellation as an unhandled error.
-            return
-        except ValueError as exc:
-            # A malformed frame kills the connection (fail loud, never
-            # misparse); the channel side surfaces its own error.
-            with contextlib.suppress(Exception):
-                await self._send(
-                    writer, KIND_ERROR, wire_codecs.encode_error(exc),
-                    response=False,
-                )
-        finally:
-            writer.close()
-            with contextlib.suppress(Exception):
-                await writer.wait_closed()
-
-    async def _handshake(self, reader, writer) -> None:
-        kind, body, nbytes = await read_frame(reader)
-        self.bytes_received += nbytes
-        if kind != KIND_HELLO:
-            raise ValueError(f"handshake must open with HELLO, got {kind:#x}")
-        hello = wire_codecs.decode_payload(body)
-        if hello != (WIRE_VERSION, self.client.id):
-            raise ValueError(
-                f"bad HELLO {hello!r} for client {self.client.id} "
-                f"speaking wire version {WIRE_VERSION}"
-            )
-        await self._send(
-            writer, KIND_WELCOME, wire_codecs.encode_payload(self.client.id),
-            response=False,
-        )
-
-    async def aclose(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-        # The channel closed its end first, so handlers are draining
-        # toward EOF — but one aborted mid-handshake (or mid-read) may
-        # be parked on a read that will never complete; cancel instead
-        # of waiting forever, then await so no task outlives the round.
-        for task in list(self._handlers):
-            if not task.done():
-                task.cancel()
-            with contextlib.suppress(asyncio.CancelledError, Exception):
-                await task
-
-
-@dataclass
-class _StreamConnection:
-    reader: asyncio.StreamReader
-    writer: asyncio.StreamWriter
-    endpoint: _ClientEndpoint
-    stats: ConnectionStats
-    lock: asyncio.Lock = field(default_factory=asyncio.Lock)
-
-
-class _DialingChannel(Channel):
-    """Lazy per-client dialing shared by the socket-backed channels.
-
-    Each client's connection is opened by its own task on first use, so
-    a requester cancelled mid-dial (an aborted round) never strands the
-    half-open connection: :meth:`aclose` awaits every open — including
-    cancelled ones — and the concrete ``_open`` records *partial*
-    :class:`ConnectionStats` on any failure, so even a round aborted
-    mid-handshake accounts the bytes that really crossed.
-    """
-
-    def __init__(
-        self,
-        clients: Mapping[int, "ProtocolClient"],
-        transport,
-    ):
-        self._clients = dict(clients)
-        self._transport = transport
-        self._conns: dict[int, asyncio.Task] = {}
-
-    async def _open(self, client_id: int):
-        raise NotImplementedError
-
-    async def _dispose(self, conn) -> None:
-        raise NotImplementedError
-
-    @staticmethod
-    def _record_endpoint(stats: ConnectionStats, endpoint) -> None:
-        """Copy the endpoint's ground-truth counters into ``stats``.
-
-        Every socket-backed endpoint exposes the same four counters;
-        recording lives here so the carriers can never drift apart.
-        """
-        stats.endpoint_received_bytes = endpoint.bytes_received
-        stats.endpoint_sent_bytes = endpoint.bytes_sent
-        stats.endpoint_request_bytes = endpoint.request_bytes
-        stats.endpoint_response_bytes = endpoint.response_bytes
-
-    async def _connection(self, client_id: int):
-        task = self._conns.get(client_id)
-        if task is None:
-            task = asyncio.get_running_loop().create_task(
-                self._open(client_id)
-            )
-            self._conns[client_id] = task
-        try:
-            # Shielded: cancelling one requester must not kill a dial
-            # other requesters (or aclose's accounting) depend on.
-            return await asyncio.shield(task)
-        except BaseException:
-            # Drop the entry only when the *dial* failed (a later
-            # request may retry it).  A requester cancelled just as its
-            # dial succeeded must leave the healthy connection in place
-            # for aclose() to dispose and account.
-            if (
-                task.done()
-                and (task.cancelled() or task.exception() is not None)
-                and self._conns.get(client_id) is task
-            ):
-                self._conns.pop(client_id)
-            raise
-
-    async def aclose(self) -> None:
-        conns, self._conns = self._conns, {}
-        for task in conns.values():
-            if not task.done():
-                task.cancel()
-            try:
-                conn = await task
-            except BaseException:
-                # The open failed or was cancelled mid-flight; its
-                # cleanup path already recorded the partial stats.
-                continue
-            await self._dispose(conn)
-
-
-class _StreamChannel(_DialingChannel):
-    async def _open(self, client_id: int) -> _StreamConnection:
-        endpoint = _ClientEndpoint(self._clients[client_id])
-        stats = ConnectionStats(client_id=client_id)
-        writer = None
-        try:
-            host, port = await endpoint.start()
-            reader, writer = await asyncio.open_connection(host, port)
-            stats.handshake_sent = await write_frame(
-                writer,
-                KIND_HELLO,
-                wire_codecs.encode_payload((WIRE_VERSION, client_id)),
-            )
-            kind, body, nbytes = await read_frame(reader)
-            stats.handshake_received = nbytes
-            if kind == KIND_ERROR:
-                raise wire_codecs.decode_error(body)
-            if kind != KIND_WELCOME:
-                raise ValueError(f"handshake expected WELCOME, got {kind:#x}")
-            welcomed = wire_codecs.decode_payload(body)
-            if welcomed != client_id:
-                raise ValueError(
-                    f"endpoint welcomed client {welcomed!r}, expected {client_id}"
-                )
-            return _StreamConnection(reader, writer, endpoint, stats)
-        except BaseException:
-            if writer is not None:
-                writer.close()
-                with contextlib.suppress(Exception):
-                    await writer.wait_closed()
-            await endpoint.aclose()
-            # Partial accounting: an aborted open still really moved
-            # its handshake bytes; record them so the round's books
-            # never silently drop a connection.
-            self._record_endpoint(stats, endpoint)
-            self._transport.closed_connection_stats.append(stats)
-            raise
-
-    async def request(self, client_id: int, op: str, payload: Any) -> Delivery:
-        if client_id not in self._clients:
-            raise ClientUnavailable(client_id, op)
-        conn = await self._connection(client_id)
-        frame = wire_codecs.encode_payload_frame(KIND_REQUEST, (op, payload))
-        # One in-flight exchange per connection: frames on a byte
-        # stream must not interleave.  Each direction is counted the
-        # moment its bytes are known, so a round cancelled mid-exchange
-        # still books the request frame that really crossed.
-        async with conn.lock:
-            sent = len(frame)
-            conn.writer.write(frame)
-            await conn.writer.drain()
-            conn.stats.request_bytes += sent
-            kind, rbody, received = await read_frame(conn.reader)
-            conn.stats.response_bytes += received
-        conn.stats.requests += 1
-        latency = 0.0
-        if self._transport.latency_split_fn is not None:
-            latency = self._transport.latency_split_fn(client_id, sent, received)
-        elif self._transport.latency_fn is not None:
-            latency = self._transport.latency_fn(client_id, sent + received)
-        if kind == KIND_ERROR:
-            raise wire_codecs.decode_error(rbody)
-        if kind != KIND_RESPONSE:
-            raise ValueError(f"unexpected frame kind {kind:#x} in response")
-        return Delivery(
-            client_id,
-            op,
-            wire_codecs.decode_payload(rbody),
-            latency=latency,
-            request_nbytes=sent,
-            response_nbytes=received,
-        )
-
-    async def _dispose(self, conn: _StreamConnection) -> None:
-        conn.writer.close()
-        with contextlib.suppress(Exception):
-            await conn.writer.wait_closed()
-        await conn.endpoint.aclose()
-        self._record_endpoint(conn.stats, conn.endpoint)
-        self._transport.closed_connection_stats.append(conn.stats)
+__all__ = ["ConnectionStats", "StreamTransport"]
 
 
 class StreamTransport(Transport):
-    """Each client behind a real asyncio TCP (localhost) connection.
+    """Each round behind one real asyncio TCP listener (localhost).
 
-    Connections are dialed lazily (first request to a client), live for
-    the channel's round, and are fully accounted: the per-connection
-    :class:`ConnectionStats` land in ``closed_connection_stats`` when
-    the round's channel closes.  ``latency_fn(client_id, frame_bytes)``
-    optionally maps measured frame sizes to *virtual* link seconds
-    (e.g. ``device.upload_seconds``), folding real encoded sizes into
-    the engine's simulated timeline;
+    Connections are dialed lazily (first request to a client spawns its
+    dialing worker), live for the channel's round, and are fully
+    accounted: the per-connection :class:`ConnectionStats` land in
+    ``closed_connection_stats`` when the round's channel closes.
+    ``latency_fn(client_id, frame_bytes)`` optionally maps measured
+    frame sizes to *virtual* link seconds (e.g.
+    ``device.upload_seconds``), folding real encoded sizes into the
+    engine's simulated timeline;
     ``latency_split_fn(client_id, down_nbytes, up_nbytes)`` is the
     directional variant (e.g. ``device.link_seconds``) charging the
     request frame against the downlink and the response frame against
@@ -458,4 +90,4 @@ class StreamTransport(Transport):
         self.closed_connection_stats: list[ConnectionStats] = []
 
     def connect(self, clients: Mapping[int, "ProtocolClient"]) -> Channel:
-        return _StreamChannel(clients, self)
+        return _HostedChannel(clients, self, carrier="sockets")

@@ -1,10 +1,12 @@
-"""WebSocket transport: every client behind a real RFC 6455 connection.
+"""WebSocket transport: N dialing clients behind one RFC 6455 listener.
 
 :class:`WebSocketTransport` is the stack's fourth end-to-end carrier —
 the same :mod:`repro.wire` envelope the in-process serialization
 boundary and the framed-TCP :class:`~repro.engine.stream.StreamTransport`
-speak, carried as standards WebSocket binary messages over localhost
-sockets.  Per connection:
+speak, carried as standards WebSocket binary messages.  Like the TCP
+carrier it rides the single-listener core
+(:mod:`repro.engine.listener`): one listening coordinator port, every
+device a dialing client.  Per connection:
 
 1. an HTTP/1.1 Upgrade handshake (``Sec-WebSocket-Key`` →
    ``Sec-WebSocket-Accept``, :mod:`repro.wire.ws`) promotes the TCP
@@ -13,9 +15,9 @@ sockets.  Per connection:
    first binary messages, so a misdialed or version-skewed connection
    still fails before any protocol bytes flow;
 3. each engine request is one binary message carrying the codec-encoded
-   ``REQUEST`` frame; the endpoint answers with one ``RESPONSE`` (or
-   ``ERROR``) message; ping/pong and the close handshake are handled at
-   the WebSocket layer.
+   ``REQUEST`` frame; the dialing client answers with one ``RESPONSE``
+   (or ``ERROR``) message; ping/pong and the close handshake are
+   handled at the WebSocket layer.
 
 Accounting is *measured from both socket ends*, exactly as for the TCP
 transport, with one deliberate difference: deliveries report the
@@ -29,57 +31,24 @@ socket.  The HTTP upgrade, ``HELLO``/``WELCOME``, and every control
 frame land in :class:`ConnectionStats` ``handshake_*`` (connection
 overhead, never stage-accounted).
 
-Direction note: over this harness the engine-side channel *dials* each
-device endpoint, so the channel is the WebSocket client and its
-request (downlink) frames carry the 4-byte client mask; endpoint
-responses (uplink) are unmasked, per RFC 6455 §5.1.
+Direction note: the *device* is the WebSocket client now that clients
+dial in, so uplink responses (device→coordinator) carry the 4-byte
+client mask and downlink requests (coordinator→device) are unmasked,
+per RFC 6455 §5.1 — the mirror image of the old dial-out harness.
 """
 
 from __future__ import annotations
 
-import asyncio
-import contextlib
-import os
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional
+from typing import TYPE_CHECKING, Callable, Mapping, Optional
 
-from repro.engine.stream import ConnectionStats, _DialingChannel
-from repro.engine.transport import ClientUnavailable, Delivery, Transport
-from repro.wire import codecs as wire_codecs
-from repro.wire.frame import (
-    KIND_ERROR,
-    KIND_HELLO,
-    KIND_REQUEST,
-    KIND_RESPONSE,
-    KIND_WELCOME,
-    WIRE_VERSION,
-    decode_frame,
-    encode_frame,
-)
-from repro.wire.ws import (
-    CONTROL_OPCODES,
-    MAX_MESSAGE,
-    OP_BINARY,
-    OP_CLOSE,
-    OP_CONT,
-    OP_PING,
-    OP_PONG,
-    WSClosed,
-    WSEOF,
-    encode_ws_frame,
-    encode_ws_frame_parts,
-    handshake_request,
-    handshake_response,
-    parse_handshake_request,
-    parse_handshake_response,
-    read_handshake,
-    read_ws_frame,
-    websocket_key,
-    ws_frame_overhead,
-)
+from repro.engine.listener import _HostedChannel, _WSLink  # noqa: F401  (re-export)
+from repro.engine.transport import Channel, Transport
+from repro.wire.ws import ws_frame_overhead
 
 if TYPE_CHECKING:
     from repro.api.protocol import ProtocolClient
+
+__all__ = ["WebSocketTransport", "ws_envelope_overhead"]
 
 
 def ws_envelope_overhead(direction: str, envelope_nbytes: int) -> int:
@@ -87,451 +56,23 @@ def ws_envelope_overhead(direction: str, envelope_nbytes: int) -> int:
 
     The oracle term for websocket traffic: a span's ``down_bytes`` /
     ``up_bytes`` over :class:`WebSocketTransport` equal the codec-
-    measured envelope sizes plus this overhead per message.  ``"down"``
-    messages (requests, channel→endpoint) carry the client mask —
-    the dialing engine side is the WebSocket client — ``"up"``
-    messages (responses) do not.  Assumes unfragmented messages, the
-    transport's default.
+    measured envelope sizes plus this overhead per message.  ``"up"``
+    messages (responses, device→coordinator) carry the client mask —
+    the dialing device is the WebSocket client — ``"down"`` messages
+    (requests) do not.  Assumes unfragmented messages, the transport's
+    default.
     """
     if direction not in ("down", "up"):
         raise ValueError(f"direction must be 'down' or 'up', not {direction!r}")
-    return ws_frame_overhead(envelope_nbytes, masked=(direction == "down"))
-
-
-class _WSLink:
-    """One end of an upgraded connection: messages over frames.
-
-    Handles fragmentation (outgoing when ``max_fragment`` is set,
-    incoming always), answers pings, runs the close handshake, and
-    counts every frame byte — data message bytes are returned per call
-    for stage attribution, control bytes accumulate in
-    ``control_sent``/``control_received`` (connection overhead).
-    Counters update *before* each flush, so a cancellation landing in a
-    drain can never lose already-written bytes from the accounting.
-    """
-
-    def __init__(
-        self,
-        reader: asyncio.StreamReader,
-        writer: asyncio.StreamWriter,
-        *,
-        masked: bool,
-        max_fragment: Optional[int] = None,
-    ):
-        self._reader = reader
-        self._writer = writer
-        self._masked = masked
-        self._max_fragment = max_fragment
-        self._close_sent = False
-        self.control_sent = 0
-        self.control_received = 0
-
-    def _mask(self) -> Optional[bytes]:
-        return os.urandom(4) if self._masked else None
-
-    def _build_parts(
-        self, payload: bytes | bytearray
-    ) -> tuple[bytes, bytes | bytearray | memoryview]:
-        """One message as write-ready parts (head, wire payload).
-
-        Unfragmented — the default — the payload buffer passes through
-        untouched on the unmasked side (see
-        :func:`repro.wire.ws.encode_ws_frame_parts`); fragmentation
-        joins its pieces into the head part, payload part empty.
-        """
-        if self._max_fragment is None or len(payload) <= self._max_fragment:
-            return encode_ws_frame_parts(OP_BINARY, payload, mask=self._mask())
-        pieces = [
-            payload[i : i + self._max_fragment]
-            for i in range(0, len(payload), self._max_fragment)
-        ]
-        blob = b"".join(
-            encode_ws_frame(
-                OP_BINARY if i == 0 else OP_CONT,
-                piece,
-                fin=(i == len(pieces) - 1),
-                mask=self._mask(),
-            )
-            for i, piece in enumerate(pieces)
-        )
-        return blob, b""
-
-    async def _write(
-        self, blob: bytes, count: Optional[Callable[[int], None]] = None
-    ) -> None:
-        if count is not None:
-            count(len(blob))
-        self._writer.write(blob)
-        await self._writer.drain()
-
-    async def send_message(
-        self,
-        payload: bytes | bytearray,
-        count: Optional[Callable[[int], None]] = None,
-    ) -> int:
-        """One binary data message; returns its WS-framed byte count.
-
-        ``count`` (if given) observes that count before the flush — the
-        cancellation-safe way to attribute the bytes to a direction.
-        The head and payload go onto the writer back to back, so the
-        payload buffer is never concatenated into a new blob.
-        """
-        head, body = self._build_parts(payload)
-        n = len(head) + len(body)
-        if count is not None:
-            count(n)
-        self._writer.write(head)
-        if len(body):
-            self._writer.write(body)
-        await self._writer.drain()
-        return n
-
-    async def _send_control(self, opcode: int, payload: bytes = b"") -> None:
-        frame = encode_ws_frame(opcode, payload, mask=self._mask())
-        self.control_sent += len(frame)
-        await self._write(frame)
-
-    async def recv_message(self) -> tuple[bytes, int]:
-        """One binary data message: ``(payload, WS-framed byte count)``.
-
-        Interleaved control frames are handled inline — pings answered,
-        pongs absorbed, a peer CLOSE echoed then raised as
-        :class:`WSClosed` — and counted as connection overhead.  Raises
-        :class:`WSEOF` on a clean TCP close between frames.
-        """
-        assembled = bytearray()
-        nbytes = 0
-        expecting_cont = False
-        while True:
-            fin, opcode, body, n = await read_ws_frame(
-                self._reader, require_mask=not self._masked
-            )
-            if opcode in CONTROL_OPCODES:
-                self.control_received += n
-                if opcode == OP_PING:
-                    await self._send_control(OP_PONG, body)
-                elif opcode == OP_CLOSE:
-                    code = (
-                        int.from_bytes(body[:2], "big") if len(body) >= 2 else 1000
-                    )
-                    if not self._close_sent:
-                        self._close_sent = True
-                        with contextlib.suppress(ConnectionError):
-                            await self._send_control(OP_CLOSE, body[:2])
-                    raise WSClosed(code, bytes(body[2:]))
-                continue  # pong: keepalive noise, nothing to do
-            if expecting_cont != (opcode == OP_CONT):
-                raise ValueError(
-                    "continuation frame without a message to continue"
-                    if opcode == OP_CONT
-                    else "data frame interleaved into a fragmented message"
-                )
-            if not expecting_cont and opcode != OP_BINARY:
-                raise ValueError("wire messages must be binary frames")
-            assembled += body
-            nbytes += n
-            if len(assembled) > MAX_MESSAGE:
-                raise ValueError(
-                    f"assembled message exceeds MAX_MESSAGE={MAX_MESSAGE}"
-                )
-            if fin:
-                return bytes(assembled), nbytes
-            expecting_cont = True
-
-    async def close(self, code: int = 1000) -> None:
-        """Initiate (or finish) the close handshake from this end."""
-        if not self._close_sent:
-            self._close_sent = True
-            await self._send_control(OP_CLOSE, code.to_bytes(2, "big"))
-        while True:
-            try:
-                _fin, opcode, _body, n = await read_ws_frame(
-                    self._reader, require_mask=not self._masked
-                )
-            except (WSEOF, ValueError, ConnectionError):
-                return
-            # Anything read while closing is teardown overhead.
-            self.control_received += n
-            if opcode == OP_CLOSE:
-                return
-
-
-class _WSClientEndpoint:
-    """One client's 'process': a localhost WebSocket server around its
-    state machine, speaking the wire envelope as binary messages."""
-
-    def __init__(self, client: "ProtocolClient", max_fragment: Optional[int]):
-        self.client = client
-        self.max_fragment = max_fragment
-        self.bytes_received = 0
-        self.bytes_sent = 0
-        # Per-direction message counters (handshake/control excluded).
-        self.request_bytes = 0
-        self.response_bytes = 0
-        self._server: Optional[asyncio.base_events.Server] = None
-        self._handlers: set[asyncio.Task] = set()
-
-    async def start(self) -> tuple[str, int]:
-        self._server = await asyncio.start_server(self._serve, "127.0.0.1", 0)
-        host, port = self._server.sockets[0].getsockname()[:2]
-        return host, port
-
-    async def _upgrade(self, reader, writer) -> _WSLink:
-        raw = await read_handshake(reader)
-        self.bytes_received += len(raw)
-        key = parse_handshake_request(raw)
-        response = handshake_response(key)
-        self.bytes_sent += len(response)
-        writer.write(response)
-        await writer.drain()
-        return _WSLink(
-            reader, writer, masked=False, max_fragment=self.max_fragment
-        )
-
-    async def _wire_handshake(self, link: _WSLink, count_sent, count_received) -> None:
-        payload, n = await link.recv_message()
-        count_received(n)
-        kind, body = decode_frame(payload)
-        if kind != KIND_HELLO:
-            raise ValueError(f"handshake must open with HELLO, got {kind:#x}")
-        hello = wire_codecs.decode_payload(body)
-        if hello != (WIRE_VERSION, self.client.id):
-            raise ValueError(
-                f"bad HELLO {hello!r} for client {self.client.id} "
-                f"speaking wire version {WIRE_VERSION}"
-            )
-        await link.send_message(
-            encode_frame(
-                KIND_WELCOME, wire_codecs.encode_payload(self.client.id)
-            ),
-            count=count_sent,
-        )
-
-    async def _serve(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        task = asyncio.current_task()
-        if task is not None:
-            self._handlers.add(task)
-            task.add_done_callback(self._handlers.discard)
-        link = None
-        # Message totals for this connection, counted *before* each
-        # flush (see _WSLink) so a cancellation landing in a drain can
-        # never unbalance the two ends.
-        messages_sent = 0
-        messages_received = 0
-
-        def count_sent(n: int) -> None:
-            nonlocal messages_sent
-            messages_sent += n
-
-        def count_received(n: int) -> None:
-            nonlocal messages_received
-            messages_received += n
-
-        def count_response(n: int) -> None:
-            count_sent(n)
-            self.response_bytes += n
-
-        try:
-            link = await self._upgrade(reader, writer)
-            await self._wire_handshake(link, count_sent, count_received)
-            while True:
-                try:
-                    payload, n = await link.recv_message()
-                except (WSEOF, WSClosed):
-                    return
-                self.request_bytes += n
-                count_received(n)
-                kind, body = decode_frame(payload)
-                if kind != KIND_REQUEST:
-                    raise ValueError(
-                        f"client endpoint expected REQUEST, got {kind:#x}"
-                    )
-                op, request = wire_codecs.decode_payload(body)
-                try:
-                    response = self.client.handle(op, request)
-                except Exception as exc:
-                    # An ERROR reply crosses the uplink like any other
-                    # response message; count it there so both socket
-                    # ends agree per direction even on aborted rounds.
-                    reply: bytes | bytearray = encode_frame(
-                        KIND_ERROR, wire_codecs.encode_error(exc)
-                    )
-                else:
-                    # Single-buffer wire envelope; the unmasked uplink
-                    # then carries this buffer to the socket as-is.
-                    reply = wire_codecs.encode_payload_frame(
-                        KIND_RESPONSE, response
-                    )
-                await link.send_message(reply, count=count_response)
-        except (WSEOF, WSClosed):
-            # The peer hung up or ran the close handshake before (or
-            # instead of) the wire handshake — a clean teardown.
-            return
-        except ConnectionError:
-            raise
-        except asyncio.CancelledError:
-            # aclose() cancels a handler still parked on a read (e.g. a
-            # connection the round aborted mid-handshake); end quietly
-            # so asyncio's streams machinery does not log the
-            # cancellation as an unhandled error.
-            return
-        except ValueError as exc:
-            # A malformed message kills the connection (fail loud, never
-            # misparse); the channel side surfaces its own error.
-            if link is not None:
-                with contextlib.suppress(Exception):
-                    await link.send_message(
-                        encode_frame(KIND_ERROR, wire_codecs.encode_error(exc)),
-                        count=count_sent,
-                    )
-        finally:
-            if link is not None:
-                # Everything after the upgrade — messages either way
-                # plus control frames.  Runs on cancellation too, so an
-                # aborted connection still lands its partial totals.
-                self.bytes_sent += messages_sent + link.control_sent
-                self.bytes_received += messages_received + link.control_received
-            writer.close()
-            with contextlib.suppress(Exception):
-                await writer.wait_closed()
-
-    async def aclose(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-        # Mirror the TCP endpoint: cancel anything still parked on a
-        # read (e.g. a connection aborted mid-handshake), then await so
-        # no task outlives the round.
-        for task in list(self._handlers):
-            if not task.done():
-                task.cancel()
-            with contextlib.suppress(asyncio.CancelledError, Exception):
-                await task
-
-
-@dataclass
-class _WSConnection:
-    reader: asyncio.StreamReader
-    writer: asyncio.StreamWriter
-    endpoint: _WSClientEndpoint
-    link: _WSLink
-    stats: ConnectionStats
-    lock: asyncio.Lock = field(default_factory=asyncio.Lock)
-
-
-class _WSChannel(_DialingChannel):
-    async def _open(self, client_id: int) -> _WSConnection:
-        endpoint = _WSClientEndpoint(
-            self._clients[client_id], self._transport.max_fragment
-        )
-        stats = ConnectionStats(client_id=client_id)
-        writer = None
-        link = None
-        try:
-            host, port = await endpoint.start()
-            reader, writer = await asyncio.open_connection(host, port)
-            key = websocket_key()
-            upgrade = handshake_request(host, port, key)
-            stats.handshake_sent = len(upgrade)
-            writer.write(upgrade)
-            await writer.drain()
-            raw = await read_handshake(reader)
-            stats.handshake_received = len(raw)
-            parse_handshake_response(raw, key)
-            link = _WSLink(
-                reader,
-                writer,
-                masked=True,
-                max_fragment=self._transport.max_fragment,
-            )
-            stats.handshake_sent += await link.send_message(
-                encode_frame(
-                    KIND_HELLO,
-                    wire_codecs.encode_payload((WIRE_VERSION, client_id)),
-                )
-            )
-            payload, n = await link.recv_message()
-            stats.handshake_received += n
-            kind, body = decode_frame(payload)
-            if kind == KIND_ERROR:
-                raise wire_codecs.decode_error(body)
-            if kind != KIND_WELCOME:
-                raise ValueError(f"handshake expected WELCOME, got {kind:#x}")
-            welcomed = wire_codecs.decode_payload(body)
-            if welcomed != client_id:
-                raise ValueError(
-                    f"endpoint welcomed client {welcomed!r}, expected {client_id}"
-                )
-            return _WSConnection(reader, writer, endpoint, link, stats)
-        except BaseException:
-            if link is not None:
-                stats.handshake_sent += link.control_sent
-                stats.handshake_received += link.control_received
-            if writer is not None:
-                writer.close()
-                with contextlib.suppress(Exception):
-                    await writer.wait_closed()
-            await endpoint.aclose()
-            self._record_endpoint(stats, endpoint)
-            self._transport.closed_connection_stats.append(stats)
-            raise
-
-    async def request(self, client_id: int, op: str, payload: Any) -> Delivery:
-        if client_id not in self._clients:
-            raise ClientUnavailable(client_id, op)
-        conn = await self._connection(client_id)
-        body = wire_codecs.encode_payload_frame(KIND_REQUEST, (op, payload))
-        # One in-flight exchange per connection: a request/response pair
-        # must not interleave with another on the same message stream.
-        # Each direction is counted the moment its bytes are known, so
-        # a round cancelled mid-exchange still books the request
-        # message that really crossed.
-        async with conn.lock:
-            sent = await conn.link.send_message(body)
-            conn.stats.request_bytes += sent
-            rpayload, received = await conn.link.recv_message()
-            conn.stats.response_bytes += received
-        conn.stats.requests += 1
-        latency = 0.0
-        if self._transport.latency_split_fn is not None:
-            latency = self._transport.latency_split_fn(client_id, sent, received)
-        elif self._transport.latency_fn is not None:
-            latency = self._transport.latency_fn(client_id, sent + received)
-        kind, rbody = decode_frame(rpayload)
-        if kind == KIND_ERROR:
-            raise wire_codecs.decode_error(rbody)
-        if kind != KIND_RESPONSE:
-            raise ValueError(f"unexpected frame kind {kind:#x} in response")
-        return Delivery(
-            client_id,
-            op,
-            wire_codecs.decode_payload(rbody),
-            latency=latency,
-            request_nbytes=sent,
-            response_nbytes=received,
-        )
-
-    async def _dispose(self, conn: _WSConnection) -> None:
-        with contextlib.suppress(ConnectionError, ValueError, WSEOF, WSClosed):
-            await conn.link.close()
-        conn.writer.close()
-        with contextlib.suppress(Exception):
-            await conn.writer.wait_closed()
-        await conn.endpoint.aclose()
-        conn.stats.handshake_sent += conn.link.control_sent
-        conn.stats.handshake_received += conn.link.control_received
-        self._record_endpoint(conn.stats, conn.endpoint)
-        self._transport.closed_connection_stats.append(conn.stats)
+    return ws_frame_overhead(envelope_nbytes, masked=(direction == "up"))
 
 
 class WebSocketTransport(Transport):
-    """Each client behind a real RFC 6455 WebSocket (localhost).
+    """Each round behind one real RFC 6455 listener (localhost).
 
     The websocket sibling of
-    :class:`~repro.engine.stream.StreamTransport`: connections are
-    dialed lazily, live for the channel's round, and land their
+    :class:`~repro.engine.stream.StreamTransport`: dialing workers
+    connect lazily, live for the channel's round, and land their
     :class:`ConnectionStats` in ``closed_connection_stats`` — including
     partial stats for connections aborted mid-handshake.  Deliveries
     report WebSocket-framed byte counts (wire envelope + RFC 6455
@@ -560,5 +101,7 @@ class WebSocketTransport(Transport):
         self.max_fragment = max_fragment
         self.closed_connection_stats: list[ConnectionStats] = []
 
-    def connect(self, clients: Mapping[int, "ProtocolClient"]) -> "_WSChannel":
-        return _WSChannel(clients, self)
+    def connect(self, clients: Mapping[int, "ProtocolClient"]) -> Channel:
+        return _HostedChannel(
+            clients, self, carrier="websocket", max_fragment=self.max_fragment
+        )

@@ -32,11 +32,15 @@ from repro.wire.frame import (
     KIND_RESPONSE,
     KIND_WELCOME,
     MAGIC,
+    MAX_AUTH_TOKEN,
     MAX_BODY,
     WIRE_VERSION,
     FrameEOF,
+    Hello,
     decode_frame,
+    decode_hello,
     encode_frame,
+    encode_hello,
     read_frame,
     write_frame,
 )
@@ -61,11 +65,15 @@ __all__ = [
     "KIND_RESPONSE",
     "KIND_WELCOME",
     "MAGIC",
+    "MAX_AUTH_TOKEN",
     "MAX_BODY",
     "WIRE_VERSION",
     "FrameEOF",
+    "Hello",
     "decode_frame",
+    "decode_hello",
     "encode_frame",
+    "encode_hello",
     "read_frame",
     "write_frame",
 ]

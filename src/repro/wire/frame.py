@@ -15,6 +15,12 @@ Frame *kinds* partition the conversation: a connection opens with a
 carries ``REQUEST``/``RESPONSE`` pairs; a client-side exception crosses
 back as an ``ERROR`` frame (see :func:`repro.wire.codecs.encode_error`).
 
+The ``HELLO`` body has an explicit fixed schema (:class:`Hello`,
+:func:`encode_hello`/:func:`decode_hello`) rather than riding the
+generic codecs: the listener must be able to parse *and reject* a
+handshake from a client speaking a different wire version, so the
+handshake layout can never itself be version-dependent.
+
 All decode paths raise :class:`ValueError` on malformed input — never
 a partial parse, never a hang.
 """
@@ -22,6 +28,7 @@ a partial parse, never a hang.
 from __future__ import annotations
 
 import asyncio
+from dataclasses import dataclass
 
 MAGIC = b"DW"
 WIRE_VERSION = 1
@@ -152,3 +159,68 @@ async def write_frame(
     writer.write(frame)
     await writer.drain()
     return len(frame)
+
+
+#: Upper bound on a HELLO auth token (fits the 2-byte length field).
+MAX_AUTH_TOKEN = (1 << 16) - 1
+
+#: Fixed part of the HELLO body: version(1) + client id(8) + token len(2).
+HELLO_OVERHEAD = 11
+
+
+@dataclass(frozen=True)
+class Hello:
+    """What a dialing client announces before any protocol bytes flow.
+
+    ``wire_version`` is carried explicitly (not just in the frame
+    header) so the listener can *name* a version skew in its rejection;
+    ``auth_token`` is an optional shared secret the listener may demand
+    of dialing clients (empty means unauthenticated).
+    """
+
+    client_id: int
+    wire_version: int = WIRE_VERSION
+    auth_token: bytes = b""
+
+
+def encode_hello(hello: Hello) -> bytes:
+    """Fixed-layout HELLO body:
+    ``version(1) ∥ client id(8, big-endian) ∥ token len(2) ∥ token``."""
+    if not 0 <= hello.wire_version <= 0xFF:
+        raise ValueError(f"wire version {hello.wire_version} must fit one byte")
+    if not 0 <= hello.client_id < 1 << 64:
+        raise ValueError(f"client id {hello.client_id} must fit eight bytes")
+    if len(hello.auth_token) > MAX_AUTH_TOKEN:
+        raise ValueError(
+            f"auth token of {len(hello.auth_token)} bytes exceeds "
+            f"MAX_AUTH_TOKEN={MAX_AUTH_TOKEN}"
+        )
+    return (
+        bytes((hello.wire_version,))
+        + hello.client_id.to_bytes(8, "big")
+        + len(hello.auth_token).to_bytes(2, "big")
+        + bytes(hello.auth_token)
+    )
+
+
+def decode_hello(body: bytes) -> Hello:
+    """Strict inverse of :func:`encode_hello`.
+
+    Truncation, token-length mismatch, and trailing garbage all raise
+    ``ValueError``.  A *foreign* ``wire_version`` parses fine — version
+    acceptance is the listener's decision, not the codec's, so the
+    rejection can carry both version numbers.
+    """
+    if len(body) < HELLO_OVERHEAD:
+        raise ValueError("truncated HELLO body")
+    token_len = int.from_bytes(body[9:11], "big")
+    token = body[HELLO_OVERHEAD:]
+    if len(token) < token_len:
+        raise ValueError("truncated HELLO auth token")
+    if len(token) > token_len:
+        raise ValueError("trailing garbage after HELLO body")
+    return Hello(
+        client_id=int.from_bytes(body[1:9], "big"),
+        wire_version=body[0],
+        auth_token=bytes(token),
+    )

@@ -1,0 +1,331 @@
+"""CoordinatorListener core: admission control, dropout folds, and the
+bounded-queue exchange path.
+
+The carrier integration suites (``test_stream_transport``,
+``test_websocket_transport``) pin round-level behavior; this file
+exercises the listener directly — hostile HELLOs, connections dying at
+every stage boundary, and the backpressure seam — over real sockets.
+All tests carry the hard ``timeout`` marker so a hung connection fails
+fast in CI instead of stalling the suite.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.api.protocol import ProtocolClient
+from repro.engine import (
+    ClientUnavailable,
+    CoordinatorListener,
+    DialingClient,
+    ListenerTransport,
+    RoundEngine,
+)
+from tests.engine.test_stream_transport import EchoClient, EchoServer
+
+
+class EchoBack(ProtocolClient):
+    """Answers ``echo`` with its payload — the minimal wire peer."""
+
+    def set_routine(self):
+        return {"echo": lambda p: p}
+
+
+async def _run_refused(listener, dialer):
+    """Dial and return the rejection the listener sent back."""
+    task = asyncio.ensure_future(dialer.run())
+    try:
+        with pytest.raises(ValueError) as excinfo:
+            await asyncio.wait_for(task, 10)
+    finally:
+        if not task.done():
+            task.cancel()
+    return excinfo.value
+
+
+@pytest.mark.timeout(60)
+class TestAdversarialHandshake:
+    """Every rejection is loud, named, and still lands (partial) stats."""
+
+    def test_version_mismatch_rejected_naming_both_versions(self):
+        async def scenario():
+            listener = CoordinatorListener(expected_ids={1})
+            await listener.start()
+            try:
+                dialer = DialingClient(
+                    EchoBack(1), *listener.address, wire_version=9
+                )
+                exc = await _run_refused(listener, dialer)
+            finally:
+                await listener.aclose()
+            return listener, exc
+
+        listener, exc = asyncio.run(scenario())
+        # The rejection names both sides of the skew.
+        assert "wire version 9" in str(exc)
+        assert "listener speaks 1" in str(exc)
+        assert listener.rejected == 1 and listener.accepted == 0
+        # The refused socket is on the books, attributed to the claimed id.
+        (stats,) = listener.closed_connection_stats
+        assert stats.client_id == 1
+        assert stats.handshake_received > 0 and stats.handshake_sent > 0
+        assert stats.frame_bytes == 0
+
+    def test_bad_auth_token_rejected(self):
+        async def scenario():
+            listener = CoordinatorListener(
+                expected_ids={1}, auth_token=b"s3cret"
+            )
+            await listener.start()
+            try:
+                dialer = DialingClient(
+                    EchoBack(1), *listener.address, auth_token=b"wrong"
+                )
+                exc = await _run_refused(listener, dialer)
+            finally:
+                await listener.aclose()
+            return listener, exc
+
+        listener, exc = asyncio.run(scenario())
+        assert "bad auth token" in str(exc)
+        assert listener.rejected == 1 and listener.accepted == 0
+
+    def test_correct_auth_token_welcomed(self):
+        async def scenario():
+            listener = CoordinatorListener(
+                expected_ids={1}, auth_token=b"s3cret"
+            )
+            await listener.start()
+            try:
+                dialer = DialingClient(
+                    EchoBack(1), *listener.address, auth_token=b"s3cret"
+                )
+                task = asyncio.ensure_future(dialer.run())
+                conn = await listener.connection(1, timeout=10)
+                assert not conn.dead
+                accepted = listener.accepted
+                task.cancel()
+            finally:
+                await listener.aclose()
+            return accepted
+
+        assert asyncio.run(scenario()) == 1
+
+    def test_unknown_client_id_rejected(self):
+        async def scenario():
+            listener = CoordinatorListener(expected_ids={1, 2})
+            await listener.start()
+            try:
+                dialer = DialingClient(EchoBack(9), *listener.address)
+                exc = await _run_refused(listener, dialer)
+            finally:
+                await listener.aclose()
+            return listener, exc
+
+        listener, exc = asyncio.run(scenario())
+        assert "unknown client id 9" in str(exc)
+        assert listener.rejected == 1
+
+    def test_duplicate_live_id_rejected(self):
+        async def scenario():
+            listener = CoordinatorListener(expected_ids={1})
+            await listener.start()
+            try:
+                first = asyncio.ensure_future(
+                    DialingClient(EchoBack(1), *listener.address).run()
+                )
+                await listener.connection(1, timeout=10)
+                # Second dial for the same id while the first is live.
+                imposter = DialingClient(EchoBack(1), *listener.address)
+                exc = await _run_refused(listener, imposter)
+                first.cancel()
+            finally:
+                await listener.aclose()
+            return listener, exc
+
+        listener, exc = asyncio.run(scenario())
+        assert "duplicate connection for client id 1" in str(exc)
+        assert listener.accepted == 1 and listener.rejected == 1
+
+    def test_reconnect_after_death_is_welcomed(self):
+        """A dead id is not a squatted id: once its connection retires,
+        the same client may dial back in."""
+
+        async def scenario():
+            listener = CoordinatorListener(expected_ids={1})
+            await listener.start()
+            try:
+                first = asyncio.ensure_future(
+                    DialingClient(EchoBack(1), *listener.address).run()
+                )
+                conn = await listener.connection(1, timeout=10)
+                first.cancel()  # the process dies
+                while not conn.dead:
+                    await asyncio.sleep(0.01)
+                second = asyncio.ensure_future(
+                    DialingClient(EchoBack(1), *listener.address).run()
+                )
+                while listener.accepted < 2:
+                    await asyncio.sleep(0.01)
+                reconn = await listener.connection(1, timeout=10)
+                assert reconn is not conn and not reconn.dead
+                accepted = listener.accepted
+                second.cancel()
+            finally:
+                await listener.aclose()
+            return accepted
+
+        assert asyncio.run(scenario()) == 2
+
+
+@pytest.mark.timeout(60)
+class TestConnectionDropout:
+    """A connection dying at any stage boundary folds into dropout —
+    the round completes without it, exactly like a scheduled dropout."""
+
+    def _round_with_client_2(self, die_after):
+        """Run an EchoServer round over one listener; client 2's worker
+        is absent (``None``) or vanishes after ``die_after`` answers."""
+
+        async def scenario():
+            clients = {u: EchoClient(u, 10 * u) for u in (1, 2, 3)}
+            listener = CoordinatorListener(
+                expected_ids=set(clients), join_timeout=0.5
+            )
+            await listener.start()
+            workers = []
+            for u, client in clients.items():
+                if u == 2 and die_after is None:
+                    continue  # never shows up at all
+                workers.append(
+                    asyncio.ensure_future(
+                        DialingClient(
+                            client,
+                            *listener.address,
+                            max_requests=die_after if u == 2 else None,
+                        ).run()
+                    )
+                )
+            engine = RoundEngine(transport=ListenerTransport(listener))
+            try:
+                result = await engine.run_round(
+                    EchoServer(), list(clients.values())
+                )
+            finally:
+                await listener.aclose()
+                for w in workers:
+                    w.cancel()
+                for w in workers:
+                    try:
+                        await w
+                    except (asyncio.CancelledError, Exception):
+                        pass
+            return listener, result
+
+        return asyncio.run(scenario())
+
+    def test_absent_client_is_a_dropout_before_the_first_stage(self):
+        listener, result = self._round_with_client_2(None)
+        # encode sees {1, 3}: total 40, targeted [:-1] keeps only 1.
+        assert result == {1: (40 + 1) * 2}
+        assert listener.accepted == 2
+
+    def test_death_between_stages_is_a_dropout_at_that_boundary(self):
+        """Client 2 answers encode, then its socket dies — it drops out
+        of refine exactly as a scheduled mid-round dropout would."""
+        listener, result = self._round_with_client_2(1)
+        # encode saw all three (total 60, targeted {1, 2}), refine only 1.
+        assert result == {1: (60 + 1) * 2}
+        assert listener.accepted == 3
+        # The dead connection's stats still carry its one exchange.
+        by_id = {s.client_id: s for s in listener.closed_connection_stats}
+        assert by_id[2].requests == 1 and by_id[2].frame_bytes > 0
+
+    def test_death_after_the_last_stage_changes_nothing(self):
+        listener, result = self._round_with_client_2(2)
+        assert result == {1: (60 + 1) * 2, 2: (60 + 2) * 2}
+        assert listener.accepted == 3
+
+
+@pytest.mark.timeout(60)
+class TestExchangePath:
+    """The bounded-queue exchange seam: backpressure, FIFO correlation,
+    and no stranded senders when a connection retires."""
+
+    def test_many_concurrent_exchanges_over_a_tiny_send_queue(self):
+        """Far more in-flight requests than send-queue slots: every one
+        completes, and each response pairs with its own request."""
+
+        async def scenario():
+            listener = CoordinatorListener(
+                expected_ids={1}, send_queue_size=2
+            )
+            await listener.start()
+            client = EchoBack(1)
+            worker = asyncio.ensure_future(
+                DialingClient(client, *listener.address).run()
+            )
+            channel = ListenerTransport(listener).connect({1: client})
+            try:
+                deliveries = await asyncio.gather(
+                    *(channel.request(1, "echo", i) for i in range(32))
+                )
+            finally:
+                worker.cancel()
+                await listener.aclose()
+            return deliveries
+
+        deliveries = asyncio.run(scenario())
+        assert sorted(d.response for d in deliveries) == list(range(32))
+
+    def test_retired_connection_fails_in_flight_exchanges(self):
+        """A worker vanishing mid-burst: the answered exchange succeeds,
+        the stranded ones fold into ClientUnavailable — nobody hangs on
+        the send queue."""
+
+        async def scenario():
+            listener = CoordinatorListener(expected_ids={1})
+            await listener.start()
+            client = EchoBack(1)
+            worker = asyncio.ensure_future(
+                DialingClient(client, *listener.address, max_requests=1).run()
+            )
+            channel = ListenerTransport(listener).connect({1: client})
+            try:
+                results = await asyncio.gather(
+                    *(channel.request(1, "echo", i) for i in range(3)),
+                    return_exceptions=True,
+                )
+            finally:
+                worker.cancel()
+                await listener.aclose()
+            return results
+
+        results = asyncio.run(scenario())
+        ok = [r for r in results if not isinstance(r, BaseException)]
+        dropped = [r for r in results if isinstance(r, ClientUnavailable)]
+        assert len(ok) == 1 and len(dropped) == 2
+        assert len(ok) + len(dropped) == 3
+
+    def test_requests_after_death_raise_immediately(self):
+        async def scenario():
+            listener = CoordinatorListener(expected_ids={1}, join_timeout=10)
+            await listener.start()
+            client = EchoBack(1)
+            worker = asyncio.ensure_future(
+                DialingClient(client, *listener.address, max_requests=1).run()
+            )
+            channel = ListenerTransport(listener).connect({1: client})
+            try:
+                await channel.request(1, "echo", 0)
+                await asyncio.wait_for(worker, 10)  # it vanishes now
+                # Dead id: instant ClientUnavailable, no join_timeout wait.
+                start = asyncio.get_running_loop().time()
+                with pytest.raises(ClientUnavailable):
+                    await channel.request(1, "echo", 1)
+                elapsed = asyncio.get_running_loop().time() - start
+            finally:
+                await listener.aclose()
+            return elapsed
+
+        assert asyncio.run(scenario()) < 5

@@ -398,3 +398,104 @@ class TestRuntimeParity:
             dict(vectors),
         )
         np.testing.assert_array_equal(result, legacy)
+
+
+@pytest.mark.timeout(300)
+class TestCrossProcessParity:
+    """A round whose parties are separate OS processes (`repro.cli
+    serve` + N `repro.cli join`) is bit-identical to the same round
+    executed in-process: aggregate, participant sets, every traced
+    span's virtual timing and per-direction traffic."""
+
+    N = 3
+    DIMENSION = 8
+
+    def _serve_join(self, carrier):
+        import json
+        import os
+        import subprocess
+        import sys as _sys
+
+        import repro
+
+        env = dict(os.environ)
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        serve = subprocess.Popen(
+            [_sys.executable, "-m", "repro.cli", "serve",
+             "--clients", str(self.N), "--dimension", str(self.DIMENSION),
+             "--transport", carrier, "--json"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            line = serve.stdout.readline().split()
+            assert line[:1] == ["listening"], line
+            port = line[2]
+            joins = [
+                subprocess.Popen(
+                    [_sys.executable, "-m", "repro.cli", "join",
+                     "--client-id", str(u), "--clients", str(self.N),
+                     "--dimension", str(self.DIMENSION),
+                     "--transport", carrier, "--port", port],
+                    stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                    text=True, env=env,
+                )
+                for u in range(1, self.N + 1)
+            ]
+            out, err = serve.communicate(timeout=180)
+            assert serve.returncode == 0, err
+            doc = json.loads(out)
+            endpoints = []
+            for j in joins:
+                jout, jerr = j.communicate(timeout=60)
+                assert j.returncode == 0, jerr
+                endpoints.append(json.loads(jout))
+            return doc, endpoints
+        finally:
+            if serve.poll() is None:
+                serve.kill()
+
+    @pytest.mark.parametrize("carrier", ["sockets", "websocket"])
+    def test_cross_process_round_bit_identical(self, carrier):
+        doc, endpoints = self._serve_join(carrier)
+
+        config = SecAggConfig(
+            threshold=max(2, self.N // 2 + 1), bits=16,
+            dimension=self.DIMENSION, dh_group="modp512",
+        )
+        rng = derive_rng("sockets-demo", 0)
+        inputs = {
+            u: rng.integers(0, config.modulus, size=self.DIMENSION)
+            for u in range(1, self.N + 1)
+        }
+        engine = RoundEngine(
+            transport=WebSocketTransport() if carrier == "websocket"
+            else StreamTransport()
+        )
+        result = run_sync(
+            arun_secagg_round(config, dict(inputs), None, engine=engine)
+        )
+
+        assert doc["aggregate_ok"] and doc["balanced"]
+        assert doc["u3"] == sorted(result.u3)
+        assert doc["u5"] == sorted(result.u5)
+        assert doc["aggregate"] == [int(x) for x in result.aggregate]
+        # Span for span: same labels, same virtual clock, same framed
+        # per-direction byte counts — the wire contract does not care
+        # which process the state machines run in.
+        assert doc["spans"] == [
+            {"label": s.label, "begin": s.begin, "finish": s.finish,
+             "down": s.down_bytes, "up": s.up_bytes}
+            for s in engine.trace.spans
+        ]
+        split = engine.trace.round_traffic_split(0)
+        assert doc["traffic"] == {
+            "down": split.down, "up": split.up,
+            "total": engine.trace.round_traffic_bytes(0),
+        }
+        # Both socket ends agree per direction, across the process
+        # boundary: what each join process sent is what the coordinator
+        # counted as that connection's uplink, and vice versa.
+        assert doc["connections"] == self.N
+        assert sum(e["response_bytes"] for e in endpoints) == split.up
+        assert sum(e["request_bytes"] for e in endpoints) == split.down

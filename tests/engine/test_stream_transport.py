@@ -165,32 +165,31 @@ class TestStreamRoundTrip:
 class TestAbortedConnectionAccounting:
     """A round aborted mid-flight must not silently drop ConnectionStats.
 
-    Regression: ``aclose`` used to cancel still-opening connections and
+    Regression: teardown used to cancel still-opening connections and
     walk away, so a round aborted during the handshake left those
     connections' bytes out of ``closed_connection_stats`` and the CLI
-    accounting check could under-report.  Now every open — including
-    cancelled ones — is awaited and lands (partial) stats.
+    accounting check could under-report.  Now every accepted socket —
+    including one still parked in admission control — lands (partial)
+    stats when it dies.
     """
 
     def test_abort_mid_handshake_records_partial_stats(self, monkeypatch):
-        from repro.engine import stream as stream_mod
+        from repro.engine import listener as listener_mod
 
         async def scenario():
             gate = asyncio.Event()
             parked = 0
             all_parked = asyncio.Event()
 
-            async def stalled(self, reader, writer):
+            async def stalled(self, hello):
                 nonlocal parked
-                kind, body, nbytes = await stream_mod.read_frame(reader)
-                self.bytes_received += nbytes
                 parked += 1
                 if parked == 3:
                     all_parked.set()
                 await gate.wait()  # WELCOME never sent
 
             monkeypatch.setattr(
-                stream_mod._ClientEndpoint, "_handshake", stalled
+                listener_mod.CoordinatorListener, "_check_hello", stalled
             )
             transport = StreamTransport()
             engine = RoundEngine(transport=transport)
@@ -198,8 +197,9 @@ class TestAbortedConnectionAccounting:
             task = asyncio.ensure_future(
                 engine.run_round(EchoServer(), clients)
             )
-            # All three dials have sent HELLO and are parked waiting for
-            # a WELCOME that will never come — abort the round there.
+            # All three dialers have sent their HELLO and the listener
+            # has parked them in admission control, so no WELCOME will
+            # ever go out — abort the round there.
             await asyncio.wait_for(all_parked.wait(), 30)
             task.cancel()
             with pytest.raises(asyncio.CancelledError):
@@ -211,30 +211,35 @@ class TestAbortedConnectionAccounting:
         assert len(stats) == 3
         assert sorted(s.client_id for s in stats) == [1, 2, 3]
         for s in stats:
-            # No exchange completed, but the HELLO really crossed — and
-            # the endpoint's own count of it survives too.
+            # No exchange completed, but each HELLO really crossed —
+            # and the dialing end's own count of it survives too.
             assert s.requests == 0 and s.frame_bytes == 0
-            assert s.handshake_sent > 0
-            assert s.endpoint_received_bytes == s.handshake_sent
+            assert s.handshake_received > 0
+            assert s.handshake_sent == 0  # the WELCOME never went out
+            assert s.endpoint_sent_bytes == s.handshake_received
 
     def test_failed_handshake_records_partial_stats(self, monkeypatch):
-        from repro.engine import stream as stream_mod
+        from repro.engine import listener as listener_mod
 
-        async def refuse(self, reader, writer):
-            kind, body, nbytes = await stream_mod.read_frame(reader)
-            self.bytes_received += nbytes
-            raise ValueError("endpoint refuses the handshake")
+        async def refuse(self, hello):
+            raise ValueError("listener refuses the handshake")
 
-        monkeypatch.setattr(stream_mod._ClientEndpoint, "_handshake", refuse)
+        monkeypatch.setattr(
+            listener_mod.CoordinatorListener, "_check_hello", refuse
+        )
         transport = StreamTransport()
         engine = RoundEngine(transport=transport)
+        # The dialer receives the ERROR verdict and dies with it; the
+        # channel surfaces that loud instead of a silent join timeout.
         with pytest.raises(ValueError, match="refuses the handshake"):
             engine.run_round_sync(EchoServer(), [EchoClient(1, 1)])
         stats = transport.closed_connection_stats
         assert len(stats) == 1
-        # Both the HELLO out and the ERROR back are on the books.
-        assert stats[0].handshake_sent > 0
+        # Both the HELLO in and the ERROR verdict out are on the books,
+        # attributed to the claimed client id.
+        assert stats[0].client_id == 1
         assert stats[0].handshake_received > 0
+        assert stats[0].handshake_sent > 0
         assert stats[0].frame_bytes == 0
 
 

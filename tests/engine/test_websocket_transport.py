@@ -108,7 +108,9 @@ class TestWebSocketRoundTrip:
     def test_ws_overhead_is_the_only_delta_to_the_tcp_framing(self):
         """Against the serializing boundary (same envelope, no carrier
         overhead) the websocket spans differ by a few bytes per message
-        — masked requests cost 6, unmasked responses 2 (short frames)."""
+        — unmasked requests cost 2, masked responses 6 (short frames):
+        the dialing device is the WebSocket client, so only the uplink
+        carries the RFC 6455 client mask."""
         ws_engine, _ = self._run(WebSocketTransport())
         ser_engine, _ = self._run(SerializingTransport(InProcessTransport()))
         ws = [s for s in ws_engine.trace.spans if s.traffic_bytes]
@@ -116,8 +118,8 @@ class TestWebSocketRoundTrip:
         assert len(ws) == len(ser) == 2
         for w, s in zip(ws, ser):
             deliveries = 3 if w.label == "encode" else 2
-            assert w.down_bytes - s.down_bytes == deliveries * 6
-            assert w.up_bytes - s.up_bytes == deliveries * 2
+            assert w.down_bytes - s.down_bytes == deliveries * 2
+            assert w.up_bytes - s.up_bytes == deliveries * 6
 
     def test_server_side_stages_carry_no_traffic(self):
         transport = WebSocketTransport()
@@ -199,24 +201,22 @@ class TestAbortedWebSocketAccounting:
     """The mid-handshake abort regression, on the websocket carrier."""
 
     def test_abort_mid_wire_handshake_records_partial_stats(self, monkeypatch):
-        from repro.engine import websocket as ws_mod
+        from repro.engine import listener as listener_mod
 
         async def scenario():
             gate = asyncio.Event()
             parked = 0
             all_parked = asyncio.Event()
 
-            async def stalled(self, link, count_sent, count_received):
+            async def stalled(self, hello):
                 nonlocal parked
-                payload, n = await link.recv_message()
-                count_received(n)
                 parked += 1
                 if parked == 3:
                     all_parked.set()
                 await gate.wait()  # WELCOME never sent
 
             monkeypatch.setattr(
-                ws_mod._WSClientEndpoint, "_wire_handshake", stalled
+                listener_mod.CoordinatorListener, "_check_hello", stalled
             )
             transport = WebSocketTransport()
             engine = RoundEngine(transport=transport)
@@ -233,9 +233,11 @@ class TestAbortedWebSocketAccounting:
         transport = asyncio.run(scenario())
         stats = transport.closed_connection_stats
         assert len(stats) == 3
+        assert sorted(s.client_id for s in stats) == [1, 2, 3]
         for s in stats:
             assert s.requests == 0 and s.frame_bytes == 0
-            # The HTTP upgrade and the HELLO message really crossed.
+            # The upgrade request + HELLO message came in, and the 101
+            # upgrade response went back out, before the stall.
             assert s.handshake_sent > 0 and s.handshake_received > 0
             assert s.endpoint_received_bytes == s.handshake_sent
 
@@ -320,13 +322,18 @@ class TestDropoutOverWebSocket:
 
 @pytest.mark.timeout(60)
 class TestWebSocketProtocolExercise:
-    """Raw-socket conversations with a client endpoint: the RFC corners
-    the request/response fast path never touches."""
+    """Raw-socket conversations with the coordinator listener: the RFC
+    corners the request/response fast path never touches."""
 
-    async def _upgraded(self, endpoint):
+    def _listener(self):
+        from repro.engine import CoordinatorListener
+
+        return CoordinatorListener(carrier="websocket", expected_ids={1})
+
+    async def _upgraded(self, listener):
         from repro.wire import ws
 
-        host, port = await endpoint.start()
+        host, port = await listener.start()
         reader, writer = await asyncio.open_connection(host, port)
         key = ws.websocket_key()
         writer.write(ws.handshake_request(host, port, key))
@@ -336,12 +343,11 @@ class TestWebSocketProtocolExercise:
         return reader, writer
 
     def test_ping_answered_and_close_handshake_completes(self):
-        from repro.engine.websocket import _WSClientEndpoint
         from repro.wire import ws
 
         async def scenario():
-            endpoint = _WSClientEndpoint(EchoClient(1, 5), None)
-            reader, writer = await self._upgraded(endpoint)
+            listener = self._listener()
+            reader, writer = await self._upgraded(listener)
             try:
                 # A ping ahead of any wire message is answered in place.
                 writer.write(ws.encode_ws_frame(ws.OP_PING, b"hb", mask=b"abcd"))
@@ -364,25 +370,24 @@ class TestWebSocketProtocolExercise:
                 assert payload[:2] == (1000).to_bytes(2, "big")
             finally:
                 writer.close()
-                await endpoint.aclose()
+                await listener.aclose()
 
         asyncio.run(scenario())
 
     def test_text_frame_kills_the_connection(self):
         """The wire envelope is binary; a TEXT message is a protocol
-        violation and the endpoint fails loud instead of misparsing."""
-        from repro.engine.websocket import _WSClientEndpoint
+        violation and the listener fails loud instead of misparsing."""
         from repro.wire import ws
 
         async def scenario():
-            endpoint = _WSClientEndpoint(EchoClient(1, 5), None)
-            reader, writer = await self._upgraded(endpoint)
+            listener = self._listener()
+            reader, writer = await self._upgraded(listener)
             try:
                 writer.write(
                     ws.encode_ws_frame(ws.OP_TEXT, b"hello", mask=b"abcd")
                 )
                 await writer.drain()
-                # The endpoint answers with an ERROR message (binary),
+                # The listener answers with an ERROR message (binary),
                 # then closes the connection.
                 from repro.wire import codecs as wire_codecs
                 from repro.wire.frame import KIND_ERROR, decode_frame
@@ -395,21 +400,21 @@ class TestWebSocketProtocolExercise:
                 assert kind == KIND_ERROR
                 with pytest.raises(ValueError, match="binary"):
                     raise wire_codecs.decode_error(body)
+                assert listener.rejected == 1
             finally:
                 writer.close()
-                await endpoint.aclose()
+                await listener.aclose()
 
         asyncio.run(scenario())
 
     def test_unmasked_client_frame_kills_the_connection(self):
         """RFC 6455 §5.1: the server must refuse unmasked client
-        frames — the endpoint drops the connection."""
-        from repro.engine.websocket import _WSClientEndpoint
+        frames — the listener drops the connection."""
         from repro.wire import ws
 
         async def scenario():
-            endpoint = _WSClientEndpoint(EchoClient(1, 5), None)
-            reader, writer = await self._upgraded(endpoint)
+            listener = self._listener()
+            reader, writer = await self._upgraded(listener)
             try:
                 writer.write(ws.encode_ws_frame(ws.OP_BINARY, b"naked"))
                 await writer.drain()
@@ -423,26 +428,25 @@ class TestWebSocketProtocolExercise:
                         break
             finally:
                 writer.close()
-                await endpoint.aclose()
+                await listener.aclose()
 
         asyncio.run(scenario())
 
     def test_bad_upgrade_request_rejected_before_websocket(self):
         """A non-WebSocket HTTP request never reaches the frame layer."""
-        from repro.engine.websocket import _WSClientEndpoint
 
         async def scenario():
-            endpoint = _WSClientEndpoint(EchoClient(1, 5), None)
-            host, port = await endpoint.start()
+            listener = self._listener()
+            host, port = await listener.start()
             reader, writer = await asyncio.open_connection(host, port)
             try:
                 writer.write(b"GET / HTTP/1.1\r\nHost: h\r\n\r\n")
                 await writer.drain()
-                # The endpoint closes without switching protocols.
+                # The listener closes without switching protocols.
                 assert await reader.read() == b""
             finally:
                 writer.close()
-                await endpoint.aclose()
+                await listener.aclose()
 
         asyncio.run(scenario())
 

@@ -16,7 +16,7 @@ from repro.cli import main
 
 pytestmark = pytest.mark.timeout(120)
 
-TOPICS = ("hotpath", "traffic", "round")
+TOPICS = ("hotpath", "traffic", "round", "listener")
 
 
 @pytest.fixture(scope="module")
@@ -29,6 +29,7 @@ def bench_run(tmp_path_factory):
             "--clients", "4",
             "--repeats", "1",
             "--traffic-dimension", "32",
+            "--connections", "20",
             "--out", str(out),
         ]
     )
@@ -72,6 +73,16 @@ class TestBenchEntrypoint:
             m["total_down_bytes"]["value"] + m["total_up_bytes"]["value"]
             == m["total_bytes"]["value"]
         )
+
+    def test_listener_report_sustains_the_cohort(self, bench_run):
+        report = bench.load_bench(bench.bench_path(bench_run, "listener"))
+        m = report["metrics"]
+        assert report["config"]["connections"] == 20
+        assert m["connections"]["value"] == 20
+        assert m["accept_rate_per_s"]["unit"] == "per_s"
+        assert m["accounting_balanced"]["value"] == 1
+        assert m["all_answered_ok"]["value"] == 1
+        assert m["total_bytes"]["value"] > m["handshake_bytes"]["value"] > 0
 
     def test_diff_reports_per_metric_deltas(self, bench_run, capsys):
         path = str(bench.bench_path(bench_run, "round"))

@@ -162,3 +162,132 @@ class TestSocketsCommand:
         # 4 clients → threshold 3 → at most 1 tolerable dropout.
         assert main(["sockets", "--clients", "4", "--drop", "2"]) == 2
         assert "tolerable" in capsys.readouterr().err
+
+
+class TestServeJoinValidation:
+    """serve/join argument hardening, mirroring the sockets command."""
+
+    def test_serve_too_few_clients_rejected(self, capsys):
+        assert main(["serve", "--clients", "2"]) == 2
+        assert "at least 3" in capsys.readouterr().err
+
+    def test_serve_bad_port_rejected(self, capsys):
+        assert main(["serve", "--port", "70000"]) == 2
+        assert "65535" in capsys.readouterr().err
+
+    def test_serve_bad_join_timeout_rejected(self, capsys):
+        assert main(["serve", "--join-timeout", "0"]) == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_serve_rejects_unknown_transport(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--transport", "carrier-pigeon"])
+
+    def test_join_requires_client_id_and_port(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["join", "--port", "7001"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["join", "--client-id", "1"])
+
+    def test_join_bad_port_rejected(self, capsys):
+        assert main(["join", "--client-id", "1", "--port", "0"]) == 2
+        assert "65535" in capsys.readouterr().err
+
+    def test_join_client_id_outside_cohort_rejected(self, capsys):
+        code = main(["join", "--client-id", "9", "--clients", "5",
+                     "--port", "7001"])
+        assert code == 2
+        assert "[1, 5]" in capsys.readouterr().err
+
+    def test_join_bad_die_after_rejected(self, capsys):
+        code = main(["join", "--client-id", "1", "--port", "7001",
+                     "--die-after", "0"])
+        assert code == 2
+        assert "die-after" in capsys.readouterr().err
+
+    def test_join_rejects_unknown_transport(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["join", "--client-id", "1", "--port", "7001",
+                 "--transport", "carrier-pigeon"]
+            )
+
+
+class TestServeJoinCrossProcess:
+    """One coordinator process, N dialing device processes — the
+    production topology, smoke-tested end to end."""
+
+    def _spawn(self, argv):
+        import os
+        import subprocess
+        import sys as _sys
+
+        import repro
+
+        env = dict(os.environ)
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.Popen(
+            [_sys.executable, "-m", "repro.cli", *argv],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+        )
+
+    @pytest.mark.timeout(300)
+    def test_three_process_round_over_sockets(self):
+        import json
+
+        serve = self._spawn(["serve", "--clients", "3", "--dimension", "8"])
+        try:
+            header = serve.stdout.readline().split()
+            assert header[0] == "listening"
+            port = header[2]
+            joins = [
+                self._spawn(["join", "--client-id", str(u), "--clients", "3",
+                             "--dimension", "8", "--port", port])
+                for u in (1, 2, 3)
+            ]
+            out, err = serve.communicate(timeout=180)
+            assert serve.returncode == 0, err
+            assert "verified — ring sum over U3 matches" in out
+            assert "accounting check : ✓" in out
+            for j in joins:
+                jout, jerr = j.communicate(timeout=60)
+                assert j.returncode == 0, jerr
+                counters = json.loads(jout)
+                assert counters["requests"] > 0
+                assert counters["bytes_sent"] > 0
+        finally:
+            if serve.poll() is None:
+                serve.kill()
+
+    @pytest.mark.timeout(300)
+    def test_join_with_wrong_auth_token_refused(self):
+        serve = self._spawn([
+            "serve", "--clients", "3", "--dimension", "8",
+            "--auth-token", "s3cret", "--join-timeout", "3",
+        ])
+        try:
+            port = serve.stdout.readline().split()[2]
+            bad = self._spawn(["join", "--client-id", "3", "--clients", "3",
+                               "--dimension", "8", "--port", port,
+                               "--auth-token", "wrong"])
+            _bout, berr = bad.communicate(timeout=60)
+            assert bad.returncode == 1
+            assert "bad auth token" in berr
+            # A rejected id is not a squatted id: client 3 retries with
+            # the right token and the full round completes.
+            joins = [
+                self._spawn(["join", "--client-id", str(u), "--clients", "3",
+                             "--dimension", "8", "--port", port,
+                             "--auth-token", "s3cret"])
+                for u in (1, 2, 3)
+            ]
+            out, err = serve.communicate(timeout=180)
+            assert serve.returncode == 0, err
+            assert "verified — ring sum over U3 matches" in out
+            for j in joins:
+                _jout, jerr = j.communicate(timeout=60)
+                assert j.returncode == 0, jerr
+        finally:
+            if serve.poll() is None:
+                serve.kill()

@@ -128,3 +128,76 @@ class TestStreamFraming:
             await server.wait_closed()
 
         asyncio.run(scenario())
+
+
+class TestHelloSchema:
+    """The explicit HELLO body: identity, version, optional auth token."""
+
+    def test_roundtrip_defaults(self):
+        hello = f.Hello(client_id=7)
+        body = f.encode_hello(hello)
+        assert len(body) == f.HELLO_OVERHEAD
+        assert f.decode_hello(body) == hello
+
+    @given(
+        client_id=st.integers(min_value=0, max_value=(1 << 64) - 1),
+        wire_version=st.integers(min_value=0, max_value=0xFF),
+        auth_token=st.binary(max_size=64),
+    )
+    @settings(max_examples=100)
+    def test_roundtrip_every_field(self, client_id, wire_version, auth_token):
+        hello = f.Hello(client_id, wire_version, auth_token)
+        body = f.encode_hello(hello)
+        assert len(body) == f.HELLO_OVERHEAD + len(auth_token)
+        assert f.decode_hello(body) == hello
+
+    def test_foreign_wire_version_still_parses(self):
+        """Version acceptance is the listener's decision — the codec
+        must hand it both numbers, not choke first."""
+        body = f.encode_hello(f.Hello(3, wire_version=f.WIRE_VERSION + 9))
+        assert f.decode_hello(body).wire_version == f.WIRE_VERSION + 9
+
+    def test_encode_refuses_out_of_range_fields(self):
+        with pytest.raises(ValueError, match="fit one byte"):
+            f.encode_hello(f.Hello(1, wire_version=256))
+        with pytest.raises(ValueError, match="fit one byte"):
+            f.encode_hello(f.Hello(1, wire_version=-1))
+        with pytest.raises(ValueError, match="fit eight bytes"):
+            f.encode_hello(f.Hello(1 << 64))
+        with pytest.raises(ValueError, match="fit eight bytes"):
+            f.encode_hello(f.Hello(-1))
+
+    def test_encode_refuses_oversized_token(self):
+        class Huge(bytes):
+            def __len__(self):
+                return f.MAX_AUTH_TOKEN + 1
+
+        with pytest.raises(ValueError, match="MAX_AUTH_TOKEN"):
+            f.encode_hello(f.Hello(1, auth_token=Huge()))
+
+    def test_truncated_body_rejected(self):
+        body = f.encode_hello(f.Hello(5, auth_token=b"secret"))
+        for cut in range(f.HELLO_OVERHEAD):
+            with pytest.raises(ValueError, match="truncated HELLO body"):
+                f.decode_hello(body[:cut])
+
+    def test_truncated_token_rejected(self):
+        body = f.encode_hello(f.Hello(5, auth_token=b"secret"))
+        for cut in range(f.HELLO_OVERHEAD, len(body)):
+            with pytest.raises(ValueError, match="truncated HELLO auth token"):
+                f.decode_hello(body[:cut])
+
+    def test_trailing_garbage_rejected(self):
+        body = f.encode_hello(f.Hello(5, auth_token=b"secret"))
+        with pytest.raises(ValueError, match="trailing garbage"):
+            f.decode_hello(body + b"\x00")
+
+    @given(data=st.binary(max_size=80))
+    @settings(max_examples=100)
+    def test_fuzz_never_misparses(self, data):
+        """Arbitrary bytes either are one valid HELLO or raise ValueError."""
+        try:
+            hello = f.decode_hello(data)
+        except ValueError:
+            return
+        assert f.encode_hello(hello) == data
