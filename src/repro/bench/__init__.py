@@ -1,12 +1,15 @@
 """Benchmark harness behind ``repro.cli bench``.
 
 One entry point runs the hot-path microbenchmarks (every optimized path
-timed against its retained ``*_reference`` twin) plus measured protocol
-rounds over real sockets, and persists each topic as a machine-readable
+timed against its retained ``*_reference`` twin), measured protocol
+rounds over real sockets, and the million-device fleet topic (columnar
+construction, cohort queries, and churn scenarios), and persists each
+topic as a machine-readable
 ``BENCH_<topic>.json`` so successive runs form a diffable performance
 trajectory (``repro.cli bench --diff old new``).
 """
 
+from repro.bench.fleet import run_fleet
 from repro.bench.hotpath import run_hotpath
 from repro.bench.listener import run_listener
 from repro.bench.rounds import run_round, run_traffic
@@ -28,6 +31,7 @@ __all__ = [
     "format_diff",
     "load_bench",
     "make_report",
+    "run_fleet",
     "run_hotpath",
     "run_listener",
     "run_round",

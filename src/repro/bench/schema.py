@@ -93,9 +93,14 @@ def bench_path(out_dir: str | Path, topic: str) -> Path:
 
 
 def write_bench(report: dict[str, Any], out_dir: str | Path = ".") -> Path:
-    """Persist one report; returns the path written."""
+    """Persist one report; returns the path written.
+
+    Creates ``out_dir`` if needed (CI points ``--out`` at a fresh
+    directory).
+    """
     validate_report(report)
     path = bench_path(out_dir, report["topic"])
+    path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     return path
 

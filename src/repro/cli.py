@@ -64,10 +64,16 @@ def _add_run_parser(sub) -> None:
     p.add_argument("--learning-rate", type=float, default=0.15)
     p.add_argument("--dropout-rate", type=float, default=0.0)
     p.add_argument("--availability", default="fixed",
-                   choices=["fixed", "trace"],
+                   choices=["fixed", "trace", "session"],
                    help="fixed: i.i.d. dropout at --dropout-rate; trace: "
                         "Fig.-1a behaviour-trace churn (rate swings per "
-                        "round, --dropout-rate ignored)")
+                        "round, --dropout-rate ignored; lazily derived at "
+                        "large n); session: the lazy per-device session "
+                        "stream unconditionally")
+    p.add_argument("--correlation", type=float, default=0.0,
+                   help="rank-correlate link speed with availability "
+                        "(slow-link devices are also flaky); needs "
+                        "--availability trace or session")
     p.add_argument("--asymmetric", action="store_true",
                    help="give devices independent Zipf downlinks "
                         "(100-1000 Mbps) instead of symmetric links")
@@ -206,9 +212,17 @@ def _add_bench_parser(sub) -> None:
     p.add_argument("--traffic-dimension", type=int, default=1024,
                    help="dimension for the per-stage traffic round")
     p.add_argument("--topics", nargs="+", default=["hotpath", "traffic",
-                                                   "round", "listener"],
-                   choices=["hotpath", "traffic", "round", "listener"],
+                                                   "round", "listener",
+                                                   "fleet"],
+                   choices=["hotpath", "traffic", "round", "listener",
+                            "fleet"],
                    help="which reports to produce")
+    p.add_argument("--fleet-devices", type=int, default=1_000_000,
+                   help="population size for the fleet topic")
+    p.add_argument("--fleet-cohort", type=int, default=100,
+                   help="sampled clients per round for the fleet topic")
+    p.add_argument("--fleet-rounds", type=int, default=50,
+                   help="rounds per scenario sweep for the fleet topic")
     p.add_argument("--connections", type=int, default=1000,
                    help="concurrent dialing clients for the listener "
                         "stress topic")
@@ -269,19 +283,28 @@ def _cmd_run(args) -> int:
     model = args.model or ("bigram" if args.task == "reddit-like" else "softmax")
     optimizer = "adamw" if args.task == "reddit-like" else "sgd"
     if args.no_fleet:
-        if args.availability != "fixed" or args.asymmetric:
+        if args.availability != "fixed" or args.asymmetric or args.correlation:
             print(
                 "--no-fleet disables the fleet layer, which owns "
-                "--availability trace and --asymmetric; drop --no-fleet "
-                "or the fleet flags",
+                "--availability trace/session, --asymmetric and "
+                "--correlation; drop --no-fleet or the fleet flags",
                 file=sys.stderr,
             )
             return 2
         fleet = None
     else:
+        if args.correlation and args.availability == "fixed":
+            print(
+                "--correlation couples link speed to availability, which "
+                "the fixed-rate model cannot express; add "
+                "--availability trace (or session)",
+                file=sys.stderr,
+            )
+            return 2
         fleet = FleetConfig(
             availability=args.availability,
             downlink_range=(100e6 / 8, 1000e6 / 8) if args.asymmetric else None,
+            correlation=args.correlation,
         )
     config = DordisConfig(
         task=args.task,
@@ -303,8 +326,8 @@ def _cmd_run(args) -> int:
     session = DordisSession(config)
     result = session.run()
     dropout = (
-        f"trace (mean {float(np.mean(result.dropout_history)):.0%})"
-        if args.availability == "trace" and fleet is not None
+        f"{args.availability} (mean {float(np.mean(result.dropout_history)):.0%})"
+        if args.availability in ("trace", "session") and fleet is not None
         else f"{args.dropout_rate:.0%}"
     )
     print(f"task={args.task} strategy={args.strategy} dropout={dropout}")
@@ -674,6 +697,29 @@ def _cmd_bench(args) -> int:
         for d in args.dims:
             v = report["metrics"][f"round_d{d}_wall_s"]["value"]
             print(f"measured round d={d}: {v:.3f}s")
+    if "fleet" in args.topics:
+        if args.fleet_devices < 1 or args.fleet_cohort < 1 or args.fleet_rounds < 2:
+            print("--fleet-devices/--fleet-cohort must be positive and "
+                  "--fleet-rounds at least 2", file=sys.stderr)
+            return 2
+        report = bench.run_fleet(
+            devices=args.fleet_devices,
+            cohort=args.fleet_cohort,
+            rounds=args.fleet_rounds,
+            repeats=args.repeats,
+            seed=args.seed,
+        )
+        written.append(bench.write_bench(report, args.out))
+        m = report["metrics"]
+        print(f"fleet build n={args.fleet_devices:,d}: "
+              f"{m['build_columnar_s']['value']:.3f}s columnar "
+              f"({m['build_per_device_speedup']['value']:.1f}x per-device "
+              f"vs boxed)")
+        print(f"fleet round cost k={min(args.fleet_cohort, args.fleet_devices)}: "
+              f"{m['round_cost_reference_s']['value'] * 1e3:.3f}ms loop → "
+              f"{m['round_cost_fast_s']['value'] * 1e3:.3f}ms vectorized "
+              f"({m['round_cost_speedup']['value']:.2f}x), "
+              f"{int(m['resident_profiles']['value'])} resident profiles")
     if "listener" in args.topics:
         if args.connections < 1:
             print("--connections must be positive", file=sys.stderr)

@@ -165,7 +165,9 @@ class DordisSession:
         # points), so the engine transport — which only ever serves
         # those rounds; the fast path bypasses it — addresses the fleet
         # through the shifted view, pricing each client's frames on its
-        # *own* links.
+        # *own* links.  The view is an O(1) arithmetic offset over the
+        # same columnar store (shared profile LRU), so this stays free
+        # even for million-device populations.
         self.engine = engine or RoundEngine(
             transport=build_transport(
                 config.transport,

@@ -12,6 +12,7 @@ from repro.fleet.availability import (
     AlwaysAvailable,
     BehaviorTrace,
     FixedRateDropout,
+    SessionStream,
     TraceDrivenDropout,
     build_availability,
 )
@@ -20,6 +21,7 @@ __all__ = [
     "AlwaysAvailable",
     "BehaviorTrace",
     "FixedRateDropout",
+    "SessionStream",
     "TraceDrivenDropout",
     "build_availability",
 ]

@@ -3,11 +3,18 @@
 One place owns the client population: per-device profiles with
 *directional* bandwidth (:class:`DeviceProfile`: separate
 ``uplink_bps`` / ``downlink_bps``, compute slowdown), pluggable
-availability (:mod:`repro.fleet.availability`: §6.1 fixed-rate dropout
-or the Fig.-1a behaviour-trace churn), and the :class:`Fleet` object
-binding the two into a scenario the rest of the stack consumes —
-transports derive per-link latency from it, the training session
-derives per-round dropout and modeled round cost from it.
+availability (:mod:`repro.fleet.availability`: §6.1 fixed-rate dropout,
+the Fig.-1a behaviour-trace churn, or its lazy million-device
+:class:`SessionStream` form with optional bandwidth×availability
+rank correlation), and the :class:`Fleet` object binding the two into a
+scenario the rest of the stack consumes — transports derive per-link
+latency from it, the training session derives per-round dropout and
+modeled round cost from it.
+
+Profiles are stored columnar (:class:`ProfileColumns`) and boxed
+lazily, so fleets scale to millions of devices with O(sampled-cohort)
+resident objects; :func:`heterogeneous_fleet_reference` retains the
+one-object-per-device builder as the parity-pinned executable spec.
 
 Legacy entry points remain importable: :mod:`repro.sim.network`
 re-exports the profile layer (``ClientDevice`` builds a symmetric
@@ -18,7 +25,11 @@ models.
 from repro.fleet.availability import (
     AlwaysAvailable,
     BehaviorTrace,
+    DiurnalWave,
     FixedRateDropout,
+    FlashCrowd,
+    RegionalOutage,
+    SessionStream,
     TraceDrivenDropout,
     build_availability,
 )
@@ -27,7 +38,10 @@ from repro.fleet.links import FleetNetworkTransport, fleet_transport
 from repro.fleet.profile import (
     DEFAULT_BANDWIDTH_RANGE,
     DeviceProfile,
+    ProfileColumns,
     heterogeneous_fleet,
+    heterogeneous_fleet_columns,
+    heterogeneous_fleet_reference,
 )
 
 __all__ = [
@@ -35,13 +49,20 @@ __all__ = [
     "BehaviorTrace",
     "DEFAULT_BANDWIDTH_RANGE",
     "DeviceProfile",
+    "DiurnalWave",
     "Fleet",
     "FleetConfig",
     "FleetNetworkTransport",
     "FleetRoundCost",
     "FixedRateDropout",
+    "FlashCrowd",
+    "ProfileColumns",
+    "RegionalOutage",
+    "SessionStream",
     "fleet_transport",
     "TraceDrivenDropout",
     "build_availability",
     "heterogeneous_fleet",
+    "heterogeneous_fleet_columns",
+    "heterogeneous_fleet_reference",
 ]

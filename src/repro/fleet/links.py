@@ -28,9 +28,11 @@ class FleetNetworkTransport(SimulatedNetworkTransport):
     """:class:`SimulatedNetworkTransport` resolving devices via a fleet.
 
     The fleet's modular :meth:`~Fleet.device` lookup serves any client
-    id (protocol layers may shift or oversample ids), and each exchange
-    pays ``request / downlink + response / uplink`` on the client's own
-    profile.  ``overhead_fn`` adds a carrier's per-message framing on
+    id (protocol layers may shift or oversample ids) straight off the
+    columnar store — the per-frame pricing path boxes at most the LRU's
+    worth of profiles even against a million-device fleet — and each
+    exchange pays ``request / downlink + response / uplink`` on the
+    client's own profile.  ``overhead_fn`` adds a carrier's per-message framing on
     top of the sized envelope (e.g.
     :func:`repro.engine.websocket.ws_envelope_overhead`, making this
     the offline oracle for fleet-priced websocket rounds).

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.utils.rng import derive_rng
 from repro.utils.zipf import zipf_between, zipf_weights
 
@@ -93,15 +95,63 @@ class DeviceProfile:
         )
 
 
-def heterogeneous_fleet(
+@dataclass(frozen=True)
+class ProfileColumns:
+    """A device population as three parallel float64 columns.
+
+    Row ``i`` is device ``i``'s profile.  This is the scalable
+    representation: a million devices are three 8 MB arrays instead of a
+    million boxed :class:`DeviceProfile` objects.  :meth:`device` boxes
+    one row on demand, producing a profile bit-identical to what the
+    materializing builder would have constructed for the same row.
+    """
+
+    compute_factor: np.ndarray
+    uplink_bps: np.ndarray
+    downlink_bps: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.compute_factor)
+        if n < 1:
+            raise ValueError("a fleet needs at least one device")
+        if len(self.uplink_bps) != n or len(self.downlink_bps) != n:
+            raise ValueError("profile columns must have equal length")
+        # The per-profile __post_init__ checks, vectorized: one pass at
+        # construction instead of one Python call per boxed device.
+        if float(self.compute_factor.min()) < 1.0:
+            raise ValueError("compute_factor is relative to the fastest (>= 1)")
+        if float(self.uplink_bps.min()) <= 0 or float(self.downlink_bps.min()) <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    @property
+    def n(self) -> int:
+        return len(self.compute_factor)
+
+    def device(self, row: int) -> DeviceProfile:
+        """Box one row (``client_id == row``) as a :class:`DeviceProfile`."""
+        return DeviceProfile(
+            client_id=int(row),
+            compute_factor=float(self.compute_factor[row]),
+            uplink_bps=float(self.uplink_bps[row]),
+            downlink_bps=float(self.downlink_bps[row]),
+        )
+
+
+def heterogeneous_fleet_columns(
     n: int,
     zipf_a: float = 1.2,
     bandwidth_range: tuple[float, float] = DEFAULT_BANDWIDTH_RANGE,
     max_slowdown: float = 8.0,
     seed: int = 0,
     downlink_range: tuple[float, float] | None = None,
-) -> list[DeviceProfile]:
-    """Build a fleet with §6.1's latency and bandwidth heterogeneity.
+) -> ProfileColumns:
+    """The §6.1 heterogeneity draws, kept columnar.
+
+    Identical rng streams and identical arithmetic to
+    :func:`heterogeneous_fleet_reference` — the draws were always numpy
+    arrays; this builder just stops boxing them.  Boxing row ``i``
+    (:meth:`ProfileColumns.device`) reproduces the reference profile
+    bit-for-bit, which the parity suite pins.
 
     Compute factors follow the inverse Zipf profile (slowest =
     ``max_slowdown``×); uplink bandwidths are an independently-shuffled
@@ -120,6 +170,71 @@ def heterogeneous_fleet(
         raise ValueError("n must be >= 1")
     weights = zipf_weights(n, zipf_a)
     # Largest weight = slowest device (rank 1 in the paper's i^-a law).
+    slowdowns = 1.0 + (max_slowdown - 1.0) * (weights - weights.min()) / (
+        weights.max() - weights.min() + 1e-12
+    )
+    bandwidths = zipf_between(n, *bandwidth_range, a=zipf_a)
+    rng = derive_rng("fleet-shuffle", seed)
+    rng.shuffle(bandwidths)
+    order = rng.permutation(n)
+    if downlink_range is None:
+        downlinks = bandwidths
+    else:
+        downlinks = zipf_between(n, *downlink_range, a=zipf_a)
+        derive_rng("fleet-downlink-shuffle", seed).shuffle(downlinks)
+    return ProfileColumns(
+        compute_factor=slowdowns[order],
+        uplink_bps=bandwidths,
+        downlink_bps=downlinks,
+    )
+
+
+def heterogeneous_fleet(
+    n: int,
+    zipf_a: float = 1.2,
+    bandwidth_range: tuple[float, float] = DEFAULT_BANDWIDTH_RANGE,
+    max_slowdown: float = 8.0,
+    seed: int = 0,
+    downlink_range: tuple[float, float] | None = None,
+) -> list[DeviceProfile]:
+    """Build a fleet with §6.1's heterogeneity as a boxed profile list.
+
+    A thin materializing wrapper over
+    :func:`heterogeneous_fleet_columns` for call sites that want the
+    legacy list-of-profiles shape (the sim layer, small examples);
+    bit-identical to :func:`heterogeneous_fleet_reference` for the same
+    seed.  Scale-sensitive code should consume the columns directly
+    (``Fleet.build`` does).
+    """
+    columns = heterogeneous_fleet_columns(
+        n,
+        zipf_a=zipf_a,
+        bandwidth_range=bandwidth_range,
+        max_slowdown=max_slowdown,
+        seed=seed,
+        downlink_range=downlink_range,
+    )
+    return [columns.device(i) for i in range(n)]
+
+
+def heterogeneous_fleet_reference(
+    n: int,
+    zipf_a: float = 1.2,
+    bandwidth_range: tuple[float, float] = DEFAULT_BANDWIDTH_RANGE,
+    max_slowdown: float = 8.0,
+    seed: int = 0,
+    downlink_range: tuple[float, float] | None = None,
+) -> list[DeviceProfile]:
+    """The original one-object-per-device builder, retained verbatim.
+
+    The executable specification the columnar path is parity-pinned
+    against (and the "old path" the fleet benchmark times): every draw
+    lands in a freshly boxed :class:`DeviceProfile` — fine at 100
+    devices, hostile at 10^6.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    weights = zipf_weights(n, zipf_a)
     slowdowns = 1.0 + (max_slowdown - 1.0) * (weights - weights.min()) / (
         weights.max() - weights.min() + 1e-12
     )

@@ -143,6 +143,15 @@ class TestBehaviorTrace:
         assert rates.min() < 0.3
         assert rates.max() > 0.6
 
+    def test_dropout_rates_pinned_to_reference_loop(self):
+        """The batched sampling gather is a vectorization of the
+        retained per-round loop — same rng stream, bit-equal rates."""
+        trace = BehaviorTrace(n_clients=100, horizon=150, seed=2)
+        np.testing.assert_array_equal(
+            trace.dropout_rates(sample_size=16, seed=4),
+            trace.dropout_rates_reference(sample_size=16, seed=4),
+        )
+
     def test_trace_driven_adapter(self):
         trace = BehaviorTrace(n_clients=10, horizon=20, seed=3)
         dropout = TraceDrivenDropout(trace)

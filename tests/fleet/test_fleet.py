@@ -147,6 +147,13 @@ class TestFleetBuild:
             FleetConfig(max_slowdown=0.5)
         with pytest.raises(ValueError):
             FleetConfig(compute_seconds=-1.0)
+        with pytest.raises(ValueError):
+            FleetConfig(correlation=1.5)
+        # The fixed-rate model has no per-device availability to couple.
+        with pytest.raises(ValueError, match="correlation"):
+            FleetConfig(availability="fixed", correlation=0.4)
+        FleetConfig(availability="trace", correlation=0.4)
+        FleetConfig(availability="session", correlation=-0.4)
 
     def test_empty_fleet_rejected(self):
         with pytest.raises(ValueError):
@@ -167,3 +174,92 @@ class TestIdOffset:
     def test_zero_offset_is_identity(self):
         fleet = toy_fleet()
         assert fleet.with_id_offset(0) is fleet
+
+    def test_offset_view_is_o1_over_shared_store(self):
+        """The view shifts addressing arithmetically; no profile dict is
+        rebuilt and both views share one backing store (and LRU)."""
+        fleet = toy_fleet()
+        shifted = fleet.with_id_offset(5)
+        assert shifted._store is fleet._store
+        assert shifted.n_clients == fleet.n_clients
+        assert shifted._sorted_ids == (5, 6, 7)
+
+    def test_offset_views_compose(self):
+        fleet = toy_fleet()
+        twice = fleet.with_id_offset(2).with_id_offset(3)
+        assert twice._store is fleet._store
+        assert twice.device(5) is fleet.device(0)
+        assert sorted(twice.profiles) == [5, 6, 7]
+
+
+class TestFleetScale:
+    def test_modular_fallback_at_huge_ids(self):
+        """Oversampled ids far beyond the population wrap modularly —
+        the exact legacy profiles[sorted_keys[id % n]] rule."""
+        fleet = toy_fleet()
+        huge = 10**12 + 1
+        assert fleet.device(huge) is fleet.device(huge % 3)
+        # On a shifted view the wrap applies to the as-addressed id.
+        shifted = fleet.with_id_offset(1)
+        assert shifted.device(huge).client_id == huge % 3
+        # Non-contiguous populations wrap onto sorted order too.
+        sparse = Fleet([
+            DeviceProfile(i, compute_factor=1.0, uplink_bps=1.0 * (i + 1),
+                          downlink_bps=1.0 * (i + 1))
+            for i in (7, 0, 3)
+        ])
+        assert sparse.device(huge).client_id == (0, 3, 7)[huge % 3]
+
+    def test_empty_cohort_value_errors(self):
+        fleet = toy_fleet()
+        with pytest.raises(ValueError, match="empty"):
+            fleet.straggler_factor([])
+        with pytest.raises(ValueError, match="empty"):
+            fleet.broadcast_seconds([], 100)
+        with pytest.raises(ValueError, match="empty"):
+            fleet.upload_seconds([], 100)
+        with pytest.raises(ValueError, match="empty"):
+            fleet.round_cost([], [], 100)
+
+    def test_vectorized_queries_match_per_device_loop(self):
+        """The array reductions must agree bit-for-bit with querying
+        boxed profiles one by one (same divisions, same max)."""
+        fleet = Fleet.build(50, FleetConfig(compute_seconds=2.0), seed=3)
+        sampled = [3, 17, 44, 61, 9]  # 61 oversamples and wraps
+        nbytes = 12345.0
+        assert fleet.straggler_factor(sampled) == max(
+            fleet.device(u).compute_factor for u in sampled
+        )
+        assert fleet.broadcast_seconds(sampled, nbytes) == max(
+            fleet.device(u).download_seconds(nbytes) for u in sampled
+        )
+        assert fleet.upload_seconds(sampled, nbytes) == max(
+            fleet.device(u).upload_seconds(nbytes) for u in sampled
+        )
+        cost = fleet.round_cost(sampled, sampled[:3], int(nbytes))
+        assert cost.up_seconds == max(
+            fleet.device(u).upload_seconds(nbytes) for u in sampled[:3]
+        )
+
+    def test_resident_profiles_bounded_and_regenerable(self):
+        """Boxed profiles live in an LRU: scanning more devices than the
+        cache holds keeps residency bounded, and evicted profiles
+        regenerate bit-identically from the columns."""
+        fleet = Fleet.build(100, seed=1)
+        first = fleet.device(0)
+        fleet._store.cache_size = 10
+        for i in range(100):
+            fleet.device(i)
+        assert fleet.resident_profiles <= 10
+        again = fleet.device(0)  # evicted: re-boxed from the columns
+        assert again is not first and again == first
+
+    def test_lazy_profiles_view_keeps_mapping_contract(self):
+        fleet = toy_fleet()
+        view = fleet.profiles
+        assert len(view) == 3
+        assert list(view) == [0, 1, 2]
+        assert view[1].uplink_bps == 50.0
+        with pytest.raises(KeyError):
+            view[9]
+        assert dict(fleet.with_id_offset(2).profiles).keys() == {2, 3, 4}

@@ -1,8 +1,17 @@
 """Device profiles: directional bandwidth and fleet construction."""
 
+import numpy as np
 import pytest
 
-from repro.fleet import DeviceProfile, heterogeneous_fleet
+from repro.fleet import (
+    DeviceProfile,
+    Fleet,
+    FleetConfig,
+    ProfileColumns,
+    heterogeneous_fleet,
+    heterogeneous_fleet_columns,
+    heterogeneous_fleet_reference,
+)
 from repro.sim.network import ClientDevice
 
 
@@ -65,3 +74,60 @@ class TestHeterogeneousFleet:
         a = heterogeneous_fleet(12, **kwargs)
         b = heterogeneous_fleet(12, **kwargs)
         assert [d.downlink_bps for d in a] == [d.downlink_bps for d in b]
+
+
+class TestColumnarParity:
+    """The columnar store is a representation change, not a model change:
+    boxing any row must reproduce the retained reference builder's
+    profile bit-for-bit (dataclass equality compares every float)."""
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(seed=3),
+            dict(seed=11, downlink_range=(1e6, 2e6)),
+            dict(seed=0, zipf_a=1.6, max_slowdown=3.0),
+        ],
+    )
+    def test_columns_bit_identical_to_reference(self, kwargs):
+        ref = heterogeneous_fleet_reference(40, **kwargs)
+        cols = heterogeneous_fleet_columns(40, **kwargs)
+        assert [cols.device(i) for i in range(40)] == ref
+
+    def test_boxing_wrapper_matches_reference(self):
+        assert heterogeneous_fleet(25, seed=6) == (
+            heterogeneous_fleet_reference(25, seed=6)
+        )
+
+    def test_fleet_build_devices_match_reference(self):
+        """Fleet.build goes columnar end to end; every lazily boxed
+        device must equal the boxed builder's output for the seed."""
+        fleet = Fleet.build(30, FleetConfig(), seed=13)
+        assert [fleet.device(i) for i in range(30)] == (
+            heterogeneous_fleet_reference(30, seed=13)
+        )
+
+    def test_columns_validation(self):
+        ones = np.ones(3)
+        with pytest.raises(ValueError, match="at least one"):
+            ProfileColumns(
+                compute_factor=np.empty(0),
+                uplink_bps=np.empty(0),
+                downlink_bps=np.empty(0),
+            )
+        with pytest.raises(ValueError, match="equal length"):
+            ProfileColumns(
+                compute_factor=ones, uplink_bps=np.ones(2), downlink_bps=ones
+            )
+        with pytest.raises(ValueError, match="compute_factor"):
+            ProfileColumns(
+                compute_factor=np.array([1.0, 0.5, 1.0]),
+                uplink_bps=ones,
+                downlink_bps=ones,
+            )
+        with pytest.raises(ValueError, match="bandwidth"):
+            ProfileColumns(
+                compute_factor=ones,
+                uplink_bps=np.array([1.0, 0.0, 1.0]),
+                downlink_bps=ones,
+            )

@@ -1,8 +1,9 @@
 """Tier-1 smoke for the ``repro.cli bench`` entry point.
 
 Runs the full bench pipeline at tiny dimensions and asserts the
-contract CI's scheduled benchmark job relies on: three schema-valid
-``BENCH_<topic>.json`` reports on disk and a working ``--diff``.
+contract CI's scheduled benchmark job relies on: schema-valid
+``BENCH_<topic>.json`` reports on disk for every topic and a working
+``--diff``.
 """
 
 from __future__ import annotations
@@ -16,7 +17,7 @@ from repro.cli import main
 
 pytestmark = pytest.mark.timeout(120)
 
-TOPICS = ("hotpath", "traffic", "round", "listener")
+TOPICS = ("hotpath", "traffic", "round", "listener", "fleet")
 
 
 @pytest.fixture(scope="module")
@@ -30,6 +31,9 @@ def bench_run(tmp_path_factory):
             "--repeats", "1",
             "--traffic-dimension", "32",
             "--connections", "20",
+            "--fleet-devices", "2000",
+            "--fleet-cohort", "8",
+            "--fleet-rounds", "6",
             "--out", str(out),
         ]
     )
@@ -83,6 +87,30 @@ class TestBenchEntrypoint:
         assert m["accounting_balanced"]["value"] == 1
         assert m["all_answered_ok"]["value"] == 1
         assert m["total_bytes"]["value"] > m["handshake_bytes"]["value"] > 0
+
+    def test_fleet_report_scales_and_bounds_memory(self, bench_run):
+        report = bench.load_bench(bench.bench_path(bench_run, "fleet"))
+        m = report["metrics"]
+        assert report["config"]["devices"] == 2000
+        assert m["build_columnar_s"]["unit"] == "s"
+        assert m["round_cost_fast_s"]["value"] > 0
+        assert m["round_cost_reference_s"]["value"] > 0
+        assert m["resident_profiles_bounded"]["value"] == 1
+        # Correlated churn: the fast-uplink tail is measurably more
+        # available than the slow tail.
+        assert m["correlation_effect"]["value"] > 0
+        # Scenario shapes, measured as excess dropout over the base
+        # churn on identical cohorts: the diurnal trough adds churn its
+        # peak doesn't, the flash crowd only inflates pre-join rounds,
+        # and the outage only inflates its window (exact zeros outside).
+        assert (
+            m["diurnal_trough_excess"]["value"]
+            > m["diurnal_peak_excess"]["value"]
+        )
+        assert m["flash_crowd_pre_join_excess"]["value"] > 0
+        assert m["flash_crowd_post_join_excess"]["value"] == 0
+        assert m["outage_window_excess"]["value"] > 0
+        assert m["outage_outside_excess"]["value"] == 0
 
     def test_diff_reports_per_metric_deltas(self, bench_run, capsys):
         path = str(bench.bench_path(bench_run, "round"))
