@@ -1,0 +1,357 @@
+/* Counter-mode SHA-256 stream kernel.
+ *
+ * Computes out[i] = SHA256(seed || be64(ctr0 + i)) for i in [0, nblocks):
+ * the exact block stream of repro.crypto.prg.PRGReference, specialized to
+ * the protocol's short seeds.  Each message is seedlen + 8 <= 55 bytes,
+ * so it fits one 64-byte padded block and every digest costs exactly one
+ * compression — the padded block is built once and only the 8 counter
+ * bytes are patched per iteration.
+ *
+ * Self-contained on purpose: no libcrypto (nothing to link against),
+ * portable scalar compression everywhere, SHA-NI via function-target
+ * dispatch where the CPU has it.  Built lazily by repro.native with the
+ * system C compiler; when that fails, the pure-Python hashlib loop in
+ * repro.crypto.prg serves the same bytes (parity-pinned by test).
+ */
+
+#include <stddef.h>
+#include <stdint.h>
+#include <string.h>
+
+static const uint32_t K[64] = {
+    0x428a2f98u, 0x71374491u, 0xb5c0fbcfu, 0xe9b5dba5u,
+    0x3956c25bu, 0x59f111f1u, 0x923f82a4u, 0xab1c5ed5u,
+    0xd807aa98u, 0x12835b01u, 0x243185beu, 0x550c7dc3u,
+    0x72be5d74u, 0x80deb1feu, 0x9bdc06a7u, 0xc19bf174u,
+    0xe49b69c1u, 0xefbe4786u, 0x0fc19dc6u, 0x240ca1ccu,
+    0x2de92c6fu, 0x4a7484aau, 0x5cb0a9dcu, 0x76f988dau,
+    0x983e5152u, 0xa831c66du, 0xb00327c8u, 0xbf597fc7u,
+    0xc6e00bf3u, 0xd5a79147u, 0x06ca6351u, 0x14292967u,
+    0x27b70a85u, 0x2e1b2138u, 0x4d2c6dfcu, 0x53380d13u,
+    0x650a7354u, 0x766a0abbu, 0x81c2c92eu, 0x92722c85u,
+    0xa2bfe8a1u, 0xa81a664bu, 0xc24b8b70u, 0xc76c51a3u,
+    0xd192e819u, 0xd6990624u, 0xf40e3585u, 0x106aa070u,
+    0x19a4c116u, 0x1e376c08u, 0x2748774cu, 0x34b0bcb5u,
+    0x391c0cb3u, 0x4ed8aa4au, 0x5b9cca4fu, 0x682e6ff3u,
+    0x748f82eeu, 0x78a5636fu, 0x84c87814u, 0x8cc70208u,
+    0x90befffau, 0xa4506cebu, 0xbef9a3f7u, 0xc67178f2u,
+};
+
+static const uint32_t H0[8] = {
+    0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u, 0xa54ff53au,
+    0x510e527fu, 0x9b05688cu, 0x1f83d9abu, 0x5be0cd19u,
+};
+
+#define ROR(x, n) (((x) >> (n)) | ((x) << (32 - (n))))
+
+static void compress_scalar(uint32_t state[8], const uint8_t block[64])
+{
+    uint32_t w[64];
+    uint32_t a, b, c, d, e, f, g, h;
+    int i;
+
+    for (i = 0; i < 16; i++) {
+        w[i] = ((uint32_t)block[4 * i] << 24) |
+               ((uint32_t)block[4 * i + 1] << 16) |
+               ((uint32_t)block[4 * i + 2] << 8) |
+               ((uint32_t)block[4 * i + 3]);
+    }
+    for (i = 16; i < 64; i++) {
+        uint32_t s0 = ROR(w[i - 15], 7) ^ ROR(w[i - 15], 18) ^ (w[i - 15] >> 3);
+        uint32_t s1 = ROR(w[i - 2], 17) ^ ROR(w[i - 2], 19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    a = state[0]; b = state[1]; c = state[2]; d = state[3];
+    e = state[4]; f = state[5]; g = state[6]; h = state[7];
+
+    for (i = 0; i < 64; i++) {
+        uint32_t S1 = ROR(e, 6) ^ ROR(e, 11) ^ ROR(e, 25);
+        uint32_t ch = (e & f) ^ (~e & g);
+        uint32_t t1 = h + S1 + ch + K[i] + w[i];
+        uint32_t S0 = ROR(a, 2) ^ ROR(a, 13) ^ ROR(a, 22);
+        uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+        uint32_t t2 = S0 + maj;
+        h = g; g = f; f = e; e = d + t1;
+        d = c; c = b; b = a; a = t1 + t2;
+    }
+
+    state[0] += a; state[1] += b; state[2] += c; state[3] += d;
+    state[4] += e; state[5] += f; state[6] += g; state[7] += h;
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define HAVE_SHANI_BUILD 1
+#include <immintrin.h>
+
+/* The standard Intel SHA-NI single-block flow: state packed as ABEF /
+ * CDGH, four rounds per sha256rnds2 pair, message schedule kept rolling
+ * with sha256msg1/msg2. */
+__attribute__((target("sha,sse4.1,ssse3")))
+static void compress_shani(uint32_t state[8], const uint8_t block[64])
+{
+    __m128i state0, state1, msg, tmp;
+    __m128i msg0, msg1, msg2, msg3;
+    __m128i abef_save, cdgh_save;
+    const __m128i mask = _mm_set_epi64x(
+        0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+    tmp = _mm_loadu_si128((const __m128i *)&state[0]);
+    state1 = _mm_loadu_si128((const __m128i *)&state[4]);
+
+    tmp = _mm_shuffle_epi32(tmp, 0xB1);          /* CDAB */
+    state1 = _mm_shuffle_epi32(state1, 0x1B);    /* EFGH */
+    state0 = _mm_alignr_epi8(tmp, state1, 8);    /* ABEF */
+    state1 = _mm_blend_epi16(state1, tmp, 0xF0); /* CDGH */
+
+    abef_save = state0;
+    cdgh_save = state1;
+
+    /* Rounds 0-3 */
+    msg = _mm_loadu_si128((const __m128i *)(block + 0));
+    msg0 = _mm_shuffle_epi8(msg, mask);
+    msg = _mm_add_epi32(msg0,
+        _mm_set_epi64x(0xE9B5DBA5B5C0FBCFULL, 0x71374491428A2F98ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    /* Rounds 4-7 */
+    msg1 = _mm_loadu_si128((const __m128i *)(block + 16));
+    msg1 = _mm_shuffle_epi8(msg1, mask);
+    msg = _mm_add_epi32(msg1,
+        _mm_set_epi64x(0xAB1C5ED5923F82A4ULL, 0x59F111F13956C25BULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    /* Rounds 8-11 */
+    msg2 = _mm_loadu_si128((const __m128i *)(block + 32));
+    msg2 = _mm_shuffle_epi8(msg2, mask);
+    msg = _mm_add_epi32(msg2,
+        _mm_set_epi64x(0x550C7DC3243185BEULL, 0x12835B01D807AA98ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    /* Rounds 12-15 */
+    msg3 = _mm_loadu_si128((const __m128i *)(block + 48));
+    msg3 = _mm_shuffle_epi8(msg3, mask);
+    msg = _mm_add_epi32(msg3,
+        _mm_set_epi64x(0xC19BF1749BDC06A7ULL, 0x80DEB1FE72BE5D74ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    /* Rounds 16-19 */
+    msg = _mm_add_epi32(msg0,
+        _mm_set_epi64x(0x240CA1CC0FC19DC6ULL, 0xEFBE4786E49B69C1ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    /* Rounds 20-23 */
+    msg = _mm_add_epi32(msg1,
+        _mm_set_epi64x(0x76F988DA5CB0A9DCULL, 0x4A7484AA2DE92C6FULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    /* Rounds 24-27 */
+    msg = _mm_add_epi32(msg2,
+        _mm_set_epi64x(0xBF597FC7B00327C8ULL, 0xA831C66D983E5152ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    /* Rounds 28-31 */
+    msg = _mm_add_epi32(msg3,
+        _mm_set_epi64x(0x1429296706CA6351ULL, 0xD5A79147C6E00BF3ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    /* Rounds 32-35 */
+    msg = _mm_add_epi32(msg0,
+        _mm_set_epi64x(0x53380D134D2C6DFCULL, 0x2E1B213827B70A85ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    /* Rounds 36-39 */
+    msg = _mm_add_epi32(msg1,
+        _mm_set_epi64x(0x92722C8581C2C92EULL, 0x766A0ABB650A7354ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    /* Rounds 40-43 */
+    msg = _mm_add_epi32(msg2,
+        _mm_set_epi64x(0xC76C51A3C24B8B70ULL, 0xA81A664BA2BFE8A1ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    /* Rounds 44-47 */
+    msg = _mm_add_epi32(msg3,
+        _mm_set_epi64x(0x106AA070F40E3585ULL, 0xD6990624D192E819ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    /* Rounds 48-51 */
+    msg = _mm_add_epi32(msg0,
+        _mm_set_epi64x(0x34B0BCB52748774CULL, 0x1E376C0819A4C116ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    /* Rounds 52-55 */
+    msg = _mm_add_epi32(msg1,
+        _mm_set_epi64x(0x682E6FF35B9CCA4FULL, 0x4ED8AA4A391C0CB3ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    /* Rounds 56-59 */
+    msg = _mm_add_epi32(msg2,
+        _mm_set_epi64x(0x8CC7020884C87814ULL, 0x78A5636F748F82EEULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    /* Rounds 60-63 */
+    msg = _mm_add_epi32(msg3,
+        _mm_set_epi64x(0xC67178F2BEF9A3F7ULL, 0xA4506CEB90BEFFFAULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+
+    tmp = _mm_shuffle_epi32(state0, 0x1B);       /* FEBA */
+    state1 = _mm_shuffle_epi32(state1, 0xB1);    /* DCHG */
+    state0 = _mm_blend_epi16(tmp, state1, 0xF0); /* DCBA */
+    state1 = _mm_alignr_epi8(state1, tmp, 8);    /* HGFE */
+
+    _mm_storeu_si128((__m128i *)&state[0], state0);
+    _mm_storeu_si128((__m128i *)&state[4], state1);
+}
+#endif /* __x86_64__ */
+
+static int pick_backend(void)
+{
+#ifdef HAVE_SHANI_BUILD
+    if (__builtin_cpu_supports("sha") && __builtin_cpu_supports("sse4.1")
+        && __builtin_cpu_supports("ssse3"))
+        return 2;
+#endif
+    return 1;
+}
+
+/* Which compression path expand will use: 1 = portable C, 2 = SHA-NI. */
+int repro_sha256_ctr_backend(void)
+{
+    static int backend;
+    if (!backend)
+        backend = pick_backend();
+    return backend;
+}
+
+/* out[i*32 .. i*32+31] = SHA256(seed || be64(ctr0 + i)).
+ * Requires seedlen <= 47 (message fits one padded block).
+ * Returns 0 on success, -1 on bad arguments. */
+int repro_sha256_ctr(const uint8_t *seed, size_t seedlen,
+                     uint64_t ctr0, uint64_t nblocks, uint8_t *out)
+{
+    uint8_t block[64];
+    size_t mlen;
+    uint64_t bits, i;
+    int j;
+    int backend;
+
+    if (seed == NULL || out == NULL || seedlen > 47)
+        return -1;
+
+    memset(block, 0, sizeof(block));
+    memcpy(block, seed, seedlen);
+    mlen = seedlen + 8;
+    block[mlen] = 0x80;
+    bits = (uint64_t)mlen * 8;
+    for (j = 0; j < 8; j++)
+        block[63 - j] = (uint8_t)(bits >> (8 * j));
+
+    backend = repro_sha256_ctr_backend();
+    for (i = 0; i < nblocks; i++) {
+        uint64_t c = ctr0 + i;
+        uint32_t st[8];
+        uint8_t *o = out + 32 * i;
+
+        for (j = 0; j < 8; j++)
+            block[seedlen + 7 - j] = (uint8_t)(c >> (8 * j));
+        memcpy(st, H0, sizeof(st));
+#ifdef HAVE_SHANI_BUILD
+        if (backend == 2)
+            compress_shani(st, block);
+        else
+#endif
+            compress_scalar(st, block);
+        for (j = 0; j < 8; j++) {
+            uint32_t v = st[j];
+            o[4 * j] = (uint8_t)(v >> 24);
+            o[4 * j + 1] = (uint8_t)(v >> 16);
+            o[4 * j + 2] = (uint8_t)(v >> 8);
+            o[4 * j + 3] = (uint8_t)v;
+        }
+    }
+    return 0;
+}

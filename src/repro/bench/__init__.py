@@ -13,6 +13,7 @@ from repro.bench.fleet import run_fleet
 from repro.bench.hotpath import run_hotpath
 from repro.bench.listener import run_listener
 from repro.bench.rounds import run_round, run_traffic
+from repro.bench.unmask import run_unmask
 from repro.bench.schema import (
     SCHEMA_VERSION,
     bench_path,
@@ -36,6 +37,7 @@ __all__ = [
     "run_listener",
     "run_round",
     "run_traffic",
+    "run_unmask",
     "validate_report",
     "write_bench",
 ]

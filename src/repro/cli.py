@@ -215,8 +215,11 @@ def _add_bench_parser(sub) -> None:
                                                    "round", "listener",
                                                    "fleet"],
                    choices=["hotpath", "traffic", "round", "listener",
-                            "fleet"],
-                   help="which reports to produce")
+                            "fleet", "unmask"],
+                   help="which reports to produce (unmask — the "
+                        "coordinator's full dropout-recovery plane at the "
+                        "target shape — runs only when asked for: its "
+                        "reference side alone takes minutes)")
     p.add_argument("--fleet-devices", type=int, default=1_000_000,
                    help="population size for the fleet topic")
     p.add_argument("--fleet-cohort", type=int, default=100,
@@ -226,6 +229,18 @@ def _add_bench_parser(sub) -> None:
     p.add_argument("--connections", type=int, default=1000,
                    help="concurrent dialing clients for the listener "
                         "stress topic")
+    p.add_argument("--unmask-dim", type=int, default=2 ** 20,
+                   help="model dimension for the unmask topic")
+    p.add_argument("--unmask-clients", type=int, default=100,
+                   help="cohort size for the unmask topic")
+    p.add_argument("--unmask-dropout", type=float, default=0.1,
+                   help="dropout fraction for the unmask topic")
+    p.add_argument("--unmask-workers", type=int, nargs="+", default=[1, 4],
+                   help="workers settings timed for the unmask fast plane")
+    p.add_argument("--unmask-repeats", type=int, default=1,
+                   help="best-of repetitions for the unmask topic (its "
+                        "reference side is minutes per repeat at the "
+                        "default shape)")
     p.add_argument("--out", default=".",
                    help="directory BENCH_<topic>.json files are written to")
     p.add_argument("--seed", type=int, default=0)
@@ -720,6 +735,34 @@ def _cmd_bench(args) -> int:
               f"{m['round_cost_fast_s']['value'] * 1e3:.3f}ms vectorized "
               f"({m['round_cost_speedup']['value']:.2f}x), "
               f"{int(m['resident_profiles']['value'])} resident profiles")
+    if "unmask" in args.topics:
+        if args.unmask_clients < 4 or not 0 <= args.unmask_dropout < 0.5:
+            print("--unmask-clients must be >= 4 and --unmask-dropout in "
+                  "[0, 0.5)", file=sys.stderr)
+            return 2
+        report = bench.run_unmask(
+            dim=args.unmask_dim,
+            clients=args.unmask_clients,
+            dropout=args.unmask_dropout,
+            workers_list=args.unmask_workers,
+            repeats=args.unmask_repeats,
+            bits=args.bits,
+            seed=args.seed,
+        )
+        written.append(bench.write_bench(report, args.out))
+        m = report["metrics"]
+        ref = m["unmask_reference_s"]["value"]
+        print(f"unmask plane d={args.unmask_dim} n={args.unmask_clients} "
+              f"dropout={args.unmask_dropout:g} "
+              f"({report['config']['prg_backend']}): {ref:.3f}s reference")
+        for w in args.unmask_workers:
+            fast = m[f"unmask_fast_w{w}_s"]["value"]
+            speed = m[f"unmask_speedup_w{w}"]["value"]
+            print(f"  workers={w}: {fast:.3f}s ({speed:.2f}x)")
+        if not m["parity_bit_identical"]["value"]:
+            print("unmask plane: fast aggregate != reference aggregate",
+                  file=sys.stderr)
+            return 1
     if "listener" in args.topics:
         if args.connections < 1:
             print("--connections must be positive", file=sys.stderr)

@@ -23,16 +23,60 @@ bit-identical by test (``tests/crypto/test_hotpath_parity.py``):
   ``hashlib.sha256(seed + counter)`` call per 32-byte block, exactly as
   the deployed protocol describes it.  Every optimization above must
   reproduce this stream byte for byte.
+
+:func:`expand_uniform` is the shared whole-mask entry point (counter 0,
+length · 8 bytes of stream) and :func:`expand_uniform_batch` amortizes
+its per-mask setup across the k expansions of an unmask round; both are
+parity-pinned per element against :class:`PRGReference`.
 """
 
 from __future__ import annotations
 
 import hashlib
 import sys
+import threading
 
 import numpy as np
 
+from repro import native
+
 _BLOCK = hashlib.sha256().digest_size  # 32 bytes
+
+# Backend for the *fast* paths only (PRGReference stays on hashlib, the
+# spec as written).  CPython's bundled HACL* SHA-256 (_sha256 on 3.11,
+# _sha2 on 3.12+) has a much cheaper midstate copy() than the OpenSSL
+# object hashlib hands out — and copy() dominates the counter loop,
+# where each block appends only 8 bytes to a copied midstate.  Both
+# produce the same digests (it's SHA-256); the parity pins against
+# PRGReference hold regardless of which backend is picked.
+try:  # pragma: no cover - exercised implicitly by every fast-path test
+    from _sha2 import sha256 as _sha256_fast  # type: ignore[import-not-found]
+except ImportError:  # pragma: no cover
+    try:
+        from _sha256 import sha256 as _sha256_fast  # type: ignore[import-not-found]
+    except ImportError:
+        _sha256_fast = hashlib.sha256
+
+# Counter blocks are the same for every seed (block i appends
+# ``i.to_bytes(8, "big")``), so the 8-byte encodings are precomputed
+# once and shared across all expansions — at d = 2^20 that is 2^18
+# encodings per mask, ~1000 masks per unmask round.  Grown on demand
+# under a lock (concurrent growers would interleave appends), capped so
+# a one-off huge expansion cannot pin unbounded memory.
+_CTR_CAP = 1 << 19
+_ctr_table: list[bytes] = []
+_ctr_lock = threading.Lock()
+
+
+def _counter_bytes(nblocks: int) -> list[bytes]:
+    """The first ``nblocks`` counter encodings (shared, cached ≤ cap)."""
+    if nblocks > _CTR_CAP:
+        return [i.to_bytes(8, "big") for i in range(nblocks)]
+    if len(_ctr_table) < nblocks:
+        with _ctr_lock:
+            for i in range(len(_ctr_table), nblocks):
+                _ctr_table.append(i.to_bytes(8, "big"))
+    return _ctr_table[:nblocks]
 
 
 class PRGReference:
@@ -98,10 +142,10 @@ class PRG:
         self._seed = bytes(seed)
         self._counter = 0
         # Midstate: the seed is absorbed exactly once; each block copies
-        # this state and appends only its 8 counter bytes.  hashlib's
-        # copy() preserves buffered input, so SHA256(seed ∥ ctr) ==
+        # this state and appends only its 8 counter bytes.  copy()
+        # preserves buffered input, so SHA256(seed ∥ ctr) ==
         # copy().update(ctr).digest() for any seed length.
-        self._midstate = hashlib.sha256(self._seed)
+        self._midstate = _sha256_fast(self._seed)
 
     @property
     def seed(self) -> bytes:
@@ -182,12 +226,77 @@ class PRG:
         return np.random.default_rng(int.from_bytes(key, "big"))
 
 
+def _expand_reduced(seed: bytes, length: int, modulus: int) -> np.ndarray:
+    """One full-speed mask expansion (counter 0, ``modulus`` ≤ 2**63).
+
+    The shared inner loop of :func:`expand_uniform` and
+    :func:`expand_uniform_batch`: midstate copied per counter block,
+    counter encodings from the shared table, one join, one in-place
+    byteswap, one vectorized reduction.  Power-of-two moduli — the
+    protocol's Z_{2^b} ring — reduce with a bitmask instead of a modulo
+    (identical values: ``x % 2**b == x & (2**b − 1)`` for unsigned x).
+    Returns an int64 view; every value is < ``modulus`` ≤ 2**63.
+    """
+    nbytes = 8 * length
+    nblocks = -(-nbytes // _BLOCK)
+    # The native kernel (repro.native) emits the identical block stream
+    # ~10× faster when the host can build it; None means "no kernel" and
+    # the hashlib loop below serves the same bytes.
+    buf = native.sha256_ctr_stream(seed, nblocks)
+    if buf is None:
+        copy = _sha256_fast(seed).copy
+        blocks: list[bytes] = []
+        append = blocks.append
+        for ctr in _counter_bytes(nblocks):
+            h = copy()
+            h.update(ctr)
+            append(h.digest())
+        buf = bytearray(b"".join(blocks))
+    words = np.frombuffer(buf, dtype=np.uint64, count=length)
+    if sys.byteorder == "little":
+        words.byteswap(inplace=True)
+    if modulus & (modulus - 1) == 0:
+        words &= np.uint64(modulus - 1)
+    else:
+        words %= np.uint64(modulus)
+    return words.view(np.int64)
+
+
 def expand_uniform(seed: bytes, length: int, modulus: int) -> np.ndarray:
     """Expand ``seed`` into ``length`` uniform ring elements (fresh PRG).
 
     The one shared mask-expansion entry point: SecAgg masking
     (:mod:`repro.secagg.masking`) and the API layer's PG handler both
     call this, so there is exactly one hot-path implementation and one
-    parity surface.
+    parity surface.  Bit-identical to
+    ``PRGReference(seed).uniform_vector(length, modulus)`` (pinned by
+    test); oversized moduli take the :class:`PRG` fallback reduction.
     """
-    return PRG(seed).uniform_vector(length, modulus)
+    if not isinstance(seed, (bytes, bytearray)):
+        raise TypeError("seed must be bytes")
+    if modulus <= 0:
+        raise ValueError("modulus must be positive")
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    if length == 0:
+        return np.zeros(0, dtype=np.int64)
+    if modulus > 1 << 63:
+        return PRG(seed).uniform_vector(length, modulus)
+    return _expand_reduced(bytes(seed), length, modulus)
+
+
+def expand_uniform_batch(
+    seeds: list[bytes], length: int, modulus: int
+) -> np.ndarray:
+    """Expand ``k`` seeds into a ``(k, length)`` int64 matrix.
+
+    Row ``i`` is bit-identical to ``expand_uniform(seeds[i], …)`` —
+    batching only amortizes the per-mask setup (the shared counter
+    table, one output allocation) across the round's expansions.  The
+    coordinator's unmask plane expands ~|U3| + |U2\\U3|·degree masks per
+    round through this.
+    """
+    out = np.empty((len(seeds), length), dtype=np.int64)
+    for i, seed in enumerate(seeds):
+        out[i] = expand_uniform(seed, length, modulus)
+    return out

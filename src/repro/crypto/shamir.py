@@ -47,11 +47,17 @@ class ShamirSecretSharing:
         The prime field to operate in; defaults to GF(2**127 − 1).
     """
 
+    # Distinct share-holder sets seen per instance before the Lagrange
+    # cache resets.  An unmask round reconstructs ~n secrets over a
+    # handful of responder sets; 256 is far above any realistic round.
+    _LAGRANGE_CACHE_CAP = 256
+
     def __init__(self, threshold: int, field: PrimeField = FIELD):
         if threshold < 1:
             raise ValueError("threshold must be >= 1")
         self.threshold = threshold
         self.field = field
+        self._lagrange_cache: dict[tuple[int, ...], list[int]] = {}
 
     def share(self, secret: bytes, participant_ids: list[int]) -> dict[int, Share]:
         """Split ``secret`` into one share per participant id.
@@ -153,10 +159,46 @@ class ShamirSecretSharing:
         The Lagrange-at-zero coefficients are computed once for the
         chosen evaluation points and reused across every chunk, with one
         deferred reduction per chunk (bit-identical to
-        :meth:`reconstruct_reference`; pinned by test).
+        :meth:`reconstruct_reference`; pinned by test).  Coefficients
+        are additionally memoized per instance keyed by the x-coordinate
+        tuple, so repeated reconstructions over the same share-holder
+        set — the common case in an unmask round, where every secret is
+        held by the same responder set — skip the modular-inverse work
+        entirely.
         """
         use, n_chunks, secret_len = self._select_shares(shares)
-        lagrange = self._lagrange_at_zero([s.x for s in use])
+        lagrange = self._lagrange_cached(tuple(s.x for s in use))
+        return self._interpolate_chunks(use, n_chunks, secret_len, lagrange)
+
+    def reconstruct_many(self, share_lists: list[list[Share]]) -> list[bytes]:
+        """Recover one secret per share list, amortizing Lagrange setup.
+
+        The coordinator's batched recovery entry point: an unmask round
+        reconstructs |U3| self-mask seeds plus |U2\\U3| mask keys, and
+        every one of them is typically held by the same responder set —
+        so the Lagrange-at-zero coefficients (one modular inverse per
+        share) are computed once per distinct x-tuple and reused across
+        the whole batch.  Element ``i`` is bit-identical to
+        ``reconstruct(share_lists[i])`` (pinned by test), including
+        which ``ValueError`` a malformed list raises and in which order.
+        """
+        out: list[bytes] = []
+        for shares in share_lists:
+            use, n_chunks, secret_len = self._select_shares(shares)
+            lagrange = self._lagrange_cached(tuple(s.x for s in use))
+            out.append(
+                self._interpolate_chunks(use, n_chunks, secret_len, lagrange)
+            )
+        return out
+
+    def _interpolate_chunks(
+        self,
+        use: list[Share],
+        n_chunks: int,
+        secret_len: int,
+        lagrange: list[int],
+    ) -> bytes:
+        """Interpolate every chunk at zero with one reduction per chunk."""
         p = self.field.p
         chunks: list[bytes] = []
         remaining = secret_len
@@ -169,6 +211,17 @@ class ShamirSecretSharing:
             chunks.append(int_to_bytes(value, size) if size else b"")
             remaining -= size
         return b"".join(chunks)
+
+    def _lagrange_cached(self, xs: tuple[int, ...]) -> list[int]:
+        """Memoized :meth:`_lagrange_at_zero` (fast paths only — the
+        reference twin recomputes per call, as the spec is written)."""
+        coeffs = self._lagrange_cache.get(xs)
+        if coeffs is None:
+            if len(self._lagrange_cache) >= self._LAGRANGE_CACHE_CAP:
+                self._lagrange_cache.clear()
+            coeffs = self._lagrange_at_zero(list(xs))
+            self._lagrange_cache[xs] = coeffs
+        return coeffs
 
     def reconstruct_reference(self, shares: list[Share]) -> bytes:
         """Retained scalar reference for :meth:`reconstruct` (modulo per

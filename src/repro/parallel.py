@@ -1,0 +1,116 @@
+"""A small worker pool for the coordinator's compute plane.
+
+The unmask stage fans two kinds of work across workers: PRG mask
+expansion (hashlib releases the GIL around large compression runs, numpy
+around large vector ops) and Shamir reconstruction.  The pool is a thin
+shell over :class:`concurrent.futures.ThreadPoolExecutor` with two hard
+guarantees the callers rely on:
+
+- ``workers=1`` is a *purely inline* serial path — no executor, no
+  threads, no queue; ``map`` is a list comprehension.  The parity pin
+  "``workers=1`` ≡ ``workers=N`` bit-identical" is therefore a statement
+  about the fan-out algebra (order-independent exact int64 sums), not
+  about thread scheduling.
+- ``map`` always returns results in input order, whatever order the
+  workers finished in.
+
+Threads, not processes: the fan-out payloads are multi-megabyte numpy
+vectors, and process pools would serialize them through pickle for a
+workload whose hot loops already drop the GIL.  On a single-core host
+the pool degrades gracefully to (slightly slower than) the serial path —
+which is why ``workers=1`` stays the default everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, ThreadPoolExecutor
+from typing import Any, Callable, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a ``workers`` setting to a concrete pool size.
+
+    ``None`` means "one worker per available core"; any integer must be
+    ≥ 1.  ``1`` is the serial path.
+    """
+    if workers is None:
+        return max(1, os.cpu_count() or 1)
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError("workers must be >= 1 (or None for auto)")
+    return workers
+
+
+class WorkerPool:
+    """Ordered fan-out over ``workers`` threads (inline when 1)."""
+
+    def __init__(self, workers: Optional[int] = 1):
+        self.workers = resolve_workers(workers)
+        self._executor: Optional[ThreadPoolExecutor] = (
+            ThreadPoolExecutor(max_workers=self.workers)
+            if self.workers > 1
+            else None
+        )
+
+    @property
+    def executor(self) -> Optional[Executor]:
+        """The underlying executor (``None`` on the serial path)."""
+        return self._executor
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Apply ``fn`` to every item; results keep the input order."""
+        if self._executor is None or len(items) <= 1:
+            return [fn(item) for item in items]
+        return list(self._executor.map(fn, items))
+
+    async def run_async(self, fn: Callable[..., R], *args: Any) -> R:
+        """Run one call off the event loop (inline on the serial path).
+
+        The :class:`repro.engine.RoundEngine` offload hook: a server
+        compute op runs here so the loop thread stays free to service
+        listener I/O mid-round.
+        """
+        if self._executor is None:
+            return fn(*args)
+        import asyncio
+
+        return await asyncio.get_running_loop().run_in_executor(
+            self._executor, lambda: fn(*args)
+        )
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def split_slabs(items: Sequence[T], n_slabs: int) -> list[list[T]]:
+    """Partition ``items`` into ≤ ``n_slabs`` contiguous non-empty slabs.
+
+    Contiguity keeps per-slab results deterministic for any slab count:
+    callers reduce slab partials with an exact, order-independent
+    operation (int64 addition), so the slab boundaries never show in the
+    final value.
+    """
+    items = list(items)
+    if not items:
+        return []
+    n_slabs = max(1, min(int(n_slabs), len(items)))
+    size, extra = divmod(len(items), n_slabs)
+    slabs: list[list[T]] = []
+    start = 0
+    for i in range(n_slabs):
+        end = start + size + (1 if i < extra else 0)
+        slabs.append(items[start:end])
+        start = end
+    return slabs

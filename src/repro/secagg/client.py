@@ -31,7 +31,8 @@ from repro.crypto.pki import PublicKeyInfrastructure
 from repro.crypto.shamir import Share, ShamirSecretSharing, random_seed
 from repro.crypto.signature import SchnorrSigner
 from repro.secagg import wire
-from repro.secagg.masking import MaskAccumulator, pairwise_mask, self_mask
+from repro.crypto.prg import expand_uniform
+from repro.secagg.masking import MaskAccumulator, self_mask
 from repro.secagg.types import (
     AdvertiseKeysMsg,
     MaskedInputMsg,
@@ -202,13 +203,19 @@ class SecAggClient:
         peers = sorted(self._neighbors & self._u2)
         # Input + self mask + one pairwise mask per live neighbor, summed
         # with one deferred reduction (int64 headroom guard inside).
+        # The pairwise sign γ (p_{u,v} = γ·PRG(s_{u,v}), γ = +1 iff
+        # u > v) folds into the accumulation: subtracting the raw
+        # expansion equals adding ``(−PRG(s)) % R`` without the extra
+        # full-vector negate-and-reduce pass `pairwise_mask` pays.
         acc = MaskAccumulator(update_ring, modulus, n_terms=2 + len(peers))
         acc.add(self_mask(self._b_seed, self.config.dimension, modulus))
         for peer in peers:
             seed = self._ka.agree(self._s_pair, self._roster[peer].s_public)
-            acc.add(
-                pairwise_mask(seed, self.id, peer, self.config.dimension, modulus)
-            )
+            base = expand_uniform(seed, self.config.dimension, modulus)
+            if self.id > peer:
+                acc.add(base)
+            else:
+                acc.sub(base)
         return MaskedInputMsg(sender=self.id, masked_vector=acc.finish())
 
     # ------------------------------------------------------------------

@@ -44,21 +44,30 @@ def self_mask(seed: bytes, dimension: int, modulus: int) -> np.ndarray:
 
 
 class MaskAccumulator:
-    """Sum of a base vector and ``n`` masks mod R with deferred reduction.
+    """Signed sum of a base vector and ``n`` masks mod R, reduced once.
 
     MaskedInputCollection adds the self mask plus one pairwise mask per
-    live neighbor to the encoded input.  Reducing after *every* add
-    walks the full vector k + 1 extra times; instead the masks are
-    summed raw in int64 and reduced once at :meth:`finish`.
+    live neighbor to the encoded input; the coordinator's unmask plane
+    *subtracts* reconstructed masks from the survivor sum.  Reducing
+    after *every* term walks the full vector k + 1 extra times; instead
+    the terms fold raw into int64 (:meth:`add` / :meth:`sub`) and reduce
+    once at :meth:`finish`.
 
-    Headroom proof: each term is in ``[0, modulus)``, so the running sum
-    of ``n_terms`` terms is at most ``n_terms · (modulus − 1)``; with
-    the paper's ring bit-width b ≤ 24 and any realistic cohort,
-    ``n_terms · modulus < 2**63`` and int64 never overflows.  An
-    explicit guard checks exactly that and falls back to per-add
-    reduction otherwise — the two paths are bit-identical (pinned by
-    test) because ``(Σ xᵢ) mod R`` equals the left-fold of
-    ``(· + xᵢ) mod R``.
+    Headroom proof: each term is in ``[0, modulus)``, so the running
+    signed sum of ``n_terms`` terms has magnitude at most
+    ``n_terms · (modulus − 1)``; the deferral guard requires exactly
+    ``n_terms · (modulus − 1) < 2**63``, so int64 never overflows —
+    with the paper's ring bit-width b ≤ 24 and any realistic cohort the
+    guard always passes.  When it fails the accumulator falls back to
+    per-term reduction; the two paths are bit-identical (pinned by
+    test) because ``(Σ ±xᵢ) mod R`` equals the left-fold of
+    ``(· ± xᵢ) mod R``, and both Python's and NumPy's ``%`` map
+    negative values into ``[0, R)``.
+
+    Subtraction folds the pairwise-mask sign γ into the accumulation:
+    instead of materializing ``(−PRG(s)) % R`` (a full extra vector
+    pass) and adding it, callers ``sub`` the raw expansion —
+    ``(x + ((−b) mod R)) mod R == (x − b) mod R``.
     """
 
     def __init__(self, base: np.ndarray, modulus: int, n_terms: int):
@@ -69,15 +78,27 @@ class MaskAccumulator:
         self._acc = np.asarray(base, dtype=np.int64) % modulus
         self._remaining = n_terms - 1
 
-    def add(self, mask: np.ndarray) -> None:
-        """Fold one mask vector (values in ``[0, modulus)``) into the sum."""
+    def _fold(self, mask: np.ndarray, sign: int) -> None:
         if self._remaining <= 0:
             raise ValueError("more masks added than n_terms declared")
         self._remaining -= 1
         if self._deferred:
-            self._acc += mask
-        else:
+            if sign > 0:
+                self._acc += mask
+            else:
+                self._acc -= mask
+        elif sign > 0:
             self._acc = (self._acc + mask) % self._modulus
+        else:
+            self._acc = (self._acc - mask) % self._modulus
+
+    def add(self, mask: np.ndarray) -> None:
+        """Fold one mask vector (values in ``[0, modulus)``) into the sum."""
+        self._fold(mask, 1)
+
+    def sub(self, mask: np.ndarray) -> None:
+        """Fold one *negated* mask vector into the sum."""
+        self._fold(mask, -1)
 
     def finish(self) -> np.ndarray:
         """The accumulated sum, reduced into ``[0, modulus)``."""
@@ -94,6 +115,21 @@ def accumulate_masks_reference(
     total = np.asarray(base, dtype=np.int64) % modulus
     for mask in masks:
         total = (total + mask) % modulus
+    return total
+
+
+def accumulate_signed_masks_reference(
+    base: np.ndarray, terms: list[tuple[np.ndarray, int]], modulus: int
+) -> np.ndarray:
+    """Retained signed reference for :class:`MaskAccumulator`: one
+    reduced ``(· ± xᵢ) mod R`` step per term, in term order — the
+    left-fold the deferred signed sum must reproduce bit for bit."""
+    total = np.asarray(base, dtype=np.int64) % modulus
+    for mask, sign in terms:
+        if sign > 0:
+            total = (total + mask) % modulus
+        else:
+            total = (total - mask) % modulus
     return total
 
 

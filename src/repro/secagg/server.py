@@ -19,8 +19,10 @@ import numpy as np
 
 from repro.crypto.dh import DHKeyPair, KeyAgreement, resolve_group
 from repro.crypto.pki import PublicKeyInfrastructure
+from repro.crypto.prg import PRGReference, expand_uniform, expand_uniform_batch
 from repro.crypto.shamir import Share, ShamirSecretSharing
-from repro.secagg.masking import pairwise_mask, self_mask
+from repro.parallel import WorkerPool, split_slabs
+from repro.secagg.masking import MaskAccumulator
 from repro.secagg.types import (
     AdvertiseKeysMsg,
     MaskedInputMsg,
@@ -119,16 +121,123 @@ class SecAggServer:
         """U2 \\ U3 — clients whose pairwise masks must be reconstructed."""
         return sorted(set(self.u2) - set(self.u3))
 
+    # How many masks one expand_uniform_batch call materializes at once
+    # inside a worker slab — bounds peak memory per worker to a few
+    # vectors while still amortizing the batch entry point's setup.
+    _EXPAND_BATCH = 4
+
     # ------------------------------------------------------------------
     def collect_unmask(self, messages: dict[int, UnmaskingMsg]) -> np.ndarray:
-        """Fix U5, reconstruct masks, and return the unmasked ring sum."""
-        good = {u: m for u, m in messages.items() if u in self.u4}
-        if len(good) < self.config.threshold:
-            raise ProtocolAbort(f"only {len(good)} unmask responses; below threshold")
-        self.u5 = sorted(good)
+        """Fix U5, reconstruct masks, and return the unmasked ring sum.
 
+        The unmasking plane.  The round's entire mask-cancellation sum
+
+            z = Σ_{u∈U3} y_u − Σ_{u∈U3} PRG(b_u) − Σ γ_{v,u}·PRG(s_{v,u})
+
+        is computed as one deferred-reduction int64 accumulation: every
+        term folds in raw (the pairwise sign γ folds into the sum — no
+        ``(−mask) % R`` materialization) and the vector is reduced into
+        ``[0, R)`` exactly once at the end.  Secrets are recovered
+        through :meth:`ShamirSecretSharing.reconstruct_many`, which
+        computes the Lagrange-at-zero coefficients once per share-holder
+        set; mask expansion and reconstruction fan across a
+        :class:`repro.parallel.WorkerPool` sized by ``config.workers``
+        (``workers=1`` is purely inline and serial).  Slab partials are
+        exact int64 sums, so the aggregate is bit-identical at every
+        ``workers`` setting and to :meth:`collect_unmask_reference`
+        (both pinned by test).
+
+        Headroom guard: the deferred signed sum has magnitude at most
+        ``n_terms · (modulus − 1)``; when that (or the modulus itself)
+        would not fit int64, the plane falls back to per-term reduced
+        accumulation through :class:`MaskAccumulator`, whose internal
+        guard makes the same call.
+        """
+        good = self._accept_unmask(messages)
         modulus = self.config.modulus
-        aggregate = np.zeros(self.config.dimension, dtype=np.int64)
+        dim = self.config.dimension
+        dropped = self.dropped_after_masking
+        ss = ShamirSecretSharing(self.config.threshold)
+
+        # One reconstruction job per secret, in the reference twin's
+        # order (survivors' b_u first, then dropped clients' s^SK) so a
+        # failed reconstruction aborts with the identical message.
+        jobs: list[tuple[list[Share], str]] = [
+            (
+                [m.b_shares[u] for m in good.values() if u in m.b_shares],
+                f"self-mask seed of {u}",
+            )
+            for u in self.u3
+        ]
+        jobs += [
+            (
+                [m.s_sk_shares[u] for m in good.values() if u in m.s_sk_shares],
+                f"mask key of {u}",
+            )
+            for u in dropped
+        ]
+
+        with WorkerPool(self.config.workers) as pool:
+            secrets = self._reconstruct_batch(ss, jobs, pool)
+            b_seeds = secrets[: len(self.u3)]
+
+            # The signed expansion terms: survivors' self masks subtract;
+            # a dropped u's pairwise mask p_{v,u} = γ·PRG(s_{v,u}) with
+            # γ = +1 iff v > u is *subtracted*, so the raw expansion
+            # folds with sign −γ.
+            terms: list[tuple[bytes, int]] = [(seed, -1) for seed in b_seeds]
+            for u, sk_bytes in zip(dropped, secrets[len(self.u3):]):
+                pair = DHKeyPair(secret=int.from_bytes(sk_bytes, "big"), public=0)
+                for v in sorted(self.graph.get(u, set()) & set(self.u3)):
+                    seed = self._ka.agree(pair, self.roster[v].s_public)
+                    terms.append((seed, -1 if v > u else 1))
+
+            n_terms = 1 + len(self.u3) + len(terms)
+            if modulus > 2**63 or n_terms * (modulus - 1) >= 2**63:
+                # No int64 headroom: fold every term with interleaved
+                # reductions (MaskAccumulator's guard picks that path for
+                # exactly this n_terms/modulus combination).
+                acc = MaskAccumulator(
+                    np.zeros(dim, dtype=np.int64), modulus, n_terms=n_terms
+                )
+                for u in self.u3:
+                    acc.add(self._masked[u])
+                for seed, sign in terms:
+                    mask = expand_uniform(seed, dim, modulus)
+                    if sign > 0:
+                        acc.add(mask)
+                    else:
+                        acc.sub(mask)
+                return acc.finish()
+
+            aggregate = np.zeros(dim, dtype=np.int64)
+            for u in self.u3:
+                aggregate += self._masked[u]
+            if terms:
+                aggregate += self._sum_signed_masks(terms, pool)
+            aggregate %= modulus
+            return aggregate
+
+    # ------------------------------------------------------------------
+    def collect_unmask_reference(
+        self, messages: dict[int, UnmaskingMsg]
+    ) -> np.ndarray:
+        """Retained serial reference for :meth:`collect_unmask`.
+
+        The executable specification of the unmasking plane, composed
+        from the reference primitives: one full ``(· ± x) mod R``
+        reduction per term, one :class:`PRGReference` expansion per
+        mask (``(−base) % R`` materialized for the γ = −1 pairwise
+        case), one :meth:`ShamirSecretSharing.reconstruct_reference`
+        per secret with its own Lagrange computation.  The fast plane
+        must reproduce this aggregate bit for bit at every ``workers``
+        setting (pinned by test); it is also the "before" side of
+        ``bench --topics unmask``.
+        """
+        good = self._accept_unmask(messages)
+        modulus = self.config.modulus
+        dim = self.config.dimension
+        aggregate = np.zeros(dim, dtype=np.int64)
         for u in self.u3:
             aggregate = (aggregate + self._masked[u]) % modulus
 
@@ -136,13 +245,12 @@ class SecAggServer:
 
         # Remove survivors' self masks: reconstruct b_u, expand, subtract.
         for u in self.u3:
-            shares = [
-                m.b_shares[u] for m in good.values() if u in m.b_shares
-            ]
-            b_seed = self._reconstruct(ss, shares, f"self-mask seed of {u}")
-            aggregate = (
-                aggregate - self_mask(b_seed, self.config.dimension, modulus)
-            ) % modulus
+            shares = [m.b_shares[u] for m in good.values() if u in m.b_shares]
+            b_seed = self._reconstruct_reference(
+                ss, shares, f"self-mask seed of {u}"
+            )
+            mask = PRGReference(b_seed).uniform_vector(dim, modulus)
+            aggregate = (aggregate - mask) % modulus
 
         # Cancel dropped clients' pairwise masks: reconstruct s^SK_u, then
         # recompute p_{v,u} for each surviving neighbor v and subtract it.
@@ -150,20 +258,99 @@ class SecAggServer:
             shares = [
                 m.s_sk_shares[u] for m in good.values() if u in m.s_sk_shares
             ]
-            sk_bytes = self._reconstruct(ss, shares, f"mask key of {u}")
+            sk_bytes = self._reconstruct_reference(ss, shares, f"mask key of {u}")
             sk = int.from_bytes(sk_bytes, "big")
             pair = DHKeyPair(secret=sk, public=0)
             for v in sorted(self.graph.get(u, set()) & set(self.u3)):
                 seed = self._ka.agree(pair, self.roster[v].s_public)
-                mask = pairwise_mask(seed, v, u, self.config.dimension, modulus)
+                base = PRGReference(seed).uniform_vector(dim, modulus)
+                mask = base if v > u else (-base) % modulus
                 aggregate = (aggregate - mask) % modulus
         return aggregate
 
     # ------------------------------------------------------------------
+    def _accept_unmask(
+        self, messages: dict[int, UnmaskingMsg]
+    ) -> dict[int, UnmaskingMsg]:
+        """Shared stage-4 validation: fix U5, return the good responses."""
+        good = {u: m for u, m in messages.items() if u in self.u4}
+        if len(good) < self.config.threshold:
+            raise ProtocolAbort(f"only {len(good)} unmask responses; below threshold")
+        self.u5 = sorted(good)
+        return good
+
+    def _reconstruct_batch(
+        self,
+        ss: ShamirSecretSharing,
+        jobs: list[tuple[list[Share], str]],
+        pool: WorkerPool,
+    ) -> list[bytes]:
+        """All secrets, reconstructed in slabs across the pool.
+
+        On any reconstruction failure, the jobs are replayed serially in
+        order so the abort carries the first failing secret's label —
+        identical to the reference twin's behavior.
+        """
+        share_lists = [shares for shares, _ in jobs]
+        try:
+            slabs = split_slabs(share_lists, pool.workers)
+            return [
+                secret
+                for batch in pool.map(ss.reconstruct_many, slabs)
+                for secret in batch
+            ]
+        except ValueError:
+            for shares, what in jobs:
+                self._reconstruct(ss, shares, what)
+            raise  # unreachable: the replay aborts at the failing job
+
+    def _sum_signed_masks(
+        self, terms: list[tuple[bytes, int]], pool: WorkerPool
+    ) -> np.ndarray:
+        """Σ sign·PRG(seed) over ``terms`` as an *unreduced* int64 vector.
+
+        Terms split into contiguous slabs, one per worker; each slab
+        expands its seeds through :func:`expand_uniform_batch` in small
+        chunks (bounding peak memory) and folds them into a slab
+        partial.  Partials and the final sum are exact int64 arithmetic
+        — order-independent, so the result is identical for any slab
+        count.  Callers guarantee int64 headroom.
+        """
+        dim = self.config.dimension
+        modulus = self.config.modulus
+        batch = self._EXPAND_BATCH
+
+        def slab_sum(slab: list[tuple[bytes, int]]) -> np.ndarray:
+            part = np.zeros(dim, dtype=np.int64)
+            for start in range(0, len(slab), batch):
+                chunk = slab[start : start + batch]
+                masks = expand_uniform_batch(
+                    [seed for seed, _ in chunk], dim, modulus
+                )
+                for row, (_, sign) in zip(masks, chunk):
+                    if sign > 0:
+                        part += row
+                    else:
+                        part -= row
+            return part
+
+        total = np.zeros(dim, dtype=np.int64)
+        for part in pool.map(slab_sum, split_slabs(terms, pool.workers)):
+            total += part
+        return total
+
     def _reconstruct(
         self, ss: ShamirSecretSharing, shares: list[Share], what: str
     ) -> bytes:
         try:
             return ss.reconstruct(shares)
+        except ValueError as exc:
+            raise ProtocolAbort(f"cannot reconstruct {what}: {exc}") from exc
+
+    def _reconstruct_reference(
+        self, ss: ShamirSecretSharing, shares: list[Share], what: str
+    ) -> bytes:
+        try:
+            return ss.reconstruct_reference(shares)
         except ValueError as exc:
             raise ProtocolAbort(f"cannot reconstruct {what}: {exc}") from exc

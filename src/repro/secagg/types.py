@@ -64,6 +64,12 @@ class SecAggConfig:
     dh_group:
         Named Diffie–Hellman group ("modp2048" for deployment-grade keys,
         "modp512" for fast simulation/testing).
+    workers:
+        Worker threads for the coordinator's unmask compute plane.
+        ``1`` (the default) is the purely inline serial path; ``None``
+        means one worker per available core.  Any setting produces the
+        bit-identical aggregate (pinned by test) — the fan-out reduces
+        with exact order-independent int64 sums.
     """
 
     threshold: int
@@ -73,6 +79,7 @@ class SecAggConfig:
     graph_degree: Optional[int] = None
     graph_seed: int = 0
     dh_group: str = "modp2048"
+    workers: Optional[int] = 1
 
     def __post_init__(self) -> None:
         if self.threshold < 1:
@@ -83,6 +90,8 @@ class SecAggConfig:
             raise ValueError("dimension must be >= 1")
         if self.graph_degree is not None and self.graph_degree < 1:
             raise ValueError("graph_degree must be >= 1 when given")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be >= 1 (or None for auto)")
         from repro.crypto.dh import GROUPS
 
         if self.dh_group not in GROUPS:

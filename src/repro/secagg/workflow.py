@@ -103,6 +103,12 @@ class SecAggWorkflowClient(ProtocolClient):
 class SecAggWorkflowServer(ProtocolServer):
     """Declared Fig.-5 workflow around one :class:`SecAggServer`."""
 
+    # Server compute ops heavy enough to offload to the engine's worker
+    # pool (when one is configured): the unmask plane expands and folds
+    # ~|U3| + |U2\U3|·degree full-length masks, and running it on an
+    # executor keeps the coordinator's event loop serving listener I/O.
+    offload_ops = frozenset({"collect_unmask"})
+
     def __init__(self, inner: SecAggServer, traffic: Optional[TrafficMeter] = None):
         self.inner = inner
         self.config = inner.config

@@ -1,0 +1,99 @@
+"""The worker pool behind the coordinator's unmask compute plane."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.parallel import WorkerPool, resolve_workers, split_slabs
+
+
+class TestResolveWorkers:
+    def test_explicit_counts_pass_through(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(7) == 7
+
+    def test_none_means_cpu_count(self):
+        assert resolve_workers(None) >= 1
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+        with pytest.raises(ValueError):
+            resolve_workers(-2)
+
+
+class TestWorkerPool:
+    def test_serial_pool_has_no_executor(self):
+        with WorkerPool(1) as pool:
+            assert pool.executor is None
+            assert pool.map(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+
+    def test_parallel_map_keeps_input_order(self):
+        with WorkerPool(4) as pool:
+            assert pool.executor is not None
+            items = list(range(40))
+            assert pool.map(lambda x: x * x, items) == [x * x for x in items]
+
+    def test_parallel_map_runs_off_the_calling_thread(self):
+        seen = set()
+
+        def record(_):
+            seen.add(threading.get_ident())
+            return None
+
+        with WorkerPool(3) as pool:
+            pool.map(record, list(range(30)))
+        assert threading.get_ident() not in seen
+
+    def test_map_propagates_worker_exceptions(self):
+        def boom(x):
+            if x == 2:
+                raise RuntimeError("slab failed")
+            return x
+
+        with WorkerPool(2) as pool:
+            with pytest.raises(RuntimeError, match="slab failed"):
+                pool.map(boom, [1, 2, 3])
+
+    def test_run_async_inline_when_serial(self):
+        async def go():
+            with WorkerPool(1) as pool:
+                tid = await pool.run_async(threading.get_ident)
+            assert tid == threading.get_ident()
+
+        asyncio.run(go())
+
+    def test_run_async_offloads_when_parallel(self):
+        async def go():
+            with WorkerPool(2) as pool:
+                tid = await pool.run_async(threading.get_ident)
+            assert tid != threading.get_ident()
+
+        asyncio.run(go())
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(2)
+        pool.close()
+        pool.close()
+        assert pool.executor is None
+
+
+class TestSplitSlabs:
+    def test_empty_items_give_no_slabs(self):
+        assert split_slabs([], 4) == []
+
+    def test_slabs_are_contiguous_and_cover_everything(self):
+        items = list(range(13))
+        for n in (1, 2, 3, 5, 13, 50):
+            slabs = split_slabs(items, n)
+            assert [x for slab in slabs for x in slab] == items
+            assert all(slab for slab in slabs)
+            assert len(slabs) == min(n, len(items))
+
+    def test_slab_sizes_differ_by_at_most_one(self):
+        slabs = split_slabs(list(range(11)), 3)
+        sizes = [len(s) for s in slabs]
+        assert max(sizes) - min(sizes) <= 1

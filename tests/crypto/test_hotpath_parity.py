@@ -14,9 +14,19 @@ import random
 import numpy as np
 import pytest
 
-from repro.crypto.prg import PRG, PRGReference, expand_uniform
+from repro import native
+from repro.crypto.prg import (
+    PRG,
+    PRGReference,
+    expand_uniform,
+    expand_uniform_batch,
+)
 from repro.crypto.shamir import ShamirSecretSharing
-from repro.secagg.masking import MaskAccumulator, accumulate_masks_reference
+from repro.secagg.masking import (
+    MaskAccumulator,
+    accumulate_masks_reference,
+    accumulate_signed_masks_reference,
+)
 
 
 class TestPRGParity:
@@ -81,6 +91,48 @@ class TestPRGParity:
             expand_uniform(b"z" * 32, 257, 1 << 24),
             PRGReference(b"z" * 32).uniform_vector(257, 1 << 24),
         )
+
+    @pytest.mark.parametrize(
+        "modulus", [1, 997, 1 << 20, 1 << 62, (1 << 63) + 5]
+    )
+    def test_expand_uniform_batch_rows_match_reference(self, modulus):
+        rng = random.Random(17)
+        seeds = [rng.randbytes(32) for _ in range(5)]
+        out = expand_uniform_batch(seeds, 123, modulus)
+        assert out.shape == (5, 123) and out.dtype == np.int64
+        for row, seed in zip(out, seeds):
+            np.testing.assert_array_equal(
+                row, PRGReference(seed).uniform_vector(123, modulus)
+            )
+
+    def test_expand_uniform_long_seed_matches_reference(self):
+        # Seeds longer than one padded SHA-256 block bypass the native
+        # kernel; the hashlib loop must serve the identical stream.
+        seed = b"q" * 80
+        np.testing.assert_array_equal(
+            expand_uniform(seed, 65, 1 << 20),
+            PRGReference(seed).uniform_vector(65, 1 << 20),
+        )
+
+    def test_native_kernel_matches_hashlib_when_available(self):
+        lib = native.load()
+        if lib is None:
+            pytest.skip("native kernel unavailable on this host")
+        import hashlib
+
+        rng = random.Random(23)
+        for seedlen in (0, 1, 16, 32, 47):
+            seed = rng.randbytes(seedlen)
+            stream = native.sha256_ctr_stream(seed, 7, ctr0=3)
+            assert stream is not None
+            for i in range(7):
+                want = hashlib.sha256(
+                    seed + (3 + i).to_bytes(8, "big")
+                ).digest()
+                assert bytes(stream[32 * i : 32 * i + 32]) == want
+
+    def test_native_kernel_rejects_oversized_seed(self):
+        assert native.sha256_ctr_stream(b"x" * 48, 1) is None
 
     @pytest.mark.parametrize("cls", [PRG, PRGReference])
     def test_validation_parity(self, cls):
@@ -153,6 +205,58 @@ class TestShamirParity:
             with pytest.raises(ValueError):
                 method(b"s", [1, 2])
 
+    def test_lagrange_cache_leaves_single_call_behavior_unchanged(self):
+        # Repeated reconstructions over the same share-holder set hit
+        # the per-instance coefficient cache; results stay identical to
+        # the per-call reference, and different holder sets never mix.
+        scheme = ShamirSecretSharing(3)
+        secrets = [b"alpha-secret", b"beta", b"\x00" * 40]
+        ids = [2, 4, 6, 8]
+        for secret in secrets:
+            shares = list(scheme.share(secret, ids).values())
+            assert (
+                scheme.reconstruct(shares)
+                == scheme.reconstruct_reference(shares)
+                == secret
+            )
+        assert len(scheme._lagrange_cache) == 1
+        other = list(scheme.share(b"other-holders", [1, 3, 5]).values())
+        assert scheme.reconstruct(other) == b"other-holders"
+        assert len(scheme._lagrange_cache) == 2
+
+    def test_lagrange_cache_is_bounded(self):
+        scheme = ShamirSecretSharing(2)
+        scheme._LAGRANGE_CACHE_CAP = 4
+        for i in range(1, 12, 2):
+            shares = list(scheme.share(b"s", [i, i + 1]).values())
+            assert scheme.reconstruct(shares) == b"s"
+        assert len(scheme._lagrange_cache) <= 4
+
+    def test_reconstruct_many_matches_sequential_reference(self):
+        rng = random.Random(29)
+        scheme = ShamirSecretSharing(4)
+        share_lists = []
+        secrets = []
+        for i in range(6):
+            secret = rng.randbytes(rng.randint(1, 64))
+            # Alternate between two holder sets to exercise cache reuse.
+            ids = [1, 2, 3, 4, 5] if i % 2 else [6, 7, 8, 9]
+            shares = list(scheme.share(secret, ids).values())
+            rng.shuffle(shares)
+            secrets.append(secret)
+            share_lists.append(shares)
+        assert scheme.reconstruct_many(share_lists) == [
+            scheme.reconstruct_reference(s) for s in share_lists
+        ]
+        assert scheme.reconstruct_many(share_lists) == secrets
+        assert scheme.reconstruct_many([]) == []
+
+    def test_reconstruct_many_fails_like_sequential(self):
+        scheme = ShamirSecretSharing(3)
+        good = list(scheme.share(b"ok", [1, 2, 3]).values())
+        with pytest.raises(ValueError):
+            scheme.reconstruct_many([good, good[:2]])
+
 
 class TestMaskAccumulatorParity:
     def _masks(self, rng, k, dim, modulus):
@@ -195,11 +299,52 @@ class TestMaskAccumulatorParity:
             acc.finish(), accumulate_masks_reference(base, masks, modulus)
         )
 
+    def test_signed_deferred_path_matches_reference(self):
+        rng = random.Random(13)
+        modulus = 1 << 20
+        for _ in range(8):
+            dim = rng.randint(1, 64)
+            k = rng.randint(0, 12)
+            base = self._masks(rng, 1, dim, modulus)[0]
+            terms = [
+                (m, rng.choice([1, -1]))
+                for m in self._masks(rng, k, dim, modulus)
+            ]
+            acc = MaskAccumulator(base, modulus, n_terms=1 + k)
+            assert acc._deferred
+            for m, sign in terms:
+                (acc.add if sign > 0 else acc.sub)(m)
+            np.testing.assert_array_equal(
+                acc.finish(),
+                accumulate_signed_masks_reference(base, terms, modulus),
+            )
+
+    def test_signed_guard_fallback_matches_reference(self):
+        modulus = 1 << 62
+        rng = random.Random(19)
+        base = self._masks(rng, 1, 16, modulus)[0]
+        terms = [
+            (m, sign)
+            for m, sign in zip(self._masks(rng, 4, 16, modulus), [1, -1, -1, 1])
+        ]
+        acc = MaskAccumulator(base, modulus, n_terms=5)
+        assert not acc._deferred
+        for m, sign in terms:
+            (acc.add if sign > 0 else acc.sub)(m)
+        np.testing.assert_array_equal(
+            acc.finish(),
+            accumulate_signed_masks_reference(base, terms, modulus),
+        )
+
     def test_over_declared_adds_rejected(self):
         acc = MaskAccumulator(np.zeros(4, dtype=np.int64), 1 << 20, n_terms=2)
         acc.add(np.ones(4, dtype=np.int64))
         with pytest.raises(ValueError):
             acc.add(np.ones(4, dtype=np.int64))
+        acc = MaskAccumulator(np.zeros(4, dtype=np.int64), 1 << 20, n_terms=2)
+        acc.sub(np.ones(4, dtype=np.int64))
+        with pytest.raises(ValueError):
+            acc.sub(np.ones(4, dtype=np.int64))
 
     def test_n_terms_must_count_base(self):
         with pytest.raises(ValueError):

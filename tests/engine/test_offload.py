@@ -1,0 +1,89 @@
+"""Executor offload: server ops leave the event-loop thread when asked."""
+
+import threading
+
+import numpy as np
+
+from repro.api.protocol import ProtocolClient, ProtocolServer
+from repro.engine import RoundEngine
+from repro.parallel import WorkerPool
+
+
+class OffloadServer(ProtocolServer):
+    """Sum protocol whose aggregate op opts into executor offload."""
+
+    offload_ops = frozenset({"aggregate"})
+
+    def __init__(self):
+        super().__init__()
+        self.aggregate_thread = None
+
+    def set_graph_dict(self):
+        return {
+            "encode": {"resource": "c-comp", "deps": []},
+            "aggregate": {"resource": "s-comp", "deps": ["encode"]},
+        }
+
+    def aggregate(self, responses):
+        self.aggregate_thread = threading.get_ident()
+        return sum(responses.values())
+
+
+class VectorClient(ProtocolClient):
+    def __init__(self, client_id, vector):
+        super().__init__(client_id)
+        self.vector = np.asarray(vector, dtype=float)
+
+    def set_routine(self):
+        return {"encode": lambda _p: self.vector}
+
+
+def _clients():
+    return [VectorClient(i, np.full(4, i + 1.0)) for i in range(3)]
+
+
+class TestEngineOffload:
+    def test_offloaded_op_runs_off_the_loop_thread(self):
+        server = OffloadServer()
+        with WorkerPool(2) as pool:
+            result = RoundEngine(offload=pool).run_round_sync(
+                server, _clients()
+            )
+        np.testing.assert_allclose(result, np.full(4, 6.0))
+        assert server.aggregate_thread is not None
+        assert server.aggregate_thread != threading.get_ident()
+
+    def test_serial_pool_keeps_op_inline(self):
+        server = OffloadServer()
+        with WorkerPool(1) as pool:
+            result = RoundEngine(offload=pool).run_round_sync(
+                server, _clients()
+            )
+        np.testing.assert_allclose(result, np.full(4, 6.0))
+        assert server.aggregate_thread == threading.get_ident()
+
+    def test_no_pool_means_no_offload(self):
+        server = OffloadServer()
+        result = RoundEngine().run_round_sync(server, _clients())
+        np.testing.assert_allclose(result, np.full(4, 6.0))
+        assert server.aggregate_thread == threading.get_ident()
+
+    def test_offload_only_touches_declared_ops(self):
+        class PlainServer(OffloadServer):
+            offload_ops = frozenset()
+
+        server = PlainServer()
+        with WorkerPool(2) as pool:
+            result = RoundEngine(offload=pool).run_round_sync(
+                server, _clients()
+            )
+        np.testing.assert_allclose(result, np.full(4, 6.0))
+        assert server.aggregate_thread == threading.get_ident()
+
+    def test_offload_result_matches_inline(self):
+        inline = RoundEngine().run_round_sync(OffloadServer(), _clients())
+        with WorkerPool(3) as pool:
+            offloaded = RoundEngine(offload=pool).run_round_sync(
+                OffloadServer(), _clients()
+            )
+        np.testing.assert_array_equal(inline, offloaded)

@@ -1,0 +1,271 @@
+"""The coordinator's unmask plane vs its retained reference twin.
+
+Builds real protocol state (keys, graphs, Shamir shares, masked inputs)
+through the client/server state machines, then pins
+``SecAggServer.collect_unmask`` bit-identical to
+``collect_unmask_reference`` across dropout patterns, worker counts, and
+the int64-headroom guard fallback — and both equal to the plain survivor
+input sum, which is what unmasking is supposed to recover.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import numpy as np
+import pytest
+
+from repro.secagg.driver import (
+    DropoutSchedule,
+    build_graph,
+    make_secagg_clients,
+    resolve_round_pki,
+)
+from repro.secagg.server import SecAggServer
+from repro.secagg.types import (
+    STAGE_MASKED_INPUT,
+    STAGE_UNMASK,
+    ProtocolAbort,
+    SecAggConfig,
+)
+
+
+def build_unmask_state(config, inputs, dropout=None):
+    """Run stages 0–4 client-side; return the server + unmask messages."""
+    dropout = dropout or DropoutSchedule()
+    sampled = sorted(inputs)
+    pki = resolve_round_pki(config, None, None)
+    clients = make_secagg_clients(config, sampled, pki, 0, None)
+    server = SecAggServer(config, pki=pki)
+
+    alive = set(sampled)
+    adverts = {u: clients[u].advertise_keys() for u in sorted(alive)}
+    graph = build_graph(config, sorted(adverts))
+    roster = server.collect_advertise(adverts, graph)
+
+    outboxes = {
+        u: clients[u].share_keys(roster, graph)
+        for u in sorted(alive & set(roster))
+    }
+    inboxes = server.route_shares(outboxes)
+
+    alive -= dropout.dropped_by(STAGE_MASKED_INPUT)
+    masked = {
+        u: clients[u].masked_input(inboxes.get(u, {}), inputs[u])
+        for u in sorted(alive & set(server.u2))
+    }
+    u3 = server.collect_masked(masked)
+    for u in sorted(alive & set(u3)):
+        clients[u].consistency_check(u3)
+    u4 = server.skip_consistency()
+
+    alive -= dropout.dropped_by(STAGE_UNMASK)
+    dropped_list = server.dropped_after_masking
+    messages = {
+        u: clients[u].unmask(u4, None, dropped=dropped_list, survivors=list(u3))
+        for u in sorted(alive & set(u4))
+    }
+    return server, messages
+
+
+def clone_with_workers(server: SecAggServer, workers) -> SecAggServer:
+    """A coordinator with identical round state but a different pool size."""
+    config = dataclasses.replace(server.config, workers=workers)
+    clone = SecAggServer(config, pki=server.pki, round_index=server.round_index)
+    clone.roster = dict(server.roster)
+    clone.graph = server.graph
+    clone.u1 = list(server.u1)
+    clone.u2 = list(server.u2)
+    clone.u3 = list(server.u3)
+    clone.u4 = list(server.u4)
+    clone._masked = server._masked
+    return clone
+
+
+def assert_plane_parity(server, messages, inputs, *, workers=(1, 3)):
+    """Fast plane ≡ reference twin ≡ the survivor input sum, all workers."""
+    reference = clone_with_workers(server, 1).collect_unmask_reference(messages)
+    expected = np.zeros(server.config.dimension, dtype=np.int64)
+    for u in server.u3:
+        expected = (expected + inputs[u]) % server.config.modulus
+    np.testing.assert_array_equal(reference, expected)
+    for w in workers:
+        fast = clone_with_workers(server, w).collect_unmask(messages)
+        np.testing.assert_array_equal(fast, reference)
+    return reference
+
+
+def ring_inputs(rng, ids, dim, modulus):
+    return {
+        u: np.asarray(
+            [rng.randrange(modulus) for _ in range(dim)], dtype=np.int64
+        )
+        for u in ids
+    }
+
+
+class TestUnmaskPlaneParity:
+    def test_no_dropouts(self):
+        config = SecAggConfig(
+            threshold=4, bits=20, dimension=48, dh_group="modp512"
+        )
+        rng = random.Random(101)
+        inputs = ring_inputs(rng, range(1, 7), 48, config.modulus)
+        server, messages = build_unmask_state(config, inputs)
+        assert server.dropped_after_masking == []
+        assert_plane_parity(server, messages, inputs)
+
+    def test_all_but_threshold_dropped(self):
+        config = SecAggConfig(
+            threshold=4, bits=20, dimension=32, dh_group="modp512"
+        )
+        rng = random.Random(202)
+        inputs = ring_inputs(rng, range(1, 8), 32, config.modulus)
+        dropout = DropoutSchedule(at_stage={STAGE_MASKED_INPUT: {2, 5, 7}})
+        server, messages = build_unmask_state(config, inputs, dropout)
+        assert len(server.u3) == config.threshold
+        assert server.dropped_after_masking == [2, 5, 7]
+        assert_plane_parity(server, messages, inputs)
+
+    def test_sparse_graph_with_dropped_neighbors(self):
+        # SecAgg+ k-regular graph where dropped clients neighbor other
+        # dropped clients: the pairwise recovery loop must only touch
+        # *surviving* neighbors, and two disconnected dropped clients
+        # contribute no term at all for each other.
+        config = SecAggConfig(
+            threshold=3,
+            bits=20,
+            dimension=24,
+            graph_degree=4,
+            graph_seed=9,
+            dh_group="modp512",
+        )
+        rng = random.Random(303)
+        inputs = ring_inputs(rng, range(1, 10), 24, config.modulus)
+        dropout = DropoutSchedule(at_stage={STAGE_MASKED_INPUT: {2, 3}})
+        server, messages = build_unmask_state(config, inputs, dropout)
+        assert server.dropped_after_masking == [2, 3]
+        assert_plane_parity(server, messages, inputs)
+
+    def test_unmask_stage_dropouts_shrink_u5(self):
+        config = SecAggConfig(
+            threshold=3, bits=20, dimension=16, dh_group="modp512"
+        )
+        rng = random.Random(404)
+        inputs = ring_inputs(rng, range(1, 7), 16, config.modulus)
+        dropout = DropoutSchedule(
+            at_stage={STAGE_MASKED_INPUT: {4}, STAGE_UNMASK: {1, 6}}
+        )
+        server, messages = build_unmask_state(config, inputs, dropout)
+        assert sorted(messages) == sorted(set(server.u4) - {1, 6})
+        assert_plane_parity(server, messages, inputs)
+
+    def test_headroom_guard_fallback_at_bits_62(self):
+        # n_terms · (2^62 − 1) ≥ 2^63 for any round with ≥ 2 terms, so
+        # the plane takes the per-term reduced MaskAccumulator path —
+        # still bit-identical to the reference twin.
+        config = SecAggConfig(
+            threshold=3, bits=62, dimension=8, dh_group="modp512"
+        )
+        rng = random.Random(505)
+        inputs = ring_inputs(rng, range(1, 6), 8, config.modulus)
+        dropout = DropoutSchedule(at_stage={STAGE_MASKED_INPUT: {2}})
+        server, messages = build_unmask_state(config, inputs, dropout)
+        n_terms_floor = 1 + len(server.u3)
+        assert n_terms_floor * (config.modulus - 1) >= 2**63
+        assert_plane_parity(server, messages, inputs)
+
+    def test_workers_auto_matches_serial(self):
+        config = SecAggConfig(
+            threshold=3, bits=20, dimension=16, dh_group="modp512"
+        )
+        rng = random.Random(606)
+        inputs = ring_inputs(rng, range(1, 6), 16, config.modulus)
+        server, messages = build_unmask_state(config, inputs)
+        assert_plane_parity(server, messages, inputs, workers=(1, 2, None))
+
+    def test_fuzz_random_dropout_patterns(self):
+        rng = random.Random(0xD15C0)
+        for trial in range(6):
+            n = rng.randint(5, 9)
+            degree = rng.choice([None, 4])
+            # Sparse graphs cap the threshold: every client needs at
+            # least ``threshold`` usable neighbors to proceed.
+            threshold = 3 if degree is not None else rng.randint(3, max(3, n - 2))
+            config = SecAggConfig(
+                threshold=threshold,
+                bits=rng.choice([16, 20]),
+                dimension=rng.randint(1, 40),
+                graph_degree=degree,
+                graph_seed=trial,
+                dh_group="modp512",
+            )
+            ids = list(range(1, n + 1))
+            inputs = ring_inputs(rng, ids, config.dimension, config.modulus)
+            max_drop = n - threshold
+            drop = set(rng.sample(ids, rng.randint(0, max_drop)))
+            dropout = DropoutSchedule(at_stage={STAGE_MASKED_INPUT: drop})
+            server, messages = build_unmask_state(config, inputs, dropout)
+            workers = (1, rng.choice([2, 3, 4]))
+            try:
+                assert_plane_parity(server, messages, inputs, workers=workers)
+            except ProtocolAbort as abort:
+                # Sparse graphs can leave too few share-holders alive;
+                # the fast plane must abort exactly like the reference.
+                for w in workers:
+                    with pytest.raises(ProtocolAbort) as excinfo:
+                        clone_with_workers(server, w).collect_unmask(messages)
+                    assert str(excinfo.value) == str(abort)
+
+
+class TestUnmaskPlaneAbortParity:
+    def _state(self):
+        config = SecAggConfig(
+            threshold=3, bits=20, dimension=8, dh_group="modp512"
+        )
+        rng = random.Random(808)
+        inputs = ring_inputs(rng, range(1, 6), 8, config.modulus)
+        dropout = DropoutSchedule(at_stage={STAGE_MASKED_INPUT: {3}})
+        return build_unmask_state(config, inputs, dropout)
+
+    def test_below_threshold_aborts_identically(self):
+        server, messages = self._state()
+        few = dict(list(messages.items())[:2])
+        errors = []
+        for method in ("collect_unmask", "collect_unmask_reference"):
+            with pytest.raises(ProtocolAbort) as excinfo:
+                getattr(clone_with_workers(server, 1), method)(few)
+            errors.append(str(excinfo.value))
+        assert errors[0] == errors[1]
+
+    def test_missing_self_mask_shares_abort_identically(self):
+        server, messages = self._state()
+        victim = server.u3[1]
+        for msg in messages.values():
+            msg.b_shares.pop(victim, None)
+        errors = []
+        for method in ("collect_unmask", "collect_unmask_reference"):
+            with pytest.raises(ProtocolAbort) as excinfo:
+                getattr(clone_with_workers(server, 2), method)(messages)
+            errors.append(str(excinfo.value))
+        assert errors[0] == errors[1]
+        assert f"self-mask seed of {victim}" in errors[0]
+
+    def test_missing_mask_key_shares_abort_identically(self):
+        server, messages = self._state()
+        for msg in messages.values():
+            msg.s_sk_shares.pop(3, None)
+        errors = []
+        for method in ("collect_unmask", "collect_unmask_reference"):
+            with pytest.raises(ProtocolAbort) as excinfo:
+                getattr(clone_with_workers(server, 2), method)(messages)
+            errors.append(str(excinfo.value))
+        assert errors[0] == errors[1]
+        assert "mask key of 3" in errors[0]
+
+
+def test_config_rejects_non_positive_workers():
+    with pytest.raises(ValueError):
+        SecAggConfig(threshold=2, workers=0)
+    assert SecAggConfig(threshold=2, workers=None).workers is None

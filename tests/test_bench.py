@@ -129,6 +129,44 @@ class TestBenchEntrypoint:
             assert row["ratio"] == 1
 
 
+class TestUnmaskBench:
+    """The unmask plane topic (opt-in: not part of the default run)."""
+
+    @pytest.fixture(scope="class")
+    def unmask_run(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("bench-unmask")
+        rc = main(
+            [
+                "bench",
+                "--topics", "unmask",
+                "--unmask-dim", "256",
+                "--unmask-clients", "8",
+                "--unmask-dropout", "0.25",
+                "--unmask-workers", "1", "2",
+                "--out", str(out),
+            ]
+        )
+        assert rc == 0
+        return out
+
+    def test_not_in_default_topics(self, bench_run):
+        assert not bench.bench_path(bench_run, "unmask").exists()
+
+    def test_report_is_schema_valid(self, unmask_run):
+        report = bench.load_bench(bench.bench_path(unmask_run, "unmask"))
+        assert report["topic"] == "unmask"
+        assert report["config"]["dim"] == 256
+        assert report["config"]["prg_backend"]
+
+    def test_fast_plane_is_bit_identical(self, unmask_run):
+        m = bench.load_bench(bench.bench_path(unmask_run, "unmask"))["metrics"]
+        assert m["parity_bit_identical"]["value"] == 1
+        assert m["unmask_reference_s"]["value"] > 0
+        for w in (1, 2):
+            assert m[f"unmask_fast_w{w}_s"]["value"] > 0
+            assert m[f"unmask_speedup_w{w}"]["unit"] == "x"
+
+
 class TestBenchSchema:
     def test_validate_rejects_missing_metrics(self):
         with pytest.raises(ValueError):
