@@ -1,0 +1,67 @@
+"""The committed grandfather list for deliberate findings.
+
+``ANALYSIS_BASELINE.json`` at the repo root records findings that are
+known, reasoned about, and deliberately kept (or inherited and queued
+for later).  A baselined finding does not fail ``repro.cli check``;
+anything *not* in the baseline does.  Matching ignores line numbers —
+the key is ``(rule, file, message)`` — so unrelated edits above a
+grandfathered site do not resurrect it.
+
+Prefer an inline ``# repro: allow[rule-id] reason`` for violations that
+are *by design* (the reason lives next to the code); the baseline is
+for bulk grandfathering where inline comments would be noise.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.core import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "ANALYSIS_BASELINE.json"
+
+
+def load_baseline(path: Path) -> set[tuple[str, str, str]]:
+    """The baselined ``(rule, file, message)`` keys; {} if no file."""
+    if not path.is_file():
+        return set()
+    raw = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(raw, dict) or raw.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path} is not a version-{BASELINE_VERSION} analysis baseline"
+        )
+    keys = set()
+    for entry in raw.get("findings", []):
+        keys.add((entry["rule"], entry["file"], entry["message"]))
+    return keys
+
+
+def partition(
+    findings: list[Finding], baseline: set[tuple[str, str, str]]
+) -> tuple[list[Finding], list[Finding]]:
+    """Split into (new, baselined)."""
+    new: list[Finding] = []
+    grandfathered: list[Finding] = []
+    for f in findings:
+        (grandfathered if f.key() in baseline else new).append(f)
+    return new, grandfathered
+
+
+def baseline_document(findings: list[Finding]) -> dict:
+    """A baseline document grandfathering exactly ``findings``."""
+    return {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"rule": f.rule, "file": f.file, "message": f.message}
+            for f in sorted(findings)
+        ],
+    }
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    path.write_text(
+        json.dumps(baseline_document(findings), indent=2) + "\n",
+        encoding="utf-8",
+    )

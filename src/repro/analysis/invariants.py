@@ -1,0 +1,101 @@
+"""The invariant → enforcement map.
+
+ARCHITECTURE.md ends with a numbered list, "Invariants the test suite
+pins".  Each entry here names, for one invariant label, the analysis
+rules that mechanically enforce its shape and/or the pinning test files
+that enforce its values.  ``tests/analysis/test_invariant_map.py``
+asserts that every numbered invariant in ARCHITECTURE.md appears here,
+that every named test file exists, and that every named rule is
+registered — so the document, the rules, and the tests cannot drift
+apart silently.
+"""
+
+from __future__ import annotations
+
+#: invariant label → {"rules": [...], "tests": [...]} — at least one of
+#: the two lists is non-empty for every entry.
+INVARIANT_MAP: dict[str, dict[str, list[str]]] = {
+    # Engine + in-process transport ≡ reference drivers, bit for bit.
+    "1": {
+        "rules": [],
+        "tests": ["tests/engine/test_parity.py"],
+    },
+    # Traced chunked execution ≡ Appendix-C build_schedule prediction.
+    "2": {
+        "rules": [],
+        "tests": ["tests/engine/test_round_engine.py"],
+    },
+    # Concurrent-round traces are scheduling-order independent and equal
+    # the offline discrete-event replay.
+    "2a": {
+        "rules": ["determinism", "async-hygiene"],
+        "tests": [
+            "tests/engine/test_determinism.py",
+            "tests/engine/test_arbiter.py",
+        ],
+    },
+    # Dropout at any stage yields a correct aggregate or a clean abort.
+    "3": {
+        "rules": [],
+        "tests": ["tests/secagg/test_dropout_stages.py"],
+    },
+    # Chunking never changes the privacy trajectory.
+    "4": {
+        "rules": [],
+        "tests": ["tests/core/test_session_engine.py"],
+    },
+    # Wire transports ≡ the in-process round; strict total decoding is
+    # what keeps a byte-level mismatch from misparsing instead of
+    # failing.
+    "5": {
+        "rules": ["strict-decoder"],
+        "tests": [
+            "tests/engine/test_parity.py",
+            "tests/engine/test_websocket_transport.py",
+        ],
+    },
+    # Traced traffic equals the framed bytes on the socket, both ends.
+    "6": {
+        "rules": ["strict-decoder", "zero-copy"],
+        "tests": [
+            "tests/engine/test_stream_transport.py",
+            "tests/engine/test_websocket_transport.py",
+        ],
+    },
+    # up_bytes + down_bytes == traffic_bytes, by construction.
+    "7": {
+        "rules": [],
+        "tests": ["tests/test_timeline.py", "tests/fleet/test_links.py"],
+    },
+    # Fleet availability reproduces the legacy dropout draws exactly.
+    "8": {
+        "rules": ["determinism"],
+        "tests": [
+            "tests/fleet/test_fleet.py",
+            "tests/core/test_session_engine.py",
+        ],
+    },
+    # Every hot path is bit-identical to its retained *_reference twin.
+    "9": {
+        "rules": ["parity-twin", "headroom-guard", "zero-copy"],
+        "tests": [
+            "tests/crypto/test_hotpath_parity.py",
+            "tests/wire/test_encode_parity.py",
+        ],
+    },
+    # Fleet scale: columnar profiles box bit-identically to the
+    # reference builder; vectorized queries equal the loop.
+    "10": {
+        "rules": ["parity-twin", "determinism"],
+        "tests": [
+            "tests/fleet/test_profile.py",
+            "tests/fleet/test_availability_stream.py",
+        ],
+    },
+    # The unmask plane ≡ collect_unmask_reference bit for bit at every
+    # worker count, including the headroom-guard fallback.
+    "11": {
+        "rules": ["parity-twin", "headroom-guard"],
+        "tests": ["tests/secagg/test_unmask_plane.py"],
+    },
+}

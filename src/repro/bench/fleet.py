@@ -40,6 +40,7 @@ TOPIC = "fleet"
 REFERENCE_BUILD_CAP = 100_000
 
 
+# repro: allow[parity-twin] bench-local boxed-loop reference; the live twin is Fleet.round_cost
 def _round_cost_reference(
     fleet: Fleet, sampled: list[int], survivors: list[int], nbytes: int
 ) -> tuple[float, float, float]:

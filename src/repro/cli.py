@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands mirror the workflow a user of the original system
+Eight subcommands mirror the workflow a user of the original system
 walks through:
 
 - ``run``      — train one Dordis session and report utility + ε;
@@ -26,7 +26,10 @@ walks through:
   measured end-to-end rounds, and the listener stress topic (1000
   concurrent dialing clients against one coordinator port by default),
   writing one machine-readable ``BENCH_<topic>.json`` per topic;
-  ``--diff old new`` compares two persisted reports metric by metric.
+  ``--diff old new`` compares two persisted reports metric by metric;
+- ``check``    — run the repo's own AST-based invariant checker
+  (``repro.analysis``) over ``src/repro``: exits 0 when clean, 1 when
+  any non-baselined finding remains, 2 on usage errors.
 
 Examples::
 
@@ -40,6 +43,8 @@ Examples::
     python -m repro.cli join --client-id 1 --clients 3 --port 7001  # 2..4
     python -m repro.cli bench --out .
     python -m repro.cli bench --diff BENCH_hotpath.old.json BENCH_hotpath.json
+    python -m repro.cli check
+    python -m repro.cli check --format json
 """
 
 from __future__ import annotations
@@ -252,6 +257,22 @@ def _add_bench_parser(sub) -> None:
                         "exit (no benchmarks run)")
 
 
+def _add_check_parser(sub) -> None:
+    p = sub.add_parser(
+        "check",
+        help="run the AST-based invariant checker over src/repro",
+    )
+    p.add_argument("--format", default="text", choices=["text", "json"],
+                   help="report format: human-readable lines (default) or "
+                        "one machine-readable JSON document")
+    p.add_argument("--root", default=None,
+                   help="repository root to check (default: the checkout "
+                        "this package was loaded from)")
+    p.add_argument("--baseline", default=None,
+                   help="baseline file grandfathering known findings "
+                        "(default: <root>/ANALYSIS_BASELINE.json)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Dordis reproduction CLI"
@@ -264,6 +285,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_serve_parser(sub)
     _add_join_parser(sub)
     _add_bench_parser(sub)
+    _add_check_parser(sub)
     return parser
 
 
@@ -784,6 +806,23 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis import render_json, render_text, run_check
+
+    root = Path(args.root).resolve() if args.root else None
+    baseline = Path(args.baseline).resolve() if args.baseline else None
+    try:
+        result = run_check(root=root, baseline_path=baseline)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"check: {exc}", file=sys.stderr)
+        return 2
+    render = render_json if args.format == "json" else render_text
+    print(render(result))
+    return 0 if result.clean else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -794,6 +833,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "join": _cmd_join,
         "bench": _cmd_bench,
+        "check": _cmd_check,
     }
     return handlers[args.command](args)
 

@@ -107,6 +107,7 @@ class MaskAccumulator:
         return self._acc
 
 
+# repro: allow[parity-twin] the fast twin is the MaskAccumulator class, not a def
 def accumulate_masks_reference(
     base: np.ndarray, masks: list[np.ndarray], modulus: int
 ) -> np.ndarray:
@@ -118,6 +119,7 @@ def accumulate_masks_reference(
     return total
 
 
+# repro: allow[parity-twin] the fast twin is the MaskAccumulator class, not a def
 def accumulate_signed_masks_reference(
     base: np.ndarray, terms: list[tuple[np.ndarray, int]], modulus: int
 ) -> np.ndarray:

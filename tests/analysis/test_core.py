@@ -1,0 +1,172 @@
+"""The rule engine itself: suppressions, baseline, findings, reports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import render_json, render_text, run_check
+from repro.analysis.baseline import load_baseline, partition, write_baseline
+from repro.analysis.core import (
+    SUPPRESSION_RULE_ID,
+    Finding,
+    SourceFile,
+    all_rules,
+    apply_suppressions,
+    scan_suppressions,
+)
+
+from .conftest import findings_for
+
+# A file the parity-twin rule trips on: a reference def with no twin.
+_ORPHAN = "def lonely_reference(x):\n    return x\n"
+
+
+def _load(tmp_path, text, name="m.py"):
+    path = tmp_path / name
+    path.write_text(text)
+    return SourceFile.load(path, tmp_path)
+
+
+class TestSuppressionParsing:
+    def test_valid_allow_comment_parses(self, tmp_path):
+        src = _load(
+            tmp_path,
+            "x = 1  # repro: allow[parity-twin] twin is a class\n",
+        )
+        sups, meta = scan_suppressions(src)
+        assert meta == []
+        (s,) = sups
+        assert (s.rule, s.line) == ("parity-twin", 1)
+        assert s.reason == "twin is a class"
+
+    def test_missing_reason_is_a_finding(self, tmp_path):
+        src = _load(tmp_path, "x = 1  # repro: allow[parity-twin]\n")
+        sups, meta = scan_suppressions(src)
+        assert sups == []
+        (f,) = meta
+        assert f.rule == SUPPRESSION_RULE_ID
+        assert "no reason" in f.message
+
+    def test_unknown_rule_id_is_a_finding(self, tmp_path):
+        src = _load(tmp_path, "x = 1  # repro: allow[no-such-rule] why\n")
+        sups, meta = scan_suppressions(src)
+        assert sups == []
+        (f,) = meta
+        assert f.rule == SUPPRESSION_RULE_ID
+        assert "no-such-rule" in f.message
+
+    def test_docstring_mention_is_not_a_suppression(self, tmp_path):
+        # Prose *about* the grammar (as this package's own docs) must
+        # not parse as a suppression or a malformed one.
+        src = _load(
+            tmp_path,
+            '"""Docs: write ``# repro: allow[rule-id] reason``."""\nx = 1\n',
+        )
+        sups, meta = scan_suppressions(src)
+        assert sups == [] and meta == []
+
+    def test_suppression_covers_same_line_and_line_below(self):
+        from repro.analysis.core import Suppression
+
+        sup = Suppression(file="m.py", line=4, rule="r", reason="why")
+        same = Finding(file="m.py", line=4, rule="r", message="x")
+        below = Finding(file="m.py", line=5, rule="r", message="x")
+        far = Finding(file="m.py", line=6, rule="r", message="x")
+        other_rule = Finding(file="m.py", line=4, rule="q", message="x")
+        kept, n = apply_suppressions([same, below, far, other_rule], [sup])
+        assert kept == [far, other_rule] and n == 2
+
+    def test_meta_findings_are_unsuppressible(self):
+        from repro.analysis.core import Suppression
+
+        sup = Suppression(
+            file="m.py", line=1, rule=SUPPRESSION_RULE_ID, reason="nope"
+        )
+        meta = Finding(
+            file="m.py", line=1, rule=SUPPRESSION_RULE_ID, message="bad"
+        )
+        kept, n = apply_suppressions([meta], [sup])
+        assert kept == [meta] and n == 0
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        findings = [
+            Finding(file="a.py", line=3, rule="r1", message="m1"),
+            Finding(file="b.py", line=9, rule="r2", message="m2"),
+        ]
+        path = tmp_path / "BASE.json"
+        write_baseline(path, findings)
+        keys = load_baseline(path)
+        assert keys == {("r1", "a.py", "m1"), ("r2", "b.py", "m2")}
+
+    def test_matching_ignores_line_numbers(self, tmp_path):
+        path = tmp_path / "BASE.json"
+        write_baseline(
+            path, [Finding(file="a.py", line=3, rule="r", message="m")]
+        )
+        drifted = Finding(file="a.py", line=77, rule="r", message="m")
+        fresh = Finding(file="a.py", line=3, rule="r", message="other")
+        new, grandfathered = partition([drifted, fresh], load_baseline(path))
+        assert grandfathered == [drifted] and new == [fresh]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == set()
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "BASE.json"
+        path.write_text(json.dumps({"version": 999, "findings": []}))
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_baselined_findings_do_not_fail_check(self, make_repo):
+        root = make_repo({"src/repro/mod.py": _ORPHAN})
+        dirty = run_check(root=root)
+        tripped = findings_for(dirty, "parity-twin")
+        assert tripped
+        write_baseline(root / "ANALYSIS_BASELINE.json", tripped)
+        clean = run_check(root=root)
+        assert clean.clean
+        assert {f.key() for f in clean.baselined} == {
+            f.key() for f in tripped
+        }
+
+
+class TestReports:
+    def _result(self, check_repo):
+        return check_repo({"src/repro/mod.py": _ORPHAN})
+
+    def test_text_report_lines(self, check_repo):
+        result = self._result(check_repo)
+        text = render_text(result)
+        assert "src/repro/mod.py:1: [parity-twin]" in text
+        assert text.strip().endswith("0 suppressed")
+
+    def test_json_report_schema(self, check_repo):
+        result = self._result(check_repo)
+        doc = json.loads(render_json(result))
+        assert doc["version"] == 1
+        assert isinstance(doc["root"], str)
+        assert doc["clean"] is False
+        rule_ids = {r["id"] for r in doc["rules"]}
+        assert len(rule_ids) >= 6
+        for r in doc["rules"]:
+            assert set(r) == {"id", "description", "invariants"}
+            assert isinstance(r["invariants"], list)
+        for f in doc["findings"]:
+            assert set(f) == {"file", "line", "rule", "message"}
+            assert isinstance(f["line"], int)
+        assert doc["counts"] == {
+            "files": result.files_checked,
+            "findings": len(result.findings),
+            "baselined": 0,
+        }
+
+    def test_registry_has_six_rules_with_invariants(self):
+        rules = all_rules()
+        assert len(rules) >= 6
+        for rule in rules.values():
+            assert rule.id and rule.description
+            assert rule.invariants, f"{rule.id} claims no invariant"

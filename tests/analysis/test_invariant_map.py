@@ -1,0 +1,95 @@
+"""The invariant map stays honest against ARCHITECTURE.md and the tree.
+
+Every numbered invariant in ARCHITECTURE.md's "Invariants the test
+suite pins" section must appear in ``repro.analysis.invariants``
+mapped to at least one registered rule or one existing pinning-test
+file — and the map may not invent invariants the document does not
+state.  This is the drift tripwire between the prose, the checker, and
+the suite.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.analysis.core import all_rules
+from repro.analysis.invariants import INVARIANT_MAP
+from repro.analysis.runner import default_root
+
+_SECTION = "## Invariants the test suite pins"
+_LABEL_RE = re.compile(r"^(\d+[a-z]?)\.\s", re.MULTILINE)
+
+
+def documented_invariants() -> list[str]:
+    text = (default_root() / "ARCHITECTURE.md").read_text(encoding="utf-8")
+    assert _SECTION in text, "ARCHITECTURE.md lost its invariants section"
+    section = text.split(_SECTION, 1)[1]
+    # The list runs to the next heading (or EOF).
+    section = section.split("\n## ", 1)[0]
+    return _LABEL_RE.findall(section)
+
+
+def test_architecture_lists_the_expected_invariants():
+    labels = documented_invariants()
+    assert len(labels) >= 11
+    assert labels == sorted(set(labels), key=labels.index), "duplicate labels"
+
+
+def test_every_documented_invariant_is_mapped():
+    missing = [x for x in documented_invariants() if x not in INVARIANT_MAP]
+    assert not missing, f"ARCHITECTURE.md invariants unmapped: {missing}"
+
+
+def test_map_invents_no_invariants():
+    extra = set(INVARIANT_MAP) - set(documented_invariants())
+    assert not extra, f"mapped but not documented: {sorted(extra)}"
+
+
+def test_every_entry_names_a_rule_or_a_test():
+    for label, entry in INVARIANT_MAP.items():
+        assert entry["rules"] or entry["tests"], (
+            f"invariant {label} maps to neither a rule nor a test"
+        )
+
+
+def test_mapped_rules_are_registered():
+    registered = set(all_rules())
+    for label, entry in INVARIANT_MAP.items():
+        unknown = set(entry["rules"]) - registered
+        assert not unknown, f"invariant {label} names unknown rules {unknown}"
+
+
+def test_mapped_tests_exist():
+    root = default_root()
+    for label, entry in INVARIANT_MAP.items():
+        for rel in entry["tests"]:
+            assert Path(root, rel).is_file(), (
+                f"invariant {label} names missing test file {rel}"
+            )
+
+
+def test_rule_invariant_claims_agree_with_the_map():
+    # A rule's own `invariants` tuple and the central map must tell the
+    # same story in both directions.
+    for rule_id, rule in all_rules().items():
+        for label in rule.invariants:
+            assert label in INVARIANT_MAP, (
+                f"rule {rule_id} claims unknown invariant {label}"
+            )
+            assert rule_id in INVARIANT_MAP[label]["rules"], (
+                f"rule {rule_id} claims invariant {label} but the map "
+                f"does not list it there"
+            )
+    for label, entry in INVARIANT_MAP.items():
+        for rule_id in entry["rules"]:
+            assert label in all_rules()[rule_id].invariants, (
+                f"map lists {rule_id} under invariant {label} but the "
+                f"rule does not claim it"
+            )
+
+
+def test_every_rule_enforces_some_invariant():
+    mapped = {r for entry in INVARIANT_MAP.values() for r in entry["rules"]}
+    unmapped = set(all_rules()) - mapped
+    assert not unmapped, f"rules enforcing no invariant: {sorted(unmapped)}"

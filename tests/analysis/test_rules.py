@@ -1,0 +1,537 @@
+"""Trip / no-trip fixtures for every rule, run through the full pipeline.
+
+Each case materialises a mini-repo under ``tmp_path`` (see conftest) so
+the rule is exercised exactly as ``repro.cli check`` runs it: discovery,
+scoping, suppressions, baseline.  The deliberately-broken sources are
+string snippets, never committed ``.py`` files — a real fixture with a
+bare ``except:`` would fail the repo's own lint gate.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from .conftest import findings_for
+
+
+def _src(text: str) -> str:
+    return textwrap.dedent(text).lstrip()
+
+
+# ---------------------------------------------------------------------------
+# parity-twin
+# ---------------------------------------------------------------------------
+
+
+class TestParityTwin:
+    def test_trips_on_missing_twin(self, check_repo):
+        result = check_repo({
+            "src/repro/mod.py": _src("""
+                def share_reference(secret, ids):
+                    return [(i, secret) for i in ids]
+            """),
+        })
+        (f,) = findings_for(result, "parity-twin")
+        assert "no fast twin 'share'" in f.message
+
+    def test_trips_on_signature_drift(self, check_repo):
+        result = check_repo({
+            "src/repro/mod.py": _src("""
+                def share(secret, ids, threshold):
+                    return ids
+
+                def share_reference(secret, ids):
+                    return ids
+            """),
+            "tests/test_share.py": "# share share_reference\n",
+        })
+        (f,) = findings_for(result, "parity-twin")
+        assert "signature" in f.message
+
+    def test_trips_on_missing_pinning_test(self, check_repo):
+        result = check_repo({
+            "src/repro/mod.py": _src("""
+                def share(secret, ids):
+                    return ids
+
+                def share_reference(secret, ids):
+                    return ids
+            """),
+        })
+        (f,) = findings_for(result, "parity-twin")
+        assert "pinning test" in f.message
+
+    def test_word_boundary_naming(self, check_repo):
+        # A test naming only `share_reference` does NOT count as naming
+        # `share` — the twin match is word-bounded.
+        result = check_repo({
+            "src/repro/mod.py": _src("""
+                def fleet(n):
+                    return n
+
+                def fleet_reference(n):
+                    return n
+            """),
+            "tests/test_fleet.py": "# only fleet_reference here\n",
+        })
+        (f,) = findings_for(result, "parity-twin")
+        assert "pinning test" in f.message
+
+    def test_clean_pair_with_test_passes(self, check_repo):
+        result = check_repo({
+            "src/repro/mod.py": _src("""
+                def share(secret, ids):
+                    return ids
+
+                def share_reference(secret, ids):
+                    return ids
+            """),
+            "tests/test_share.py": _src("""
+                from repro.mod import share, share_reference
+
+                def test_parity():
+                    assert share(b"s", [1]) == share_reference(b"s", [1])
+            """),
+        })
+        assert findings_for(result, "parity-twin") == []
+
+    def test_class_twin_and_method_twin(self, check_repo):
+        result = check_repo({
+            "src/repro/mod.py": _src("""
+                class PRG:
+                    def expand(self, n):
+                        return n
+
+                class PRGReference:
+                    def expand(self, n):
+                        return n
+
+                class Acc:
+                    def fold(self, x, y):
+                        return x
+
+                    def fold_reference(self, x):
+                        return x
+            """),
+            "tests/test_prg.py": "# PRG PRGReference fold fold_reference\n",
+        })
+        # PRG/PRGReference are clean; fold/fold_reference drift in
+        # signature within the class scope.
+        (f,) = findings_for(result, "parity-twin")
+        assert "fold_reference" in f.message and "signature" in f.message
+
+
+# ---------------------------------------------------------------------------
+# headroom-guard
+# ---------------------------------------------------------------------------
+
+
+class TestHeadroomGuard:
+    def test_trips_on_unguarded_deferred_sum(self, check_repo):
+        result = check_repo({
+            "src/repro/secagg/acc.py": _src("""
+                def unmask(vectors, modulus):
+                    acc = vectors[0]
+                    for v in vectors[1:]:
+                        acc += v
+                    acc %= modulus
+                    return acc
+            """),
+        })
+        (f,) = findings_for(result, "headroom-guard")
+        assert "'acc'" in f.message and "2**63" in f.message
+
+    def test_guarded_function_passes(self, check_repo):
+        result = check_repo({
+            "src/repro/secagg/acc.py": _src("""
+                def unmask(vectors, modulus):
+                    if len(vectors) * (modulus - 1) >= 2**63:
+                        raise OverflowError
+                    acc = vectors[0]
+                    for v in vectors[1:]:
+                        acc += v
+                    acc %= modulus
+                    return acc
+            """),
+        })
+        assert findings_for(result, "headroom-guard") == []
+
+    def test_class_scope_guard_spans_methods(self, check_repo):
+        # Accumulate, reduce, and guard in three different methods —
+        # the MaskAccumulator shape — is legal.
+        result = check_repo({
+            "src/repro/secagg/acc.py": _src("""
+                class Acc:
+                    def __init__(self, n, modulus):
+                        self._modulus = modulus
+                        self._ok = n * (modulus - 1) < 2**63
+
+                    def fold(self, v):
+                        self._acc += v
+
+                    def finish(self):
+                        self._acc %= self._modulus
+                        return self._acc
+            """),
+        })
+        assert findings_for(result, "headroom-guard") == []
+
+    def test_class_scope_without_guard_trips(self, check_repo):
+        result = check_repo({
+            "src/repro/secagg/acc.py": _src("""
+                class Acc:
+                    def fold(self, v):
+                        self._acc += v
+
+                    def finish(self):
+                        self._acc %= self._modulus
+                        return self._acc
+            """),
+        })
+        (f,) = findings_for(result, "headroom-guard")
+        assert "'self._acc'" in f.message
+
+    def test_non_modulus_reduction_out_of_scope(self, check_repo):
+        # Big-int field arithmetic (`% p`) cannot overflow int64 and is
+        # deliberately not matched — only modulus-named operands are.
+        result = check_repo({
+            "src/repro/crypto/field.py": _src("""
+                def horner(coeffs, x, p):
+                    acc = 0
+                    for c in coeffs:
+                        acc += c * x
+                        acc %= p
+                    return acc
+            """),
+        })
+        assert findings_for(result, "headroom-guard") == []
+
+
+# ---------------------------------------------------------------------------
+# strict-decoder
+# ---------------------------------------------------------------------------
+
+
+class TestStrictDecoder:
+    def test_trips_on_bare_except(self, check_repo):
+        result = check_repo({
+            "src/repro/wire/c.py": _src("""
+                def decode_header(buf):
+                    try:
+                        return buf[0]
+                    except:  # noqa: E722
+                        raise ValueError("bad")
+            """),
+        })
+        msgs = [f.message for f in findings_for(result, "strict-decoder")]
+        assert any("bare except" in m for m in msgs)
+
+    def test_trips_on_swallowing_handler(self, check_repo):
+        result = check_repo({
+            "src/repro/wire/c.py": _src("""
+                def decode_header(buf):
+                    try:
+                        if not buf:
+                            raise ValueError("empty")
+                        return buf[0]
+                    except Exception:
+                        return 0
+            """),
+        })
+        msgs = [f.message for f in findings_for(result, "strict-decoder")]
+        assert any("without re-raising" in m for m in msgs)
+
+    def test_trips_on_silent_none(self, check_repo):
+        result = check_repo({
+            "src/repro/wire/c.py": _src("""
+                def decode_header(buf):
+                    if len(buf) < 1:
+                        return None
+                    if buf[0] > 10:
+                        raise ValueError("bad tag")
+                    return buf[0]
+            """),
+        })
+        msgs = [f.message for f in findings_for(result, "strict-decoder")]
+        assert any("returns None" in m for m in msgs)
+
+    def test_trips_on_never_raising(self, check_repo):
+        result = check_repo({
+            "src/repro/wire/c.py": _src("""
+                def decode_header(buf):
+                    return buf[0]
+            """),
+        })
+        msgs = [f.message for f in findings_for(result, "strict-decoder")]
+        assert any("never raises ValueError" in m for m in msgs)
+
+    def test_delegated_raise_and_local_subclass_pass(self, check_repo):
+        # Raising through a module-local helper, or a module-local
+        # ValueError subclass (the CodecError idiom), both satisfy the
+        # rule; re-wrapping handlers are fine because they raise.
+        result = check_repo({
+            "src/repro/wire/c.py": _src("""
+                class CodecError(ValueError):
+                    pass
+
+                def _need(buf, n):
+                    if len(buf) < n:
+                        raise CodecError("truncated")
+
+                def decode_header(buf):
+                    _need(buf, 1)
+                    return buf[0]
+
+                def decode_frame(buf):
+                    try:
+                        return decode_header(buf)
+                    except Exception as exc:
+                        raise CodecError(str(exc)) from exc
+            """),
+        })
+        assert findings_for(result, "strict-decoder") == []
+
+    def test_out_of_scope_files_ignored(self, check_repo):
+        result = check_repo({
+            "src/repro/fleet/c.py": _src("""
+                def decode_header(buf):
+                    return buf[0]
+            """),
+        })
+        assert findings_for(result, "strict-decoder") == []
+
+
+# ---------------------------------------------------------------------------
+# async-hygiene
+# ---------------------------------------------------------------------------
+
+
+class TestAsyncHygiene:
+    def test_trips_on_blocking_call_in_coroutine(self, check_repo):
+        result = check_repo({
+            "src/repro/engine/a.py": _src("""
+                import time
+
+                async def run_round(self):
+                    time.sleep(1)
+            """),
+        })
+        (f,) = findings_for(result, "async-hygiene")
+        assert "time.sleep" in f.message
+
+    def test_trips_on_discarded_create_task(self, check_repo):
+        result = check_repo({
+            "src/repro/engine/a.py": _src("""
+                import asyncio
+
+                async def spawn_all(coros):
+                    for c in coros:
+                        asyncio.create_task(c)
+            """),
+        })
+        (f,) = findings_for(result, "async-hygiene")
+        assert "discarded" in f.message
+
+    def test_consumed_task_and_async_sleep_pass(self, check_repo):
+        result = check_repo({
+            "src/repro/engine/a.py": _src("""
+                import asyncio
+
+                async def spawn_all(coros):
+                    tasks = [asyncio.create_task(c) for c in coros]
+                    await asyncio.sleep(0)
+                    return tasks
+            """),
+        })
+        assert findings_for(result, "async-hygiene") == []
+
+    def test_blocking_in_sync_helper_is_fine(self, check_repo):
+        # The rule polices coroutines; sync setup helpers may block.
+        result = check_repo({
+            "src/repro/engine/a.py": _src("""
+                import time
+
+                def warm_up():
+                    time.sleep(0.01)
+            """),
+        })
+        assert findings_for(result, "async-hygiene") == []
+
+
+# ---------------------------------------------------------------------------
+# determinism
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_trips_on_stdlib_random(self, check_repo):
+        result = check_repo({
+            "src/repro/fleet/d.py": _src("""
+                import random
+
+                def sample(n):
+                    return random.random() * n
+            """),
+        })
+        (f,) = findings_for(result, "determinism")
+        assert "random.random" in f.message
+
+    def test_trips_on_global_np_random(self, check_repo):
+        result = check_repo({
+            "src/repro/sim/d.py": _src("""
+                import numpy as np
+
+                def draw(n):
+                    return np.random.rand(n)
+            """),
+        })
+        (f,) = findings_for(result, "determinism")
+        assert "np.random.rand" in f.message
+
+    def test_trips_on_unseeded_default_rng(self, check_repo):
+        result = check_repo({
+            "src/repro/crypto/d.py": _src("""
+                import numpy as np
+
+                def draw(n):
+                    return np.random.default_rng().integers(0, 7, n)
+            """),
+        })
+        (f,) = findings_for(result, "determinism")
+        assert "without a seed" in f.message
+
+    def test_trips_on_wall_clock(self, check_repo):
+        result = check_repo({
+            "src/repro/engine/d.py": _src("""
+                import time
+
+                def stamp(trace):
+                    trace.append(time.time())
+            """),
+        })
+        (f,) = findings_for(result, "determinism")
+        assert "wall clock" in f.message
+
+    def test_seeded_rng_and_method_calls_pass(self, check_repo):
+        # Seeded default_rng and drawing through a Generator object
+        # (`rng.random()` — not the stdlib module) are the sanctioned
+        # idioms; out-of-scope packages may do as they like.
+        result = check_repo({
+            "src/repro/fleet/d.py": _src("""
+                import numpy as np
+
+                def sample(seed, n):
+                    rng = np.random.default_rng(seed)
+                    return rng.random() + rng.integers(0, n)
+            """),
+            "src/repro/dp/d.py": _src("""
+                import time
+
+                def wall():
+                    return time.time()
+            """),
+        })
+        assert findings_for(result, "determinism") == []
+
+
+# ---------------------------------------------------------------------------
+# zero-copy
+# ---------------------------------------------------------------------------
+
+
+class TestZeroCopy:
+    def test_trips_on_tobytes_in_encoder(self, check_repo):
+        result = check_repo({
+            "src/repro/wire/codecs.py": _src("""
+                def encode_vector(arr, out):
+                    if arr is None:
+                        raise ValueError("no vector")
+                    out += arr.tobytes()
+            """),
+        })
+        msgs = [f.message for f in findings_for(result, "zero-copy")]
+        assert any(".tobytes()" in m for m in msgs)
+
+    def test_trips_on_range_len_loop(self, check_repo):
+        result = check_repo({
+            "src/repro/wire/frame.py": _src("""
+                def encode_body(data, out):
+                    for i in range(len(data)):
+                        out.append(data[i])
+            """),
+        })
+        msgs = [f.message for f in findings_for(result, "zero-copy")]
+        assert any("range(len(...))" in m for m in msgs)
+
+    def test_trips_on_per_byte_append_loop(self, check_repo):
+        result = check_repo({
+            "src/repro/wire/ws.py": _src("""
+                def encode_masked(payload, mask, out):
+                    for i, b in enumerate(payload):
+                        out.append(mask[i % 4] ^ b)
+            """),
+        })
+        msgs = [f.message for f in findings_for(result, "zero-copy")]
+        assert any("byte-at-a-time" in m for m in msgs)
+
+    def test_reference_twin_and_other_files_exempt(self, check_repo):
+        # `*_reference` encoders are the concatenating spec — exempt by
+        # name; files outside the three hot modules are out of scope.
+        result = check_repo({
+            "src/repro/wire/codecs.py": _src("""
+                def encode_vector_reference(arr):
+                    return arr.tobytes()
+            """),
+            "src/repro/secagg/other.py": _src("""
+                def encode_anything(arr):
+                    return arr.tobytes()
+            """),
+            "tests/test_enc.py":
+                "# encode_vector_reference encode_vector\n",
+        })
+        assert findings_for(result, "zero-copy") == []
+
+    def test_memoryview_writer_passes(self, check_repo):
+        result = check_repo({
+            "src/repro/wire/codecs.py": _src("""
+                def encode_vector(arr, out):
+                    if arr is None:
+                        raise ValueError("no vector")
+                    n = len(out)
+                    out += b"\\x00" * arr.nbytes
+                    memoryview(out)[n:] = memoryview(arr).cast("B")
+            """),
+        })
+        assert findings_for(result, "zero-copy") == []
+
+
+# ---------------------------------------------------------------------------
+# suppressions through the full pipeline
+# ---------------------------------------------------------------------------
+
+
+class TestSuppressionsEndToEnd:
+    def test_reasoned_allow_silences_a_finding(self, check_repo):
+        result = check_repo({
+            "src/repro/mod.py": _src("""
+                # repro: allow[parity-twin] twin retired with the v2 codec
+                def share_reference(secret, ids):
+                    return ids
+            """),
+        })
+        assert findings_for(result, "parity-twin") == []
+        assert result.suppressed == 1
+
+    def test_reasonless_allow_is_itself_a_finding(self, check_repo):
+        result = check_repo({
+            "src/repro/mod.py": _src("""
+                # repro: allow[parity-twin]
+                def share_reference(secret, ids):
+                    return ids
+            """),
+        })
+        # The original finding survives AND the malformed comment is
+        # reported.
+        assert len(findings_for(result, "parity-twin")) == 1
+        (meta,) = findings_for(result, "suppression")
+        assert "no reason" in meta.message

@@ -264,6 +264,28 @@ class TestUnmaskPlaneAbortParity:
         assert errors[0] == errors[1]
         assert "mask key of 3" in errors[0]
 
+    def test_reconstruct_twins_abort_identically(self):
+        # The share-reconstruction helper pair behind both unmask
+        # planes: SecAggServer._reconstruct and _reconstruct_reference
+        # must wrap an unreconstructable share set in the same
+        # ProtocolAbort message.
+        from repro.crypto.shamir import ShamirSecretSharing
+
+        server, _ = self._state()
+        ss = ShamirSecretSharing(3)
+        shares = list(ss.share(b"unmask seed material", [1, 2, 3, 4]).values())
+        too_few = shares[:2]
+        errors = []
+        for method in ("_reconstruct", "_reconstruct_reference"):
+            with pytest.raises(ProtocolAbort) as excinfo:
+                getattr(server, method)(ss, too_few, "self-mask seed of 9")
+            errors.append(str(excinfo.value))
+        assert errors[0] == errors[1]
+        assert "self-mask seed of 9" in errors[0]
+        # And on reconstructable shares the twins agree with each other.
+        assert server._reconstruct(ss, shares[:3], "x") == \
+            server._reconstruct_reference(ss, shares[:3], "x")
+
 
 def test_config_rejects_non_positive_workers():
     with pytest.raises(ValueError):

@@ -213,6 +213,49 @@ class TestServeJoinValidation:
             )
 
 
+class TestCheckCommand:
+    """Exit-code contract: 0 clean, 1 findings, 2 usage error."""
+
+    def test_clean_repo_exits_zero(self, capsys):
+        assert main(["check"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_json_format(self, capsys):
+        import json
+
+        assert main(["check", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["clean"] is True
+        assert len(doc["rules"]) >= 6
+
+    def test_findings_exit_one(self, capsys, tmp_path):
+        repo = tmp_path / "repo"
+        (repo / "src" / "repro").mkdir(parents=True)
+        (repo / "pyproject.toml").write_text("[project]\nname='x'\n")
+        (repo / "src" / "repro" / "mod.py").write_text(
+            "def lonely_reference(x):\n    return x\n"
+        )
+        assert main(["check", "--root", str(repo)]) == 1
+        out = capsys.readouterr().out
+        assert "[parity-twin]" in out
+
+    def test_bad_root_exits_two(self, capsys, tmp_path):
+        assert main(["check", "--root", str(tmp_path / "nowhere")]) == 2
+        assert "check:" in capsys.readouterr().err
+
+    def test_bad_baseline_exits_two(self, capsys, tmp_path):
+        bad = tmp_path / "BASE.json"
+        bad.write_text('{"version": 999, "findings": []}')
+        assert main(["check", "--baseline", str(bad)]) == 2
+        assert "check:" in capsys.readouterr().err
+
+    def test_bad_format_exits_two(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check", "--format", "yaml"])
+        assert excinfo.value.code == 2
+
+
 class TestServeJoinCrossProcess:
     """One coordinator process, N dialing device processes — the
     production topology, smoke-tested end to end."""

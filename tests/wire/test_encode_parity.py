@@ -102,6 +102,17 @@ class TestCodecEncodeParity:
                 obj
             ) == wire_codecs.encode_payload_reference(obj)
 
+    def test_encode_value_matches_reference(self):
+        # The bare (tag-less) value encoder and its concatenating spec
+        # twin, pinned on fuzzed shapes and the protocol payloads.
+        rng = random.Random(0xBEEF)
+        values = [_random_value(rng) for _ in range(60)]
+        values.extend(_protocol_payloads())
+        for value in values:
+            assert wire_codecs.encode_value(
+                value
+            ) == wire_codecs.encode_value_reference(value)
+
     def test_unencodable_type_raises_on_both_paths(self):
         class Opaque:
             pass
